@@ -1,0 +1,39 @@
+"""Ablation — cost of keeping cold sessions connected.
+
+Section 7.3: only ~5.6 % of sessions perform any data management, yet every
+session holds an open TCP connection to an API server for its whole lifetime.
+This ablation quantifies the connection-time the back-end spends on cold
+sessions versus active ones — the motivation for the push/pull switching the
+paper suggests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sessions import session_analysis
+
+from .conftest import print_rows
+
+
+def test_ablation_cold_session_cost(benchmark, dataset):
+    analysis = benchmark(session_analysis, dataset)
+    lengths = analysis.lengths
+    active_mask = analysis.storage_operations > 0
+    cold_time = float(lengths[~active_mask].sum())
+    active_time = float(lengths[active_mask].sum())
+    total_time = cold_time + active_time
+    rows = [
+        ("active sessions", "0.0557", f"{analysis.active_share:.4f}"),
+        ("connection-seconds held by cold sessions", "-", f"{cold_time:.0f}"),
+        ("connection-seconds held by active sessions", "-", f"{active_time:.0f}"),
+        ("share of connection time wasted on cold sessions", "majority",
+         f"{cold_time / max(total_time, 1):.3f}"),
+        ("mean cold session length", "-",
+         f"{float(np.mean(lengths[~active_mask])) if (~active_mask).any() else 0:.0f} s"),
+    ]
+    print_rows("Ablation: cold vs active session connection cost", rows)
+    # Cold sessions vastly outnumber active ones...
+    assert (~active_mask).sum() > active_mask.sum()
+    # ...and still hold a substantial share of the open-connection time.
+    assert cold_time / max(total_time, 1) > 0.2

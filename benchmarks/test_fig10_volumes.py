@@ -1,0 +1,24 @@
+"""Fig. 10 — files and directories per user volume."""
+
+from __future__ import annotations
+
+from repro.core.volumes import volume_contents
+
+from .conftest import print_rows
+
+
+def test_fig10_volumes(benchmark, dataset):
+    contents = benchmark(volume_contents, dataset)
+    files, dirs = contents.counts()
+    rows = [
+        ("volumes observed", "-", str(files.size)),
+        ("volumes with at least one file", ">0.60", f"{contents.share_with_files():.3f}"),
+        ("files/dirs correlation (Pearson)", "0.998", f"{contents.correlation():.3f}"),
+        ("volumes with > 1,000 files", "0.05",
+         f"{contents.share_heavily_loaded(1000):.3f}"),
+        ("mean files per volume", "-", f"{files.mean():.1f}"),
+        ("mean directories per volume", "-", f"{dirs.mean():.1f}"),
+    ]
+    print_rows("Fig. 10: files vs directories per volume", rows)
+    assert files.sum() > dirs.sum()
+    assert contents.share_with_files() > 0.3

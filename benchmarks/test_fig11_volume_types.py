@@ -1,0 +1,23 @@
+"""Fig. 11 — distribution of user-defined and shared volumes across users."""
+
+from __future__ import annotations
+
+from repro.core.volumes import volume_type_distribution
+
+from .conftest import print_rows
+
+
+def test_fig11_volume_types(benchmark, dataset):
+    distribution = benchmark(volume_type_distribution, dataset)
+    rows = [
+        ("users with at least one UDF volume", "0.58",
+         f"{distribution.share_with_udf():.3f}"),
+        ("users with at least one shared volume", "0.018",
+         f"{distribution.share_with_shared():.3f}"),
+        ("max UDF volumes of a single user", "-",
+         str(max(distribution.udf_volumes_per_user.values(), default=0))),
+    ]
+    print_rows("Fig. 11: UDF / shared volumes across users", rows)
+    # Sharing is rare; personal (UDF) volumes are common.
+    assert distribution.share_with_udf() > distribution.share_with_shared()
+    assert distribution.share_with_shared() < 0.2

@@ -1,0 +1,31 @@
+"""Fig. 13 — median RPC service time vs call frequency, by RPC class."""
+
+from __future__ import annotations
+
+from repro.core.rpc_performance import class_median_ranges, rpc_scatter
+from repro.trace.records import RpcClass
+
+from .conftest import print_series
+
+
+def test_fig13_rpc_scatter(benchmark, dataset):
+    points = benchmark(rpc_scatter, dataset)
+    rows = [(p.rpc.value, p.rpc_class.value, str(p.operation_count),
+             f"{p.median_service_time * 1000:.1f} ms") for p in points]
+    print_series("Fig. 13: RPC frequency vs median service time",
+                 ["rpc", "class", "calls", "median"], rows)
+
+    ranges = class_median_ranges(points)
+    read_fastest = ranges[RpcClass.READ][0]
+    write_range = ranges[RpcClass.WRITE]
+    print(f"read medians from {read_fastest * 1000:.1f} ms; "
+          f"writes {write_range[0] * 1000:.1f}-{write_range[1] * 1000:.1f} ms")
+    # Reads are the fastest class; writes are slower but similarly frequent;
+    # cascade RPCs are more than an order of magnitude slower and rare.
+    assert read_fastest < write_range[0]
+    if RpcClass.CASCADE in ranges:
+        assert ranges[RpcClass.CASCADE][1] > 10 * read_fastest
+        cascade_calls = sum(p.operation_count for p in points
+                            if p.rpc_class is RpcClass.CASCADE)
+        total_calls = sum(p.operation_count for p in points)
+        assert cascade_calls < 0.05 * total_calls

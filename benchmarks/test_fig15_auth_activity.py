@@ -1,0 +1,23 @@
+"""Fig. 15 — session-management and authentication activity."""
+
+from __future__ import annotations
+
+from repro.core.sessions import auth_activity
+
+from .conftest import print_rows
+
+
+def test_fig15_auth_activity(benchmark, dataset):
+    activity = benchmark(auth_activity, dataset)
+    rows = [
+        ("authentication requests", "-", str(activity.auth_total)),
+        ("failed authentication requests", "0.0276",
+         f"{activity.auth_failure_ratio:.4f}"),
+        ("day/night authentication ratio", "1.5-1.6",
+         f"{activity.day_night_ratio():.2f}"),
+        ("peak session requests per hour", "-",
+         f"{activity.session_requests.max():.0f}"),
+    ]
+    print_rows("Fig. 15: authentication / session management activity", rows)
+    assert 0.005 < activity.auth_failure_ratio < 0.08
+    assert activity.day_night_ratio() > 1.05

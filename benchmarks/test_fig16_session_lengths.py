@@ -1,0 +1,30 @@
+"""Fig. 16 — session lengths and storage operations per session."""
+
+from __future__ import annotations
+
+from repro.core.sessions import session_analysis
+from repro.util.units import HOUR
+
+from .conftest import print_rows
+
+
+def test_fig16_session_lengths(benchmark, dataset):
+    analysis = benchmark(session_analysis, dataset)
+    rows = [
+        ("sessions observed", "42.5M (full scale)", str(analysis.n_sessions)),
+        ("sessions shorter than 1 second", "0.32",
+         f"{analysis.share_shorter_than(1.0):.3f}"),
+        ("sessions shorter than 8 hours", "0.97",
+         f"{analysis.share_shorter_than(8 * HOUR):.3f}"),
+        ("active sessions", "0.0557", f"{analysis.active_share:.4f}"),
+        ("ops held by top 20% of active sessions", "0.967",
+         f"{analysis.top_sessions_share(0.2):.3f}"),
+        ("median length, all sessions", "-", f"{analysis.median_length():.1f} s"),
+        ("median length, active sessions", "-",
+         f"{analysis.median_length(active_only=True):.1f} s"),
+    ]
+    print_rows("Fig. 16: session lengths and per-session activity", rows)
+    assert analysis.share_shorter_than(8 * HOUR) > 0.85
+    assert 0.1 < analysis.share_shorter_than(1.0) < 0.5
+    assert 0.01 < analysis.active_share < 0.35
+    assert analysis.median_length(active_only=True) > analysis.median_length()

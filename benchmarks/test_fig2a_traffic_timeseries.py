@@ -1,0 +1,21 @@
+"""Fig. 2a — upload/download traffic time series (GB per hour)."""
+
+from __future__ import annotations
+
+from repro.core.storage_workload import traffic_timeseries
+
+from .conftest import print_series
+
+
+def test_fig2a_traffic_timeseries(benchmark, dataset):
+    series = benchmark(traffic_timeseries, dataset)
+    pattern_up = series.daily_pattern(series.upload_bytes) / 1024 ** 3
+    pattern_down = series.daily_pattern(series.download_bytes) / 1024 ** 3
+    rows = [(f"{hour:02d}:00", f"{pattern_up[hour]:.3f}", f"{pattern_down[hour]:.3f}")
+            for hour in range(0, 24, 2)]
+    print_series("Fig. 2a: mean GB/hour by hour of day (upload, download)",
+                 ["hour", "upload GB/h", "download GB/h"], rows)
+    print(f"peak-to-trough (paper: up to ~10x for uploads): "
+          f"{series.peak_to_trough():.1f}x")
+    # Daily pattern: central day hours carry several times the night load.
+    assert series.peak_to_trough() > 2.0

@@ -1,0 +1,27 @@
+"""Fig. 2b — traffic and operations per file-size category."""
+
+from __future__ import annotations
+
+from repro.core.storage_workload import traffic_by_size_category
+
+from .conftest import print_series
+
+#: Published headline numbers: >25 MB files consume 79.3 % / 88.2 % of the
+#: upload/download traffic; <0.5 MB files account for 84.3 % / 89.0 % of the
+#: upload/download operations.
+_PAPER_LARGE_TRAFFIC = (0.793, 0.882)
+_PAPER_SMALL_OPS = (0.843, 0.890)
+
+
+def test_fig2b_size_categories(benchmark, dataset):
+    breakdown = benchmark(traffic_by_size_category, dataset)
+    rows = [(label, f"{up_ops:.2f}", f"{down_ops:.2f}", f"{up_traffic:.2f}",
+             f"{down_traffic:.2f}")
+            for label, up_ops, down_ops, up_traffic, down_traffic in breakdown.rows()]
+    print_series("Fig. 2b: share per file-size category",
+                 ["category", "up ops", "down ops", "up bytes", "down bytes"], rows)
+    print(f"paper: >25MB traffic share {_PAPER_LARGE_TRAFFIC}, "
+          f"<0.5MB operation share {_PAPER_SMALL_OPS}")
+    # Shape: small files dominate operations, large files dominate traffic.
+    assert breakdown.upload_operation_share[0] > 0.5
+    assert breakdown.upload_traffic_share[-2:].sum() > breakdown.upload_operation_share[-2:].sum()

@@ -1,0 +1,22 @@
+"""Fig. 2c — hourly R/W ratio: boxplot and autocorrelation."""
+
+from __future__ import annotations
+
+from repro.core.storage_workload import rw_ratio_analysis
+from repro.util.units import MB
+
+from .conftest import print_rows
+
+
+def test_fig2c_rw_ratio(benchmark, dataset):
+    analysis = benchmark(rw_ratio_analysis, dataset, min_bytes=10 * MB)
+    rows = [
+        ("median hourly R/W ratio", "1.14", f"{analysis.median:.2f}"),
+        ("mean hourly R/W ratio", "1.17", f"{analysis.mean:.2f}"),
+        ("within-day max/min spread", "~8x", f"{analysis.boxplot.spread_ratio:.1f}x"),
+        ("ACF lags outside 95% bound", "most", str(analysis.significant_lags())),
+        ("time-correlated (ACF)", "yes", "yes" if analysis.is_correlated() else "no"),
+    ]
+    print_rows("Fig. 2c: R/W ratio", rows)
+    assert 0.1 < analysis.median < 6.0
+    assert analysis.boxplot.spread_ratio > 2.0

@@ -1,0 +1,33 @@
+"""Fig. 3a — X-after-Write inter-operation time CDFs."""
+
+from __future__ import annotations
+
+from repro.core.file_dependencies import Dependency, file_dependencies
+from repro.util.units import HOUR
+
+from .conftest import print_series
+
+#: Published shares among X-after-Write pairs: WAW 44 %, RAW 30 %, DAW 26 %.
+_PAPER_SHARES = {"WAW": 0.44, "RAW": 0.30, "DAW": 0.26}
+
+
+def test_fig3a_after_write(benchmark, dataset):
+    analysis = benchmark(file_dependencies, dataset)
+    rows = []
+    for dependency in (Dependency.WAW, Dependency.RAW, Dependency.DAW):
+        rows.append((dependency.value,
+                     f"{_PAPER_SHARES[dependency.value]:.2f}",
+                     f"{analysis.share_after_write(dependency):.2f}",
+                     f"{analysis.fraction_within(dependency, HOUR):.2f}"))
+    print_series("Fig. 3a: X-after-Write dependencies",
+                 ["dep", "paper share", "measured share", "frac < 1h"], rows)
+    assert analysis.total_after_write() > 0
+    # 80 % of WAW gaps are shorter than one hour in the paper.
+    assert analysis.fraction_within(Dependency.WAW, HOUR) > 0.4
+
+
+def test_fig3a_waw_is_most_common(dataset):
+    analysis = file_dependencies(dataset)
+    shares = {d: analysis.share_after_write(d)
+              for d in (Dependency.WAW, Dependency.RAW, Dependency.DAW)}
+    assert max(shares, key=shares.get) in (Dependency.WAW, Dependency.RAW)

@@ -1,0 +1,36 @@
+"""Fig. 3b — X-after-Read inter-operation time CDFs and downloads per file."""
+
+from __future__ import annotations
+
+from repro.core.file_dependencies import Dependency, downloads_per_file, file_dependencies
+from repro.util.units import DAY
+
+from .conftest import print_series
+
+#: Published shares among X-after-Read pairs: WAR 10 %, RAR 66 %, DAR 24 %.
+_PAPER_SHARES = {"WAR": 0.10, "RAR": 0.66, "DAR": 0.24}
+
+
+def test_fig3b_after_read(benchmark, dataset):
+    analysis = benchmark(file_dependencies, dataset)
+    rows = []
+    for dependency in (Dependency.WAR, Dependency.RAR, Dependency.DAR):
+        rows.append((dependency.value,
+                     f"{_PAPER_SHARES[dependency.value]:.2f}",
+                     f"{analysis.share_after_read(dependency):.2f}",
+                     f"{analysis.fraction_within(dependency, DAY):.2f}"))
+    print_series("Fig. 3b: X-after-Read dependencies",
+                 ["dep", "paper share", "measured share", "frac < 1d"], rows)
+    assert analysis.total_after_read() > 0
+    # Files that are read tend not to be updated again: WAR is the least common.
+    assert analysis.share_after_read(Dependency.WAR) <= \
+        analysis.share_after_read(Dependency.RAR)
+
+
+def test_fig3b_downloads_per_file_long_tail(benchmark, dataset):
+    counts = benchmark(downloads_per_file, dataset)
+    print_series("Fig. 3b (inner): downloads per file",
+                 ["percentile", "downloads"],
+                 [(f"p{p}", f"{float(counts[min(len(counts) - 1, int(p / 100 * len(counts)))]):.0f}")
+                  for p in (50, 90, 99)])
+    assert counts.max() > counts.min()

@@ -1,0 +1,29 @@
+"""Fig. 3c — file and directory lifetimes."""
+
+from __future__ import annotations
+
+from repro.core.node_lifetime import node_lifetimes
+from repro.trace.records import NodeKind
+from repro.util.units import HOUR
+
+from .conftest import print_rows
+
+
+def test_fig3c_lifetime(benchmark, dataset):
+    analysis = benchmark(node_lifetimes, dataset)
+    rows = [
+        ("files deleted within the window", "0.289 (month)",
+         f"{analysis.deleted_fraction(NodeKind.FILE):.3f}"),
+        ("directories deleted within the window", "0.315 (month)",
+         f"{analysis.deleted_fraction(NodeKind.DIRECTORY):.3f}"),
+        ("files deleted within 8 hours", "0.171",
+         f"{analysis.short_lived_share(NodeKind.FILE):.3f}"),
+        ("directories deleted within 8 hours", "0.129",
+         f"{analysis.short_lived_share(NodeKind.DIRECTORY):.3f}"),
+    ]
+    print_rows("Fig. 3c: node lifetimes", rows)
+    assert analysis.files_created > 0
+    assert analysis.deleted_fraction(NodeKind.FILE) > 0.02
+    # Many deleted files die within hours of creation.
+    if analysis.files_deleted:
+        assert analysis.lifetime_cdf(NodeKind.FILE)(8 * HOUR) > 0.2

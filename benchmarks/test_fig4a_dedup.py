@@ -1,0 +1,24 @@
+"""Fig. 4a — duplicated files per hash and the deduplication ratio."""
+
+from __future__ import annotations
+
+from repro.core.deduplication import deduplication_analysis
+
+from .conftest import print_rows
+
+
+def test_fig4a_dedup(benchmark, dataset):
+    analysis = benchmark(deduplication_analysis, dataset)
+    rows = [
+        ("deduplication ratio (bytes)", "0.171", f"{analysis.byte_dedup_ratio:.3f}"),
+        ("deduplication ratio (files)", "-", f"{analysis.file_dedup_ratio:.3f}"),
+        ("contents without duplicates", "~0.80",
+         f"{analysis.fraction_without_duplicates:.3f}"),
+        ("max copies of a single content", "long tail", str(analysis.max_copies)),
+        ("storage saved (GB)", "-",
+         f"{analysis.storage_saved_bytes() / 1024 ** 3:.2f}"),
+    ]
+    print_rows("Fig. 4a: file-level cross-user deduplication", rows)
+    assert analysis.file_dedup_ratio > 0.05
+    assert analysis.fraction_without_duplicates > 0.5
+    assert analysis.max_copies >= 5

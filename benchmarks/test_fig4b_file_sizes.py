@@ -1,0 +1,26 @@
+"""Fig. 4b — file-size distributions, overall and per extension."""
+
+from __future__ import annotations
+
+from repro.core.file_types import file_size_analysis
+from repro.util.units import KB, MB
+
+from .conftest import print_series
+
+
+def test_fig4b_file_sizes(benchmark, dataset):
+    analysis = benchmark(file_size_analysis, dataset)
+    rows = []
+    for extension in ("jpg", "mp3", "pdf", "doc", "java", "zip", "py"):
+        try:
+            median = analysis.median_size(extension)
+        except ValueError:
+            continue
+        rows.append((extension, f"{median / KB:.0f} KB",
+                     f"{analysis.extension_cdf(extension).n}"))
+    print_series("Fig. 4b: median size per extension",
+                 ["extension", "median", "files"], rows)
+    print(f"files < 1 MB (paper: 0.90): {analysis.fraction_below(1 * MB):.3f}")
+    assert analysis.fraction_below(1 * MB) > 0.7
+    # Media files are far larger than code files (disparate CDFs).
+    assert analysis.median_size("mp3") > 20 * analysis.median_size("py")

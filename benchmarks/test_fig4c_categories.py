@@ -1,0 +1,29 @@
+"""Fig. 4c — number of files vs storage space per file category."""
+
+from __future__ import annotations
+
+from repro.core.file_types import category_shares
+
+from .conftest import print_series
+
+#: Qualitative reading of Fig. 4c: Code holds the most files with minimal
+#: storage; Audio/Video holds the most storage with few files; Documents are
+#: ~10 % of files and ~7 % of storage.
+_PAPER_HINTS = {
+    "Code": ("highest file share", "minimal storage"),
+    "Audio/Video": ("low file share", "highest storage share"),
+    "Documents": ("~0.10", "~0.07"),
+}
+
+
+def test_fig4c_categories(benchmark, dataset):
+    shares = benchmark(category_shares, dataset)
+    rows = [(name, f"{share.file_share:.3f}", f"{share.storage_share:.3f}")
+            for name, share in sorted(shares.items(),
+                                      key=lambda kv: kv[1].file_share, reverse=True)]
+    print_series("Fig. 4c: category shares (files vs storage)",
+                 ["category", "file share", "storage share"], rows)
+    assert shares["Code"].file_share > shares["Audio/Video"].file_share
+    assert shares["Audio/Video"].storage_share == max(
+        s.storage_share for s in shares.values())
+    assert shares["Code"].storage_share < 0.2

@@ -1,0 +1,25 @@
+"""Fig. 6 — online vs active users per hour."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.user_activity import online_active_users
+
+from .conftest import print_rows
+
+
+def test_fig6_online_active(benchmark, dataset):
+    series = benchmark(online_active_users, dataset)
+    low, high = series.active_share_range()
+    rows = [
+        ("peak online users per hour", "-", f"{series.online.max():.0f}"),
+        ("peak active users per hour", "-", f"{series.active.max():.0f}"),
+        ("min active/online share", "0.0349", f"{low:.3f}"),
+        ("max active/online share", "0.1625", f"{high:.3f}"),
+        ("mean active/online share", "-",
+         f"{float(np.mean(series.active_share()[series.online > 0])):.3f}"),
+    ]
+    print_rows("Fig. 6: online vs active users", rows)
+    assert (series.online >= series.active).all()
+    assert high < 0.9

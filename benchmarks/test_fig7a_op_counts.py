@@ -1,0 +1,22 @@
+"""Fig. 7a — number of user operations per API type."""
+
+from __future__ import annotations
+
+from repro.core.user_activity import operation_counts
+from repro.trace.records import ApiOperation
+
+from .conftest import print_series
+
+
+def test_fig7a_operation_counts(benchmark, dataset):
+    report = benchmark(operation_counts, dataset)
+    rows = [(op.value, str(count)) for op, count in report.most_common()]
+    print_series("Fig. 7a: operations per type", ["operation", "count"], rows)
+    # Data-management operations (transfers, deletions) dominate; session
+    # start-up operations are not dominant (the client does not poll).
+    transfers = (report.counts.get(ApiOperation.UPLOAD, 0)
+                 + report.counts.get(ApiOperation.DOWNLOAD, 0))
+    listings = (report.counts.get(ApiOperation.LIST_VOLUMES, 0)
+                + report.counts.get(ApiOperation.LIST_SHARES, 0))
+    assert transfers > listings
+    assert report.counts.get(ApiOperation.UNLINK, 0) > 0

@@ -1,0 +1,30 @@
+"""Fig. 7b — CDF of data transferred per user."""
+
+from __future__ import annotations
+
+from repro.core.user_traffic import classify_users, per_user_traffic
+from repro.util.units import GB, KB, MB
+
+from .conftest import print_rows
+
+
+def test_fig7b_user_traffic(benchmark, dataset):
+    traffic = benchmark(per_user_traffic, dataset)
+    classes = classify_users(dataset)
+    download_cdf = traffic.traffic_cdf("download")
+    upload_cdf = traffic.traffic_cdf("upload")
+    rows = [
+        ("users who downloaded anything", "0.14", f"{traffic.download_share_of_users():.3f}"),
+        ("users who uploaded anything", "0.25", f"{traffic.upload_share_of_users():.3f}"),
+        ("median per-user download", "-", f"{download_cdf.median() / MB:.1f} MB"),
+        ("median per-user upload", "-", f"{upload_cdf.median() / MB:.1f} MB"),
+        ("p99 per-user total traffic", "-",
+         f"{traffic.traffic_cdf('total').quantile(0.99) / GB:.2f} GB"),
+        ("occasional users (<10 KB)", "0.858", f"{classes.occasional:.3f}"),
+        ("upload-only users", "0.072", f"{classes.upload_only:.3f}"),
+        ("download-only users", "0.023", f"{classes.download_only:.3f}"),
+        ("heavy users", "0.046", f"{classes.heavy:.3f}"),
+    ]
+    print_rows("Fig. 7b: per-user traffic and user classes", rows)
+    assert classes.occasional > 0.5
+    assert traffic.traffic_cdf("total").quantile(0.95) > 100 * KB

@@ -1,0 +1,30 @@
+"""Fig. 7c — Lorenz curve and Gini coefficient of per-user traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.user_traffic import traffic_inequality
+
+from .conftest import print_rows
+
+
+def test_fig7c_lorenz_gini(benchmark, dataset):
+    inequality = benchmark(traffic_inequality, dataset)
+    # The paper reports Gini 0.8966 (download) / 0.8943 (upload) and a 65.6 %
+    # top-1 % share over 1.29 M users.
+    lorenz_at_half = float(np.interp(0.5, inequality.lorenz_population,
+                                     inequality.lorenz_traffic))
+    rows = [
+        ("Gini coefficient (total traffic)", "~0.895", f"{inequality.gini:.3f}"),
+        ("traffic share of top 1% of users", "0.656",
+         f"{inequality.top_1_percent_share:.3f}"),
+        ("traffic share of top 5% of users", "-",
+         f"{inequality.top_5_percent_share:.3f}"),
+        ("Lorenz value at 50% of population", "~0.01", f"{lorenz_at_half:.3f}"),
+        ("active users considered", "-", str(inequality.active_users)),
+    ]
+    print_rows("Fig. 7c: traffic inequality across users", rows)
+    assert inequality.gini > 0.6
+    assert inequality.top_5_percent_share > 0.3
+    assert lorenz_at_half < 0.2

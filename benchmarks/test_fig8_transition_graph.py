@@ -1,0 +1,38 @@
+"""Fig. 8 — user-centric API operation transition graph."""
+
+from __future__ import annotations
+
+from repro.core.request_graph import build_transition_graph
+from repro.trace.records import ApiOperation
+
+from .conftest import print_series
+
+#: The main edge probabilities annotated in Fig. 8 (global probabilities).
+_PAPER_EDGES = {
+    (ApiOperation.MAKE, ApiOperation.UPLOAD): 0.167,
+    (ApiOperation.UPLOAD, ApiOperation.UPLOAD): 0.158,
+    (ApiOperation.DOWNLOAD, ApiOperation.DOWNLOAD): 0.135,
+    (ApiOperation.UPLOAD, ApiOperation.MAKE): 0.103,
+    (ApiOperation.LIST_VOLUMES, ApiOperation.LIST_SHARES): 0.094,
+    (ApiOperation.UNLINK, ApiOperation.UNLINK): 0.044,
+}
+
+
+def test_fig8_transition_graph(benchmark, dataset):
+    graph = benchmark(build_transition_graph, dataset)
+    rows = []
+    for (source, target), paper_probability in _PAPER_EDGES.items():
+        rows.append((f"{source.value} -> {target.value}",
+                     f"{paper_probability:.3f}",
+                     f"{graph.probability(source, target):.3f}"))
+    print_series("Fig. 8: main transition edges (global probability)",
+                 ["edge", "paper", "measured"], rows)
+    print(f"P(transfer follows transfer): {graph.transfer_repeat_probability():.2f}")
+    top = graph.top_transitions(5)
+    print("top transitions:", ", ".join(f"{a.value}->{b.value} ({p:.3f})"
+                                        for a, b, p in top))
+    assert graph.transfer_repeat_probability() > 0.4
+    assert graph.probability(ApiOperation.UPLOAD, ApiOperation.UPLOAD) > 0.02
+    # The networkx export keeps the heavy edges.
+    digraph = graph.to_networkx(min_probability=0.01)
+    assert digraph.number_of_edges() >= 5

@@ -1,0 +1,34 @@
+"""Fig. 9 — inter-operation times and their power-law approximation."""
+
+from __future__ import annotations
+
+from repro.core.burstiness import burstiness_analysis
+from repro.trace.records import ApiOperation
+
+from .conftest import print_series
+
+#: Published fits: Upload alpha = 1.54, theta = 41.37; Unlink alpha = 1.44,
+#: theta = 19.51.
+_PAPER_FITS = {
+    ApiOperation.UPLOAD: (1.54, 41.37),
+    ApiOperation.UNLINK: (1.44, 19.51),
+}
+
+
+def test_fig9_burstiness(benchmark, dataset):
+    def analyse():
+        return {op: burstiness_analysis(dataset, op) for op in _PAPER_FITS}
+
+    results = benchmark(analyse)
+    rows = []
+    for operation, (paper_alpha, paper_theta) in _PAPER_FITS.items():
+        analysis = results[operation]
+        rows.append((operation.value,
+                     f"a={paper_alpha:.2f} th={paper_theta:.1f}",
+                     f"a={analysis.alpha:.2f} th={analysis.theta:.1f}",
+                     f"cv={analysis.coefficient_of_variation:.1f}"))
+    print_series("Fig. 9: power-law fit of inter-operation times",
+                 ["operation", "paper", "measured", "dispersion"], rows)
+    for analysis in results.values():
+        assert analysis.is_non_poisson
+        assert analysis.alpha < 2.5

@@ -1,0 +1,17 @@
+"""Table 1 — headline findings, paper vs measured."""
+
+from __future__ import annotations
+
+from repro.core.findings import compute_findings
+
+from .conftest import print_rows
+
+
+def test_table1_findings(benchmark, dataset):
+    report = benchmark(compute_findings, dataset)
+    rows = [(f.statement, f"{f.paper_value:.3f}", f"{f.measured_value:.3f}")
+            for f in report]
+    print_rows("Table 1: summary of findings", rows)
+    assert len(report) >= 10
+    assert report.by_statement("smaller than 1 MByte").measured_value > 0.7
+    assert report.by_statement("shorter than 8 hours").measured_value > 0.85

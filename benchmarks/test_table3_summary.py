@@ -1,0 +1,29 @@
+"""Table 3 — summary of the trace."""
+
+from __future__ import annotations
+
+from repro.core.summary import trace_summary
+
+from .conftest import print_rows
+
+
+#: The published Table 3 (full-scale U1 deployment, 30 days).
+_PAPER = {
+    "Trace duration": "30 days",
+    "Back-end servers traced": "6",
+    "Unique user IDs": "1,294,794",
+    "Unique files": "137.63M",
+    "User sessions": "42.5M",
+    "Transfer operations": "194.3M",
+    "Total upload traffic": "105TB",
+    "Total download traffic": "120TB",
+}
+
+
+def test_table3_summary(benchmark, dataset):
+    summary = benchmark(trace_summary, dataset)
+    rows = [(label, _PAPER.get(label, "-"), value) for label, value in summary.rows()]
+    print_rows("Table 3: summary of the (synthetic) trace", rows)
+    assert summary.servers_traced == 6
+    assert summary.unique_users > 0
+    assert summary.transfer_operations > 0

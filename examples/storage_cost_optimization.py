@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Storage cost optimisation: dedup, delta updates and cold-data tiering.
+
+Section 9 of the paper argues that understanding user behaviour is the key to
+cutting a Personal Cloud's operating costs: file-level deduplication would
+save ~17 % of storage, delta updates would remove most of the 18.5 % of
+upload traffic caused by updates, and warm/cold tiering would absorb rarely
+accessed data.  This example quantifies all three on the same synthetic
+workload by replaying it through differently configured back-ends.
+
+Run with::
+
+    python examples/storage_cost_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.core.file_dependencies import dying_files
+from repro.core.storage_workload import update_traffic_share
+from repro.util.units import DAY, GB
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+def replay(scripts, **cluster_overrides):
+    cluster = U1Cluster(ClusterConfig(seed=31, **cluster_overrides))
+    dataset = cluster.replay(scripts)
+    return cluster, dataset
+
+
+def main() -> int:
+    config = WorkloadConfig.scaled(users=500, days=7, seed=31)
+    scripts = SyntheticTraceGenerator(config).client_events()
+    print(f"Workload: {config.n_users} users over {config.duration_days:.0f} days\n")
+
+    # Baseline: the real U1 configuration (dedup on, no delta updates).
+    baseline_cluster, baseline = replay(scripts)
+    baseline_acc = baseline_cluster.object_store.accounting
+
+    # Variant 1: no cross-user dedup.
+    nodedup_cluster, _ = replay(scripts, dedup_enabled=False)
+    nodedup_acc = nodedup_cluster.object_store.accounting
+
+    # Variant 2: delta updates enabled in the client/back-end.
+    delta_cluster, _ = replay(scripts, delta_updates_enabled=True)
+    delta_acc = delta_cluster.object_store.accounting
+
+    updates = update_traffic_share(baseline)
+    dedup_saving = 1 - baseline_acc.bytes_stored / max(nodedup_acc.bytes_stored, 1)
+    delta_saving = 1 - delta_acc.bytes_uploaded / max(baseline_acc.bytes_uploaded, 1)
+
+    print("File-level cross-user deduplication (enabled in U1):")
+    print(f"  bytes stored with dedup:    {baseline_acc.bytes_stored / GB:8.2f} GB")
+    print(f"  bytes stored without dedup: {nodedup_acc.bytes_stored / GB:8.2f} GB")
+    print(f"  storage saved:              {dedup_saving:8.1%}   (paper: ~17%)\n")
+
+    print("Delta updates (NOT implemented by the U1 client):")
+    print(f"  upload traffic from updates: {updates.traffic_share:8.1%}   (paper: 18.5%)")
+    print(f"  upload bytes, full re-upload: {baseline_acc.bytes_uploaded / GB:7.2f} GB")
+    print(f"  upload bytes, delta updates:  {delta_acc.bytes_uploaded / GB:7.2f} GB")
+    print(f"  upload traffic saved:         {delta_saving:7.1%}\n")
+
+    dying = dying_files(baseline, idle_threshold=1 * DAY)
+    print("Warm/cold data (candidates for Amazon Glacier / f4-style tiers):")
+    print(f"  files idle for >1 day before deletion: {dying.dying_files} "
+          f"({dying.share_of_all_files:.1%} of observed files; paper: ~9%)\n")
+
+    bill_baseline = baseline_acc.monthly_cost_estimate()
+    bill_nodedup = nodedup_acc.monthly_cost_estimate()
+    print("Back-of-the-envelope monthly S3 bill at this (laptop) scale:")
+    print(f"  with dedup:    ${bill_baseline:.2f}")
+    print(f"  without dedup: ${bill_nodedup:.2f}")
+    print("(U1's real bill was ~$20k/month; savings scale with the same ratios.)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

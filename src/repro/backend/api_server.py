@@ -1,0 +1,476 @@
+"""API server processes (Section 3.2-3.4).
+
+API servers are the heart of the U1 back-end: they hold the persistent TCP
+connection of every desktop client, authenticate sessions against the
+Canonical authentication service, translate client commands into RPC calls
+against the metadata store and — unlike Dropbox — also shuttle the actual
+file contents between the client and Amazon S3 (creating uploadjobs for
+multipart transfers, Appendix A).  They finally push notifications to other
+online clients affected by a change, via the RabbitMQ bus when those clients
+are handled by a different API process.
+
+:class:`ApiServerProcess` implements all of that against the simulated
+substrates and emits the storage/session trace records; RPC records are
+emitted by the :class:`~repro.backend.rpc_server.RpcWorker` it delegates to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.auth import AuthenticationService, TokenCache
+from repro.backend.datastore import ObjectStore
+from repro.backend.errors import AuthenticationError, UnknownNodeError
+from repro.backend.gateway import ProcessAddress
+from repro.backend.notifications import NotificationBus, Notification
+from repro.backend.protocol.entities import SessionHandle
+from repro.backend.protocol.operations import ApiRequest, ApiResponse
+from repro.backend.rpc_server import RpcContext, RpcWorker
+from repro.backend.tracing import TraceSink
+from repro.trace.records import (
+    ApiOperation,
+    NodeKind,
+    RpcName,
+    SessionEvent,
+    SessionRecord,
+    StorageRecord,
+)
+
+__all__ = ["SessionRegistry", "ApiServerProcess"]
+
+
+@dataclass
+class SessionRegistry:
+    """Cluster-wide registry of open sessions, keyed by user id.
+
+    API servers consult it to decide whether a mutation needs to be pushed to
+    other online clients of the same user (Section 3.4.2).
+    """
+
+    _by_user: dict[int, dict[int, ProcessAddress]] = field(default_factory=dict)
+
+    def register(self, user_id: int, session_id: int, address: ProcessAddress) -> None:
+        """Register an open session."""
+        self._by_user.setdefault(user_id, {})[session_id] = address
+
+    def unregister(self, user_id: int, session_id: int) -> None:
+        """Remove a closed session."""
+        sessions = self._by_user.get(user_id)
+        if sessions is None:
+            return
+        sessions.pop(session_id, None)
+        if not sessions:
+            del self._by_user[user_id]
+
+    def sessions_of(self, user_id: int) -> dict[int, ProcessAddress]:
+        """Open sessions of ``user_id`` (session id -> API process)."""
+        return dict(self._by_user.get(user_id, {}))
+
+    def other_sessions(self, user_id: int, session_id: int) -> dict[int, ProcessAddress]:
+        """Open sessions of ``user_id`` other than ``session_id``."""
+        sessions = self.sessions_of(user_id)
+        sessions.pop(session_id, None)
+        return sessions
+
+    def open_session_count(self) -> int:
+        """Total number of open sessions across the cluster."""
+        return sum(len(s) for s in self._by_user.values())
+
+
+class ApiServerProcess:
+    """One API server process (there are several per physical machine)."""
+
+    _MUTATING_OPERATIONS = frozenset({
+        ApiOperation.UPLOAD, ApiOperation.UNLINK, ApiOperation.MAKE,
+        ApiOperation.MOVE, ApiOperation.CREATE_UDF, ApiOperation.DELETE_VOLUME,
+    })
+
+    def __init__(self, address: ProcessAddress, rpc_worker: RpcWorker,
+                 object_store: ObjectStore, auth: AuthenticationService,
+                 bus: NotificationBus, registry: SessionRegistry,
+                 sink: TraceSink, rng: np.random.Generator,
+                 dedup_enabled: bool = True, delta_updates_enabled: bool = False,
+                 delta_update_factor: float = 0.05,
+                 interrupted_upload_fraction: float = 0.0):
+        self.address = address
+        self._rpc = rpc_worker
+        self._objects = object_store
+        self._auth = auth
+        self._bus = bus
+        self._registry = registry
+        self._sink = sink
+        self._rng = rng
+        self._dedup_enabled = dedup_enabled
+        self._delta_updates_enabled = delta_updates_enabled
+        self._delta_update_factor = delta_update_factor
+        self._interrupted_upload_fraction = interrupted_upload_fraction
+        self._token_cache = TokenCache()
+        self._sessions: dict[int, SessionHandle] = {}
+        #: Counters useful for tests and the load-balancing analysis.
+        self.requests_handled = 0
+        self.notifications_pushed = 0
+        bus.subscribe(str(address), self.deliver_notification)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def store(self):
+        """The sharded metadata store reached through the RPC worker."""
+        return self._rpc.store
+
+    @property
+    def open_sessions(self) -> int:
+        """Number of sessions currently connected to this process."""
+        return len(self._sessions)
+
+    # ---------------------------------------------------------------- helpers
+    def _session_record(self, timestamp: float, user_id: int, session_id: int,
+                        event: SessionEvent, attack: bool = False,
+                        session_length: float = -1.0,
+                        storage_operations: int = 0) -> None:
+        self._sink.record_session(SessionRecord(
+            timestamp=timestamp, server=self.address.server,
+            process=self.address.process, user_id=user_id,
+            session_id=session_id, event=event, caused_by_attack=attack,
+            session_length=session_length,
+            storage_operations=storage_operations))
+
+    def _context(self, request: ApiRequest) -> RpcContext:
+        return RpcContext(
+            timestamp=request.timestamp, server=self.address.server,
+            process=self.address.process, user_id=request.user_id,
+            session_id=request.session_id, api_operation=request.operation,
+            caused_by_attack=request.caused_by_attack)
+
+    # ------------------------------------------------------- session handling
+    def open_session(self, user_id: int, session_id: int, timestamp: float,
+                     force_auth_failure: bool = False,
+                     caused_by_attack: bool = False) -> SessionHandle | None:
+        """Authenticate a client and establish a storage-protocol session.
+
+        Returns the session handle, or None when authentication failed (the
+        failed attempt is still traced, since it still consumed work in the
+        authentication subsystem).
+        """
+        self._session_record(timestamp, user_id, session_id,
+                             SessionEvent.AUTH_REQUEST, attack=caused_by_attack)
+        token = self._auth.token_for(user_id, timestamp)
+        context = RpcContext(timestamp=timestamp, server=self.address.server,
+                             process=self.address.process, user_id=user_id,
+                             session_id=session_id,
+                             api_operation=ApiOperation.AUTHENTICATE,
+                             caused_by_attack=caused_by_attack)
+        try:
+            cached = self._token_cache.get(token.token)
+            if cached is None:
+                self._rpc.execute(
+                    RpcName.GET_USER_ID_FROM_TOKEN, context,
+                    lambda: self._auth.validate(token.token, timestamp,
+                                                force_failure=force_auth_failure))
+                self._token_cache.put(token.token, user_id)
+            elif force_auth_failure:
+                raise AuthenticationError("forced authentication failure")
+        except AuthenticationError:
+            self._session_record(timestamp, user_id, session_id,
+                                 SessionEvent.AUTH_FAIL, attack=caused_by_attack)
+            return None
+        self._session_record(timestamp, user_id, session_id,
+                             SessionEvent.AUTH_OK, attack=caused_by_attack)
+
+        # Register the user (and its root volume) on its shard, then fetch the
+        # session bootstrap data the desktop client asks for.
+        shard = self.store.shard_of(user_id)
+        self._rpc.execute(RpcName.GET_USER_DATA, context,
+                          lambda: shard.ensure_user(user_id, -user_id, timestamp))
+        self._rpc.execute(RpcName.GET_ROOT, context, lambda: shard.get_root(user_id))
+
+        handle = SessionHandle(session_id=session_id, user_id=user_id,
+                               server=self.address.server,
+                               process=self.address.process,
+                               established_at=timestamp, token=token.token)
+        self._sessions[session_id] = handle
+        self._registry.register(user_id, session_id, self.address)
+        self._session_record(timestamp, user_id, session_id,
+                             SessionEvent.CONNECT, attack=caused_by_attack)
+        return handle
+
+    def close_session(self, session_id: int, timestamp: float,
+                      caused_by_attack: bool = False) -> None:
+        """Tear down a session and emit the DISCONNECT record."""
+        handle = self._sessions.pop(session_id, None)
+        if handle is None:
+            return
+        handle.close()
+        self._registry.unregister(handle.user_id, session_id)
+        self._session_record(
+            timestamp, handle.user_id, session_id, SessionEvent.DISCONNECT,
+            attack=caused_by_attack,
+            session_length=max(0.0, timestamp - handle.established_at),
+            storage_operations=handle.storage_operations)
+
+    # --------------------------------------------------------- notifications
+    def deliver_notification(self, notification: Notification) -> int:
+        """Push a bus notification to the affected sessions on this process."""
+        pushed = 0
+        for handle in self._sessions.values():
+            if handle.is_open and notification.affects(handle.user_id):
+                pushed += 1
+        self.notifications_pushed += pushed
+        return pushed
+
+    def _notify_mutation(self, request: ApiRequest) -> int:
+        """Notify other online clients of the user about a mutation."""
+        others = self._registry.other_sessions(request.user_id, request.session_id)
+        if not others:
+            return 0
+        local = sum(1 for address in others.values() if address == self.address)
+        remote = len(others) - local
+        pushed = local
+        if local:
+            self._bus.record_short_circuit(local)
+        if remote:
+            notification = NotificationBus.for_users(
+                timestamp=request.timestamp, server=self.address.server,
+                process=self.address.process, user_ids=(request.user_id,),
+                volume_id=request.volume_id, kind=request.operation.value)
+            pushed += self._bus.publish(notification, exclude=str(self.address))
+        return pushed
+
+    # -------------------------------------------------------------- requests
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        """Process one client request end to end."""
+        self.requests_handled += 1
+        handle = self._sessions.get(request.session_id)
+        if handle is not None and request.operation.is_data_management:
+            handle.storage_operations += 1
+
+        context = self._context(request)
+        shard = self.store.shard_of(request.user_id)
+        shard.ensure_user(request.user_id, -request.user_id, request.timestamp)
+        response = ApiResponse(operation=request.operation)
+        rpc_before = self._rpc.calls_executed
+
+        dispatch = {
+            ApiOperation.UPLOAD: self._handle_upload,
+            ApiOperation.DOWNLOAD: self._handle_download,
+            ApiOperation.MAKE: self._handle_make,
+            ApiOperation.UNLINK: self._handle_unlink,
+            ApiOperation.MOVE: self._handle_move,
+            ApiOperation.CREATE_UDF: self._handle_create_udf,
+            ApiOperation.DELETE_VOLUME: self._handle_delete_volume,
+            ApiOperation.GET_DELTA: self._handle_get_delta,
+            ApiOperation.LIST_VOLUMES: self._handle_list_volumes,
+            ApiOperation.LIST_SHARES: self._handle_list_shares,
+            ApiOperation.QUERY_SET_CAPS: self._handle_query_set_caps,
+            ApiOperation.RESCAN_FROM_SCRATCH: self._handle_rescan,
+        }
+        handler = dispatch.get(request.operation)
+        if handler is None:
+            response.ok = False
+            response.error = f"unsupported operation {request.operation.value}"
+        else:
+            handler(request, context, shard, response)
+
+        response.rpc_count = self._rpc.calls_executed - rpc_before
+        if request.operation in self._MUTATING_OPERATIONS and response.ok:
+            response.notified_sessions = self._notify_mutation(request)
+
+        self._sink.record_storage(StorageRecord(
+            timestamp=request.timestamp, server=self.address.server,
+            process=self.address.process, user_id=request.user_id,
+            session_id=request.session_id, operation=request.operation,
+            node_id=request.node_id, volume_id=request.volume_id,
+            volume_type=request.volume_type, node_kind=request.node_kind,
+            size_bytes=request.size_bytes, content_hash=request.content_hash,
+            extension=request.extension, is_update=request.is_update,
+            shard_id=self.store.shard_id_of(request.user_id),
+            caused_by_attack=request.caused_by_attack))
+        return response
+
+    # ----------------------------------------------------------- op handlers
+    def _ensure_node(self, request: ApiRequest, context: RpcContext, shard,
+                     traced: bool = True) -> None:
+        """Make sure the node exists in the shard (files may predate the trace)."""
+        if shard.has_node(request.node_id):
+            return
+        rpc_name = (RpcName.MAKE_DIR if request.node_kind is NodeKind.DIRECTORY
+                    else RpcName.MAKE_FILE)
+        maker = lambda: shard.make_node(  # noqa: E731 - tiny closure
+            request.user_id, request.volume_id, request.node_id,
+            request.node_kind, request.extension, request.timestamp)
+        if traced:
+            self._rpc.execute(rpc_name, context, maker)
+        else:
+            maker()
+
+    def _handle_upload(self, request: ApiRequest, context: RpcContext,
+                       shard, response: ApiResponse) -> None:
+        size = request.size_bytes
+        if self._delta_updates_enabled and request.is_update:
+            size = max(1, int(size * self._delta_update_factor))
+        self._ensure_node(request, context, shard)
+
+        # With cross-user dedup disabled (ablation), contents are stored under
+        # a per-node key so that identical files are physically duplicated.
+        storage_key = request.content_hash or f"anon-{request.node_id}"
+        if not self._dedup_enabled:
+            storage_key = f"{storage_key}#{request.user_id}#{request.node_id}"
+
+        self._rpc.execute(RpcName.GET_REUSABLE_CONTENT, context,
+                          lambda: shard.get_reusable_content(request.content_hash))
+        dedup_hit = (self._dedup_enabled and request.content_hash
+                     and request.content_hash in self._objects)
+        if dedup_hit:
+            self._objects.link(request.content_hash)
+            self._rpc.execute(RpcName.MAKE_CONTENT, context,
+                              lambda: shard.make_content(
+                                  request.node_id, request.content_hash,
+                                  request.size_bytes, request.timestamp))
+            response.deduplicated = True
+            return
+
+        if size <= self._objects.chunk_bytes:
+            transferred = self._objects.put(storage_key, size)
+            self._rpc.execute(RpcName.MAKE_CONTENT, context,
+                              lambda: shard.make_content(
+                                  request.node_id, request.content_hash,
+                                  request.size_bytes, request.timestamp))
+            response.bytes_to_s3 = size if transferred else 0
+            response.deduplicated = not transferred
+            return
+
+        # Multipart upload through the uploadjob state machine (Appendix A).
+        job = self._rpc.execute(
+            RpcName.MAKE_UPLOADJOB, context,
+            lambda: shard.make_uploadjob(
+                request.user_id, request.node_id, request.volume_id,
+                request.content_hash, size, request.timestamp,
+                self._objects.chunk_bytes))
+        multipart_id = self._objects.initiate_multipart(storage_key, size)
+        self._rpc.execute(RpcName.SET_UPLOADJOB_MULTIPART_ID, context,
+                          lambda: shard.set_uploadjob_multipart_id(
+                              job.job_id, multipart_id, request.timestamp))
+        interrupted = bool(self._rng.random() < self._interrupted_upload_fraction)
+        remaining = size
+        uploaded = 0
+        while remaining > 0:
+            part = min(self._objects.chunk_bytes, remaining)
+            self._objects.upload_part(multipart_id, part)
+            self._rpc.execute(RpcName.ADD_PART_TO_UPLOADJOB, context,
+                              lambda p=part: shard.add_part_to_uploadjob(
+                                  job.job_id, p, request.timestamp))
+            remaining -= part
+            uploaded += part
+            if interrupted and remaining > 0 and uploaded >= self._objects.chunk_bytes:
+                # The client went away mid-transfer; the uploadjob stays in
+                # the metadata store until the garbage collector reaps it.
+                self._objects.abort_multipart(multipart_id)
+                response.bytes_to_s3 = uploaded
+                response.ok = False
+                response.error = "upload interrupted by client"
+                return
+        self._objects.complete_multipart(multipart_id, storage_key)
+        self._rpc.execute(RpcName.MAKE_CONTENT, context,
+                          lambda: shard.make_content(
+                              request.node_id, request.content_hash,
+                              request.size_bytes, request.timestamp))
+        self._rpc.execute(RpcName.DELETE_UPLOADJOB, context,
+                          lambda: shard.delete_uploadjob(job.job_id,
+                                                         request.timestamp,
+                                                         commit=True))
+        response.bytes_to_s3 = size
+
+    def _handle_download(self, request: ApiRequest, context: RpcContext,
+                         shard, response: ApiResponse) -> None:
+        # Files downloaded without an in-trace upload existed before the
+        # measurement window; register them quietly so the store is coherent.
+        if not shard.has_node(request.node_id):
+            shard.make_node(request.user_id, request.volume_id, request.node_id,
+                            request.node_kind, request.extension, request.timestamp)
+            if request.content_hash:
+                shard.make_content(request.node_id, request.content_hash,
+                                   request.size_bytes, request.timestamp)
+        if request.content_hash and request.content_hash not in self._objects:
+            self._objects.put(request.content_hash, request.size_bytes)
+        self._rpc.execute(RpcName.GET_NODE, context,
+                          lambda: shard.get_node(request.node_id))
+        if request.content_hash:
+            response.bytes_from_s3 = self._objects.get(request.content_hash)
+        else:
+            response.bytes_from_s3 = request.size_bytes
+
+    def _handle_make(self, request: ApiRequest, context: RpcContext,
+                     shard, response: ApiResponse) -> None:
+        rpc_name = (RpcName.MAKE_DIR if request.node_kind is NodeKind.DIRECTORY
+                    else RpcName.MAKE_FILE)
+        self._rpc.execute(rpc_name, context,
+                          lambda: shard.make_node(
+                              request.user_id, request.volume_id,
+                              request.node_id, request.node_kind,
+                              request.extension, request.timestamp))
+
+    def _handle_unlink(self, request: ApiRequest, context: RpcContext,
+                       shard, response: ApiResponse) -> None:
+        node = self._rpc.execute(RpcName.UNLINK_NODE, context,
+                                 lambda: shard.unlink_node(request.node_id))
+        if node is not None and node.content_hash and node.content_hash in self._objects:
+            self._objects.unlink(node.content_hash)
+
+    def _handle_move(self, request: ApiRequest, context: RpcContext,
+                     shard, response: ApiResponse) -> None:
+        self._ensure_node(request, context, shard, traced=False)
+        try:
+            self._rpc.execute(RpcName.MOVE, context,
+                              lambda: shard.move_node(request.node_id,
+                                                      request.volume_id,
+                                                      request.timestamp))
+        except UnknownNodeError:
+            response.ok = False
+            response.error = f"node {request.node_id} does not exist"
+
+    def _handle_create_udf(self, request: ApiRequest, context: RpcContext,
+                           shard, response: ApiResponse) -> None:
+        self._rpc.execute(RpcName.CREATE_UDF, context,
+                          lambda: shard.create_volume(request.user_id,
+                                                      request.volume_id,
+                                                      request.volume_type,
+                                                      request.timestamp))
+
+    def _handle_delete_volume(self, request: ApiRequest, context: RpcContext,
+                              shard, response: ApiResponse) -> None:
+        removed = self._rpc.execute(RpcName.DELETE_VOLUME, context,
+                                    lambda: shard.delete_volume(request.user_id,
+                                                                request.volume_id))
+        for node in removed:
+            if node.content_hash and node.content_hash in self._objects:
+                self._objects.unlink(node.content_hash)
+        response.details["nodes_removed"] = len(removed)
+
+    def _handle_get_delta(self, request: ApiRequest, context: RpcContext,
+                          shard, response: ApiResponse) -> None:
+        self._rpc.execute(RpcName.GET_DELTA, context,
+                          lambda: shard.get_delta(request.volume_id))
+
+    def _handle_list_volumes(self, request: ApiRequest, context: RpcContext,
+                             shard, response: ApiResponse) -> None:
+        volumes = self._rpc.execute(RpcName.LIST_VOLUMES, context,
+                                    lambda: shard.list_volumes(request.user_id))
+        response.details["volumes"] = len(volumes)
+
+    def _handle_list_shares(self, request: ApiRequest, context: RpcContext,
+                            shard, response: ApiResponse) -> None:
+        shares = self._rpc.execute(RpcName.LIST_SHARES, context,
+                                   lambda: shard.list_shares(request.user_id))
+        response.details["shares"] = len(shares)
+
+    def _handle_query_set_caps(self, request: ApiRequest, context: RpcContext,
+                               shard, response: ApiResponse) -> None:
+        self._rpc.execute(RpcName.GET_USER_DATA, context,
+                          lambda: shard.get_user_data(request.user_id))
+
+    def _handle_rescan(self, request: ApiRequest, context: RpcContext,
+                       shard, response: ApiResponse) -> None:
+        nodes = self._rpc.execute(RpcName.GET_FROM_SCRATCH, context,
+                                  lambda: shard.get_from_scratch(request.user_id))
+        response.details["nodes"] = len(nodes)

@@ -1,0 +1,219 @@
+"""The U1 desktop client (Section 3.3).
+
+The real desktop client is a Python daemon that watches ``~/Ubuntu One/``
+with inotify, keeps synchronisation metadata in ``~/.cache/ubuntuone``,
+computes the SHA-1 of every file *before* uploading it (so the server can
+deduplicate), compresses compressible content, and reacts to push
+notifications by downloading remote changes.  It does **not** implement
+delta updates, file bundling or sync deferment — the source of several
+inefficiencies the paper quantifies.
+
+:class:`DesktopClient` is an interactive counterpart of the statistical
+workload generator: it drives a :class:`~repro.backend.cluster.U1Cluster`
+through the same API-server code path, one explicit call at a time.  It is
+used by examples and tests that need a "hands on the keyboard" view of the
+system (upload this file, edit it, share the volume, ...), while large-scale
+experiments keep using :mod:`repro.workload`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import zlib
+from dataclasses import dataclass, field
+
+from repro.backend.cluster import U1Cluster
+from repro.backend.errors import BackendError
+from repro.backend.gateway import ProcessAddress
+from repro.backend.protocol.operations import ApiRequest, ApiResponse
+from repro.trace.records import ApiOperation, NodeKind, VolumeType
+from repro.workload.filemodel import EXTENSION_PROFILES
+
+__all__ = ["LocalFile", "DesktopClient"]
+
+_COMPRESSIBLE_EXTENSIONS = {p.extension for p in EXTENSION_PROFILES if p.compressible}
+
+_node_ids = itertools.count(500_000_000)
+_volume_ids = itertools.count(500_000_000)
+_session_ids = itertools.count(900_000_000)
+
+
+@dataclass
+class LocalFile:
+    """A file tracked in the client's local synchronisation metadata."""
+
+    name: str
+    node_id: int
+    volume_id: int
+    size_bytes: int
+    content_hash: str
+    extension: str
+    synced: bool = True
+    versions: int = 1
+
+
+@dataclass
+class DesktopClient:
+    """A single user's desktop client connected to the simulated back-end."""
+
+    cluster: U1Cluster
+    user_id: int
+    clock: float = 0.0
+    compression_enabled: bool = True
+    _address: ProcessAddress | None = field(default=None, repr=False)
+    _session_id: int = 0
+    _files: dict[str, LocalFile] = field(default_factory=dict, repr=False)
+    _volumes: dict[str, int] = field(default_factory=dict, repr=False)
+    notifications_received: int = 0
+
+    # ------------------------------------------------------------------ time
+    def _tick(self, seconds: float = 1.0) -> float:
+        self.clock += seconds
+        return self.clock
+
+    # --------------------------------------------------------------- session
+    @property
+    def is_connected(self) -> bool:
+        """Whether the client currently holds a storage-protocol session."""
+        return self._address is not None
+
+    def connect(self) -> None:
+        """Authenticate and establish a session (OAuth token + TCP connect)."""
+        if self.is_connected:
+            return
+        address = self.cluster.gateway.assign()
+        process = self.cluster.process_at(address)
+        self._session_id = next(_session_ids)
+        handle = process.open_session(self.user_id, self._session_id, self._tick())
+        if handle is None:
+            self.cluster.gateway.release(address)
+            raise BackendError(f"authentication failed for user {self.user_id}")
+        self._address = address
+        # Regular initialisation flow of the desktop client.
+        self._request(ApiOperation.LIST_VOLUMES)
+        self._request(ApiOperation.LIST_SHARES)
+        if "root" not in self._volumes:
+            self._volumes["root"] = next(_volume_ids)
+
+    def disconnect(self) -> None:
+        """Close the session and release the TCP connection."""
+        if not self.is_connected:
+            return
+        process = self.cluster.process_at(self._address)
+        process.close_session(self._session_id, self._tick())
+        self.cluster.gateway.release(self._address)
+        self._address = None
+
+    # ---------------------------------------------------------------- helpers
+    def _require_connection(self) -> None:
+        if not self.is_connected:
+            raise BackendError("the client is not connected")
+
+    def _request(self, operation: ApiOperation, **fields) -> ApiResponse:
+        self._require_connection()
+        process = self.cluster.process_at(self._address)
+        request = ApiRequest(operation=operation, user_id=self.user_id,
+                             session_id=self._session_id, timestamp=self._tick(),
+                             **fields)
+        return process.handle(request)
+
+    @staticmethod
+    def _hash_content(content: bytes) -> str:
+        """SHA-1 of the file content, sent to the server before uploading."""
+        return "sha1:" + hashlib.sha1(content).hexdigest()
+
+    def _payload_size(self, name: str, content: bytes) -> int:
+        """Bytes that actually travel on the wire (compression applied)."""
+        extension = name.rsplit(".", 1)[-1].lower() if "." in name else ""
+        if self.compression_enabled and extension in _COMPRESSIBLE_EXTENSIONS:
+            return len(zlib.compress(content))
+        return len(content)
+
+    # ------------------------------------------------------------------ files
+    def files(self) -> dict[str, LocalFile]:
+        """The client's view of its synchronised files."""
+        return dict(self._files)
+
+    def create_volume(self, name: str) -> int:
+        """Create a user-defined volume (UDF)."""
+        self._require_connection()
+        if name in self._volumes:
+            return self._volumes[name]
+        volume_id = next(_volume_ids)
+        response = self._request(ApiOperation.CREATE_UDF, volume_id=volume_id,
+                                 volume_type=VolumeType.UDF,
+                                 node_kind=NodeKind.DIRECTORY)
+        if not response.ok:
+            raise BackendError(response.error)
+        self._volumes[name] = volume_id
+        return volume_id
+
+    def upload_file(self, name: str, content: bytes, volume: str = "root") -> ApiResponse:
+        """Upload (or update) a file.
+
+        The client hashes the content first; if the server already stores it
+        the upload is satisfied by linking (``deduplicated`` in the response)
+        and no payload is transferred — exactly the Section 3.3 behaviour.
+        Updates re-upload the whole file because U1 has no delta updates.
+        """
+        self._require_connection()
+        if volume not in self._volumes:
+            self.create_volume(volume)
+        volume_id = self._volumes[volume]
+        extension = name.rsplit(".", 1)[-1].lower() if "." in name else ""
+        content_hash = self._hash_content(content)
+        payload = self._payload_size(name, content)
+
+        existing = self._files.get(name)
+        if existing is None:
+            node_id = next(_node_ids)
+            self._request(ApiOperation.MAKE, node_id=node_id, volume_id=volume_id,
+                          node_kind=NodeKind.FILE, extension=extension)
+            is_update = False
+        else:
+            node_id = existing.node_id
+            volume_id = existing.volume_id
+            is_update = True
+
+        response = self._request(ApiOperation.UPLOAD, node_id=node_id,
+                                 volume_id=volume_id, node_kind=NodeKind.FILE,
+                                 size_bytes=payload, content_hash=content_hash,
+                                 extension=extension, is_update=is_update)
+        if not response.ok:
+            raise BackendError(response.error)
+        self._files[name] = LocalFile(
+            name=name, node_id=node_id, volume_id=volume_id, size_bytes=payload,
+            content_hash=content_hash, extension=extension,
+            versions=(existing.versions + 1) if existing else 1)
+        return response
+
+    def download_file(self, name: str) -> ApiResponse:
+        """Download a synchronised file from the data store."""
+        self._require_connection()
+        local = self._files.get(name)
+        if local is None:
+            raise BackendError(f"unknown file {name!r}")
+        response = self._request(ApiOperation.DOWNLOAD, node_id=local.node_id,
+                                 volume_id=local.volume_id, node_kind=NodeKind.FILE,
+                                 size_bytes=local.size_bytes,
+                                 content_hash=local.content_hash,
+                                 extension=local.extension)
+        local.synced = True
+        return response
+
+    def delete_file(self, name: str) -> ApiResponse:
+        """Delete a file (Unlink)."""
+        self._require_connection()
+        local = self._files.pop(name, None)
+        if local is None:
+            raise BackendError(f"unknown file {name!r}")
+        return self._request(ApiOperation.UNLINK, node_id=local.node_id,
+                             volume_id=local.volume_id, node_kind=NodeKind.FILE,
+                             extension=local.extension)
+
+    def sync(self) -> ApiResponse:
+        """Compare generations with the server (GetDelta)."""
+        self._require_connection()
+        root = self._volumes.get("root", 0)
+        return self._request(ApiOperation.GET_DELTA, volume_id=root)

@@ -1,0 +1,264 @@
+"""The U1 back-end cluster: wiring and workload replay.
+
+:class:`U1Cluster` assembles the full back-end described in Section 3.4 —
+load balancer, API server processes spread over six machines, RPC workers,
+the 10-shard metadata store, the S3-like object store, the authentication
+service and the notification bus — and replays a client workload through it,
+producing the complete back-end trace (storage, RPC and session records).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.backend.api_server import ApiServerProcess, SessionRegistry
+from repro.backend.auth import AuthenticationService
+from repro.backend.datastore import ObjectStore
+from repro.backend.gateway import LoadBalancer, ProcessAddress
+from repro.backend.latency import LatencyParameters, ServiceTimeModel
+from repro.backend.metadata_store import (
+    ShardedMetadataStore,
+    round_robin_routing,
+    user_id_routing,
+)
+from repro.backend.notifications import NotificationBus
+from repro.backend.protocol.operations import ApiRequest, UPLOAD_CHUNK_BYTES
+from repro.backend.rpc_server import RpcContext, RpcWorker
+from repro.backend.tracing import TraceSink
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import ApiOperation, RpcName
+from repro.util.units import DAY
+from repro.workload.events import SessionScript
+
+__all__ = ["ClusterConfig", "U1Cluster"]
+
+
+#: Machine names in the style of the production logfiles
+#: (``production-whitecurrant-23-20140128``).
+_MACHINE_NAMES = (
+    "whitecurrant", "blackcurrant", "gooseberry",
+    "raspberry", "elderberry", "cloudberry",
+    "loganberry", "boysenberry",
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sizing and policy knobs of the simulated back-end."""
+
+    seed: int = 0
+    #: 6 physical machines run the API/RPC processes in production.
+    api_machines: int = 6
+    #: Processes per machine (8-16 in production; smaller by default to keep
+    #: simulations fast while preserving the multi-process structure).
+    processes_per_machine: int = 4
+    #: 10 master-slave PostgreSQL shards.
+    metadata_shards: int = 10
+    #: Shard routing policy: "user_id" (production) or "round_robin" (ablation).
+    shard_routing: str = "user_id"
+    #: Multipart chunk size used against Amazon S3.
+    multipart_chunk_bytes: int = UPLOAD_CHUNK_BYTES
+    #: File-level cross-user deduplication (Section 3.3).
+    dedup_enabled: bool = True
+    #: Delta updates are NOT implemented by the real U1 client; enabling them
+    #: here quantifies the potential saving (ablation benchmark).
+    delta_updates_enabled: bool = False
+    delta_update_factor: float = 0.05
+    #: Fraction of multipart uploads that are interrupted by the client and
+    #: left for the uploadjob garbage collector.
+    interrupted_upload_fraction: float = 0.02
+    #: Interval of the uploadjob garbage-collection sweep.
+    gc_interval: float = DAY
+    #: Observed fraction of failing authentication requests.
+    auth_failure_fraction: float = 0.0276
+    #: Service-time distribution shape.
+    latency: LatencyParameters = field(default_factory=LatencyParameters)
+
+    def machine_names(self) -> list[str]:
+        """Names of the API machines."""
+        names = []
+        for i in range(self.api_machines):
+            base = _MACHINE_NAMES[i % len(_MACHINE_NAMES)]
+            suffix = "" if i < len(_MACHINE_NAMES) else str(i // len(_MACHINE_NAMES))
+            names.append(base + suffix)
+        return names
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
+        if self.api_machines <= 0 or self.processes_per_machine <= 0:
+            raise ValueError("api_machines and processes_per_machine must be positive")
+        if self.metadata_shards <= 0:
+            raise ValueError("metadata_shards must be positive")
+        if self.shard_routing not in ("user_id", "round_robin"):
+            raise ValueError("shard_routing must be 'user_id' or 'round_robin'")
+        if not 0.0 <= self.interrupted_upload_fraction < 1.0:
+            raise ValueError("interrupted_upload_fraction must be in [0, 1)")
+        if self.multipart_chunk_bytes <= 0:
+            raise ValueError("multipart_chunk_bytes must be positive")
+
+
+class U1Cluster:
+    """The simulated U1 back-end."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.sink = TraceSink()
+        routing = (user_id_routing if self.config.shard_routing == "user_id"
+                   else round_robin_routing)
+        self.metadata_store = ShardedMetadataStore(
+            n_shards=self.config.metadata_shards, routing_factory=routing)
+        self.object_store = ObjectStore(chunk_bytes=self.config.multipart_chunk_bytes)
+        self.auth = AuthenticationService(
+            rng=self._rng, failure_fraction=self.config.auth_failure_fraction)
+        self.bus = NotificationBus()
+        self.registry = SessionRegistry()
+        self.latency = ServiceTimeModel(self._rng, parameters=self.config.latency,
+                                        n_shards=self.config.metadata_shards)
+
+        self.processes: list[ApiServerProcess] = []
+        addresses: list[ProcessAddress] = []
+        worker_id = 0
+        for machine in self.config.machine_names():
+            for proc in range(self.config.processes_per_machine):
+                address = ProcessAddress(server=machine, process=proc)
+                worker = RpcWorker(worker_id=worker_id, store=self.metadata_store,
+                                   latency=self.latency, sink=self.sink)
+                process = ApiServerProcess(
+                    address=address, rpc_worker=worker,
+                    object_store=self.object_store, auth=self.auth,
+                    bus=self.bus, registry=self.registry, sink=self.sink,
+                    rng=self._rng,
+                    dedup_enabled=self.config.dedup_enabled,
+                    delta_updates_enabled=self.config.delta_updates_enabled,
+                    delta_update_factor=self.config.delta_update_factor,
+                    interrupted_upload_fraction=self.config.interrupted_upload_fraction)
+                self.processes.append(process)
+                addresses.append(address)
+                worker_id += 1
+        self.gateway = LoadBalancer(addresses, rng=self._rng)
+        self._process_by_address = {p.address: p for p in self.processes}
+        self._last_gc: float | None = None
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def n_processes(self) -> int:
+        """Total number of API server processes."""
+        return len(self.processes)
+
+    def process_at(self, address: ProcessAddress) -> ApiServerProcess:
+        """The API process living at ``address``."""
+        return self._process_by_address[address]
+
+    # ---------------------------------------------------------------- replay
+    def replay(self, scripts: Iterable[SessionScript]) -> TraceDataset:
+        """Replay a workload (session scripts) through the back-end.
+
+        Events from overlapping sessions are interleaved in global timestamp
+        order, exactly as the production servers would observe them; every
+        session lives on the API process the load balancer picked at connect
+        time.  Returns the merged, sorted trace dataset.
+        """
+        heap: list[tuple[float, int, int, str, object]] = []
+        sequence = 0
+        for script in scripts:
+            heapq.heappush(heap, (script.start, 0, sequence, "open", script))
+            sequence += 1
+            for event in script.events:
+                heapq.heappush(heap, (event.time, 1, sequence, "event", event))
+                sequence += 1
+            heapq.heappush(heap, (script.end, 2, sequence, "close", script))
+            sequence += 1
+
+        session_address: dict[int, ProcessAddress] = {}
+        failed_sessions: set[int] = set()
+        while heap:
+            timestamp, _, _, kind, payload = heapq.heappop(heap)
+            self._maybe_collect_garbage(timestamp)
+            if kind == "open":
+                script: SessionScript = payload  # type: ignore[assignment]
+                address = self.gateway.assign()
+                process = self._process_by_address[address]
+                handle = process.open_session(
+                    script.user_id, script.session_id, script.start,
+                    force_auth_failure=script.auth_failed,
+                    caused_by_attack=script.caused_by_attack)
+                if handle is None:
+                    self.gateway.release(address)
+                    failed_sessions.add(script.session_id)
+                else:
+                    session_address[script.session_id] = address
+            elif kind == "event":
+                event = payload
+                if event.session_id in failed_sessions:
+                    continue
+                address = session_address.get(event.session_id)
+                if address is None:
+                    continue
+                process = self._process_by_address[address]
+                process.handle(ApiRequest.from_event(event))
+            else:  # close
+                script = payload  # type: ignore[assignment]
+                if script.session_id in failed_sessions:
+                    continue
+                address = session_address.pop(script.session_id, None)
+                if address is None:
+                    continue
+                process = self._process_by_address[address]
+                process.close_session(script.session_id, script.end,
+                                      caused_by_attack=script.caused_by_attack)
+                self.gateway.release(address)
+        return self.sink.finish()
+
+    def run_workload(self, workload_config) -> TraceDataset:
+        """Convenience: generate a workload and replay it in one call."""
+        from repro.workload.generator import SyntheticTraceGenerator
+
+        generator = SyntheticTraceGenerator(workload_config)
+        return self.replay(generator.client_events())
+
+    # ------------------------------------------------------------------- GC
+    def _maybe_collect_garbage(self, now: float) -> None:
+        """Periodic uploadjob garbage collection (Appendix A)."""
+        if self._last_gc is None:
+            self._last_gc = now
+            return
+        if now - self._last_gc < self.config.gc_interval:
+            return
+        self._last_gc = now
+        gc_process = self.processes[0]
+        for shard, jobs in self.metadata_store.pending_uploadjobs():
+            for job in jobs:
+                context = RpcContext(
+                    timestamp=now, server=gc_process.address.server,
+                    process=gc_process.address.process, user_id=job.user_id,
+                    session_id=0, api_operation=None)
+                worker = gc_process._rpc  # noqa: SLF001 - internal wiring
+                worker.execute(RpcName.GET_UPLOADJOB, context,
+                               lambda j=job: shard.get_uploadjob(j.job_id))
+                expired = worker.execute(
+                    RpcName.TOUCH_UPLOADJOB, context,
+                    lambda j=job: shard.touch_uploadjob(j.job_id, now))
+                if expired:
+                    worker.execute(
+                        RpcName.DELETE_UPLOADJOB, context,
+                        lambda j=job: shard.delete_uploadjob(j.job_id, now,
+                                                             commit=False))
+
+    # ------------------------------------------------------------ statistics
+    def load_per_machine(self) -> dict[str, int]:
+        """Requests handled per physical machine (from process counters)."""
+        totals: dict[str, int] = {}
+        for process in self.processes:
+            totals[process.address.server] = (totals.get(process.address.server, 0)
+                                              + process.requests_handled)
+        return totals
+
+    def rpc_calls_per_worker(self) -> list[int]:
+        """RPC calls executed by each worker."""
+        return [p._rpc.calls_executed for p in self.processes]  # noqa: SLF001

@@ -1,0 +1,51 @@
+"""Exception hierarchy of the back-end simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BackendError",
+    "AuthenticationError",
+    "UnknownUserError",
+    "UnknownVolumeError",
+    "UnknownNodeError",
+    "UnknownContentError",
+    "UploadJobError",
+    "InvalidTransitionError",
+    "QuotaExceededError",
+]
+
+
+class BackendError(Exception):
+    """Base class of every error raised by the back-end simulator."""
+
+
+class AuthenticationError(BackendError):
+    """Raised when a token cannot be validated by the authentication service."""
+
+
+class UnknownUserError(BackendError):
+    """Raised when an operation references a user id the store has never seen."""
+
+
+class UnknownVolumeError(BackendError):
+    """Raised when an operation references a volume that does not exist."""
+
+
+class UnknownNodeError(BackendError):
+    """Raised when an operation references a node that does not exist."""
+
+
+class UnknownContentError(BackendError):
+    """Raised when the object store is asked for content it does not hold."""
+
+
+class UploadJobError(BackendError):
+    """Base class of uploadjob life-cycle errors (Appendix A)."""
+
+
+class InvalidTransitionError(UploadJobError):
+    """Raised on an illegal transition of the upload state machine (Fig. 17)."""
+
+
+class QuotaExceededError(BackendError):
+    """Raised when a user exceeds the configured storage quota."""

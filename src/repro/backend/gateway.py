@@ -1,0 +1,77 @@
+"""The system gateway / load balancer (Section 3.4).
+
+The visible endpoint of U1 is an HAProxy-based load balancer; a new session
+"starts in the least loaded machine and lives in the same node until it
+finishes", which keeps every event of a user session strictly sequential on
+one API process.  :class:`LoadBalancer` reproduces the least-connections
+assignment and keeps per-process connection counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProcessAddress", "LoadBalancer"]
+
+
+@dataclass(frozen=True, order=True)
+class ProcessAddress:
+    """Identity of one API server process (machine name + process number)."""
+
+    server: str
+    process: int
+
+    def __str__(self) -> str:
+        return f"{self.server}/{self.process}"
+
+
+class LoadBalancer:
+    """Least-connections assignment of sessions to API server processes."""
+
+    def __init__(self, processes: list[ProcessAddress],
+                 rng: np.random.Generator | None = None):
+        if not processes:
+            raise ValueError("at least one API process is required")
+        self._processes = list(processes)
+        self._rng = rng or np.random.default_rng(0)
+        self._open_connections: dict[ProcessAddress, int] = {p: 0 for p in self._processes}
+        self._total_assigned: dict[ProcessAddress, int] = {p: 0 for p in self._processes}
+
+    @property
+    def processes(self) -> list[ProcessAddress]:
+        """All the API processes behind the balancer."""
+        return list(self._processes)
+
+    def assign(self) -> ProcessAddress:
+        """Pick the process with the fewest open connections (ties random)."""
+        minimum = min(self._open_connections.values())
+        candidates = [p for p, count in self._open_connections.items() if count == minimum]
+        choice = candidates[int(self._rng.integers(len(candidates)))]
+        self._open_connections[choice] += 1
+        self._total_assigned[choice] += 1
+        return choice
+
+    def release(self, address: ProcessAddress) -> None:
+        """Close one connection previously assigned to ``address``."""
+        current = self._open_connections.get(address, 0)
+        if current <= 0:
+            raise ValueError(f"no open connections on {address}")
+        self._open_connections[address] = current - 1
+
+    def open_connections(self) -> dict[ProcessAddress, int]:
+        """Snapshot of the open-connection counters."""
+        return dict(self._open_connections)
+
+    def total_assigned(self) -> dict[ProcessAddress, int]:
+        """Total sessions ever assigned to each process."""
+        return dict(self._total_assigned)
+
+    def imbalance(self) -> float:
+        """Coefficient of variation of total assignments across processes."""
+        counts = np.asarray(list(self._total_assigned.values()), dtype=float)
+        mean = counts.mean()
+        if mean == 0:
+            return 0.0
+        return float(counts.std() / mean)

@@ -1,0 +1,142 @@
+"""Service-time models of the metadata store RPCs (Figs. 12 and 13).
+
+The paper measures, for every RPC type, the distribution of the time spent
+servicing the call against the metadata store.  Three facts matter for the
+reproduction:
+
+* all RPCs exhibit **long tails**: 7 %-22 % of service times are very far
+  from the median (attributed to background interference, CPU power saving
+  and other effects per Li et al., "Tales of the tail");
+* the **class** of an RPC strongly determines its speed: read RPCs exploit
+  lockless parallel access to the shard replicas and are the fastest, while
+  *cascade* RPCs (``delete_volume``, ``get_from_scratch``) are more than an
+  order of magnitude slower than the fastest operations;
+* write/update/delete RPCs are slower than most reads while being issued at
+  comparable frequencies.
+
+:class:`ServiceTimeModel` samples service times from a lognormal body with a
+Pareto tail mixture, with per-RPC medians encoding the Fig. 13 ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.records import RpcClass, RpcName, rpc_class_of
+
+__all__ = ["ServiceTimeModel", "LatencyParameters", "DEFAULT_MEDIANS_MS"]
+
+
+#: Median service time (milliseconds) of each RPC, ordered as in Fig. 13:
+#: reads are the fastest (a few ms), writes sit around 10-40 ms and cascade
+#: operations take hundreds of ms.
+DEFAULT_MEDIANS_MS: dict[RpcName, float] = {
+    # reads
+    RpcName.LIST_VOLUMES: 3.0,
+    RpcName.LIST_SHARES: 3.5,
+    RpcName.GET_VOLUME_ID: 2.5,
+    RpcName.GET_NODE: 3.0,
+    RpcName.GET_ROOT: 2.5,
+    RpcName.GET_USER_DATA: 3.5,
+    RpcName.GET_USER_ID_FROM_TOKEN: 4.0,
+    RpcName.GET_DELTA: 8.0,
+    RpcName.GET_UPLOADJOB: 4.0,
+    RpcName.GET_REUSABLE_CONTENT: 6.0,
+    # writes / updates / deletes
+    RpcName.MAKE_DIR: 12.0,
+    RpcName.MAKE_FILE: 14.0,
+    RpcName.MAKE_CONTENT: 18.0,
+    RpcName.UNLINK_NODE: 15.0,
+    RpcName.MOVE: 16.0,
+    RpcName.CREATE_UDF: 20.0,
+    RpcName.MAKE_UPLOADJOB: 15.0,
+    RpcName.ADD_PART_TO_UPLOADJOB: 10.0,
+    RpcName.SET_UPLOADJOB_MULTIPART_ID: 9.0,
+    RpcName.TOUCH_UPLOADJOB: 8.0,
+    RpcName.DELETE_UPLOADJOB: 11.0,
+    # cascade
+    RpcName.DELETE_VOLUME: 250.0,
+    RpcName.GET_FROM_SCRATCH: 180.0,
+}
+
+
+@dataclass(frozen=True)
+class LatencyParameters:
+    """Shape parameters of the service-time distribution.
+
+    ``sigma`` is the lognormal shape of the body; ``tail_probability`` is the
+    chance that a sample falls in the long tail, in which case the body
+    sample is multiplied by a Pareto factor with exponent ``tail_exponent``.
+    ``shard_skew`` adds a small per-shard multiplicative offset so that
+    different shards are not perfectly identical.
+    """
+
+    sigma: float = 0.55
+    tail_probability: float = 0.12
+    tail_exponent: float = 1.2
+    tail_scale: float = 8.0
+    shard_skew: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tail_probability < 1.0:
+            raise ValueError("tail_probability must be in [0, 1)")
+        if self.tail_exponent <= 0:
+            raise ValueError("tail_exponent must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+
+class ServiceTimeModel:
+    """Samples RPC service times with long tails."""
+
+    def __init__(self, rng: np.random.Generator,
+                 parameters: LatencyParameters | None = None,
+                 medians_ms: dict[RpcName, float] | None = None,
+                 n_shards: int = 10):
+        self._rng = rng
+        self._parameters = parameters or LatencyParameters()
+        self._medians_ms = dict(DEFAULT_MEDIANS_MS)
+        if medians_ms:
+            self._medians_ms.update(medians_ms)
+        # Fixed per-shard skew factors, deterministic given the RNG state.
+        skew = self._parameters.shard_skew
+        self._shard_factors = 1.0 + skew * (rng.random(n_shards) - 0.5) * 2.0
+
+    @property
+    def parameters(self) -> LatencyParameters:
+        """The shape parameters in use."""
+        return self._parameters
+
+    def median_seconds(self, rpc: RpcName) -> float:
+        """Median service time of ``rpc`` in seconds."""
+        return self._medians_ms[rpc] / 1000.0
+
+    def sample(self, rpc: RpcName, shard_id: int = 0) -> float:
+        """Sample one service time (seconds) for ``rpc`` on ``shard_id``."""
+        median = self.median_seconds(rpc)
+        params = self._parameters
+        body = float(self._rng.lognormal(mean=np.log(median), sigma=params.sigma))
+        if self._rng.random() < params.tail_probability:
+            tail_factor = 1.0 + params.tail_scale * float(self._rng.pareto(params.tail_exponent))
+            body *= tail_factor
+        shard_factor = float(self._shard_factors[shard_id % len(self._shard_factors)])
+        return body * shard_factor
+
+    def sample_class(self, rpc_class: RpcClass, shard_id: int = 0) -> float:
+        """Sample a service time for an arbitrary RPC of the given class."""
+        representative = {
+            RpcClass.READ: RpcName.GET_NODE,
+            RpcClass.WRITE: RpcName.MAKE_FILE,
+            RpcClass.CASCADE: RpcName.DELETE_VOLUME,
+        }[rpc_class]
+        return self.sample(representative, shard_id)
+
+    def expected_ordering(self) -> list[RpcName]:
+        """RPC names sorted by median service time (fastest first)."""
+        return sorted(self._medians_ms, key=self._medians_ms.get)
+
+    def class_of(self, rpc: RpcName) -> RpcClass:
+        """Convenience passthrough to :func:`repro.trace.records.rpc_class_of`."""
+        return rpc_class_of(rpc)

@@ -1,0 +1,124 @@
+"""Protocol entities: nodes, volumes and sessions (Section 3.1.1).
+
+* A **node** is a file or a directory; the back-end assigns UUIDs to node
+  objects and their contents.
+* A **volume** is a container of nodes.  Every user owns a *root* volume
+  (created at client installation, id 0 on the client side), may create
+  *user-defined* volumes (UDFs) and may be granted access to *shared*
+  volumes belonging to other users.
+* A **session** is the storage-protocol session established over the
+  client's persistent TCP connection after OAuth authentication; it
+  identifies the user's requests for its whole lifetime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from dataclasses import dataclass, field
+
+from repro.trace.records import NodeKind, VolumeType
+
+__all__ = [
+    "NodeId",
+    "VolumeId",
+    "generate_uuid",
+    "Node",
+    "Volume",
+    "SessionHandle",
+]
+
+NodeId = int
+VolumeId = int
+
+_uuid_counter = itertools.count(1)
+
+
+def generate_uuid(namespace: str = "node") -> str:
+    """Deterministic-ish UUID generator for back-end objects.
+
+    Real U1 generates UUIDs in the back-end; for reproducibility we derive
+    them from a monotonically increasing counter in a fixed namespace.
+    """
+    return str(uuid.uuid5(uuid.NAMESPACE_URL, f"u1://{namespace}/{next(_uuid_counter)}"))
+
+
+@dataclass(slots=True)
+class Node:
+    """A file or directory entry in the metadata store."""
+
+    node_id: NodeId
+    volume_id: VolumeId
+    owner_id: int
+    kind: NodeKind
+    uuid: str = field(default_factory=lambda: generate_uuid("node"))
+    size_bytes: int = 0
+    content_hash: str = ""
+    extension: str = ""
+    created_at: float = 0.0
+    modified_at: float = 0.0
+    generation: int = 0
+    is_live: bool = True
+
+    @property
+    def is_file(self) -> bool:
+        """True when the node is a file."""
+        return self.kind is NodeKind.FILE
+
+    @property
+    def is_directory(self) -> bool:
+        """True when the node is a directory."""
+        return self.kind is NodeKind.DIRECTORY
+
+    def apply_content(self, content_hash: str, size_bytes: int, when: float) -> None:
+        """Record a (new) content version on this node."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        self.content_hash = content_hash
+        self.size_bytes = size_bytes
+        self.modified_at = when
+        self.generation += 1
+
+
+@dataclass(slots=True)
+class Volume:
+    """A container of nodes belonging to one user."""
+
+    volume_id: VolumeId
+    owner_id: int
+    volume_type: VolumeType
+    uuid: str = field(default_factory=lambda: generate_uuid("volume"))
+    created_at: float = 0.0
+    generation: int = 0
+    node_ids: set[NodeId] = field(default_factory=set)
+    #: For shared volumes: user ids the volume is shared with.
+    shared_to: set[int] = field(default_factory=set)
+    is_live: bool = True
+
+    @property
+    def node_count(self) -> int:
+        """Number of live nodes in the volume."""
+        return len(self.node_ids)
+
+    def bump_generation(self) -> int:
+        """Advance the volume generation (used by GetDelta synchronisation)."""
+        self.generation += 1
+        return self.generation
+
+
+@dataclass(slots=True)
+class SessionHandle:
+    """A storage-protocol session bound to an API server process."""
+
+    session_id: int
+    user_id: int
+    server: str
+    process: int
+    established_at: float
+    token: str
+    is_open: bool = True
+    storage_operations: int = 0
+
+    def close(self) -> None:
+        """Mark the session as closed."""
+        self.is_open = False

@@ -1,0 +1,77 @@
+"""API request/response envelopes of the U1 storage protocol (Table 2).
+
+The simulator mostly works directly with :class:`~repro.workload.events.ClientEvent`
+objects, but the request/response dataclasses below give the back-end a
+protocol-shaped public API (used by the examples and by tests that exercise a
+single API server without the full workload machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.records import ApiOperation, NodeKind, VolumeType
+
+__all__ = ["ApiRequest", "ApiResponse", "UPLOAD_CHUNK_BYTES"]
+
+#: Multipart upload chunk size used by U1 against Amazon S3 (Appendix A).
+UPLOAD_CHUNK_BYTES: int = 5 * 1024 * 1024
+
+
+@dataclass(slots=True)
+class ApiRequest:
+    """A client request as received by an API server process."""
+
+    operation: ApiOperation
+    user_id: int
+    session_id: int
+    timestamp: float
+    node_id: int = 0
+    volume_id: int = 0
+    volume_type: VolumeType = VolumeType.ROOT
+    node_kind: NodeKind = NodeKind.FILE
+    size_bytes: int = 0
+    content_hash: str = ""
+    extension: str = ""
+    is_update: bool = False
+    caused_by_attack: bool = False
+
+    @classmethod
+    def from_event(cls, event) -> "ApiRequest":
+        """Build a request from a workload :class:`ClientEvent`."""
+        return cls(
+            operation=event.operation,
+            user_id=event.user_id,
+            session_id=event.session_id,
+            timestamp=event.time,
+            node_id=event.node_id,
+            volume_id=event.volume_id,
+            volume_type=event.volume_type,
+            node_kind=event.node_kind,
+            size_bytes=event.size_bytes,
+            content_hash=event.content_hash,
+            extension=event.extension,
+            is_update=event.is_update,
+            caused_by_attack=event.caused_by_attack,
+        )
+
+
+@dataclass(slots=True)
+class ApiResponse:
+    """The API server's answer to a request.
+
+    ``rpc_count`` and ``bytes_to_s3`` / ``bytes_from_s3`` summarise the work
+    the back-end performed on behalf of the request; ``deduplicated`` is True
+    when an upload was satisfied by linking to existing content instead of a
+    transfer (file-level cross-user deduplication, Section 3.3).
+    """
+
+    operation: ApiOperation
+    ok: bool = True
+    error: str = ""
+    rpc_count: int = 0
+    bytes_to_s3: int = 0
+    bytes_from_s3: int = 0
+    deduplicated: bool = False
+    notified_sessions: int = 0
+    details: dict = field(default_factory=dict)

@@ -1,0 +1,85 @@
+"""RPC database workers (Section 3.4).
+
+RPC workers sit between the API servers and the metadata store: they receive
+RPC calls, translate them into database queries, route the queries to the
+appropriate shard and return the result.  The measurement traces every RPC
+together with its service time; the simulator reproduces that by sampling a
+service time from the :class:`~repro.backend.latency.ServiceTimeModel` for
+every executed call and emitting an :class:`~repro.trace.records.RpcRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.backend.latency import ServiceTimeModel
+from repro.backend.metadata_store import ShardedMetadataStore
+from repro.backend.tracing import TraceSink
+from repro.trace.records import ApiOperation, RpcName, RpcRecord
+
+__all__ = ["RpcContext", "RpcWorker"]
+
+
+@dataclass(frozen=True)
+class RpcContext:
+    """Provenance of an RPC call: who asked, when, from which API process."""
+
+    timestamp: float
+    server: str
+    process: int
+    user_id: int
+    session_id: int
+    api_operation: ApiOperation | None = None
+    caused_by_attack: bool = False
+
+
+class RpcWorker:
+    """Executes DAL calls against the metadata store and traces them."""
+
+    def __init__(self, worker_id: int, store: ShardedMetadataStore,
+                 latency: ServiceTimeModel, sink: TraceSink):
+        self.worker_id = worker_id
+        self._store = store
+        self._latency = latency
+        self._sink = sink
+        #: Total number of RPCs executed by this worker.
+        self.calls_executed = 0
+        #: Total simulated time spent servicing RPCs (seconds).
+        self.busy_time = 0.0
+
+    @property
+    def store(self) -> ShardedMetadataStore:
+        """The sharded metadata store this worker queries."""
+        return self._store
+
+    def execute(self, rpc: RpcName, context: RpcContext,
+                operation: Callable[[], Any], shard_user_id: int | None = None) -> Any:
+        """Run ``operation`` against the store as RPC ``rpc``.
+
+        ``operation`` is a zero-argument callable performing the actual shard
+        query (already bound to its arguments by the API server); the worker
+        samples a service time, traces the call and returns the operation's
+        result.  ``shard_user_id`` overrides the user id used for shard
+        attribution (needed for system-initiated calls such as the uploadjob
+        garbage collector).
+        """
+        routing_user = context.user_id if shard_user_id is None else shard_user_id
+        shard_id = self._store.shard_id_of(routing_user)
+        service_time = self._latency.sample(rpc, shard_id)
+        result = operation()
+        self.calls_executed += 1
+        self.busy_time += service_time
+        self._sink.record_rpc(RpcRecord(
+            timestamp=context.timestamp,
+            server=context.server,
+            process=context.process,
+            user_id=context.user_id,
+            session_id=context.session_id,
+            rpc=rpc,
+            shard_id=shard_id,
+            service_time=service_time,
+            api_operation=context.api_operation,
+            caused_by_attack=context.caused_by_attack,
+        ))
+        return result

@@ -1,0 +1,47 @@
+"""Trace sink: collects the records emitted by the simulated back-end.
+
+The real measurement instruments every API/RPC server process and later
+merges their logfiles.  The simulator short-circuits that by writing records
+straight into a :class:`~repro.trace.dataset.TraceDataset`; the logfile
+round-trip of :mod:`repro.trace.logfile` is still available for tests and
+examples that want on-disk traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import RpcRecord, SessionRecord, StorageRecord
+
+__all__ = ["TraceSink"]
+
+
+@dataclass
+class TraceSink:
+    """Accumulates trace records produced during a simulation run."""
+
+    dataset: TraceDataset = field(default_factory=TraceDataset)
+    storage_records: int = 0
+    rpc_records: int = 0
+    session_records: int = 0
+
+    def record_storage(self, record: StorageRecord) -> None:
+        """Record one completed API (storage) operation."""
+        self.dataset.add_storage(record)
+        self.storage_records += 1
+
+    def record_rpc(self, record: RpcRecord) -> None:
+        """Record one RPC call against the metadata store."""
+        self.dataset.add_rpc(record)
+        self.rpc_records += 1
+
+    def record_session(self, record: SessionRecord) -> None:
+        """Record one session-management event."""
+        self.dataset.add_session(record)
+        self.session_records += 1
+
+    def finish(self) -> TraceDataset:
+        """Sort and return the collected dataset."""
+        self.dataset.sort()
+        return self.dataset

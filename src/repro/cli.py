@@ -1,0 +1,149 @@
+"""Command-line interface of the reproduction.
+
+Four sub-commands cover the full pipeline::
+
+    python -m repro generate  --users 400 --days 5 --out trace_dir
+        Generate a synthetic client workload, replay it through the simulated
+        back-end and write the resulting per-process logfiles.
+
+    python -m repro analyze   trace_dir
+        Read a trace directory and print the consolidated analysis report
+        (every table/figure of the paper).
+
+    python -m repro report    --users 400 --days 5
+        Generate, replay and analyse in one go, without touching the disk.
+
+    python -m repro summarize trace_dir
+        Print only the Table 3 summary of a trace directory.
+
+The CLI is intentionally a thin veneer over the library: everything it does
+can be done programmatically through :mod:`repro.workload`,
+:mod:`repro.backend` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.core.report import format_report
+from repro.core.summary import format_table3
+from repro.trace.anonymize import Anonymizer
+from repro.trace.dataset import TraceDataset
+from repro.trace.logfile import read_trace_directory, write_trace_directory
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=400,
+                        help="number of synthetic users (default: 400)")
+    parser.add_argument("--days", type=float, default=5.0,
+                        help="trace duration in days (default: 5)")
+    parser.add_argument("--seed", type=int, default=2014,
+                        help="random seed (default: 2014)")
+    parser.add_argument("--no-backend", action="store_true",
+                        help="emit client-side records only (skip the back-end "
+                             "simulation; no RPC records will be available)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dissecting UbuntuOne' (IMC 2015): "
+                    "synthetic workload generator, back-end simulator and "
+                    "trace analyses.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic trace and write logfiles")
+    _add_workload_options(generate)
+    generate.add_argument("--out", type=Path, required=True,
+                          help="directory to write the per-process logfiles to")
+    generate.add_argument("--anonymize", action="store_true",
+                          help="anonymise the trace before writing it")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="analyse a trace directory and print the full report")
+    analyze.add_argument("trace_dir", type=Path,
+                         help="directory of production-*.csv logfiles")
+
+    summarize = subparsers.add_parser(
+        "summarize", help="print the Table 3 summary of a trace directory")
+    summarize.add_argument("trace_dir", type=Path,
+                           help="directory of production-*.csv logfiles")
+
+    report = subparsers.add_parser(
+        "report", help="generate, simulate and analyse in one go")
+    _add_workload_options(report)
+    return parser
+
+
+def _build_dataset(args: argparse.Namespace) -> TraceDataset:
+    config = WorkloadConfig.scaled(users=args.users, days=args.days, seed=args.seed)
+    generator = SyntheticTraceGenerator(config)
+    if args.no_backend:
+        return generator.generate()
+    cluster = U1Cluster(ClusterConfig(seed=args.seed))
+    return cluster.replay(generator.client_events())
+
+
+def _command_generate(args: argparse.Namespace, out) -> int:
+    dataset = _build_dataset(args)
+    if args.anonymize:
+        dataset = Anonymizer().anonymize(dataset)
+    paths = write_trace_directory(args.out, dataset)
+    print(f"Wrote {len(paths)} logfiles ({len(dataset)} records) to {args.out}",
+          file=out)
+    print(format_table3(dataset), file=out)
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace, out) -> int:
+    dataset = read_trace_directory(args.trace_dir, skip_malformed=True)
+    if dataset.is_empty:
+        print(f"No records found under {args.trace_dir}", file=out)
+        return 1
+    print(format_report(dataset), file=out)
+    return 0
+
+
+def _command_summarize(args: argparse.Namespace, out) -> int:
+    dataset = read_trace_directory(args.trace_dir, skip_malformed=True)
+    if dataset.is_empty:
+        print(f"No records found under {args.trace_dir}", file=out)
+        return 1
+    print(format_table3(dataset), file=out)
+    return 0
+
+
+def _command_report(args: argparse.Namespace, out) -> int:
+    dataset = _build_dataset(args)
+    print(format_report(dataset), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "analyze": _command_analyze,
+    "summarize": _command_summarize,
+    "report": _command_report,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""The U1 trace analyses — one module per figure/table of the paper.
+
+Storage workload (Section 5)
+    * :mod:`repro.core.storage_workload` — Fig. 2a/2b/2c (traffic time
+      series, traffic vs file size, R/W ratio).
+    * :mod:`repro.core.file_dependencies` — Fig. 3a/3b (X-after-Write and
+      X-after-Read inter-operation times, downloads per file).
+    * :mod:`repro.core.node_lifetime` — Fig. 3c (file/directory lifetimes).
+    * :mod:`repro.core.deduplication` — Fig. 4a (duplicates per hash, dedup
+      ratio).
+    * :mod:`repro.core.file_types` — Fig. 4b/4c (per-extension sizes, file
+      category shares).
+    * :mod:`repro.core.anomaly` — Fig. 5 (DDoS detection).
+
+User behaviour (Section 6)
+    * :mod:`repro.core.user_activity` — Fig. 6 (online vs active users) and
+      Fig. 7a (operation counts).
+    * :mod:`repro.core.user_traffic` — Fig. 7b/7c (per-user traffic CDF,
+      Lorenz/Gini) and the user-class breakdown.
+    * :mod:`repro.core.request_graph` — Fig. 8 (operation transition graph).
+    * :mod:`repro.core.burstiness` — Fig. 9 (power-law inter-operation
+      times).
+    * :mod:`repro.core.volumes` — Fig. 10/11 (volume contents, UDF/shared
+      volumes).
+
+Back-end performance (Section 7)
+    * :mod:`repro.core.rpc_performance` — Fig. 12/13 (RPC service times).
+    * :mod:`repro.core.load_balancing` — Fig. 14 (API server / shard load).
+    * :mod:`repro.core.sessions` — Fig. 15/16 (authentication activity,
+      session lengths, active vs cold sessions).
+
+Summary tables
+    * :mod:`repro.core.summary` — Table 3.
+    * :mod:`repro.core.findings` — Table 1.
+    * :mod:`repro.core.report` — run everything and render a text report.
+"""
+
+from repro.core import (  # noqa: F401
+    anomaly,
+    burstiness,
+    deduplication,
+    file_dependencies,
+    file_types,
+    findings,
+    load_balancing,
+    node_lifetime,
+    report,
+    request_graph,
+    rpc_performance,
+    sessions,
+    storage_workload,
+    summary,
+    user_activity,
+    user_traffic,
+    volumes,
+)
+
+__all__ = [
+    "anomaly",
+    "burstiness",
+    "deduplication",
+    "file_dependencies",
+    "file_types",
+    "findings",
+    "load_balancing",
+    "node_lifetime",
+    "report",
+    "request_graph",
+    "rpc_performance",
+    "sessions",
+    "storage_workload",
+    "summary",
+    "user_activity",
+    "user_traffic",
+    "volumes",
+]

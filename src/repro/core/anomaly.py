@@ -1,0 +1,162 @@
+"""DDoS / abuse detection (Section 5.4, Fig. 5).
+
+The paper found three DDoS attacks during the measurement month by looking at
+the per-hour time series of request rates per request type: under attack the
+session and authentication activity jumped 5-15x over the usual level and the
+API storage activity up to 245x, because a single compromised account was
+shared across thousands of desktop clients to distribute illegal content.
+
+:func:`detect_anomalies` reproduces that detection: it builds per-hour rate
+series per request family (rpc / session / auth / storage), establishes a
+robust baseline (median of the same hour-of-day across the trace) and flags
+hours whose rate exceeds ``threshold`` times the baseline.  Consecutive
+flagged hours are merged into :class:`AttackWindow` episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import SessionEvent
+from repro.util.timebin import TimeBinner, bin_count_series
+from repro.util.units import HOUR
+
+__all__ = [
+    "RequestRateSeries",
+    "request_rate_series",
+    "AttackWindow",
+    "detect_anomalies",
+    "attack_amplification",
+]
+
+
+@dataclass(frozen=True)
+class RequestRateSeries:
+    """Per-hour request counts per request family (Fig. 5)."""
+
+    bin_edges: np.ndarray
+    rpc: np.ndarray
+    session: np.ndarray
+    auth: np.ndarray
+    storage: np.ndarray
+    bin_width: float
+
+    def series(self, family: str) -> np.ndarray:
+        """One of the four series by name."""
+        try:
+            return getattr(self, family)
+        except AttributeError:
+            raise KeyError(f"unknown request family {family!r}") from None
+
+
+def request_rate_series(dataset: TraceDataset,
+                        bin_width: float = HOUR) -> RequestRateSeries:
+    """Build the per-hour request-rate series of Fig. 5 (attacks included)."""
+    start, end = dataset.time_span()
+    binner = TimeBinner(start=start, end=end + bin_width, width=bin_width)
+    rpc = bin_count_series(binner, (r.timestamp for r in dataset.rpc))
+    session = bin_count_series(
+        binner, (r.timestamp for r in dataset.sessions
+                 if r.event in (SessionEvent.CONNECT, SessionEvent.DISCONNECT)))
+    auth = bin_count_series(
+        binner, (r.timestamp for r in dataset.sessions
+                 if r.event in (SessionEvent.AUTH_REQUEST, SessionEvent.AUTH_OK,
+                                SessionEvent.AUTH_FAIL)))
+    storage = bin_count_series(binner, (r.timestamp for r in dataset.storage))
+    return RequestRateSeries(bin_edges=binner.edges(), rpc=rpc, session=session,
+                             auth=auth, storage=storage, bin_width=bin_width)
+
+
+@dataclass(frozen=True)
+class AttackWindow:
+    """A detected anomalous window."""
+
+    start: float
+    end: float
+    peak_rate: float
+    baseline_rate: float
+    family: str
+
+    @property
+    def amplification(self) -> float:
+        """Peak rate relative to the baseline."""
+        if self.baseline_rate <= 0:
+            return float("inf")
+        return self.peak_rate / self.baseline_rate
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds."""
+        return self.end - self.start
+
+
+def _hour_of_day_baseline(series: np.ndarray, bins_per_day: int) -> np.ndarray:
+    """Median rate per position-in-day, broadcast back over the series."""
+    baseline = np.empty_like(series)
+    for offset in range(bins_per_day):
+        values = series[offset::bins_per_day]
+        positive = values[values > 0]
+        med = float(np.median(positive)) if positive.size else float(np.median(values))
+        baseline[offset::bins_per_day] = max(med, 1.0)
+    return baseline
+
+
+def detect_anomalies(dataset: TraceDataset, family: str = "storage",
+                     threshold: float = 4.0,
+                     bin_width: float = HOUR) -> list[AttackWindow]:
+    """Detect anomalous activity windows in one request family.
+
+    ``threshold`` is the multiple of the hour-of-day baseline above which an
+    hour is flagged; consecutive flagged hours are merged into one window.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1")
+    rates = request_rate_series(dataset, bin_width=bin_width)
+    series = rates.series(family)
+    bins_per_day = max(1, int(round(86400 / bin_width)))
+    baseline = _hour_of_day_baseline(series, bins_per_day)
+    flagged = series > threshold * baseline
+
+    windows: list[AttackWindow] = []
+    i = 0
+    while i < flagged.size:
+        if not flagged[i]:
+            i += 1
+            continue
+        j = i
+        while j + 1 < flagged.size and flagged[j + 1]:
+            j += 1
+        segment = slice(i, j + 1)
+        windows.append(AttackWindow(
+            start=float(rates.bin_edges[i]),
+            end=float(rates.bin_edges[j] + bin_width),
+            peak_rate=float(series[segment].max()),
+            baseline_rate=float(baseline[segment].mean()),
+            family=family,
+        ))
+        i = j + 1
+    return windows
+
+
+def attack_amplification(dataset: TraceDataset,
+                         bin_width: float = HOUR) -> dict[str, float]:
+    """Peak-over-typical amplification per request family.
+
+    Uses the ground-truth attack labels carried by the synthetic trace when
+    present (records with ``caused_by_attack``); reproduces the "activity
+    under attack was 5-245x higher than usual" style of statement.
+    """
+    rates_all = request_rate_series(dataset, bin_width=bin_width)
+    legit = dataset.without_attack_traffic()
+    rates_legit = request_rate_series(legit, bin_width=bin_width)
+    result: dict[str, float] = {}
+    for family in ("session", "auth", "storage"):
+        all_series = rates_all.series(family)
+        legit_series = rates_legit.series(family)
+        typical = float(np.median(legit_series[legit_series > 0])) if np.any(
+            legit_series > 0) else 1.0
+        result[family] = float(all_series.max()) / max(typical, 1.0)
+    return result

@@ -1,0 +1,95 @@
+"""Burstiness of user operations (Section 6.2, Fig. 9).
+
+The paper analyses the inter-arrival times between consecutive operations of
+the same user (Unlink and Upload in the figure) and finds that:
+
+* the time series exhibits large spikes — very long inter-operation times —
+  incompatible with an exponential (Poisson) model;
+* the empirical distributions can be approximated by a power law
+  ``P(X >= x) ~ x^-alpha`` with 1 < alpha < 2 over a central region
+  (alpha = 1.54 for uploads, alpha = 1.44 for unlinks), i.e. users issue
+  requests in bursts separated by long idle periods;
+* metadata operations follow the power law more closely than data
+  operations, whose timing is perturbed by the transfers themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import ApiOperation
+from repro.util.powerlaw import PowerLawFit, ccdf_points, fit_power_law, is_bursty
+
+__all__ = ["BurstinessAnalysis", "inter_operation_times", "burstiness_analysis"]
+
+
+def inter_operation_times(dataset: TraceDataset, operation: ApiOperation,
+                          include_attacks: bool = False) -> np.ndarray:
+    """Per-user inter-arrival times of one operation type (seconds)."""
+    source = dataset if include_attacks else dataset.without_attack_traffic()
+    gaps: list[float] = []
+    for records in source.storage_by_user().values():
+        timestamps = [r.timestamp for r in records if r.operation is operation]
+        for previous, current in zip(timestamps, timestamps[1:]):
+            gap = current - previous
+            if gap > 0:
+                gaps.append(gap)
+    return np.asarray(gaps, dtype=float)
+
+
+@dataclass(frozen=True)
+class BurstinessAnalysis:
+    """Power-law fit and burstiness indicators for one operation type."""
+
+    operation: ApiOperation
+    gaps: np.ndarray
+    fit: PowerLawFit
+    coefficient_of_variation: float
+
+    @property
+    def is_non_poisson(self) -> bool:
+        """True when the gaps are clearly over-dispersed vs an exponential."""
+        return self.coefficient_of_variation > 1.5
+
+    @property
+    def alpha(self) -> float:
+        """Fitted tail exponent."""
+        return self.fit.alpha
+
+    @property
+    def theta(self) -> float:
+        """Fitted tail threshold."""
+        return self.fit.theta
+
+    def ccdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CCDF points for log-log plotting (Fig. 9b)."""
+        return ccdf_points(self.gaps)
+
+
+def burstiness_analysis(dataset: TraceDataset, operation: ApiOperation,
+                        include_attacks: bool = False,
+                        min_samples: int = 30,
+                        central_region_max: float = 2 * 3600.0) -> BurstinessAnalysis:
+    """Fit the Fig. 9 power-law tail to one operation's inter-arrival times.
+
+    Following the paper, the power law is only expected to hold over a
+    central region of the domain; ``central_region_max`` truncates the very
+    largest gaps (multi-day idle periods between sessions) before fitting,
+    exactly as the visual fit in Fig. 9b does.
+    """
+    gaps = inter_operation_times(dataset, operation, include_attacks=include_attacks)
+    if gaps.size < min_samples:
+        raise ValueError(
+            f"only {gaps.size} inter-operation gaps observed for "
+            f"{operation.value}; need at least {min_samples}")
+    central = gaps[gaps <= central_region_max]
+    fit = fit_power_law(central if central.size >= min_samples else gaps)
+    cv = float(gaps.std() / gaps.mean()) if gaps.mean() > 0 else 0.0
+    # ``is_bursty`` is intentionally re-checked so the helper stays exercised
+    # and the two indicators cannot drift apart silently.
+    assert is_bursty(gaps, cv_threshold=1.5) == (cv > 1.5)
+    return BurstinessAnalysis(operation=operation, gaps=gaps, fit=fit,
+                              coefficient_of_variation=cv)

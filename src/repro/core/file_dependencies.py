@@ -1,0 +1,175 @@
+"""File operation dependencies (Section 5.2, Fig. 3a/3b).
+
+A file in U1 can be written (uploaded), read (downloaded) and eventually
+deleted.  The paper studies the dependencies between consecutive operations
+on the same file:
+
+* after a **write**: WAW (write-after-write) is the most common dependency —
+  users repeatedly update synchronised files (documents, code) — and 80 % of
+  WAW gaps are shorter than one hour; RAW captures device synchronisation
+  right after a write; DAW captures short-lived files.
+* after a **read**: RAR dominates (popular files are read repeatedly, with a
+  long tail of downloads per file that motivates caching); WAR is the least
+  common (files that are read tend not to be updated again).
+* around 9 % of all files are unused for more than a day before being
+  deleted ("dying files"), motivating warm/cold storage tiers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import ApiOperation
+from repro.util.stats import EmpiricalCDF
+from repro.util.units import DAY
+
+__all__ = [
+    "Dependency",
+    "DependencyAnalysis",
+    "file_dependencies",
+    "downloads_per_file",
+    "dying_files",
+]
+
+
+class Dependency(str, enum.Enum):
+    """The six inter-operation dependencies of Fig. 3."""
+
+    WAW = "WAW"
+    RAW = "RAW"
+    DAW = "DAW"
+    WAR = "WAR"
+    RAR = "RAR"
+    DAR = "DAR"
+
+
+_OP_KIND = {
+    ApiOperation.UPLOAD: "W",
+    ApiOperation.DOWNLOAD: "R",
+    ApiOperation.UNLINK: "D",
+}
+
+
+@dataclass(frozen=True)
+class DependencyAnalysis:
+    """Inter-operation times grouped by dependency type."""
+
+    times: dict[Dependency, np.ndarray]
+
+    def count(self, dependency: Dependency) -> int:
+        """Number of observed pairs of the given dependency."""
+        return int(self.times[dependency].size)
+
+    def total_after_write(self) -> int:
+        """Total number of X-after-Write pairs."""
+        return sum(self.count(d) for d in (Dependency.WAW, Dependency.RAW, Dependency.DAW))
+
+    def total_after_read(self) -> int:
+        """Total number of X-after-Read pairs."""
+        return sum(self.count(d) for d in (Dependency.WAR, Dependency.RAR, Dependency.DAR))
+
+    def share_after_write(self, dependency: Dependency) -> float:
+        """Share of a dependency among the X-after-Write pairs."""
+        total = self.total_after_write()
+        return self.count(dependency) / total if total else 0.0
+
+    def share_after_read(self, dependency: Dependency) -> float:
+        """Share of a dependency among the X-after-Read pairs."""
+        total = self.total_after_read()
+        return self.count(dependency) / total if total else 0.0
+
+    def cdf(self, dependency: Dependency) -> EmpiricalCDF:
+        """Empirical CDF of the inter-operation times of a dependency."""
+        values = self.times[dependency]
+        if values.size == 0:
+            raise ValueError(f"no samples for dependency {dependency.value}")
+        return EmpiricalCDF(values)
+
+    def fraction_within(self, dependency: Dependency, seconds: float) -> float:
+        """Fraction of gaps of ``dependency`` shorter than ``seconds``."""
+        values = self.times[dependency]
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(values <= seconds))
+
+
+def file_dependencies(dataset: TraceDataset,
+                      include_attacks: bool = False) -> DependencyAnalysis:
+    """Extract every consecutive-operation dependency per file (Fig. 3a/3b)."""
+    source = dataset if include_attacks else dataset.without_attack_traffic()
+    times: dict[Dependency, list[float]] = {d: [] for d in Dependency}
+    for records in source.storage_by_node().values():
+        ops = [(r.timestamp, _OP_KIND.get(r.operation)) for r in records
+               if r.operation in _OP_KIND]
+        for (t_prev, kind_prev), (t_next, kind_next) in zip(ops, ops[1:]):
+            if kind_prev is None or kind_next is None:
+                continue
+            if kind_prev == "D":
+                # Nothing can follow a delete of the same node id.
+                continue
+            gap = max(t_next - t_prev, 0.0)
+            name = f"{kind_next}A{kind_prev}"
+            try:
+                dependency = Dependency(name)
+            except ValueError:
+                continue
+            times[dependency].append(gap)
+    return DependencyAnalysis(times={d: np.asarray(v, dtype=float)
+                                     for d, v in times.items()})
+
+
+def downloads_per_file(dataset: TraceDataset,
+                       include_attacks: bool = False) -> np.ndarray:
+    """Number of downloads observed per file (inner plot of Fig. 3b).
+
+    The distribution has a long tail: a small fraction of files is very
+    popular, which motivates server-side caching.
+    """
+    source = dataset if include_attacks else dataset.without_attack_traffic()
+    counts: dict[int, int] = {}
+    for record in source.downloads():
+        if record.node_id:
+            counts[record.node_id] = counts.get(record.node_id, 0) + 1
+    return np.asarray(sorted(counts.values()), dtype=float)
+
+
+@dataclass(frozen=True)
+class DyingFilesReport:
+    """Files unused for a long period before their deletion (Section 5.2)."""
+
+    dying_files: int
+    deleted_files: int
+    observed_files: int
+
+    @property
+    def share_of_all_files(self) -> float:
+        """Dying files as a fraction of all observed files (paper: ~9.1 %)."""
+        return self.dying_files / self.observed_files if self.observed_files else 0.0
+
+
+def dying_files(dataset: TraceDataset, idle_threshold: float = DAY,
+                include_attacks: bool = False) -> DyingFilesReport:
+    """Count files that sat unused for ``idle_threshold`` before deletion."""
+    source = dataset if include_attacks else dataset.without_attack_traffic()
+    dying = 0
+    deleted = 0
+    observed = 0
+    for records in source.storage_by_node().values():
+        relevant = [r for r in records if r.operation in _OP_KIND]
+        if not relevant:
+            continue
+        observed += 1
+        if relevant[-1].operation is not ApiOperation.UNLINK:
+            continue
+        deleted += 1
+        if len(relevant) < 2:
+            continue
+        idle = relevant[-1].timestamp - relevant[-2].timestamp
+        if idle > idle_threshold:
+            dying += 1
+    return DyingFilesReport(dying_files=dying, deleted_files=deleted,
+                            observed_files=observed)

@@ -1,0 +1,148 @@
+"""File sizes per extension and file-type taxonomy (Section 5.3, Fig. 4b/4c).
+
+* **Fig. 4b** — the overall file-size distribution (90 % of files below
+  1 MB) and the per-extension size CDFs, which are very disparate:
+  incompressible media/compressed files are much larger than code or
+  documents.
+* **Fig. 4c** — classifying the most popular extensions into 7 categories
+  and plotting, for each category, its share of the number of files against
+  its share of the consumed storage: Code holds the largest fraction of
+  files but minimal storage, while Audio/Video dominates storage consumption
+  despite being a small fraction of the files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.dataset import TraceDataset
+from repro.util.stats import EmpiricalCDF
+from repro.util.units import MB
+from repro.workload.filemodel import FILE_CATEGORIES, category_of_extension
+
+__all__ = [
+    "FileSizeAnalysis",
+    "file_size_analysis",
+    "CategoryShare",
+    "category_shares",
+]
+
+
+@dataclass(frozen=True)
+class FileSizeAnalysis:
+    """Overall and per-extension file-size distributions (Fig. 4b)."""
+
+    sizes_by_extension: dict[str, np.ndarray]
+    all_sizes: np.ndarray
+
+    @property
+    def n_files(self) -> int:
+        """Number of distinct uploaded files considered."""
+        return int(self.all_sizes.size)
+
+    def overall_cdf(self) -> EmpiricalCDF:
+        """CDF of all file sizes."""
+        if self.all_sizes.size == 0:
+            raise ValueError("no files observed")
+        return EmpiricalCDF(self.all_sizes)
+
+    def extension_cdf(self, extension: str) -> EmpiricalCDF:
+        """CDF of the sizes of one extension."""
+        sizes = self.sizes_by_extension.get(extension)
+        if sizes is None or sizes.size == 0:
+            raise ValueError(f"no files with extension {extension!r}")
+        return EmpiricalCDF(sizes)
+
+    def fraction_below(self, size_bytes: float) -> float:
+        """Fraction of files smaller than ``size_bytes`` (paper: 90 % < 1 MB)."""
+        if self.all_sizes.size == 0:
+            return 0.0
+        return float(np.mean(self.all_sizes < size_bytes))
+
+    def median_size(self, extension: str | None = None) -> float:
+        """Median size, overall or for one extension."""
+        sizes = self.all_sizes if extension is None else self.sizes_by_extension.get(
+            extension, np.empty(0))
+        if sizes.size == 0:
+            raise ValueError("no files observed")
+        return float(np.median(sizes))
+
+    def top_extensions(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` most popular extensions with their file counts."""
+        counts = [(ext, sizes.size) for ext, sizes in self.sizes_by_extension.items()]
+        counts.sort(key=lambda item: item[1], reverse=True)
+        return counts[:n]
+
+
+def _distinct_files(dataset: TraceDataset, include_attacks: bool):
+    """Last observed (size, extension) per distinct uploaded file node."""
+    source = dataset if include_attacks else dataset.without_attack_traffic()
+    per_node: dict[int, tuple[int, str]] = {}
+    for record in source.uploads():
+        if record.node_id:
+            per_node[record.node_id] = (record.size_bytes, record.extension)
+    return per_node
+
+
+def file_size_analysis(dataset: TraceDataset,
+                       include_attacks: bool = False) -> FileSizeAnalysis:
+    """Compute the Fig. 4b file-size distributions from uploaded files."""
+    per_node = _distinct_files(dataset, include_attacks)
+    by_extension: dict[str, list[float]] = {}
+    all_sizes: list[float] = []
+    for size, extension in per_node.values():
+        all_sizes.append(float(size))
+        by_extension.setdefault(extension, []).append(float(size))
+    return FileSizeAnalysis(
+        sizes_by_extension={ext: np.asarray(v, dtype=float)
+                            for ext, v in by_extension.items()},
+        all_sizes=np.asarray(all_sizes, dtype=float),
+    )
+
+
+@dataclass(frozen=True)
+class CategoryShare:
+    """Fig. 4c point for one file category."""
+
+    category: str
+    file_share: float
+    storage_share: float
+    file_count: int
+    storage_bytes: int
+
+
+def category_shares(dataset: TraceDataset,
+                    include_attacks: bool = False) -> dict[str, CategoryShare]:
+    """Compute the Fig. 4c number-of-files vs storage-space shares."""
+    per_node = _distinct_files(dataset, include_attacks)
+    counts: dict[str, int] = {c: 0 for c in FILE_CATEGORIES}
+    storage: dict[str, int] = {c: 0 for c in FILE_CATEGORIES}
+    for size, extension in per_node.values():
+        category = category_of_extension(extension)
+        counts[category] = counts.get(category, 0) + 1
+        storage[category] = storage.get(category, 0) + size
+    total_files = sum(counts.values()) or 1
+    total_storage = sum(storage.values()) or 1
+    return {
+        category: CategoryShare(
+            category=category,
+            file_share=counts[category] / total_files,
+            storage_share=storage[category] / total_storage,
+            file_count=counts[category],
+            storage_bytes=storage[category],
+        )
+        for category in counts
+    }
+
+
+def format_category_table(shares: dict[str, CategoryShare]) -> str:
+    """Render the Fig. 4c data as an aligned text table."""
+    lines = [f"{'Category':<14} {'files %':>8} {'storage %':>10} {'files':>9} {'MB':>12}"]
+    for share in sorted(shares.values(), key=lambda s: s.file_share, reverse=True):
+        lines.append(
+            f"{share.category:<14} {share.file_share * 100:>7.1f}% "
+            f"{share.storage_share * 100:>9.1f}% {share.file_count:>9} "
+            f"{share.storage_bytes / MB:>12.1f}")
+    return "\n".join(lines)

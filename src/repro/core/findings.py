@@ -1,0 +1,174 @@
+"""Table 1: the paper's headline findings, recomputed from a trace.
+
+Table 1 of the paper summarises the most important findings of the study and
+their implications.  :func:`compute_findings` recomputes every quantitative
+finding from a :class:`~repro.trace.dataset.TraceDataset` so that the
+reproduction can be compared side by side with the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    anomaly,
+    deduplication,
+    load_balancing,
+    rpc_performance,
+    sessions,
+    storage_workload,
+    user_traffic,
+    file_types,
+)
+from repro.trace.dataset import TraceDataset
+from repro.util.units import MB
+
+__all__ = ["Finding", "FindingsReport", "compute_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One row of Table 1: a measured value next to the paper's value."""
+
+    section: str
+    statement: str
+    paper_value: float
+    measured_value: float
+    unit: str = "fraction"
+
+    @property
+    def matches_direction(self) -> bool:
+        """Loose shape check: measured value within a factor-2 band (or both
+        sides of the same inequality for ratios around 1)."""
+        paper, measured = self.paper_value, self.measured_value
+        if paper == 0:
+            return measured == 0
+        ratio = measured / paper
+        return 0.33 <= ratio <= 3.0
+
+
+@dataclass(frozen=True)
+class FindingsReport:
+    """All recomputed Table 1 findings."""
+
+    findings: list[Finding]
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_statement(self, fragment: str) -> Finding:
+        """Find a finding whose statement contains ``fragment``."""
+        for finding in self.findings:
+            if fragment.lower() in finding.statement.lower():
+                return finding
+        raise KeyError(fragment)
+
+    def format_table(self) -> str:
+        """Render the findings as an aligned text table."""
+        lines = [f"{'Section':<22} {'Finding':<58} {'paper':>9} {'measured':>9}"]
+        for f in self.findings:
+            lines.append(f"{f.section:<22} {f.statement:<58} "
+                         f"{f.paper_value:>9.3f} {f.measured_value:>9.3f}")
+        return "\n".join(lines)
+
+
+def compute_findings(dataset: TraceDataset) -> FindingsReport:
+    """Recompute every quantitative Table 1 finding from ``dataset``."""
+    findings: list[Finding] = []
+
+    # -- Storage workload ----------------------------------------------------
+    sizes = file_types.file_size_analysis(dataset)
+    findings.append(Finding(
+        section="Storage workload",
+        statement="Files smaller than 1 MByte",
+        paper_value=0.90,
+        measured_value=sizes.fraction_below(1 * MB)))
+
+    updates = storage_workload.update_traffic_share(dataset)
+    findings.append(Finding(
+        section="Storage workload",
+        statement="Upload traffic caused by file updates",
+        paper_value=0.185,
+        measured_value=updates.traffic_share))
+
+    dedup = deduplication.deduplication_analysis(dataset)
+    findings.append(Finding(
+        section="Storage workload",
+        statement="Deduplication ratio over one month",
+        paper_value=0.17,
+        measured_value=dedup.byte_dedup_ratio))
+
+    attacks = anomaly.detect_anomalies(dataset, family="session")
+    findings.append(Finding(
+        section="Storage workload",
+        statement="DDoS attacks detected in the trace",
+        paper_value=3.0,
+        measured_value=float(len(attacks)),
+        unit="count"))
+
+    # -- User behaviour --------------------------------------------------------
+    inequality = user_traffic.traffic_inequality(dataset)
+    findings.append(Finding(
+        section="User behavior",
+        statement="Traffic share of the top 1% of users",
+        paper_value=0.656,
+        measured_value=inequality.top_1_percent_share))
+    findings.append(Finding(
+        section="User behavior",
+        statement="Gini coefficient of per-user traffic",
+        paper_value=0.895,
+        measured_value=inequality.gini))
+
+    try:
+        rw = storage_workload.rw_ratio_analysis(dataset)
+    except ValueError:
+        rw = None
+    if rw is not None:
+        findings.append(Finding(
+            section="User behavior",
+            statement="Median hourly R/W ratio",
+            paper_value=1.14,
+            measured_value=rw.median,
+            unit="ratio"))
+
+    # -- Back-end performance --------------------------------------------------
+    if dataset.rpc:
+        points = rpc_performance.rpc_scatter(dataset)
+        ranges = rpc_performance.class_median_ranges(points)
+        from repro.trace.records import RpcClass
+
+        if RpcClass.READ in ranges and RpcClass.CASCADE in ranges:
+            fastest_read = ranges[RpcClass.READ][0]
+            slowest_cascade = ranges[RpcClass.CASCADE][1]
+            findings.append(Finding(
+                section="Back-end performance",
+                statement="Cascade/read median service-time ratio",
+                # Fig. 13: cascade RPCs sit around 0.1-0.3 s against ~2-3 ms
+                # for the fastest reads, i.e. roughly two orders of magnitude.
+                paper_value=80.0,
+                measured_value=slowest_cascade / max(fastest_read, 1e-9),
+                unit="ratio"))
+
+        shard_series = load_balancing.shard_load(dataset)
+        findings.append(Finding(
+            section="Back-end performance",
+            statement="Long-term load imbalance across shards (CV)",
+            paper_value=0.049,
+            measured_value=shard_series.long_term_imbalance()))
+
+    session_stats = sessions.session_analysis(dataset)
+    findings.append(Finding(
+        section="Back-end performance",
+        statement="Sessions that perform storage operations",
+        paper_value=0.0557,
+        measured_value=session_stats.active_share))
+    findings.append(Finding(
+        section="Back-end performance",
+        statement="Sessions shorter than 8 hours",
+        paper_value=0.97,
+        measured_value=session_stats.share_shorter_than(8 * 3600.0)))
+
+    return FindingsReport(findings=findings)

@@ -1,0 +1,103 @@
+"""The user-centric request transition graph (Section 6.2, Fig. 8).
+
+Fig. 8 aggregates, per user, the sequence of API operations issued by the
+desktop client and draws the transition graph: nodes are operations, edges
+are transitions with their global probabilities.  The striking structure is
+that transfers repeat (after a transfer the most likely next operation is
+another transfer — directory-level synchronisation and repeated file edits),
+Make and Upload interleave, and the Authenticate → ListVolumes → ListShares
+flow marks session initialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import ApiOperation
+
+__all__ = ["TransitionGraph", "build_transition_graph"]
+
+
+@dataclass(frozen=True)
+class TransitionGraph:
+    """Operation-transition statistics and the resulting directed graph."""
+
+    counts: dict[tuple[ApiOperation, ApiOperation], int]
+    total_transitions: int
+
+    def probability(self, source: ApiOperation, target: ApiOperation) -> float:
+        """Global probability of the (source → target) transition."""
+        if self.total_transitions == 0:
+            return 0.0
+        return self.counts.get((source, target), 0) / self.total_transitions
+
+    def conditional_probability(self, source: ApiOperation,
+                                target: ApiOperation) -> float:
+        """Probability of ``target`` given the previous operation ``source``."""
+        out_edges = [(pair, count) for pair, count in self.counts.items()
+                     if pair[0] is source]
+        total = sum(count for _, count in out_edges)
+        if total == 0:
+            return 0.0
+        return self.counts.get((source, target), 0) / total
+
+    def top_transitions(self, n: int = 10) -> list[tuple[ApiOperation, ApiOperation, float]]:
+        """The ``n`` most frequent transitions with global probabilities."""
+        ordered = sorted(self.counts.items(), key=lambda item: item[1], reverse=True)
+        return [(src, dst, count / self.total_transitions)
+                for (src, dst), count in ordered[:n]]
+
+    def repeat_probability(self, operation: ApiOperation) -> float:
+        """Conditional probability that ``operation`` is followed by itself."""
+        return self.conditional_probability(operation, operation)
+
+    def transfer_repeat_probability(self) -> float:
+        """P(next op is a transfer | current op is a transfer).
+
+        The paper highlights that after a transfer the next operation is very
+        likely another transfer.
+        """
+        transfers = (ApiOperation.UPLOAD, ApiOperation.DOWNLOAD)
+        numerator = sum(self.counts.get((a, b), 0) for a in transfers for b in transfers)
+        denominator = sum(count for (a, _), count in self.counts.items() if a in transfers)
+        return numerator / denominator if denominator else 0.0
+
+    def to_networkx(self, min_probability: float = 0.0) -> nx.DiGraph:
+        """Build a :class:`networkx.DiGraph` with probability-weighted edges."""
+        graph = nx.DiGraph()
+        for (source, target), count in self.counts.items():
+            probability = count / self.total_transitions if self.total_transitions else 0.0
+            if probability < min_probability:
+                continue
+            graph.add_edge(source.value, target.value,
+                           weight=probability, count=count)
+        return graph
+
+
+def build_transition_graph(dataset: TraceDataset,
+                           include_attacks: bool = False,
+                           per_session: bool = False) -> TransitionGraph:
+    """Aggregate per-user operation sequences into the Fig. 8 graph.
+
+    With ``per_session=True`` transitions are only counted within a session
+    (the sequence restarts at every new session), which is closer to how a
+    desktop client behaves; the default aggregates per user across sessions
+    exactly like the figure ("user-centric").
+    """
+    source = dataset if include_attacks else dataset.without_attack_traffic()
+    counts: dict[tuple[ApiOperation, ApiOperation], int] = {}
+    total = 0
+    grouping = (source.storage_by_session() if per_session
+                else source.storage_by_user())
+    for records in grouping.values():
+        previous: ApiOperation | None = None
+        for record in records:
+            if previous is not None:
+                key = (previous, record.operation)
+                counts[key] = counts.get(key, 0) + 1
+                total += 1
+            previous = record.operation
+    return TransitionGraph(counts=counts, total_transitions=total)

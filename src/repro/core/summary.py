@@ -1,0 +1,22 @@
+"""Table 3: summary of the trace.
+
+Thin wrapper around :mod:`repro.trace.stats` kept here so that every
+table/figure of the paper has a module under :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.stats import TraceSummary, summarize
+
+__all__ = ["TraceSummary", "trace_summary", "format_table3"]
+
+
+def trace_summary(dataset: TraceDataset) -> TraceSummary:
+    """Compute the Table 3 rows for ``dataset``."""
+    return summarize(dataset)
+
+
+def format_table3(dataset: TraceDataset) -> str:
+    """Render Table 3 as aligned text."""
+    return str(trace_summary(dataset))

@@ -1,0 +1,132 @@
+"""Trace anonymisation, mirroring Canonical's release procedure.
+
+The released U1 dataset anonymises sensitive information (user ids, file
+names, content hashes) while keeping the structural properties the analyses
+rely on: identical users keep identical anonymised ids, identical contents
+keep identical anonymised hashes (so deduplication analyses still work), and
+file extensions are preserved (so the file-type taxonomy of Section 5.3 still
+works).  :class:`Anonymizer` reproduces exactly that mapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import RpcRecord, SessionRecord, StorageRecord
+
+__all__ = ["Anonymizer"]
+
+
+@dataclass
+class Anonymizer:
+    """Deterministic, keyed anonymiser for trace datasets.
+
+    Parameters
+    ----------
+    secret:
+        Keying material.  Two anonymisers with the same secret produce the
+        same mapping; with different secrets the mappings are unlinkable.
+    preserve_extensions:
+        Keep file extensions in the clear (the released dataset does, since
+        the file-type analyses need them).
+    """
+
+    secret: bytes = b"repro-u1-anonymizer"
+    preserve_extensions: bool = True
+    _user_map: dict[int, int] = field(default_factory=dict, repr=False)
+    _session_map: dict[int, int] = field(default_factory=dict, repr=False)
+    _node_map: dict[int, int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ keys
+    def _pseudonym(self, namespace: str, value: int | str, width: int = 12) -> int:
+        digest = hmac.new(self.secret, f"{namespace}:{value}".encode(), hashlib.sha256)
+        return int.from_bytes(digest.digest()[:width], "big")
+
+    def anonymize_user_id(self, user_id: int) -> int:
+        """Stable pseudonym for a user id."""
+        if user_id not in self._user_map:
+            self._user_map[user_id] = self._pseudonym("user", user_id, width=6)
+        return self._user_map[user_id]
+
+    def anonymize_session_id(self, session_id: int) -> int:
+        """Stable pseudonym for a session id."""
+        if session_id not in self._session_map:
+            self._session_map[session_id] = self._pseudonym("session", session_id, width=6)
+        return self._session_map[session_id]
+
+    def anonymize_node_id(self, node_id: int) -> int:
+        """Stable pseudonym for a node id (0 stays 0: "no node")."""
+        if node_id == 0:
+            return 0
+        if node_id not in self._node_map:
+            self._node_map[node_id] = self._pseudonym("node", node_id, width=6)
+        return self._node_map[node_id]
+
+    def anonymize_hash(self, content_hash: str) -> str:
+        """Keyed re-hash of a content hash (empty stays empty)."""
+        if not content_hash:
+            return ""
+        digest = hmac.new(self.secret, f"hash:{content_hash}".encode(), hashlib.sha256)
+        return digest.hexdigest()[:40]
+
+    # --------------------------------------------------------------- records
+    def anonymize_storage(self, record: StorageRecord) -> StorageRecord:
+        """Anonymised copy of a storage record."""
+        return StorageRecord(
+            timestamp=record.timestamp,
+            server=record.server,
+            process=record.process,
+            user_id=self.anonymize_user_id(record.user_id),
+            session_id=self.anonymize_session_id(record.session_id),
+            operation=record.operation,
+            node_id=self.anonymize_node_id(record.node_id),
+            volume_id=record.volume_id,
+            volume_type=record.volume_type,
+            node_kind=record.node_kind,
+            size_bytes=record.size_bytes,
+            content_hash=self.anonymize_hash(record.content_hash),
+            extension=record.extension if self.preserve_extensions else "",
+            is_update=record.is_update,
+            shard_id=record.shard_id,
+            caused_by_attack=record.caused_by_attack,
+        )
+
+    def anonymize_rpc(self, record: RpcRecord) -> RpcRecord:
+        """Anonymised copy of an RPC record."""
+        return RpcRecord(
+            timestamp=record.timestamp,
+            server=record.server,
+            process=record.process,
+            user_id=self.anonymize_user_id(record.user_id),
+            session_id=self.anonymize_session_id(record.session_id),
+            rpc=record.rpc,
+            shard_id=record.shard_id,
+            service_time=record.service_time,
+            api_operation=record.api_operation,
+            caused_by_attack=record.caused_by_attack,
+        )
+
+    def anonymize_session(self, record: SessionRecord) -> SessionRecord:
+        """Anonymised copy of a session record."""
+        return SessionRecord(
+            timestamp=record.timestamp,
+            server=record.server,
+            process=record.process,
+            user_id=self.anonymize_user_id(record.user_id),
+            session_id=self.anonymize_session_id(record.session_id),
+            event=record.event,
+            session_length=record.session_length,
+            storage_operations=record.storage_operations,
+            caused_by_attack=record.caused_by_attack,
+        )
+
+    def anonymize(self, dataset: TraceDataset) -> TraceDataset:
+        """Anonymised copy of a whole dataset."""
+        return TraceDataset(
+            storage=[self.anonymize_storage(r) for r in dataset.storage],
+            rpc=[self.anonymize_rpc(r) for r in dataset.rpc],
+            sessions=[self.anonymize_session(r) for r in dataset.sessions],
+        )

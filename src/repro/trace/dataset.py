@@ -1,0 +1,200 @@
+"""The in-memory trace dataset consumed by all analyses.
+
+A :class:`TraceDataset` is the merge of every per-process logfile for the
+measurement window (Section 4.1): storage records, RPC records and session
+records.  The class offers the slicing primitives the analyses need —
+filtering by time window, by user, by operation — plus merging and sorting,
+mirroring how the paper reconstructs per-user sequential activity ("to have a
+strictly sequential notion of the activity of a user we should take into
+account the U1 session and sort the trace by timestamp").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.trace.records import (
+    ApiOperation,
+    RpcRecord,
+    SessionEvent,
+    SessionRecord,
+    StorageRecord,
+)
+
+__all__ = ["TraceDataset"]
+
+
+@dataclass
+class TraceDataset:
+    """Container of the three record streams of a U1 back-end trace."""
+
+    storage: list[StorageRecord] = field(default_factory=list)
+    rpc: list[RpcRecord] = field(default_factory=list)
+    sessions: list[SessionRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ size
+    def __len__(self) -> int:
+        return len(self.storage) + len(self.rpc) + len(self.sessions)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the dataset holds no records at all."""
+        return len(self) == 0
+
+    # -------------------------------------------------------------- mutation
+    def add_storage(self, record: StorageRecord) -> None:
+        """Append a storage record."""
+        self.storage.append(record)
+
+    def add_rpc(self, record: RpcRecord) -> None:
+        """Append an RPC record."""
+        self.rpc.append(record)
+
+    def add_session(self, record: SessionRecord) -> None:
+        """Append a session record."""
+        self.sessions.append(record)
+
+    def extend(self, other: "TraceDataset") -> None:
+        """Merge another dataset into this one (records are shared, not copied)."""
+        self.storage.extend(other.storage)
+        self.rpc.extend(other.rpc)
+        self.sessions.extend(other.sessions)
+
+    def sort(self) -> None:
+        """Sort every stream by timestamp in place."""
+        self.storage.sort(key=lambda r: r.timestamp)
+        self.rpc.sort(key=lambda r: r.timestamp)
+        self.sessions.sort(key=lambda r: r.timestamp)
+
+    # -------------------------------------------------------------- time span
+    def time_span(self) -> tuple[float, float]:
+        """Return ``(first_timestamp, last_timestamp)`` across all streams."""
+        timestamps = [r.timestamp for r in self.storage]
+        timestamps += [r.timestamp for r in self.rpc]
+        timestamps += [r.timestamp for r in self.sessions]
+        if not timestamps:
+            raise ValueError("time span of an empty dataset is undefined")
+        return min(timestamps), max(timestamps)
+
+    @property
+    def duration(self) -> float:
+        """Length of the trace in seconds."""
+        start, end = self.time_span()
+        return end - start
+
+    # -------------------------------------------------------------- filtering
+    def filter_time(self, start: float, end: float) -> "TraceDataset":
+        """Dataset restricted to records with ``start <= timestamp < end``."""
+        return TraceDataset(
+            storage=[r for r in self.storage if start <= r.timestamp < end],
+            rpc=[r for r in self.rpc if start <= r.timestamp < end],
+            sessions=[r for r in self.sessions if start <= r.timestamp < end],
+        )
+
+    def filter_users(self, user_ids: Iterable[int]) -> "TraceDataset":
+        """Dataset restricted to the given user ids."""
+        wanted = set(user_ids)
+        return TraceDataset(
+            storage=[r for r in self.storage if r.user_id in wanted],
+            rpc=[r for r in self.rpc if r.user_id in wanted],
+            sessions=[r for r in self.sessions if r.user_id in wanted],
+        )
+
+    def filter_storage(self, predicate: Callable[[StorageRecord], bool]) -> list[StorageRecord]:
+        """Storage records satisfying ``predicate``."""
+        return [r for r in self.storage if predicate(r)]
+
+    def without_attack_traffic(self) -> "TraceDataset":
+        """Dataset with DDoS-attributed records removed.
+
+        The paper removes "malfunctioning clients" artifacts before the
+        workload analysis; analogously, analyses that characterise legitimate
+        user behaviour can exclude attack traffic with this helper, while the
+        anomaly-detection analysis (Fig. 5) keeps it.
+        """
+        return TraceDataset(
+            storage=[r for r in self.storage if not r.caused_by_attack],
+            rpc=[r for r in self.rpc if not r.caused_by_attack],
+            sessions=[r for r in self.sessions if not r.caused_by_attack],
+        )
+
+    # ------------------------------------------------------------ aggregation
+    def user_ids(self) -> set[int]:
+        """Distinct user ids appearing anywhere in the trace."""
+        ids = {r.user_id for r in self.storage}
+        ids.update(r.user_id for r in self.rpc)
+        ids.update(r.user_id for r in self.sessions)
+        return ids
+
+    def session_ids(self) -> set[int]:
+        """Distinct session ids appearing anywhere in the trace."""
+        ids = {r.session_id for r in self.storage}
+        ids.update(r.session_id for r in self.sessions)
+        return ids
+
+    def storage_by_user(self) -> dict[int, list[StorageRecord]]:
+        """Storage records grouped by user id, each list sorted by time."""
+        grouped: dict[int, list[StorageRecord]] = defaultdict(list)
+        for record in self.storage:
+            grouped[record.user_id].append(record)
+        for records in grouped.values():
+            records.sort(key=lambda r: r.timestamp)
+        return dict(grouped)
+
+    def storage_by_node(self) -> dict[int, list[StorageRecord]]:
+        """Storage records grouped by node id (files/directories).
+
+        Only records that reference a node are included (session-level
+        operations such as ListVolumes carry ``node_id == 0`` and are
+        skipped).
+        """
+        grouped: dict[int, list[StorageRecord]] = defaultdict(list)
+        for record in self.storage:
+            if record.node_id:
+                grouped[record.node_id].append(record)
+        for records in grouped.values():
+            records.sort(key=lambda r: r.timestamp)
+        return dict(grouped)
+
+    def storage_by_session(self) -> dict[int, list[StorageRecord]]:
+        """Storage records grouped by session id."""
+        grouped: dict[int, list[StorageRecord]] = defaultdict(list)
+        for record in self.storage:
+            grouped[record.session_id].append(record)
+        for records in grouped.values():
+            records.sort(key=lambda r: r.timestamp)
+        return dict(grouped)
+
+    def iter_operations(self, *operations: ApiOperation) -> Iterator[StorageRecord]:
+        """Iterate over storage records whose operation is one of ``operations``."""
+        wanted = set(operations)
+        for record in self.storage:
+            if record.operation in wanted:
+                yield record
+
+    def uploads(self) -> list[StorageRecord]:
+        """All upload (PutContent) records."""
+        return [r for r in self.storage if r.operation is ApiOperation.UPLOAD]
+
+    def downloads(self) -> list[StorageRecord]:
+        """All download (GetContent) records."""
+        return [r for r in self.storage if r.operation is ApiOperation.DOWNLOAD]
+
+    def upload_bytes(self) -> int:
+        """Total uploaded bytes in the trace."""
+        return sum(r.size_bytes for r in self.uploads())
+
+    def download_bytes(self) -> int:
+        """Total downloaded bytes in the trace."""
+        return sum(r.size_bytes for r in self.downloads())
+
+    def completed_sessions(self) -> list[SessionRecord]:
+        """DISCONNECT records, which carry session length and op counts."""
+        return [r for r in self.sessions if r.event is SessionEvent.DISCONNECT]
+
+    # ---------------------------------------------------------------- display
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceDataset(storage={len(self.storage)}, rpc={len(self.rpc)}, "
+                f"sessions={len(self.sessions)})")

@@ -1,0 +1,71 @@
+"""Trace summary statistics (Table 3 of the paper).
+
+Table 3 summarises the released trace: duration, number of back-end servers
+traced, unique user ids, unique files, user sessions, transfer operations and
+total upload/download traffic.  :func:`summarize` computes the same rows from
+any :class:`~repro.trace.dataset.TraceDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.dataset import TraceDataset
+from repro.util.units import DAY, format_bytes
+
+__all__ = ["TraceSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The rows of Table 3."""
+
+    duration_days: float
+    servers_traced: int
+    unique_users: int
+    unique_files: int
+    user_sessions: int
+    transfer_operations: int
+    upload_bytes: int
+    download_bytes: int
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Human-readable rows in the same order as Table 3."""
+        return [
+            ("Trace duration", f"{self.duration_days:.1f} days"),
+            ("Back-end servers traced", str(self.servers_traced)),
+            ("Unique user IDs", f"{self.unique_users:,}"),
+            ("Unique files", f"{self.unique_files:,}"),
+            ("User sessions", f"{self.user_sessions:,}"),
+            ("Transfer operations", f"{self.transfer_operations:,}"),
+            ("Total upload traffic", format_bytes(self.upload_bytes)),
+            ("Total download traffic", format_bytes(self.download_bytes)),
+        ]
+
+    def __str__(self) -> str:
+        width = max(len(label) for label, _ in self.rows())
+        return "\n".join(f"{label:<{width}}  {value}" for label, value in self.rows())
+
+
+def summarize(dataset: TraceDataset) -> TraceSummary:
+    """Compute the Table 3 summary of ``dataset``."""
+    if dataset.is_empty:
+        raise ValueError("cannot summarise an empty dataset")
+    start, end = dataset.time_span()
+    servers = {(r.server) for r in dataset.storage}
+    servers.update(r.server for r in dataset.rpc)
+    servers.update(r.server for r in dataset.sessions)
+    unique_files = {r.node_id for r in dataset.storage
+                    if r.node_id and r.node_kind.value == "file"}
+    uploads = dataset.uploads()
+    downloads = dataset.downloads()
+    return TraceSummary(
+        duration_days=(end - start) / DAY,
+        servers_traced=len(servers),
+        unique_users=len(dataset.user_ids()),
+        unique_files=len(unique_files),
+        user_sessions=len(dataset.session_ids()),
+        transfer_operations=len(uploads) + len(downloads),
+        upload_bytes=sum(r.size_bytes for r in uploads),
+        download_bytes=sum(r.size_bytes for r in downloads),
+    )

@@ -1,0 +1,46 @@
+"""Shared numerical utilities used across the trace analyses.
+
+The modules in this package are intentionally free of any U1-specific
+knowledge; they provide the statistical primitives the paper's figures are
+built from:
+
+* :mod:`repro.util.stats` — empirical CDFs, percentiles, autocorrelation,
+  boxplot summaries.
+* :mod:`repro.util.powerlaw` — Pareto-tail fitting (Fig. 9).
+* :mod:`repro.util.inequality` — Lorenz curves and the Gini coefficient
+  (Fig. 7c).
+* :mod:`repro.util.timebin` — fixed-width time binning for the time-series
+  figures (Figs. 2a, 5, 6, 14, 15).
+* :mod:`repro.util.units` — byte-size constants and human-readable
+  formatting.
+"""
+
+from repro.util.stats import (
+    EmpiricalCDF,
+    autocorrelation,
+    boxplot_summary,
+    percentile,
+)
+from repro.util.inequality import gini_coefficient, lorenz_curve
+from repro.util.powerlaw import PowerLawFit, fit_power_law
+from repro.util.timebin import TimeBinner, bin_count_series, bin_sum_series
+from repro.util.units import KB, MB, GB, TB, format_bytes
+
+__all__ = [
+    "EmpiricalCDF",
+    "autocorrelation",
+    "boxplot_summary",
+    "percentile",
+    "gini_coefficient",
+    "lorenz_curve",
+    "PowerLawFit",
+    "fit_power_law",
+    "TimeBinner",
+    "bin_count_series",
+    "bin_sum_series",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "format_bytes",
+]

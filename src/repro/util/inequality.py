@@ -1,0 +1,69 @@
+"""Lorenz curves and the Gini coefficient (Fig. 7c).
+
+The paper quantifies how unequal the traffic distribution across active users
+is: the Lorenz curve is far from the diagonal and the Gini coefficient is
+close to 0.9 (0.8966 for downloads, 0.8943 for uploads), with 1 % of active
+users accounting for 65.6 % of the total traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["lorenz_curve", "gini_coefficient", "top_share"]
+
+
+def lorenz_curve(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return the Lorenz curve of a non-negative sample.
+
+    The result is a pair ``(population_share, value_share)`` of arrays of
+    equal length ``n + 1`` starting at ``(0, 0)`` and ending at ``(1, 1)``,
+    where ``value_share[i]`` is the fraction of the total held by the bottom
+    ``population_share[i]`` of the population.
+    """
+    arr = np.asarray(sorted(float(v) for v in values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("Lorenz curve of empty sample is undefined")
+    if np.any(arr < 0):
+        raise ValueError("Lorenz curve requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        # Perfectly equal degenerate case: everyone holds zero.
+        xs = np.linspace(0.0, 1.0, arr.size + 1)
+        return xs, xs.copy()
+    cum = np.concatenate([[0.0], np.cumsum(arr)]) / total
+    xs = np.arange(arr.size + 1, dtype=float) / arr.size
+    return xs, cum
+
+
+def gini_coefficient(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative sample.
+
+    0 reflects complete equality; values close to 1 indicate that a tiny
+    fraction of the population holds almost everything.  Computed as twice
+    the area between the diagonal and the Lorenz curve (trapezoidal rule),
+    which is exact for the empirical curve.
+    """
+    xs, ys = lorenz_curve(values)
+    area_under_lorenz = float(np.trapezoid(ys, xs))
+    return 1.0 - 2.0 * area_under_lorenz
+
+
+def top_share(values: Iterable[float], top_fraction: float) -> float:
+    """Share of the total held by the top ``top_fraction`` of the population.
+
+    ``top_share(traffic, 0.01)`` reproduces the paper's "1 % of users account
+    for 65.6 % of the traffic" statistic.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    arr = np.asarray(sorted((float(v) for v in values), reverse=True), dtype=float)
+    if arr.size == 0:
+        raise ValueError("top share of empty sample is undefined")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    k = max(1, int(round(top_fraction * arr.size)))
+    return float(arr[:k].sum() / total)

@@ -1,0 +1,102 @@
+"""Fixed-width time binning for the paper's time-series figures.
+
+Figures 2a, 5, 6, 14 and 15 all reduce the trace to per-hour (or per-minute)
+counts or byte sums.  :class:`TimeBinner` provides a reusable, allocation-free
+way to build those series from ``(timestamp, value)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["TimeBinner", "bin_count_series", "bin_sum_series", "bin_unique_series"]
+
+
+@dataclass(frozen=True)
+class TimeBinner:
+    """Maps timestamps to consecutive fixed-width bins.
+
+    Parameters
+    ----------
+    start:
+        Timestamp (seconds) of the left edge of bin 0.
+    end:
+        Exclusive right edge of the last bin; timestamps outside
+        ``[start, end)`` are ignored by the helpers below.
+    width:
+        Bin width in seconds (3600 for hourly series, 60 for per-minute).
+    """
+
+    start: float
+    end: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("bin width must be positive")
+        if self.end <= self.start:
+            raise ValueError("end must be greater than start")
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins covering ``[start, end)``."""
+        return int(np.ceil((self.end - self.start) / self.width))
+
+    def index_of(self, timestamp: float) -> int | None:
+        """Bin index of ``timestamp``, or None when outside the range."""
+        if timestamp < self.start or timestamp >= self.end:
+            return None
+        return int((timestamp - self.start) // self.width)
+
+    def edges(self) -> np.ndarray:
+        """Left edges of all bins."""
+        return self.start + self.width * np.arange(self.n_bins, dtype=float)
+
+    def centers(self) -> np.ndarray:
+        """Centres of all bins."""
+        return self.edges() + self.width / 2.0
+
+    def iter_bins(self) -> Iterator[tuple[float, float]]:
+        """Iterate over ``(left_edge, right_edge)`` pairs."""
+        for left in self.edges():
+            yield float(left), float(min(left + self.width, self.end))
+
+
+def bin_count_series(binner: TimeBinner, timestamps: Iterable[float]) -> np.ndarray:
+    """Number of events per bin."""
+    counts = np.zeros(binner.n_bins, dtype=float)
+    for ts in timestamps:
+        idx = binner.index_of(float(ts))
+        if idx is not None:
+            counts[idx] += 1.0
+    return counts
+
+
+def bin_sum_series(binner: TimeBinner,
+                   events: Iterable[tuple[float, float]]) -> np.ndarray:
+    """Sum of event values per bin, from ``(timestamp, value)`` pairs."""
+    sums = np.zeros(binner.n_bins, dtype=float)
+    for ts, value in events:
+        idx = binner.index_of(float(ts))
+        if idx is not None:
+            sums[idx] += float(value)
+    return sums
+
+
+def bin_unique_series(binner: TimeBinner,
+                      events: Iterable[tuple[float, object]]) -> np.ndarray:
+    """Number of distinct keys seen per bin, from ``(timestamp, key)`` pairs.
+
+    Used for the online/active users-per-hour series of Fig. 6, where each
+    user should be counted once per hour regardless of how many requests the
+    user issued in that hour.
+    """
+    seen: list[set[object]] = [set() for _ in range(binner.n_bins)]
+    for ts, key in events:
+        idx = binner.index_of(float(ts))
+        if idx is not None:
+            seen[idx].add(key)
+    return np.asarray([len(bucket) for bucket in seen], dtype=float)

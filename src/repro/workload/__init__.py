@@ -1,0 +1,45 @@
+"""Synthetic U1 workload generator.
+
+The released U1 trace is 758 GB and cannot be shipped with this repository;
+instead, this package generates a statistically faithful synthetic workload
+using the empirical models the paper reports:
+
+* a user population split into occasional / upload-only / download-only /
+  heavy classes with a heavily skewed per-user activity weight
+  (:mod:`repro.workload.population`);
+* per-extension file-size models, a file-type taxonomy, cross-user content
+  duplication and file updates (:mod:`repro.workload.filemodel`);
+* diurnal and weekly activity modulation (:mod:`repro.workload.diurnal`);
+* session arrivals, the session-length mixture and the active/cold session
+  split (:mod:`repro.workload.sessionmodel`);
+* a Markov chain over API operations reproducing the user-centric request
+  graph of Fig. 8 together with power-law inter-operation gaps
+  (:mod:`repro.workload.opmodel`);
+* DDoS episodes (:mod:`repro.workload.attacks`).
+
+:class:`~repro.workload.generator.SyntheticTraceGenerator` stitches these
+models together and either emits client events for the back-end simulator
+(:meth:`client_events`) or a ready-to-analyse
+:class:`~repro.trace.dataset.TraceDataset` (:meth:`generate`).
+"""
+
+from repro.workload.config import WorkloadConfig
+from repro.workload.events import ClientEvent, SessionScript
+from repro.workload.generator import SyntheticTraceGenerator
+from repro.workload.population import User, UserClass, build_population
+from repro.workload.filemodel import FileModel, ExtensionProfile, FILE_CATEGORIES
+from repro.workload.attacks import AttackEpisode
+
+__all__ = [
+    "WorkloadConfig",
+    "ClientEvent",
+    "SessionScript",
+    "SyntheticTraceGenerator",
+    "User",
+    "UserClass",
+    "build_population",
+    "FileModel",
+    "ExtensionProfile",
+    "FILE_CATEGORIES",
+    "AttackEpisode",
+]

@@ -1,0 +1,133 @@
+"""DDoS / abuse episodes (Section 5.4).
+
+The paper detected three DDoS attacks during the measurement month (Jan 15,
+Jan 16, Feb 6).  The attacks shared a single user id and its credentials
+across thousands of desktop clients to distribute illegal content through the
+U1 infrastructure, multiplying the number of session and authentication
+requests per hour by 5-15x and the API storage activity by up to 245x, until
+Canonical engineers manually deleted the fraudulent account (activity decays
+within about an hour of the response).
+
+:class:`AttackEpisode` generates the corresponding burst of session,
+authentication and storage events attributed to a dedicated attacker user id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.trace.records import ApiOperation, NodeKind, VolumeType
+from repro.util.units import HOUR
+from repro.workload.config import AttackConfig, WorkloadConfig
+from repro.workload.events import ClientEvent, SessionScript
+
+__all__ = ["AttackEpisode", "build_attack_episodes"]
+
+
+@dataclass
+class AttackEpisode:
+    """One concrete DDoS episode bound to an attacker user id."""
+
+    config: AttackConfig
+    attacker_user_id: int
+    shared_node_id: int
+    shared_volume_id: int
+    content_hash: str
+    start: float
+    end: float
+
+    def generate_sessions(self, rng: np.random.Generator,
+                          baseline_sessions_per_hour: float,
+                          baseline_storage_ops_per_hour: float,
+                          session_id_start: int,
+                          max_sessions: int = 5_000,
+                          max_storage_ops: int = 30_000) -> Iterator[SessionScript]:
+        """Yield the attack sessions.
+
+        ``baseline_sessions_per_hour`` and ``baseline_storage_ops_per_hour``
+        are the legitimate per-hour rates; the attack multiplies them by the
+        configured amplification factors for its duration.  Every generated
+        session authenticates (hammering the authentication service) and most
+        of them download the single shared file (leeching), with a few
+        uploads re-seeding content.  ``max_sessions`` / ``max_storage_ops``
+        bound the absolute size of an episode so that laptop-scale runs stay
+        tractable while the relative spike remains visible.
+        """
+        duration_hours = (self.end - self.start) / HOUR
+        n_sessions = int(baseline_sessions_per_hour
+                         * self.config.session_amplification * duration_hours)
+        n_storage_ops = int(baseline_storage_ops_per_hour
+                            * self.config.storage_amplification * duration_hours)
+        n_sessions = min(max(n_sessions, 10), max_sessions)
+        n_storage_ops = min(max(n_storage_ops, n_sessions), max_storage_ops)
+        ops_per_session = max(1, n_storage_ops // n_sessions)
+
+        session_id = session_id_start
+        starts = np.sort(rng.uniform(self.start, self.end, size=n_sessions))
+        for session_start in starts:
+            session_id += 1
+            length = float(min(rng.exponential(300.0) + 1.0, self.end - session_start))
+            script = SessionScript(
+                user_id=self.attacker_user_id,
+                session_id=session_id,
+                start=float(session_start),
+                end=float(session_start + length),
+                caused_by_attack=True,
+            )
+            t = float(session_start)
+            for _ in range(int(rng.poisson(ops_per_session)) or 1):
+                t += float(rng.exponential(5.0))
+                if t >= script.end:
+                    break
+                # The attack is content distribution: overwhelmingly reads of
+                # the same shared file, with occasional re-uploads.
+                if rng.random() < 0.95:
+                    operation = ApiOperation.DOWNLOAD
+                    is_update = False
+                else:
+                    operation = ApiOperation.UPLOAD
+                    is_update = True
+                script.events.append(ClientEvent(
+                    time=t,
+                    user_id=self.attacker_user_id,
+                    session_id=session_id,
+                    operation=operation,
+                    node_id=self.shared_node_id,
+                    volume_id=self.shared_volume_id,
+                    volume_type=VolumeType.SHARED,
+                    node_kind=NodeKind.FILE,
+                    size_bytes=self.config.shared_file_size,
+                    content_hash=self.content_hash,
+                    extension="avi",
+                    is_update=is_update,
+                    caused_by_attack=True,
+                ))
+            yield script
+
+
+def build_attack_episodes(config: WorkloadConfig, first_attacker_id: int,
+                          first_node_id: int, first_volume_id: int) -> list[AttackEpisode]:
+    """Materialise the configured attack episodes.
+
+    Attacker ids / node ids / volume ids are allocated after the legitimate
+    population so that they never collide with normal users.
+    """
+    episodes = []
+    for index, attack in enumerate(config.attacks):
+        start = attack.start_time(config.start_time)
+        end = min(attack.end_time(config.start_time), config.end_time)
+        if start >= config.end_time:
+            continue
+        episodes.append(AttackEpisode(
+            config=attack,
+            attacker_user_id=first_attacker_id + index,
+            shared_node_id=first_node_id + index,
+            shared_volume_id=first_volume_id + index,
+            content_hash=f"sha1:attack{index:08x}",
+            start=start,
+            end=end,
+        ))
+    return episodes

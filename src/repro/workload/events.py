@@ -1,0 +1,90 @@
+"""Client events: the interface between the workload and the back-end.
+
+The generator produces a time-ordered stream of :class:`ClientEvent` objects
+describing what desktop clients do (open/close sessions, upload, download,
+make, unlink, ...).  The back-end simulator consumes this stream and turns it
+into trace records enriched with server placement, RPC decomposition and
+service times; alternatively the generator itself can map the events onto
+records for analyses that do not need back-end detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.trace.records import ApiOperation, NodeKind, VolumeType
+
+__all__ = ["ClientEvent", "SessionScript"]
+
+
+@dataclass(slots=True)
+class ClientEvent:
+    """A single client action at a point in time.
+
+    ``node_id``/``volume_id`` are client-chosen identifiers that remain
+    stable across the life of a file or volume, which is what the per-file
+    analyses (Fig. 3) need.  ``size_bytes``, ``content_hash``, ``extension``
+    and ``is_update`` are only meaningful for transfer operations.
+    """
+
+    time: float
+    user_id: int
+    session_id: int
+    operation: ApiOperation
+    node_id: int = 0
+    volume_id: int = 0
+    volume_type: VolumeType = VolumeType.ROOT
+    node_kind: NodeKind = NodeKind.FILE
+    size_bytes: int = 0
+    content_hash: str = ""
+    extension: str = ""
+    is_update: bool = False
+    caused_by_attack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+    @property
+    def is_transfer(self) -> bool:
+        """True for uploads and downloads."""
+        return self.operation.is_transfer
+
+
+@dataclass
+class SessionScript:
+    """All the events of one client session, in chronological order.
+
+    A session starts with an OPEN_SESSION event and ends with CLOSE_SESSION;
+    in between come the (possibly zero) operations the client performed.
+    """
+
+    user_id: int
+    session_id: int
+    start: float
+    end: float
+    events: list[ClientEvent] = field(default_factory=list)
+    caused_by_attack: bool = False
+    auth_failed: bool = False
+
+    @property
+    def length(self) -> float:
+        """Session length in seconds."""
+        return self.end - self.start
+
+    @property
+    def storage_operation_count(self) -> int:
+        """Number of data-management operations performed by the session."""
+        return sum(1 for e in self.events if e.operation.is_data_management)
+
+    @property
+    def is_active(self) -> bool:
+        """True when the session performed at least one data-management op."""
+        return self.storage_operation_count > 0
+
+    def __iter__(self) -> Iterator[ClientEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,229 @@
+"""File model: extensions, sizes, categories, duplication and updates.
+
+Section 5.3 of the paper characterises the files stored in U1:
+
+* 90 % of files are smaller than 1 MByte, yet a small number of large files
+  (> 25 MB) generates most of the traffic (Fig. 2b, Fig. 4b);
+* per-extension size distributions are very disparate — compressed/media
+  files are much larger than code or documents (Fig. 4b);
+* grouping the 55 most popular extensions into 7 categories shows Code as
+  the most numerous category while Audio/Video dominates storage
+  consumption (Fig. 4c);
+* file-level cross-user deduplication would remove ~17 % of the data, with a
+  long tail of duplicates per content hash (Fig. 4a);
+* ~10 % of uploads are updates of existing files, accounting for ~18.5 % of
+  the upload traffic because delta updates are not supported.
+
+:class:`FileModel` samples extensions, sizes and content hashes consistent
+with those observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.units import KB, MB
+
+__all__ = [
+    "ExtensionProfile",
+    "FileModel",
+    "FILE_CATEGORIES",
+    "EXTENSION_PROFILES",
+    "category_of_extension",
+]
+
+
+@dataclass(frozen=True)
+class ExtensionProfile:
+    """Statistical profile of one file extension.
+
+    Sizes are lognormal: ``median_size`` is the median in bytes and ``sigma``
+    the lognormal shape parameter.  ``popularity`` is the relative frequency
+    of the extension among created files; ``compressible`` marks text-like
+    contents (the U1 client compresses uploads, and the paper notes that
+    compressible types are also the small ones).
+    """
+
+    extension: str
+    category: str
+    popularity: float
+    median_size: float
+    sigma: float
+    compressible: bool = False
+
+
+#: The 7 file categories of Fig. 4c.
+FILE_CATEGORIES: tuple[str, ...] = (
+    "Code", "Pictures", "Documents", "Audio/Video", "Binary", "Compressed", "Other",
+)
+
+
+#: Per-extension profiles.  Popularities are normalised at model build time;
+#: the absolute values below encode the relative shares that reproduce the
+#: Fig. 4c picture (Code the most numerous category, Audio/Video the largest
+#: storage share) and the Fig. 4b per-extension size CDFs.
+EXTENSION_PROFILES: tuple[ExtensionProfile, ...] = (
+    # -- Code ----------------------------------------------------------------
+    ExtensionProfile("py", "Code", 6.5, 3 * KB, 1.4, compressible=True),
+    ExtensionProfile("c", "Code", 4.0, 6 * KB, 1.4, compressible=True),
+    ExtensionProfile("h", "Code", 3.0, 2 * KB, 1.2, compressible=True),
+    ExtensionProfile("js", "Code", 4.0, 8 * KB, 1.5, compressible=True),
+    ExtensionProfile("php", "Code", 3.5, 6 * KB, 1.4, compressible=True),
+    ExtensionProfile("java", "Code", 4.0, 5 * KB, 1.3, compressible=True),
+    ExtensionProfile("html", "Code", 3.0, 10 * KB, 1.6, compressible=True),
+    ExtensionProfile("css", "Code", 2.0, 6 * KB, 1.4, compressible=True),
+    ExtensionProfile("xml", "Code", 2.5, 12 * KB, 1.8, compressible=True),
+    # -- Pictures ------------------------------------------------------------
+    ExtensionProfile("jpg", "Pictures", 9.0, 350 * KB, 1.2),
+    ExtensionProfile("png", "Pictures", 6.0, 120 * KB, 1.5),
+    ExtensionProfile("gif", "Pictures", 2.0, 40 * KB, 1.4),
+    ExtensionProfile("svg", "Pictures", 1.0, 20 * KB, 1.5, compressible=True),
+    # -- Documents -----------------------------------------------------------
+    ExtensionProfile("pdf", "Documents", 3.5, 250 * KB, 1.6),
+    ExtensionProfile("txt", "Documents", 4.0, 4 * KB, 1.8, compressible=True),
+    ExtensionProfile("doc", "Documents", 2.0, 90 * KB, 1.3, compressible=True),
+    ExtensionProfile("odt", "Documents", 1.5, 40 * KB, 1.3),
+    ExtensionProfile("xls", "Documents", 1.0, 60 * KB, 1.4, compressible=True),
+    ExtensionProfile("tex", "Documents", 1.0, 8 * KB, 1.5, compressible=True),
+    # -- Audio/Video ---------------------------------------------------------
+    ExtensionProfile("mp3", "Audio/Video", 3.0, 4.2 * MB, 0.7),
+    ExtensionProfile("ogg", "Audio/Video", 1.0, 3.5 * MB, 0.8),
+    ExtensionProfile("wav", "Audio/Video", 0.4, 12 * MB, 0.9),
+    ExtensionProfile("avi", "Audio/Video", 0.4, 90 * MB, 1.0),
+    ExtensionProfile("mp4", "Audio/Video", 0.6, 45 * MB, 1.1),
+    # -- Binary --------------------------------------------------------------
+    ExtensionProfile("o", "Binary", 7.0, 25 * KB, 1.5),
+    ExtensionProfile("so", "Binary", 2.0, 120 * KB, 1.6),
+    ExtensionProfile("jar", "Binary", 1.5, 700 * KB, 1.4),
+    ExtensionProfile("msf", "Binary", 1.5, 40 * KB, 1.5),
+    ExtensionProfile("pyc", "Binary", 3.0, 9 * KB, 1.3),
+    ExtensionProfile("db", "Binary", 1.0, 300 * KB, 1.9),
+    # -- Compressed ----------------------------------------------------------
+    ExtensionProfile("zip", "Compressed", 1.2, 2.5 * MB, 1.8),
+    ExtensionProfile("gz", "Compressed", 1.2, 1.5 * MB, 1.9),
+    ExtensionProfile("tar", "Compressed", 0.5, 6 * MB, 1.7),
+    ExtensionProfile("rar", "Compressed", 0.4, 8 * MB, 1.6),
+    # -- Other ---------------------------------------------------------------
+    ExtensionProfile("", "Other", 3.0, 15 * KB, 2.0),
+    ExtensionProfile("bak", "Other", 1.0, 30 * KB, 1.9),
+    ExtensionProfile("log", "Other", 1.5, 50 * KB, 2.0, compressible=True),
+)
+
+
+_CATEGORY_BY_EXTENSION = {p.extension: p.category for p in EXTENSION_PROFILES}
+
+
+def category_of_extension(extension: str) -> str:
+    """Map an extension to one of the 7 categories (unknown -> Other)."""
+    return _CATEGORY_BY_EXTENSION.get(extension.lower().lstrip("."), "Other")
+
+
+class FileModel:
+    """Samples file extensions, sizes and content hashes.
+
+    Parameters
+    ----------
+    rng:
+        Numpy random generator (the model never creates its own so that the
+        whole workload is reproducible from a single seed).
+    duplicate_fraction:
+        Probability that a newly uploaded file duplicates content that some
+        user already stores (file-level cross-user dedup, ratio ~0.17).
+    duplicate_zipf_exponent:
+        Zipf exponent governing the popularity of duplicated contents: a few
+        contents (popular songs) account for a very large number of
+        duplicates while ~80 % of contents have no duplicates at all.
+    profiles:
+        Extension profiles; defaults to :data:`EXTENSION_PROFILES`.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 duplicate_fraction: float = 0.17,
+                 duplicate_zipf_exponent: float = 1.3,
+                 profiles: Sequence[ExtensionProfile] = EXTENSION_PROFILES,
+                 max_size_bytes: int = 512 * 1024 * 1024):
+        if not 0.0 <= duplicate_fraction < 1.0:
+            raise ValueError("duplicate_fraction must be in [0, 1)")
+        if not profiles:
+            raise ValueError("at least one extension profile is required")
+        if max_size_bytes <= 0:
+            raise ValueError("max_size_bytes must be positive")
+        self._rng = rng
+        self._max_size_bytes = max_size_bytes
+        self._profiles = list(profiles)
+        weights = np.asarray([p.popularity for p in self._profiles], dtype=float)
+        self._probabilities = weights / weights.sum()
+        self._duplicate_fraction = duplicate_fraction
+        self._zipf_exponent = duplicate_zipf_exponent
+        # Pool of "popular" contents that attract duplicates.  The pool grows
+        # lazily; its Zipf weights give a long tail of duplicates per hash.
+        self._popular_contents: list[tuple[str, int, str]] = []
+        self._next_content_id = 0
+
+    # ---------------------------------------------------------------- sizing
+    def sample_profile(self) -> ExtensionProfile:
+        """Sample an extension profile according to popularity."""
+        index = int(self._rng.choice(len(self._profiles), p=self._probabilities))
+        return self._profiles[index]
+
+    def sample_size(self, profile: ExtensionProfile) -> int:
+        """Sample a file size in bytes for the given extension profile."""
+        mu = np.log(profile.median_size)
+        size = float(self._rng.lognormal(mean=mu, sigma=profile.sigma))
+        return max(1, min(int(size), self._max_size_bytes))
+
+    # --------------------------------------------------------------- content
+    def _new_content_hash(self) -> str:
+        self._next_content_id += 1
+        return f"sha1:{self._next_content_id:016x}"
+
+    def _sample_popular_content(self) -> tuple[str, int, str]:
+        """Pick (or mint) a popular content entry ``(hash, size, extension)``."""
+        # Grow the pool occasionally so that early contents accumulate the
+        # most duplicates (Zipf-like popularity) while a broad base of
+        # contents ends up with only a couple of copies.
+        if not self._popular_contents or self._rng.random() < 0.30:
+            # Popular duplicated contents skew towards media files (songs,
+            # videos shared across many users), which is what makes the
+            # byte-level dedup ratio (~0.17) much larger than one would get
+            # from duplicating typical (small) files.
+            profile = self.sample_profile()
+            if profile.category not in ("Audio/Video", "Compressed") and self._rng.random() < 0.5:
+                songs = [p for p in self._profiles
+                         if p.category == "Audio/Video" and p.median_size <= 16 * MB]
+                profile = songs[int(self._rng.integers(len(songs)))]
+            entry = (self._new_content_hash(), self.sample_size(profile), profile.extension)
+            self._popular_contents.append(entry)
+            return entry
+        n = len(self._popular_contents)
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-self._zipf_exponent)
+        weights /= weights.sum()
+        index = int(self._rng.choice(n, p=weights))
+        return self._popular_contents[index]
+
+    def sample_new_file(self) -> tuple[str, int, str]:
+        """Sample ``(content_hash, size_bytes, extension)`` for a new file.
+
+        With probability ``duplicate_fraction`` the content duplicates an
+        existing popular content (same hash, same size); otherwise a fresh
+        unique content is minted.
+        """
+        if self._rng.random() < self._duplicate_fraction:
+            return self._sample_popular_content()
+        profile = self.sample_profile()
+        return self._new_content_hash(), self.sample_size(profile), profile.extension
+
+    def sample_updated_content(self, extension: str, old_size: int) -> tuple[str, int]:
+        """Sample ``(content_hash, size)`` for an update of an existing file.
+
+        Updates keep the size in the same ballpark (metadata edits, source
+        code changes) but always produce new content — U1 has no delta
+        updates, so the full file is re-uploaded.
+        """
+        jitter = float(self._rng.lognormal(mean=0.0, sigma=0.2))
+        new_size = max(1, int(old_size * jitter))
+        return self._new_content_hash(), new_size

@@ -1,0 +1,553 @@
+"""Top-level synthetic trace generator.
+
+:class:`SyntheticTraceGenerator` stitches together the population, file,
+session, operation and attack models into a stream of per-session client
+scripts (:meth:`client_events`) or directly into a
+:class:`~repro.trace.dataset.TraceDataset` (:meth:`generate`).
+
+The generator maintains the *client-side namespace state* of every user —
+volumes, directories and files, together with their sizes, content hashes and
+read/write history — so that the emitted operations are structurally
+consistent: downloads read files that exist, updates rewrite files that were
+uploaded before, unlinks delete live nodes, and the per-file operation
+dependencies (Fig. 3) emerge from the same editing/synchronisation behaviour
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import (
+    ApiOperation,
+    NodeKind,
+    SessionEvent,
+    SessionRecord,
+    StorageRecord,
+    VolumeType,
+)
+from repro.util.units import HOUR
+from repro.workload.attacks import build_attack_episodes
+from repro.workload.config import WorkloadConfig
+from repro.workload.diurnal import DiurnalProfile
+from repro.workload.events import ClientEvent, SessionScript
+from repro.workload.filemodel import FileModel
+from repro.workload.opmodel import BurstGapSampler, OperationChain
+from repro.workload.population import User, UserClass, build_population
+from repro.workload.sessionmodel import SessionModel, SessionPlan
+
+__all__ = ["SyntheticTraceGenerator"]
+
+
+# ---------------------------------------------------------------------------
+# Client-side namespace state
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class _FileState:
+    node_id: int
+    volume_id: int
+    volume_type: VolumeType
+    size_bytes: int
+    content_hash: str
+    extension: str
+    created: float
+    last_write: float
+    last_read: float = -1.0
+    reads: int = 0
+    writes: int = 1
+
+
+@dataclass(slots=True)
+class _VolumeState:
+    volume_id: int
+    volume_type: VolumeType
+    directory_count: int = 0
+    file_ids: set[int] = field(default_factory=set)
+
+
+@dataclass
+class _UserState:
+    user: User
+    volumes: dict[int, _VolumeState] = field(default_factory=dict)
+    files: dict[int, _FileState] = field(default_factory=dict)
+    pending_uploads: list[int] = field(default_factory=list)
+
+    def live_file_ids(self) -> list[int]:
+        return list(self.files.keys())
+
+    def udf_volume_ids(self) -> list[int]:
+        return [v.volume_id for v in self.volumes.values()
+                if v.volume_type is VolumeType.UDF]
+
+    def root_volume_id(self) -> int:
+        for volume in self.volumes.values():
+            if volume.volume_type is VolumeType.ROOT:
+                return volume.volume_id
+        raise RuntimeError("user state has no root volume")
+
+
+class SyntheticTraceGenerator:
+    """Generates a synthetic U1 workload from a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig):
+        config.validate()
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._diurnal = DiurnalProfile(
+            peak_to_trough=config.diurnal_peak_to_trough,
+            weekend_factor=config.weekend_factor,
+        )
+        self._file_model = FileModel(
+            self._rng,
+            duplicate_fraction=config.duplicate_fraction,
+            duplicate_zipf_exponent=config.duplicate_zipf_exponent,
+            max_size_bytes=config.max_file_bytes,
+        )
+        self._session_model = SessionModel(config, self._rng, self._diurnal)
+        self._chain = OperationChain(self._rng)
+        self._gaps = BurstGapSampler(self._rng, alpha=config.burst_alpha,
+                                     theta=config.burst_theta, cap=config.burst_cap)
+        self._population = build_population(config, self._rng)
+        self._next_node_id = 1
+        self._next_volume_id = 1
+        self._next_session_id = 0
+
+    # ------------------------------------------------------------------ ids
+    @property
+    def population(self) -> list[User]:
+        """The synthetic user population."""
+        return self._population
+
+    def _new_node_id(self) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    def _new_volume_id(self) -> int:
+        volume_id = self._next_volume_id
+        self._next_volume_id += 1
+        return volume_id
+
+    def _new_session_id(self) -> int:
+        self._next_session_id += 1
+        return self._next_session_id
+
+    # -------------------------------------------------------- initial state
+    def _init_user_state(self, user: User) -> _UserState:
+        state = _UserState(user=user)
+        root = _VolumeState(volume_id=self._new_volume_id(),
+                            volume_type=VolumeType.ROOT)
+        state.volumes[root.volume_id] = root
+        user.volume_ids.append(root.volume_id)
+        for _ in range(user.udf_volumes):
+            udf = _VolumeState(volume_id=self._new_volume_id(),
+                               volume_type=VolumeType.UDF)
+            state.volumes[udf.volume_id] = udf
+            user.volume_ids.append(udf.volume_id)
+        for _ in range(user.shared_volumes):
+            shared = _VolumeState(volume_id=self._new_volume_id(),
+                                  volume_type=VolumeType.SHARED)
+            state.volumes[shared.volume_id] = shared
+            user.volume_ids.append(shared.volume_id)
+
+        # Pre-existing files (uploaded before the measurement window) so that
+        # download-only users have something to read and RAR dependencies are
+        # possible without a preceding in-trace write.
+        if user.user_class is not UserClass.OCCASIONAL:
+            expected = 4.0 * (1.0 + min(user.activity_weight, 20.0))
+            n_files = int(self._rng.poisson(expected))
+        else:
+            n_files = int(self._rng.poisson(0.5))
+        for _ in range(n_files):
+            self._create_file(state, created=self.config.start_time - 1.0)
+        return state
+
+    def _pick_volume(self, state: _UserState) -> _VolumeState:
+        volumes = list(state.volumes.values())
+        weights = np.asarray([3.0 if v.volume_type is VolumeType.ROOT else 1.0
+                              for v in volumes])
+        weights /= weights.sum()
+        return volumes[int(self._rng.choice(len(volumes), p=weights))]
+
+    def _create_file(self, state: _UserState, created: float) -> _FileState:
+        volume = self._pick_volume(state)
+        content_hash, size, extension = self._file_model.sample_new_file()
+        file_state = _FileState(
+            node_id=self._new_node_id(),
+            volume_id=volume.volume_id,
+            volume_type=volume.volume_type,
+            size_bytes=size,
+            content_hash=content_hash,
+            extension=extension,
+            created=created,
+            last_write=created,
+        )
+        state.files[file_state.node_id] = file_state
+        volume.file_ids.add(file_state.node_id)
+        return file_state
+
+    # -------------------------------------------------------- operand logic
+    def _weighted_file_choice(self, state: _UserState, now: float,
+                              favour_recent_writes: bool,
+                              favour_popular: bool,
+                              favour_large: bool,
+                              penalise_already_synced: bool = False) -> _FileState | None:
+        files = list(state.files.values())
+        if not files:
+            return None
+        weights = np.ones(len(files))
+        for i, f in enumerate(files):
+            if favour_recent_writes and now - f.last_write < HOUR:
+                weights[i] += 4.0
+            if favour_popular:
+                weights[i] += min(f.reads, 10) * 0.5
+            if favour_large:
+                weights[i] += min(f.size_bytes / (4 * 1024 * 1024), 3.0)
+            if penalise_already_synced and f.last_read > f.last_write:
+                # Desktop clients do not re-download files that have not
+                # changed since the last synchronisation.
+                weights[i] *= 0.15
+        weights /= weights.sum()
+        return files[int(self._rng.choice(len(files), p=weights))]
+
+    def _pick_update_target(self, state: _UserState, now: float) -> _FileState | None:
+        """Choose the file an update rewrites.
+
+        Updates disproportionately hit larger, frequently edited files
+        (tagged media, documents under revision), which is why they account
+        for ~18.5 % of upload bytes while being only ~10 % of uploads.
+        """
+        files = list(state.files.values())
+        if not files:
+            return None
+        weights = np.empty(len(files))
+        for i, f in enumerate(files):
+            size_mb = f.size_bytes / (1024 * 1024)
+            weights[i] = 0.4 + min(size_mb, 1.5)
+            if now - f.last_write < HOUR:
+                weights[i] += 2.0
+        weights /= weights.sum()
+        return files[int(self._rng.choice(len(files), p=weights))]
+
+    def _pick_download_target(self, state: _UserState, now: float) -> _FileState | None:
+        """Choose the file a download reads.
+
+        Desktop clients download content they do not have yet: files written
+        since the last synchronisation (RAW dependencies), content that just
+        appeared from another device or a shared folder, and — much more
+        rarely — a re-download of an already synchronised popular file (RAR
+        dependencies, e.g. a fresh device).  Without the re-download penalty
+        a handful of large files would be fetched over and over and the R/W
+        ratio would explode, which is not what the paper observes.
+        """
+        unsynced = [f for f in state.files.values() if f.last_read < f.last_write]
+        roll = self._rng.random()
+        if unsynced and roll < 0.75:
+            weights = np.empty(len(unsynced))
+            for i, f in enumerate(unsynced):
+                weights[i] = 1.0
+                if now - f.last_write < HOUR:
+                    weights[i] += 3.0
+            weights /= weights.sum()
+            return unsynced[int(self._rng.choice(len(unsynced), p=weights))]
+        if state.files and roll < 0.85:
+            return self._weighted_file_choice(state, now, favour_recent_writes=True,
+                                              favour_popular=True, favour_large=False,
+                                              penalise_already_synced=True)
+        # New remote content (another device or a share) appears and is synced.
+        return self._create_file(state, created=now)
+
+    def _materialize(self, state: _UserState, operation: ApiOperation,
+                     t: float, session_id: int) -> ClientEvent | None:
+        """Turn an abstract operation into a concrete event, updating state."""
+        user = state.user
+        root_volume = state.root_volume_id()
+
+        if operation is ApiOperation.MAKE:
+            if self._rng.random() < 0.30:
+                volume = self._pick_volume(state)
+                volume.directory_count += 1
+                return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                                   operation=operation, node_id=self._new_node_id(),
+                                   volume_id=volume.volume_id,
+                                   volume_type=volume.volume_type,
+                                   node_kind=NodeKind.DIRECTORY)
+            file_state = self._create_file(state, created=t)
+            state.pending_uploads.append(file_state.node_id)
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, node_id=file_state.node_id,
+                               volume_id=file_state.volume_id,
+                               volume_type=file_state.volume_type,
+                               node_kind=NodeKind.FILE)
+
+        if operation is ApiOperation.UPLOAD:
+            update_target = None
+            if state.files and self._rng.random() < self.config.update_fraction * 1.3:
+                update_target = self._pick_update_target(state, t)
+            if update_target is not None and update_target.node_id not in state.pending_uploads:
+                new_hash, new_size = self._file_model.sample_updated_content(
+                    update_target.extension, update_target.size_bytes)
+                update_target.content_hash = new_hash
+                update_target.size_bytes = new_size
+                update_target.last_write = t
+                update_target.writes += 1
+                return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                                   operation=operation, node_id=update_target.node_id,
+                                   volume_id=update_target.volume_id,
+                                   volume_type=update_target.volume_type,
+                                   node_kind=NodeKind.FILE,
+                                   size_bytes=update_target.size_bytes,
+                                   content_hash=new_hash,
+                                   extension=update_target.extension,
+                                   is_update=True)
+            if state.pending_uploads:
+                node_id = state.pending_uploads.pop(0)
+                file_state = state.files.get(node_id)
+                if file_state is None:
+                    return None
+                file_state.last_write = t
+            else:
+                file_state = self._create_file(state, created=t)
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, node_id=file_state.node_id,
+                               volume_id=file_state.volume_id,
+                               volume_type=file_state.volume_type,
+                               node_kind=NodeKind.FILE,
+                               size_bytes=file_state.size_bytes,
+                               content_hash=file_state.content_hash,
+                               extension=file_state.extension,
+                               is_update=False)
+
+        if operation is ApiOperation.DOWNLOAD:
+            target = self._pick_download_target(state, t)
+            if target is None:
+                return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                                   operation=ApiOperation.GET_DELTA,
+                                   volume_id=root_volume)
+            target.last_read = t
+            target.reads += 1
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, node_id=target.node_id,
+                               volume_id=target.volume_id,
+                               volume_type=target.volume_type,
+                               node_kind=NodeKind.FILE,
+                               size_bytes=target.size_bytes,
+                               content_hash=target.content_hash,
+                               extension=target.extension)
+
+        if operation is ApiOperation.UNLINK:
+            if not state.files:
+                return None
+            short_lived = self._rng.random() < self.config.short_lived_file_fraction
+            if short_lived:
+                recent = [f for f in state.files.values() if t - f.created < 8 * HOUR]
+                target = recent[int(self._rng.integers(len(recent)))] if recent else None
+            else:
+                target = None
+            if target is None:
+                target = self._weighted_file_choice(state, t, favour_recent_writes=False,
+                                                    favour_popular=False, favour_large=False)
+            if target is None:
+                return None
+            state.files.pop(target.node_id, None)
+            volume = state.volumes.get(target.volume_id)
+            if volume is not None:
+                volume.file_ids.discard(target.node_id)
+            if target.node_id in state.pending_uploads:
+                state.pending_uploads.remove(target.node_id)
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, node_id=target.node_id,
+                               volume_id=target.volume_id,
+                               volume_type=target.volume_type,
+                               node_kind=NodeKind.FILE,
+                               extension=target.extension)
+
+        if operation is ApiOperation.MOVE:
+            target = self._weighted_file_choice(state, t, favour_recent_writes=False,
+                                                favour_popular=False, favour_large=False)
+            if target is None:
+                return None
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, node_id=target.node_id,
+                               volume_id=target.volume_id,
+                               volume_type=target.volume_type,
+                               node_kind=NodeKind.FILE,
+                               extension=target.extension)
+
+        if operation is ApiOperation.CREATE_UDF:
+            udf = _VolumeState(volume_id=self._new_volume_id(),
+                               volume_type=VolumeType.UDF)
+            state.volumes[udf.volume_id] = udf
+            user.volume_ids.append(udf.volume_id)
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, volume_id=udf.volume_id,
+                               volume_type=VolumeType.UDF,
+                               node_kind=NodeKind.DIRECTORY)
+
+        if operation is ApiOperation.DELETE_VOLUME:
+            udf_ids = state.udf_volume_ids()
+            if not udf_ids:
+                return None
+            volume_id = udf_ids[int(self._rng.integers(len(udf_ids)))]
+            volume = state.volumes.pop(volume_id)
+            for node_id in volume.file_ids:
+                state.files.pop(node_id, None)
+                if node_id in state.pending_uploads:
+                    state.pending_uploads.remove(node_id)
+            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                               operation=operation, volume_id=volume_id,
+                               volume_type=VolumeType.UDF,
+                               node_kind=NodeKind.DIRECTORY)
+
+        # Maintenance operations carry no operand beyond the root volume.
+        return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
+                           operation=operation, volume_id=root_volume)
+
+    # ------------------------------------------------------------- sessions
+    def _sample_ops_count(self, user: User) -> int:
+        base = self.config.mean_ops_per_active_session
+        weight_factor = 0.5 + min(user.activity_weight, 50.0)
+        heavy_tail = float(self._rng.pareto(1.15)) + 0.3
+        count = int(base * heavy_tail * weight_factor / 5.0) + 1
+        return min(count, self.config.max_ops_per_session)
+
+    def _build_session(self, state: _UserState, plan: SessionPlan) -> SessionScript:
+        session_id = self._new_session_id()
+        script = SessionScript(user_id=plan.user_id, session_id=session_id,
+                               start=plan.start, end=plan.end)
+        if plan.auth_fails:
+            # Failed authentications never establish a session; the script is
+            # kept (it still hits the auth service) but carries no events.
+            script.auth_failed = True
+            return script
+
+        if not plan.active:
+            # Cold session: occasional maintenance interactions so that long
+            # idle sessions still register as "online" activity.
+            t = plan.start + 1.0
+            while t < plan.end:
+                operation = (ApiOperation.GET_DELTA if self._rng.random() < 0.6
+                             else ApiOperation.QUERY_SET_CAPS)
+                event = self._materialize(state, operation, t, session_id)
+                if event is not None:
+                    script.events.append(event)
+                t += float(self._rng.uniform(4 * HOUR, 10 * HOUR))
+            return script
+
+        n_ops = self._sample_ops_count(state.user)
+        t = plan.start + float(self._rng.uniform(0.2, 3.0))
+        operation = self._chain.initial_operation()
+        allow_volume_ops = state.user.udf_volumes > 0 or self._rng.random() < 0.3
+        for _ in range(n_ops):
+            if t >= plan.end:
+                break
+            event = self._materialize(state, operation, t, session_id)
+            if event is not None:
+                script.events.append(event)
+            t += self._gaps.sample()
+            operation = self._chain.next_operation(
+                operation, state.user,
+                download_bias=self._diurnal.download_bias(t),
+                allow_volume_ops=allow_volume_ops)
+        return script
+
+    # ------------------------------------------------------------------ API
+    def client_events(self) -> list[SessionScript]:
+        """Generate every session script of the measurement window.
+
+        The result is sorted by session start time and includes both the
+        legitimate workload and the configured DDoS episodes.
+        """
+        scripts: list[SessionScript] = []
+        for user in self._population:
+            state = self._init_user_state(user)
+            for plan in self._session_model.plan_user_sessions(user):
+                scripts.append(self._build_session(state, plan))
+
+        # Attack episodes are scaled from the measured legitimate baseline.
+        duration_hours = max(self.config.duration_days * 24.0, 1e-9)
+        legit_sessions_per_hour = max(len(scripts) / duration_hours, 1.0)
+        legit_storage_per_hour = max(
+            sum(s.storage_operation_count for s in scripts) / duration_hours, 1.0)
+        episodes = build_attack_episodes(
+            self.config,
+            first_attacker_id=self.config.n_users + 1,
+            first_node_id=10_000_000,
+            first_volume_id=10_000_000,
+        )
+        for episode in episodes:
+            for script in episode.generate_sessions(
+                    self._rng, legit_sessions_per_hour, legit_storage_per_hour,
+                    session_id_start=self._next_session_id):
+                self._next_session_id = max(self._next_session_id, script.session_id)
+                scripts.append(script)
+
+        scripts.sort(key=lambda s: s.start)
+        return scripts
+
+    # ------------------------------------------------------------ rendering
+    def _placement(self) -> tuple[str, int]:
+        """Random (machine, process) placement used when no simulator runs."""
+        machine = int(self._rng.integers(self.config.api_machines))
+        process = int(self._rng.integers(self.config.processes_per_machine))
+        return f"api{machine}", process
+
+    def generate(self) -> TraceDataset:
+        """Render the workload directly into a :class:`TraceDataset`.
+
+        The records produced here carry client-observable information only
+        (no RPC decomposition, no service times); analyses of the metadata
+        back-end (Figs. 12-14) require running the same scripts through
+        :class:`repro.backend.cluster.U1Cluster` instead.
+        """
+        dataset = TraceDataset()
+        shards = self.config.metadata_shards
+        for script in self.client_events():
+            server, process = self._placement()
+            shard_id = script.user_id % shards
+            dataset.add_session(SessionRecord(
+                timestamp=script.start, server=server, process=process,
+                user_id=script.user_id, session_id=script.session_id,
+                event=SessionEvent.AUTH_REQUEST,
+                caused_by_attack=script.caused_by_attack))
+            if script.auth_failed:
+                dataset.add_session(SessionRecord(
+                    timestamp=script.start, server=server, process=process,
+                    user_id=script.user_id, session_id=script.session_id,
+                    event=SessionEvent.AUTH_FAIL,
+                    caused_by_attack=script.caused_by_attack))
+                continue
+            dataset.add_session(SessionRecord(
+                timestamp=script.start, server=server, process=process,
+                user_id=script.user_id, session_id=script.session_id,
+                event=SessionEvent.AUTH_OK,
+                caused_by_attack=script.caused_by_attack))
+            dataset.add_session(SessionRecord(
+                timestamp=script.start, server=server, process=process,
+                user_id=script.user_id, session_id=script.session_id,
+                event=SessionEvent.CONNECT,
+                caused_by_attack=script.caused_by_attack))
+            for event in script.events:
+                dataset.add_storage(StorageRecord(
+                    timestamp=event.time, server=server, process=process,
+                    user_id=event.user_id, session_id=event.session_id,
+                    operation=event.operation, node_id=event.node_id,
+                    volume_id=event.volume_id, volume_type=event.volume_type,
+                    node_kind=event.node_kind, size_bytes=event.size_bytes,
+                    content_hash=event.content_hash, extension=event.extension,
+                    is_update=event.is_update, shard_id=shard_id,
+                    caused_by_attack=event.caused_by_attack))
+            dataset.add_session(SessionRecord(
+                timestamp=script.end, server=server, process=process,
+                user_id=script.user_id, session_id=script.session_id,
+                event=SessionEvent.DISCONNECT,
+                session_length=script.length,
+                storage_operations=script.storage_operation_count,
+                caused_by_attack=script.caused_by_attack))
+        dataset.sort()
+        return dataset

@@ -1,0 +1,223 @@
+"""Markov operation model and burst (inter-operation gap) model.
+
+Fig. 8 of the paper shows the user-centric transition graph between API
+operations: after authenticating, clients typically list volumes and shares;
+transfer operations strongly repeat (uploading or downloading a file makes
+another transfer the most likely next operation, because users sync whole
+directories and edit files repeatedly); ``Make`` and ``Upload`` are
+interleaved because creating the metadata entry precedes the content upload.
+
+Fig. 9 shows that the gaps between consecutive operations of the same user
+follow a power law with exponent between 1 and 2 — users alternate short
+bursts of many operations with long idle periods (non-Poisson behaviour).
+
+:class:`OperationChain` implements the transition structure;
+:class:`BurstGapSampler` the Pareto gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.records import ApiOperation
+from repro.workload.population import User, UserClass
+
+__all__ = ["OperationChain", "BurstGapSampler", "TRANSITION_TABLE", "INITIAL_OPERATIONS"]
+
+
+#: Operations a session starts with, right after authentication (Fig. 8 shows
+#: Authenticate -> ListVolumes -> ListShares as the regular initialisation
+#: flow, sometimes followed by QuerySetCaps / GetDelta / RescanFromScratch).
+INITIAL_OPERATIONS: tuple[tuple[ApiOperation, float], ...] = (
+    (ApiOperation.LIST_VOLUMES, 0.55),
+    (ApiOperation.LIST_SHARES, 0.20),
+    (ApiOperation.QUERY_SET_CAPS, 0.10),
+    (ApiOperation.GET_DELTA, 0.10),
+    (ApiOperation.RESCAN_FROM_SCRATCH, 0.05),
+)
+
+
+#: State-transition table of the operation Markov chain.  The weights encode
+#: the qualitative structure of Fig. 8: transfers repeat (directory-level
+#: sync, repeated file edits), Make precedes Upload, deletions come in long
+#: sequences, and maintenance operations funnel into data management for
+#: active sessions.
+TRANSITION_TABLE: dict[ApiOperation, tuple[tuple[ApiOperation, float], ...]] = {
+    ApiOperation.LIST_VOLUMES: (
+        (ApiOperation.LIST_SHARES, 0.45),
+        (ApiOperation.GET_DELTA, 0.25),
+        (ApiOperation.DOWNLOAD, 0.12),
+        (ApiOperation.MAKE, 0.10),
+        (ApiOperation.QUERY_SET_CAPS, 0.08),
+    ),
+    ApiOperation.LIST_SHARES: (
+        (ApiOperation.GET_DELTA, 0.35),
+        (ApiOperation.DOWNLOAD, 0.25),
+        (ApiOperation.MAKE, 0.20),
+        (ApiOperation.UPLOAD, 0.10),
+        (ApiOperation.LIST_VOLUMES, 0.10),
+    ),
+    ApiOperation.QUERY_SET_CAPS: (
+        (ApiOperation.LIST_VOLUMES, 0.50),
+        (ApiOperation.GET_DELTA, 0.30),
+        (ApiOperation.DOWNLOAD, 0.20),
+    ),
+    ApiOperation.RESCAN_FROM_SCRATCH: (
+        (ApiOperation.GET_DELTA, 0.40),
+        (ApiOperation.DOWNLOAD, 0.40),
+        (ApiOperation.LIST_VOLUMES, 0.20),
+    ),
+    ApiOperation.GET_DELTA: (
+        (ApiOperation.DOWNLOAD, 0.45),
+        (ApiOperation.MAKE, 0.20),
+        (ApiOperation.UPLOAD, 0.15),
+        (ApiOperation.UNLINK, 0.10),
+        (ApiOperation.LIST_VOLUMES, 0.10),
+    ),
+    ApiOperation.MAKE: (
+        (ApiOperation.UPLOAD, 0.62),
+        (ApiOperation.MAKE, 0.23),
+        (ApiOperation.DOWNLOAD, 0.08),
+        (ApiOperation.UNLINK, 0.04),
+        (ApiOperation.MOVE, 0.03),
+    ),
+    ApiOperation.UPLOAD: (
+        (ApiOperation.UPLOAD, 0.42),
+        (ApiOperation.MAKE, 0.28),
+        (ApiOperation.DOWNLOAD, 0.16),
+        (ApiOperation.UNLINK, 0.08),
+        (ApiOperation.GET_DELTA, 0.04),
+        (ApiOperation.MOVE, 0.02),
+    ),
+    ApiOperation.DOWNLOAD: (
+        (ApiOperation.DOWNLOAD, 0.50),
+        (ApiOperation.UPLOAD, 0.18),
+        (ApiOperation.MAKE, 0.14),
+        (ApiOperation.GET_DELTA, 0.10),
+        (ApiOperation.UNLINK, 0.06),
+        (ApiOperation.MOVE, 0.02),
+    ),
+    ApiOperation.UNLINK: (
+        (ApiOperation.UNLINK, 0.55),
+        (ApiOperation.UPLOAD, 0.15),
+        (ApiOperation.MAKE, 0.12),
+        (ApiOperation.DOWNLOAD, 0.10),
+        (ApiOperation.DELETE_VOLUME, 0.03),
+        (ApiOperation.GET_DELTA, 0.05),
+    ),
+    ApiOperation.MOVE: (
+        (ApiOperation.MOVE, 0.40),
+        (ApiOperation.UPLOAD, 0.20),
+        (ApiOperation.DOWNLOAD, 0.20),
+        (ApiOperation.MAKE, 0.20),
+    ),
+    ApiOperation.CREATE_UDF: (
+        (ApiOperation.MAKE, 0.60),
+        (ApiOperation.UPLOAD, 0.30),
+        (ApiOperation.LIST_VOLUMES, 0.10),
+    ),
+    ApiOperation.DELETE_VOLUME: (
+        (ApiOperation.LIST_VOLUMES, 0.40),
+        (ApiOperation.CREATE_UDF, 0.20),
+        (ApiOperation.MAKE, 0.20),
+        (ApiOperation.UNLINK, 0.20),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class _ClassBias:
+    """Per-user-class multipliers for upload/download transitions."""
+
+    upload: float
+    download: float
+
+
+_CLASS_BIAS = {
+    UserClass.OCCASIONAL: _ClassBias(upload=0.5, download=0.65),
+    UserClass.UPLOAD_ONLY: _ClassBias(upload=1.8, download=0.02),
+    UserClass.DOWNLOAD_ONLY: _ClassBias(upload=0.02, download=1.8),
+    UserClass.HEAVY: _ClassBias(upload=1.2, download=1.7),
+}
+
+
+class OperationChain:
+    """Samples sequences of API operations for a session.
+
+    The chain is the Fig. 8 transition structure re-weighted per user class
+    (upload-only users rarely download and vice versa) and per time of day
+    (the download bias from the diurnal model nudges the R/W ratio).
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def initial_operation(self) -> ApiOperation:
+        """First operation of a session after authentication."""
+        ops, weights = zip(*INITIAL_OPERATIONS)
+        probs = np.asarray(weights, dtype=float)
+        probs /= probs.sum()
+        return ops[int(self._rng.choice(len(ops), p=probs))]
+
+    def next_operation(self, current: ApiOperation, user: User,
+                       download_bias: float = 1.0,
+                       allow_volume_ops: bool = True) -> ApiOperation:
+        """Sample the operation following ``current`` for ``user``."""
+        table = TRANSITION_TABLE.get(current)
+        if table is None:
+            return self.initial_operation()
+        bias = _CLASS_BIAS[user.user_class]
+        ops = []
+        weights = []
+        for op, weight in table:
+            if not allow_volume_ops and op in (ApiOperation.CREATE_UDF,
+                                               ApiOperation.DELETE_VOLUME):
+                continue
+            multiplier = 1.0
+            if op is ApiOperation.UPLOAD:
+                multiplier = bias.upload
+            elif op is ApiOperation.DOWNLOAD:
+                multiplier = bias.download * download_bias
+            ops.append(op)
+            weights.append(weight * multiplier)
+        probs = np.asarray(weights, dtype=float)
+        total = probs.sum()
+        if total <= 0:
+            return self.initial_operation()
+        probs /= total
+        return ops[int(self._rng.choice(len(ops), p=probs))]
+
+
+class BurstGapSampler:
+    """Pareto-distributed gaps between consecutive operations of a user.
+
+    ``P(X >= x) = (x / theta) ^ -alpha`` for ``x >= theta``; the paper fits
+    alpha = 1.54 for uploads and alpha = 1.44 for unlinks, with thresholds of
+    tens of seconds.  Gaps are capped so that a single session cannot exceed
+    the measurement window.
+    """
+
+    def __init__(self, rng: np.random.Generator, alpha: float = 1.5,
+                 theta: float = 1.0, cap: float = 4 * 3600.0):
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 for finite mean gaps")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self._rng = rng
+        self._alpha = alpha
+        self._theta = theta
+        self._cap = cap
+
+    def sample(self) -> float:
+        """One inter-operation gap in seconds."""
+        u = self._rng.random()
+        gap = self._theta * (1.0 - u) ** (-1.0 / self._alpha)
+        return float(min(gap, self._cap))
+
+    def sample_many(self, n: int) -> np.ndarray:
+        """Vector of ``n`` gaps."""
+        u = self._rng.random(n)
+        gaps = self._theta * (1.0 - u) ** (-1.0 / self._alpha)
+        return np.minimum(gaps, self._cap)

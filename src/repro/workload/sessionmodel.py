@@ -1,0 +1,137 @@
+"""Session arrival and session length models.
+
+Section 7.3 of the paper characterises U1 sessions:
+
+* session arrivals follow the users' working habits (diurnal + weekly
+  patterns, Fig. 15);
+* 32 % of sessions are shorter than one second (NAT/firewall boxes closing
+  idle TCP connections) and 97 % are shorter than 8 hours (Fig. 16);
+* only 5.57 % of sessions perform any data-management operation ("active"
+  sessions); active sessions are much longer than cold ones, and 20 % of
+  the active sessions account for 96.7 % of all data-management operations;
+* 2.76 % of authentication requests fail.
+
+:class:`SessionModel` samples per-user session start times and lengths, and
+decides which sessions are active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import DAY
+from repro.workload.config import WorkloadConfig
+from repro.workload.diurnal import DiurnalProfile
+from repro.workload.population import User, UserClass
+
+__all__ = ["SessionPlan", "SessionModel"]
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """A planned session: when it starts, how long it lasts, whether it is
+    active (performs storage operations) and whether authentication fails."""
+
+    user_id: int
+    start: float
+    length: float
+    active: bool
+    auth_fails: bool
+
+    @property
+    def end(self) -> float:
+        """End timestamp of the session."""
+        return self.start + self.length
+
+
+class SessionModel:
+    """Samples session plans for every user in the population."""
+
+    #: Multiplier applied to the probability that a session is active,
+    #: depending on the user class: heavy users are active almost every
+    #: session, occasional users almost never.
+    _ACTIVE_MULTIPLIER = {
+        UserClass.OCCASIONAL: 0.35,
+        UserClass.UPLOAD_ONLY: 4.0,
+        UserClass.DOWNLOAD_ONLY: 4.0,
+        UserClass.HEAVY: 9.0,
+    }
+
+    def __init__(self, config: WorkloadConfig, rng: np.random.Generator,
+                 diurnal: DiurnalProfile | None = None):
+        self._config = config
+        self._rng = rng
+        self._diurnal = diurnal or DiurnalProfile(
+            peak_to_trough=config.diurnal_peak_to_trough,
+            weekend_factor=config.weekend_factor,
+        )
+
+    # ----------------------------------------------------------------- starts
+    def _sample_start_times(self, user: User) -> list[float]:
+        """Session start times over the whole window via thinned Poisson."""
+        config = self._config
+        duration = config.duration_days * DAY
+        base_rate = config.sessions_per_user_day / DAY  # sessions per second
+        # Thinning against the diurnal profile (max multiplier ~2x mean).
+        max_multiplier = max(self._diurnal.intensity(config.start_time + h * 3600.0)
+                             for h in range(int(24 * 7)))
+        rate_bound = base_rate * max_multiplier
+        expected = rate_bound * duration
+        n_candidates = int(self._rng.poisson(expected))
+        if n_candidates == 0:
+            return []
+        candidates = config.start_time + self._rng.uniform(0.0, duration, size=n_candidates)
+        candidates.sort()
+        starts = []
+        for ts in candidates:
+            shifted = ts + user.phase_offset_hours * 3600.0
+            accept_prob = self._diurnal.intensity(shifted) / max_multiplier
+            if self._rng.random() < accept_prob:
+                starts.append(float(ts))
+        return starts
+
+    # ---------------------------------------------------------------- lengths
+    def _sample_length(self) -> float:
+        """Session length from the short/body mixture."""
+        config = self._config
+        if self._rng.random() < config.short_session_fraction:
+            return float(self._rng.uniform(0.05, 1.0))
+        mu = np.log(config.session_length_median)
+        length = float(self._rng.lognormal(mean=mu, sigma=config.session_length_sigma))
+        return min(length, config.session_length_cap)
+
+    # ----------------------------------------------------------------- active
+    def _is_active(self, user: User, length: float) -> bool:
+        """Whether the session performs data-management operations.
+
+        Sub-second sessions never are (the client barely connects); longer
+        sessions are active with a class- and weight-dependent probability.
+        """
+        if length < 1.0:
+            return False
+        base = self._config.active_session_fraction
+        multiplier = self._ACTIVE_MULTIPLIER[user.user_class]
+        weight_boost = min(3.0, 1.0 + user.activity_weight / 10.0)
+        probability = min(0.95, base * multiplier * weight_boost)
+        return bool(self._rng.random() < probability)
+
+    # -------------------------------------------------------------------- API
+    def plan_user_sessions(self, user: User) -> list[SessionPlan]:
+        """All the session plans of one user over the measurement window."""
+        plans = []
+        for start in self._sample_start_times(user):
+            length = self._sample_length()
+            end_cap = self._config.end_time
+            if start >= end_cap:
+                continue
+            length = min(length, end_cap - start)
+            plans.append(SessionPlan(
+                user_id=user.user_id,
+                start=start,
+                length=length,
+                active=self._is_active(user, length),
+                auth_fails=bool(self._rng.random() < self._config.auth_failure_fraction),
+            ))
+        return plans

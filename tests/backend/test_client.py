@@ -1,0 +1,111 @@
+"""Tests for the interactive desktop client (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.client import DesktopClient
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.backend.errors import BackendError
+
+
+@pytest.fixture
+def cluster() -> U1Cluster:
+    return U1Cluster(ClusterConfig(seed=0, auth_failure_fraction=0.0))
+
+
+@pytest.fixture
+def client(cluster) -> DesktopClient:
+    client = DesktopClient(cluster=cluster, user_id=1)
+    client.connect()
+    return client
+
+
+class TestSessionLifecycle:
+    def test_connect_and_disconnect(self, cluster):
+        client = DesktopClient(cluster=cluster, user_id=5)
+        assert not client.is_connected
+        client.connect()
+        assert client.is_connected
+        assert cluster.registry.sessions_of(5)
+        client.disconnect()
+        assert not client.is_connected
+        assert not cluster.registry.sessions_of(5)
+        # Disconnecting twice is harmless.
+        client.disconnect()
+
+    def test_connect_twice_is_idempotent(self, client):
+        client.connect()
+        assert client.is_connected
+
+    def test_operations_require_connection(self, cluster):
+        client = DesktopClient(cluster=cluster, user_id=9)
+        with pytest.raises(BackendError):
+            client.upload_file("a.txt", b"hello")
+
+
+class TestFileOperations:
+    def test_upload_download_delete_roundtrip(self, client, cluster):
+        response = client.upload_file("report.pdf", b"%PDF-1.4" * 1000)
+        assert response.ok and not response.deduplicated
+        assert "report.pdf" in client.files()
+
+        download = client.download_file("report.pdf")
+        assert download.bytes_from_s3 > 0
+
+        client.delete_file("report.pdf")
+        assert "report.pdf" not in client.files()
+        with pytest.raises(BackendError):
+            client.download_file("report.pdf")
+
+    def test_cross_user_deduplication(self, cluster):
+        alice = DesktopClient(cluster=cluster, user_id=1)
+        bob = DesktopClient(cluster=cluster, user_id=2)
+        alice.connect()
+        bob.connect()
+        content = b"same song bytes" * 10_000
+        first = alice.upload_file("song.mp3", content)
+        second = bob.upload_file("copy-of-song.mp3", content)
+        assert not first.deduplicated
+        assert second.deduplicated
+        assert second.bytes_to_s3 == 0
+
+    def test_update_reuploads_full_file(self, client):
+        client.upload_file("notes.txt", b"v1" * 500)
+        before = client.files()["notes.txt"]
+        response = client.upload_file("notes.txt", b"v2 totally different" * 500)
+        after = client.files()["notes.txt"]
+        assert response.ok
+        assert after.versions == before.versions + 1
+        assert after.content_hash != before.content_hash
+        # No delta updates: the new payload was shipped in full.
+        assert response.bytes_to_s3 == after.size_bytes
+
+    def test_compression_applies_to_text_files(self, client):
+        text = b"a" * 100_000
+        response = client.upload_file("big.txt", text)
+        assert response.bytes_to_s3 < len(text)
+        other_text = b"b" * 100_000
+        incompressible = DesktopClient(cluster=client.cluster, user_id=3,
+                                       compression_enabled=False)
+        incompressible.connect()
+        raw = incompressible.upload_file("big2.txt", other_text)
+        assert raw.bytes_to_s3 == len(other_text)
+
+    def test_create_volume_and_upload_into_it(self, client):
+        volume_id = client.create_volume("Photos")
+        assert client.create_volume("Photos") == volume_id  # idempotent
+        response = client.upload_file("pic.jpg", b"\xff\xd8" * 2048, volume="Photos")
+        assert response.ok
+        assert client.files()["pic.jpg"].volume_id == volume_id
+
+    def test_sync_issues_get_delta(self, client):
+        response = client.sync()
+        assert response.ok
+
+    def test_trace_records_are_emitted(self, client, cluster):
+        client.upload_file("a.py", b"print('hi')\n" * 50)
+        dataset = cluster.sink.dataset
+        operations = {r.operation.value for r in dataset.storage}
+        assert {"Make", "Upload", "ListVolumes", "ListShares"} <= operations
+        assert dataset.rpc, "client activity must produce RPC records"

@@ -1,0 +1,133 @@
+"""Tests for the assembled U1 cluster and workload replay."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.trace.records import ApiOperation, RpcName, SessionEvent
+from repro.workload.config import WorkloadConfig
+from repro.workload.events import ClientEvent, SessionScript
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper_deployment(self):
+        config = ClusterConfig()
+        assert config.api_machines == 6
+        assert config.metadata_shards == 10
+        assert config.multipart_chunk_bytes == 5 * 1024 * 1024
+        config.validate()
+
+    def test_machine_names_follow_logfile_style(self):
+        names = ClusterConfig(api_machines=8).machine_names()
+        assert len(names) == 8
+        assert "whitecurrant" in names
+        assert len(set(names)) == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"api_machines": 0},
+        {"metadata_shards": 0},
+        {"shard_routing": "random"},
+        {"interrupted_upload_fraction": 1.5},
+        {"multipart_chunk_bytes": 0},
+    ])
+    def test_validation_rejects_bad_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs).validate()
+
+
+class TestReplayHandCraftedScripts:
+    def _scripts(self) -> list[SessionScript]:
+        script = SessionScript(user_id=5, session_id=1, start=1000.0, end=2000.0)
+        script.events.append(ClientEvent(time=1010.0, user_id=5, session_id=1,
+                                         operation=ApiOperation.MAKE, node_id=7,
+                                         volume_id=3))
+        script.events.append(ClientEvent(time=1020.0, user_id=5, session_id=1,
+                                         operation=ApiOperation.UPLOAD, node_id=7,
+                                         volume_id=3, size_bytes=1000,
+                                         content_hash="sha1:h7", extension="txt"))
+        failed = SessionScript(user_id=6, session_id=2, start=1500.0, end=1501.0,
+                               auth_failed=True)
+        return [script, failed]
+
+    def test_replay_emits_all_record_streams(self):
+        cluster = U1Cluster(ClusterConfig(seed=1))
+        dataset = cluster.replay(self._scripts())
+        assert len(dataset.storage) == 2
+        events = Counter(r.event for r in dataset.sessions)
+        assert events[SessionEvent.CONNECT] == 1
+        assert events[SessionEvent.DISCONNECT] == 1
+        assert events[SessionEvent.AUTH_FAIL] == 1
+        assert events[SessionEvent.AUTH_REQUEST] == 2
+        rpcs = Counter(r.rpc for r in dataset.rpc)
+        assert rpcs[RpcName.MAKE_FILE] >= 1
+        assert rpcs[RpcName.MAKE_CONTENT] == 1
+
+    def test_replay_routes_by_user_id(self):
+        cluster = U1Cluster(ClusterConfig(seed=1, metadata_shards=10))
+        dataset = cluster.replay(self._scripts())
+        assert all(r.shard_id == 5 % 10 for r in dataset.rpc if r.user_id == 5)
+        assert all(r.shard_id == 5 % 10 for r in dataset.storage)
+
+    def test_session_sticks_to_one_process(self):
+        cluster = U1Cluster(ClusterConfig(seed=1))
+        dataset = cluster.replay(self._scripts())
+        placements = {(r.server, r.process) for r in dataset.storage}
+        assert len(placements) == 1
+
+    def test_gateway_connections_released_after_replay(self):
+        cluster = U1Cluster(ClusterConfig(seed=1))
+        cluster.replay(self._scripts())
+        assert all(v == 0 for v in cluster.gateway.open_connections().values())
+
+    def test_round_robin_routing_option(self):
+        cluster = U1Cluster(ClusterConfig(seed=1, shard_routing="round_robin"))
+        dataset = cluster.replay(self._scripts())
+        shards = {r.shard_id for r in dataset.rpc}
+        assert len(shards) > 1
+
+
+class TestReplaySyntheticWorkload:
+    def test_full_pipeline_produces_consistent_trace(self, simulated_cluster_and_dataset):
+        cluster, dataset = simulated_cluster_and_dataset
+        assert dataset.rpc, "back-end replay must produce RPC records"
+        # Every storage record's session has a matching connect record.
+        connected = {r.session_id for r in dataset.sessions
+                     if r.event is SessionEvent.CONNECT}
+        assert {r.session_id for r in dataset.storage} <= connected
+        # RPC decomposition: at least one RPC per storage operation on average.
+        assert len(dataset.rpc) >= len(dataset.storage)
+        # The object store holds content and saw dedup hits.
+        assert len(cluster.object_store) > 0
+        assert cluster.object_store.accounting.dedup_hits > 0
+        # Every shard received users (modulo routing over many users).
+        assert all(count > 0 for count in cluster.metadata_store.users_per_shard())
+        # The load balancer spread sessions across all processes.
+        totals = cluster.gateway.total_assigned()
+        assert all(count > 0 for count in totals.values())
+
+    def test_load_counters_match_trace(self, simulated_cluster_and_dataset):
+        cluster, dataset = simulated_cluster_and_dataset
+        handled = sum(p.requests_handled for p in cluster.processes)
+        assert handled == len(dataset.storage)
+        assert sum(cluster.rpc_calls_per_worker()) == len(dataset.rpc)
+        per_machine = cluster.load_per_machine()
+        assert sum(per_machine.values()) == handled
+
+    def test_dedup_disabled_increases_stored_bytes(self):
+        config = WorkloadConfig.scaled(users=120, days=2, seed=5)
+        scripts = SyntheticTraceGenerator(config).client_events()
+        with_dedup = U1Cluster(ClusterConfig(seed=5, dedup_enabled=True))
+        without_dedup = U1Cluster(ClusterConfig(seed=5, dedup_enabled=False))
+        with_dedup.replay(scripts)
+        without_dedup.replay(scripts)
+        assert (without_dedup.object_store.accounting.bytes_uploaded >=
+                with_dedup.object_store.accounting.bytes_uploaded)
+
+    def test_run_workload_convenience(self):
+        cluster = U1Cluster(ClusterConfig(seed=3))
+        dataset = cluster.run_workload(WorkloadConfig.scaled(users=40, days=1, seed=3))
+        assert not dataset.is_empty

@@ -1,0 +1,65 @@
+"""Unit tests for protocol entities and request envelopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.protocol.entities import Node, SessionHandle, Volume, generate_uuid
+from repro.backend.protocol.operations import UPLOAD_CHUNK_BYTES, ApiRequest, ApiResponse
+from repro.trace.records import ApiOperation, NodeKind, VolumeType
+from repro.workload.events import ClientEvent
+
+
+class TestEntities:
+    def test_uuid_generation_is_unique(self):
+        assert generate_uuid() != generate_uuid()
+
+    def test_node_content_application(self):
+        node = Node(node_id=1, volume_id=2, owner_id=3, kind=NodeKind.FILE)
+        node.apply_content("sha1:x", 100, when=5.0)
+        node.apply_content("sha1:y", 200, when=6.0)
+        assert node.generation == 2
+        assert node.size_bytes == 200
+        assert node.is_file and not node.is_directory
+
+    def test_node_rejects_negative_size(self):
+        node = Node(node_id=1, volume_id=2, owner_id=3, kind=NodeKind.FILE)
+        with pytest.raises(ValueError):
+            node.apply_content("sha1:x", -5, when=1.0)
+
+    def test_volume_generation_bump(self):
+        volume = Volume(volume_id=1, owner_id=2, volume_type=VolumeType.UDF)
+        assert volume.bump_generation() == 1
+        assert volume.bump_generation() == 2
+        assert volume.node_count == 0
+
+    def test_session_handle_close(self):
+        handle = SessionHandle(session_id=1, user_id=2, server="api0", process=0,
+                               established_at=0.0, token="t")
+        assert handle.is_open
+        handle.close()
+        assert not handle.is_open
+
+
+class TestApiRequest:
+    def test_from_event_copies_fields(self):
+        event = ClientEvent(time=10.0, user_id=1, session_id=2,
+                            operation=ApiOperation.UPLOAD, node_id=3, volume_id=4,
+                            volume_type=VolumeType.UDF, node_kind=NodeKind.FILE,
+                            size_bytes=100, content_hash="h", extension="mp3",
+                            is_update=True, caused_by_attack=True)
+        request = ApiRequest.from_event(event)
+        assert request.timestamp == 10.0
+        assert request.operation is ApiOperation.UPLOAD
+        assert request.volume_type is VolumeType.UDF
+        assert request.size_bytes == 100
+        assert request.is_update and request.caused_by_attack
+
+    def test_chunk_size_is_5mb(self):
+        assert UPLOAD_CHUNK_BYTES == 5 * 1024 * 1024
+
+    def test_response_defaults(self):
+        response = ApiResponse(operation=ApiOperation.MAKE)
+        assert response.ok
+        assert response.rpc_count == 0
+        assert response.details == {}

@@ -1,0 +1,61 @@
+"""Unit tests for the load balancer / system gateway."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.gateway import LoadBalancer, ProcessAddress
+
+
+def _processes(n_machines=3, per_machine=2) -> list[ProcessAddress]:
+    return [ProcessAddress(server=f"m{i}", process=p)
+            for i in range(n_machines) for p in range(per_machine)]
+
+
+class TestLoadBalancer:
+    def test_requires_processes(self):
+        with pytest.raises(ValueError):
+            LoadBalancer([])
+
+    def test_assign_picks_least_loaded(self):
+        balancer = LoadBalancer(_processes(), rng=np.random.default_rng(0))
+        first_round = [balancer.assign() for _ in range(6)]
+        # Every process got exactly one session before any got a second one.
+        assert len(set(first_round)) == 6
+        counts = balancer.open_connections()
+        assert set(counts.values()) == {1}
+
+    def test_release_frees_capacity(self):
+        balancer = LoadBalancer(_processes(1, 2), rng=np.random.default_rng(0))
+        a = balancer.assign()
+        b = balancer.assign()
+        balancer.release(a)
+        c = balancer.assign()
+        assert c == a  # the freed process is the least loaded again
+        assert b in balancer.open_connections()
+
+    def test_release_unknown_or_idle_raises(self):
+        balancer = LoadBalancer(_processes(1, 1))
+        with pytest.raises(ValueError):
+            balancer.release(ProcessAddress("m0", 0))
+
+    def test_total_assigned_accumulates(self):
+        balancer = LoadBalancer(_processes(2, 1), rng=np.random.default_rng(1))
+        for _ in range(10):
+            address = balancer.assign()
+            balancer.release(address)
+        totals = balancer.total_assigned()
+        assert sum(totals.values()) == 10
+
+    def test_imbalance_small_for_many_sessions(self):
+        balancer = LoadBalancer(_processes(4, 2), rng=np.random.default_rng(2))
+        assigned = []
+        for _ in range(400):
+            assigned.append(balancer.assign())
+        assert balancer.imbalance() < 0.05
+
+    def test_process_address_ordering_and_str(self):
+        a = ProcessAddress("api0", 1)
+        assert str(a) == "api0/1"
+        assert a < ProcessAddress("api1", 0)

@@ -1,0 +1,66 @@
+"""Unit tests for the sharded metadata store and routing policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.metadata_store import (
+    ShardedMetadataStore,
+    round_robin_routing,
+    user_id_routing,
+)
+
+
+class TestRouting:
+    def test_user_id_routing_is_stable(self):
+        route = user_id_routing(10)
+        assert route(12) == 2
+        assert route(12) == 2
+        assert route(20) == 0
+
+    def test_round_robin_routing_rotates(self):
+        route = round_robin_routing(3)
+        assert [route(99) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+
+class TestShardedStore:
+    def test_shard_count_and_lookup(self):
+        store = ShardedMetadataStore(n_shards=4)
+        assert store.n_shards == 4
+        assert store.shard_id_of(7) == 3
+        assert store.shard_of(7).shard_id == 3
+
+    def test_all_metadata_of_a_user_lives_in_one_shard(self):
+        store = ShardedMetadataStore(n_shards=5)
+        for user_id in range(50):
+            shard = store.shard_of(user_id)
+            shard.ensure_user(user_id, -user_id, now=0.0)
+        users_per_shard = store.users_per_shard()
+        assert sum(users_per_shard) == 50
+        assert len(users_per_shard) == 5
+        # Routing by modulo spreads sequential ids evenly.
+        assert max(users_per_shard) == min(users_per_shard)
+
+    def test_requests_and_nodes_per_shard(self):
+        from repro.trace.records import NodeKind
+
+        store = ShardedMetadataStore(n_shards=2)
+        shard = store.shard_of(1)
+        shard.ensure_user(1, -1, now=0.0)
+        shard.make_node(1, -1, 10, NodeKind.FILE, "txt", now=1.0)
+        assert sum(store.requests_per_shard()) >= 2
+        assert store.nodes_per_shard() == [0, 1]
+
+    def test_pending_uploadjobs_iteration(self):
+        store = ShardedMetadataStore(n_shards=2)
+        shard = store.shard_of(1)
+        shard.ensure_user(1, -1, now=0.0)
+        shard.make_uploadjob(1, 5, -1, "h", 100, now=0.0, chunk_bytes=50)
+        pending = list(store.pending_uploadjobs())
+        assert len(pending) == 1
+        assert pending[0][0] is shard
+        assert len(pending[0][1]) == 1
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedMetadataStore(n_shards=0)

@@ -1,0 +1,63 @@
+"""Unit tests for the RPC worker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.latency import ServiceTimeModel
+from repro.backend.metadata_store import ShardedMetadataStore
+from repro.backend.rpc_server import RpcContext, RpcWorker
+from repro.backend.tracing import TraceSink
+from repro.trace.records import ApiOperation, RpcName
+
+
+@pytest.fixture
+def worker():
+    sink = TraceSink()
+    store = ShardedMetadataStore(n_shards=4)
+    latency = ServiceTimeModel(np.random.default_rng(0), n_shards=4)
+    return RpcWorker(worker_id=0, store=store, latency=latency, sink=sink), sink
+
+
+def _context(user_id=6) -> RpcContext:
+    return RpcContext(timestamp=100.0, server="api0", process=1, user_id=user_id,
+                      session_id=9, api_operation=ApiOperation.LIST_VOLUMES)
+
+
+class TestRpcWorker:
+    def test_execute_returns_operation_result(self, worker):
+        rpc_worker, _ = worker
+        result = rpc_worker.execute(RpcName.GET_DELTA, _context(), lambda: 42)
+        assert result == 42
+        assert rpc_worker.calls_executed == 1
+        assert rpc_worker.busy_time > 0
+
+    def test_execute_records_rpc_with_routing_shard(self, worker):
+        rpc_worker, sink = worker
+        rpc_worker.execute(RpcName.LIST_VOLUMES, _context(user_id=6), lambda: None)
+        record = sink.dataset.rpc[0]
+        assert record.rpc is RpcName.LIST_VOLUMES
+        assert record.shard_id == 6 % 4
+        assert record.user_id == 6
+        assert record.service_time > 0
+        assert record.api_operation is ApiOperation.LIST_VOLUMES
+
+    def test_shard_override_for_system_calls(self, worker):
+        rpc_worker, sink = worker
+        rpc_worker.execute(RpcName.TOUCH_UPLOADJOB, _context(user_id=0), lambda: None,
+                           shard_user_id=7)
+        assert sink.dataset.rpc[0].shard_id == 7 % 4
+
+    def test_store_property(self, worker):
+        rpc_worker, _ = worker
+        assert rpc_worker.store.n_shards == 4
+
+    def test_exceptions_propagate(self, worker):
+        rpc_worker, sink = worker
+        with pytest.raises(RuntimeError):
+            rpc_worker.execute(RpcName.GET_NODE, _context(),
+                               lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        # The failing call is not recorded as a completed RPC.
+        assert rpc_worker.calls_executed == 0
+        assert len(sink.dataset.rpc) == 0

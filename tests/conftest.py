@@ -1,0 +1,113 @@
+"""Shared fixtures and record-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import (
+    ApiOperation,
+    NodeKind,
+    RpcName,
+    RpcRecord,
+    SessionEvent,
+    SessionRecord,
+    StorageRecord,
+    TRACE_EPOCH,
+    VolumeType,
+)
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+from repro.backend.cluster import ClusterConfig, U1Cluster
+
+
+# ---------------------------------------------------------------------------
+# Record builders (hand-crafted deterministic records for unit tests)
+# ---------------------------------------------------------------------------
+
+def make_storage(timestamp: float = 0.0, user_id: int = 1, operation=ApiOperation.UPLOAD,
+                 node_id: int = 100, size_bytes: int = 1024, content_hash: str = "h1",
+                 extension: str = "txt", is_update: bool = False, session_id: int = 1,
+                 node_kind=NodeKind.FILE, volume_id: int = 10,
+                 volume_type=VolumeType.ROOT, server: str = "api0", process: int = 0,
+                 shard_id: int = 0, caused_by_attack: bool = False) -> StorageRecord:
+    """A storage record with convenient defaults (absolute time = epoch + ts)."""
+    return StorageRecord(
+        timestamp=TRACE_EPOCH + timestamp, server=server, process=process,
+        user_id=user_id, session_id=session_id, operation=operation,
+        node_id=node_id, volume_id=volume_id, volume_type=volume_type,
+        node_kind=node_kind, size_bytes=size_bytes, content_hash=content_hash,
+        extension=extension, is_update=is_update, shard_id=shard_id,
+        caused_by_attack=caused_by_attack)
+
+
+def make_rpc(timestamp: float = 0.0, user_id: int = 1, rpc=RpcName.GET_NODE,
+             shard_id: int = 0, service_time: float = 0.005, session_id: int = 1,
+             server: str = "api0", process: int = 0,
+             api_operation=ApiOperation.DOWNLOAD,
+             caused_by_attack: bool = False) -> RpcRecord:
+    """An RPC record with convenient defaults."""
+    return RpcRecord(
+        timestamp=TRACE_EPOCH + timestamp, server=server, process=process,
+        user_id=user_id, session_id=session_id, rpc=rpc, shard_id=shard_id,
+        service_time=service_time, api_operation=api_operation,
+        caused_by_attack=caused_by_attack)
+
+
+def make_session(timestamp: float = 0.0, user_id: int = 1, event=SessionEvent.CONNECT,
+                 session_id: int = 1, session_length: float = -1.0,
+                 storage_operations: int = 0, server: str = "api0", process: int = 0,
+                 caused_by_attack: bool = False) -> SessionRecord:
+    """A session record with convenient defaults."""
+    return SessionRecord(
+        timestamp=TRACE_EPOCH + timestamp, server=server, process=process,
+        user_id=user_id, session_id=session_id, event=event,
+        session_length=session_length, storage_operations=storage_operations,
+        caused_by_attack=caused_by_attack)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for model-level tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def empty_dataset() -> TraceDataset:
+    """An empty dataset."""
+    return TraceDataset()
+
+
+# ---------------------------------------------------------------------------
+# Synthetic end-to-end datasets (expensive; session-scoped)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def small_config() -> WorkloadConfig:
+    """A laptop-scale workload configuration shared by the suite."""
+    return WorkloadConfig.scaled(users=350, days=6, seed=42)
+
+
+@pytest.fixture(scope="session")
+def generated_dataset(small_config) -> TraceDataset:
+    """Dataset produced by the generator alone (no back-end simulation)."""
+    return SyntheticTraceGenerator(small_config).generate()
+
+
+@pytest.fixture(scope="session")
+def simulated_dataset(small_config) -> TraceDataset:
+    """Dataset produced by replaying the workload through the back-end."""
+    cluster = U1Cluster(ClusterConfig(seed=42))
+    generator = SyntheticTraceGenerator(small_config)
+    return cluster.replay(generator.client_events())
+
+
+@pytest.fixture(scope="session")
+def simulated_cluster_and_dataset(small_config):
+    """(cluster, dataset) pair for tests that inspect back-end internals."""
+    cluster = U1Cluster(ClusterConfig(seed=7))
+    generator = SyntheticTraceGenerator(
+        WorkloadConfig.scaled(users=200, days=3, seed=7))
+    dataset = cluster.replay(generator.client_events())
+    return cluster, dataset

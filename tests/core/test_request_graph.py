@@ -1,0 +1,83 @@
+"""Tests for the Fig. 8 request transition graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.request_graph import build_transition_graph
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import ApiOperation
+from tests.conftest import make_storage
+
+
+@pytest.fixture
+def crafted() -> TraceDataset:
+    dataset = TraceDataset()
+    sequence = [ApiOperation.LIST_VOLUMES, ApiOperation.LIST_SHARES,
+                ApiOperation.MAKE, ApiOperation.UPLOAD, ApiOperation.UPLOAD,
+                ApiOperation.DOWNLOAD]
+    for i, op in enumerate(sequence):
+        dataset.add_storage(make_storage(timestamp=i * 10, user_id=1, node_id=i + 1,
+                                         operation=op))
+    # A second user (own session) with a single operation: no transitions.
+    dataset.add_storage(make_storage(timestamp=0, user_id=2, node_id=99,
+                                     session_id=2, operation=ApiOperation.DOWNLOAD))
+    return dataset
+
+
+class TestTransitionGraph:
+    def test_transition_counts(self, crafted):
+        graph = build_transition_graph(crafted)
+        assert graph.total_transitions == 5
+        assert graph.counts[(ApiOperation.MAKE, ApiOperation.UPLOAD)] == 1
+        assert graph.counts[(ApiOperation.UPLOAD, ApiOperation.UPLOAD)] == 1
+
+    def test_probabilities(self, crafted):
+        graph = build_transition_graph(crafted)
+        assert graph.probability(ApiOperation.MAKE, ApiOperation.UPLOAD) == pytest.approx(0.2)
+        assert graph.conditional_probability(ApiOperation.UPLOAD,
+                                             ApiOperation.UPLOAD) == pytest.approx(0.5)
+        assert graph.repeat_probability(ApiOperation.UPLOAD) == pytest.approx(0.5)
+        assert graph.probability(ApiOperation.MOVE, ApiOperation.MOVE) == 0.0
+
+    def test_transfer_repeat_probability(self, crafted):
+        graph = build_transition_graph(crafted)
+        # Transitions from transfers: U->U, U->D => both land on transfers.
+        assert graph.transfer_repeat_probability() == pytest.approx(1.0)
+
+    def test_top_transitions(self, crafted):
+        graph = build_transition_graph(crafted)
+        top = graph.top_transitions(3)
+        assert len(top) == 3
+        assert all(isinstance(p, float) for _, _, p in top)
+
+    def test_networkx_export(self, crafted):
+        digraph = build_transition_graph(crafted).to_networkx()
+        assert isinstance(digraph, nx.DiGraph)
+        assert digraph.has_edge("Make", "Upload")
+        assert digraph["Make"]["Upload"]["weight"] == pytest.approx(0.2)
+
+    def test_per_session_grouping(self, crafted):
+        graph = build_transition_graph(crafted, per_session=True)
+        assert graph.total_transitions == 5
+
+    def test_empty_dataset(self):
+        graph = build_transition_graph(TraceDataset())
+        assert graph.total_transitions == 0
+        assert graph.transfer_repeat_probability() == 0.0
+
+    def test_simulated_dataset_matches_fig8_structure(self, simulated_dataset):
+        graph = build_transition_graph(simulated_dataset)
+        # After a transfer, the most likely next operation is another transfer.
+        assert graph.transfer_repeat_probability() > 0.4
+        # Within a session, Make frequently precedes Upload (the metadata entry
+        # is created before the content upload); the user-centric aggregation
+        # of Fig. 8 interleaves concurrent sessions, so the structural check
+        # uses the per-session variant.
+        per_session = build_transition_graph(simulated_dataset, per_session=True)
+        assert per_session.conditional_probability(ApiOperation.MAKE,
+                                                   ApiOperation.UPLOAD) > 0.3
+        # The initialisation flow ListVolumes -> ListShares is visible.
+        assert per_session.conditional_probability(ApiOperation.LIST_VOLUMES,
+                                                   ApiOperation.LIST_SHARES) > 0.1

@@ -1,0 +1,135 @@
+"""Tests for the Fig. 2 storage-workload analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.storage_workload import (
+    SIZE_CATEGORIES_MB,
+    rw_ratio_analysis,
+    traffic_by_size_category,
+    traffic_timeseries,
+    update_traffic_share,
+)
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import ApiOperation
+from repro.util.units import HOUR, MB
+from tests.conftest import make_storage
+
+
+@pytest.fixture
+def crafted() -> TraceDataset:
+    """Two days of alternating traffic with known totals."""
+    dataset = TraceDataset()
+    node = 1
+    for hour in range(48):
+        uploads = 3 if 8 <= hour % 24 <= 18 else 1
+        for i in range(uploads):
+            dataset.add_storage(make_storage(
+                timestamp=hour * HOUR + i * 60, operation=ApiOperation.UPLOAD,
+                node_id=node, size_bytes=10 * MB,
+                is_update=(node % 10 == 0)))
+            node += 1
+        dataset.add_storage(make_storage(
+            timestamp=hour * HOUR + 30 * 60, operation=ApiOperation.DOWNLOAD,
+            node_id=1, size_bytes=20 * MB))
+    return dataset
+
+
+class TestTrafficTimeseries:
+    def test_hourly_totals(self, crafted):
+        series = traffic_timeseries(crafted)
+        assert series.upload_bytes.sum() == crafted.upload_bytes()
+        assert series.download_bytes.sum() == crafted.download_bytes()
+        assert series.upload_gb.sum() == pytest.approx(crafted.upload_bytes() / 1024 ** 3)
+
+    def test_daily_pattern_peaks_during_working_hours(self, crafted):
+        series = traffic_timeseries(crafted)
+        pattern = series.daily_pattern()
+        assert pattern[12] > pattern[2]
+        assert series.peak_to_trough() >= 3.0
+
+    def test_attack_traffic_excluded_by_default(self, crafted):
+        crafted.add_storage(make_storage(timestamp=10 * HOUR, size_bytes=10_000 * MB,
+                                         operation=ApiOperation.DOWNLOAD,
+                                         caused_by_attack=True))
+        clean = traffic_timeseries(crafted)
+        dirty = traffic_timeseries(crafted, include_attacks=True)
+        assert dirty.download_bytes.sum() > clean.download_bytes.sum()
+
+    def test_simulated_dataset_shows_daily_pattern(self, simulated_dataset):
+        series = traffic_timeseries(simulated_dataset)
+        assert series.peak_to_trough() > 2.0
+
+
+class TestSizeCategories:
+    def test_category_labels(self):
+        breakdown_labels = [label for label in
+                            traffic_by_size_category(TraceDataset(
+                                storage=[make_storage(size_bytes=MB)])).categories]
+        assert breakdown_labels[0] == "<0.5MB"
+        assert breakdown_labels[-1] == ">25MB"
+        assert len(breakdown_labels) == len(SIZE_CATEGORIES_MB)
+
+    def test_shares_sum_to_one(self, crafted):
+        breakdown = traffic_by_size_category(crafted)
+        assert breakdown.upload_operation_share.sum() == pytest.approx(1.0)
+        assert breakdown.upload_traffic_share.sum() == pytest.approx(1.0)
+        assert breakdown.download_traffic_share.sum() == pytest.approx(1.0)
+
+    def test_small_files_dominate_ops_large_files_dominate_traffic(self, simulated_dataset):
+        breakdown = traffic_by_size_category(simulated_dataset)
+        # Fig. 2b shape: most operations on small files...
+        assert breakdown.upload_operation_share[0] > 0.5
+        # ... while the largest categories carry a disproportionate byte share.
+        large_traffic = breakdown.upload_traffic_share[-2:].sum()
+        large_ops = breakdown.upload_operation_share[-2:].sum()
+        assert large_traffic > 3 * large_ops
+
+    def test_rows_are_well_formed(self, crafted):
+        rows = traffic_by_size_category(crafted).rows()
+        assert len(rows) == 5
+        assert all(len(row) == 5 for row in rows)
+
+
+class TestRwRatio:
+    def test_known_ratio(self, crafted):
+        analysis = rw_ratio_analysis(crafted)
+        # Day hours: 20/30 ≈ 0.67; night hours: 20/10 = 2.0.
+        assert analysis.boxplot.minimum == pytest.approx(20 / 30, rel=0.01)
+        assert analysis.boxplot.maximum == pytest.approx(2.0, rel=0.01)
+        assert analysis.ratios.size == 48
+
+    def test_acf_detects_daily_correlation(self, crafted):
+        analysis = rw_ratio_analysis(crafted)
+        assert analysis.is_correlated()
+        assert analysis.acf[24] > analysis.confidence_bound
+
+    def test_requires_enough_busy_hours(self):
+        dataset = TraceDataset(storage=[make_storage()])
+        with pytest.raises(ValueError):
+            rw_ratio_analysis(dataset)
+
+    def test_simulated_dataset_is_roughly_balanced(self, simulated_dataset):
+        analysis = rw_ratio_analysis(simulated_dataset)
+        # The paper reports 1.14; shape check: same order of magnitude.
+        assert 0.15 < analysis.median < 5.0
+
+
+class TestUpdateShare:
+    def test_exact_counts(self, crafted):
+        share = update_traffic_share(crafted)
+        uploads = crafted.uploads()
+        expected_ops = sum(r.is_update for r in uploads) / len(uploads)
+        assert share.operation_share == pytest.approx(expected_ops)
+        assert share.total_operations == len(uploads)
+
+    def test_updates_cost_more_bytes_than_their_operation_share(self, simulated_dataset):
+        share = update_traffic_share(simulated_dataset)
+        assert 0.03 < share.operation_share < 0.3
+        assert share.traffic_share > 0.5 * share.operation_share
+
+    def test_empty_uploads(self):
+        share = update_traffic_share(TraceDataset())
+        assert share.operation_share == 0.0
+        assert share.traffic_share == 0.0

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.users == 400
+        assert args.days == 5.0
+        assert args.seed == 2014
+        assert not args.no_backend
+
+
+class TestCommands:
+    def test_generate_then_summarize_and_analyze(self, tmp_path):
+        out = io.StringIO()
+        trace_dir = tmp_path / "trace"
+        code = main(["generate", "--users", "40", "--days", "1", "--seed", "3",
+                     "--no-backend", "--out", str(trace_dir)], out=out)
+        assert code == 0
+        assert list(trace_dir.glob("production-*.csv"))
+        assert "Unique user IDs" in out.getvalue()
+
+        out = io.StringIO()
+        assert main(["summarize", str(trace_dir)], out=out) == 0
+        assert "Trace duration" in out.getvalue()
+
+        out = io.StringIO()
+        assert main(["analyze", str(trace_dir)], out=out) == 0
+        assert "Table 1" in out.getvalue()
+
+    def test_generate_anonymized(self, tmp_path):
+        out = io.StringIO()
+        trace_dir = tmp_path / "anon"
+        code = main(["generate", "--users", "30", "--days", "1", "--seed", "4",
+                     "--no-backend", "--anonymize", "--out", str(trace_dir)], out=out)
+        assert code == 0
+        assert list(trace_dir.glob("production-*.csv"))
+
+    def test_report_with_backend(self):
+        out = io.StringIO()
+        code = main(["report", "--users", "40", "--days", "1", "--seed", "5"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "RPC" in text or "read" in text
+        assert "Gini" in text
+
+    def test_analyze_empty_directory(self, tmp_path):
+        out = io.StringIO()
+        assert main(["analyze", str(tmp_path)], out=out) == 1
+        assert main(["summarize", str(tmp_path)], out=out) == 1

@@ -1,0 +1,111 @@
+"""Unit tests for repro.trace.logfile (naming, CSV round-trip)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.trace.dataset import TraceDataset
+from repro.trace.logfile import (
+    LogfileName,
+    ParseError,
+    read_logfile,
+    read_trace_directory,
+    write_logfile,
+    write_trace_directory,
+)
+from repro.trace.records import ApiOperation, RpcName, SessionEvent
+from tests.conftest import make_rpc, make_session, make_storage
+
+
+class TestLogfileName:
+    def test_parse_paper_example(self):
+        name = LogfileName.parse("production-whitecurrant-23-20140128")
+        assert name.environment == "production"
+        assert name.machine == "whitecurrant"
+        assert name.process == 23
+        assert name.date == dt.date(2014, 1, 28)
+
+    def test_round_trip(self):
+        name = LogfileName(environment="production", machine="gooseberry",
+                           process=7, date=dt.date(2014, 2, 3))
+        assert LogfileName.parse(str(name)) == name
+
+    def test_machine_names_with_dashes(self):
+        name = LogfileName.parse("production-api-node-1-3-20140115")
+        assert name.machine == "api-node-1"
+        assert name.process == 3
+
+    def test_csv_suffix_accepted(self):
+        name = LogfileName.parse("production-whitecurrant-23-20140128.csv")
+        assert name.process == 23
+
+    @pytest.mark.parametrize("bad", [
+        "whitecurrant-23", "production--23-20140128", "production-x-y-z",
+        "production-x-1-2014012",
+    ])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ParseError):
+            LogfileName.parse(bad)
+
+    def test_for_record_uses_utc_date(self):
+        record = make_storage(timestamp=0.0, server="whitecurrant", process=5)
+        name = LogfileName.for_record(record)
+        assert name.machine == "whitecurrant"
+        assert name.process == 5
+        assert name.date == dt.date(2014, 1, 11)
+
+
+class TestRoundTrip:
+    def _sample_records(self):
+        return [
+            make_storage(timestamp=1, operation=ApiOperation.UPLOAD, size_bytes=123,
+                         content_hash="abc", extension="mp3", is_update=True),
+            make_rpc(timestamp=2, rpc=RpcName.MAKE_FILE, service_time=0.012,
+                     shard_id=4),
+            make_session(timestamp=3, event=SessionEvent.DISCONNECT,
+                         session_length=55.5, storage_operations=7),
+        ]
+
+    def test_logfile_round_trip(self, tmp_path):
+        records = self._sample_records()
+        path = tmp_path / "production-api0-0-20140111.csv"
+        assert write_logfile(path, records) == 3
+        loaded = list(read_logfile(path))
+        assert loaded == records
+
+    def test_malformed_rows_raise_or_skip(self, tmp_path):
+        path = tmp_path / "production-api0-0-20140111.csv"
+        write_logfile(path, self._sample_records())
+        with path.open("a") as handle:
+            handle.write("garbage,row\n")
+        with pytest.raises(ParseError):
+            list(read_logfile(path))
+        loaded = list(read_logfile(path, skip_malformed=True))
+        assert len(loaded) == 3
+
+    def test_directory_round_trip(self, tmp_path):
+        dataset = TraceDataset()
+        for day in range(2):
+            for record in self._sample_records():
+                record.timestamp += day * 86400.0
+                dataset_record = record
+                if hasattr(dataset_record, "rpc"):
+                    dataset.add_rpc(dataset_record)
+                elif hasattr(dataset_record, "event"):
+                    dataset.add_session(dataset_record)
+                else:
+                    dataset.add_storage(dataset_record)
+        paths = write_trace_directory(tmp_path / "trace", dataset)
+        assert len(paths) == 2  # one logfile per day (same server/process)
+        loaded = read_trace_directory(tmp_path / "trace")
+        assert len(loaded) == len(dataset)
+        assert loaded.upload_bytes() == dataset.upload_bytes()
+
+    def test_directory_ignores_non_csv(self, tmp_path):
+        directory = tmp_path / "trace"
+        directory.mkdir()
+        (directory / "README.txt").write_text("not a logfile")
+        loaded = read_trace_directory(directory)
+        assert loaded.is_empty

@@ -1,0 +1,82 @@
+"""Unit tests for repro.util.inequality (Lorenz curve / Gini / top share)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.inequality import gini_coefficient, lorenz_curve, top_share
+
+
+class TestLorenzCurve:
+    def test_starts_at_origin_and_ends_at_one(self):
+        xs, ys = lorenz_curve([1, 2, 3, 4])
+        assert xs[0] == 0.0 and ys[0] == 0.0
+        assert xs[-1] == 1.0 and ys[-1] == pytest.approx(1.0)
+
+    def test_monotonic_and_below_diagonal(self):
+        xs, ys = lorenz_curve([1, 5, 10, 100])
+        assert np.all(np.diff(ys) >= 0)
+        assert np.all(ys <= xs + 1e-12)
+
+    def test_equal_values_follow_diagonal(self):
+        xs, ys = lorenz_curve([3.0] * 10)
+        assert np.allclose(xs, ys)
+
+    def test_all_zero_values(self):
+        xs, ys = lorenz_curve([0.0, 0.0, 0.0])
+        assert np.allclose(xs, ys)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([1.0, -2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([])
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_inequality_approaches_one(self):
+        values = [0.0] * 999 + [1000.0]
+        assert gini_coefficient(values) > 0.99
+
+    def test_known_value_two_points(self):
+        # For [0, 1]: Lorenz is (0,0), (0.5,0), (1,1) -> area 0.25 -> Gini 0.5.
+        assert gini_coefficient([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_scale_invariance(self):
+        values = [1, 2, 3, 10, 50]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([v * 1000 for v in values]))
+
+    def test_skewed_distribution_matches_paper_ballpark(self):
+        # A lognormal with sigma ~2.33 should have Gini ~0.9 (Fig. 7c).
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(mean=0.0, sigma=2.33, size=20000)
+        assert 0.85 < gini_coefficient(values) < 0.95
+
+
+class TestTopShare:
+    def test_uniform(self):
+        assert top_share([1.0] * 100, 0.10) == pytest.approx(0.10)
+
+    def test_concentrated(self):
+        values = [1.0] * 99 + [901.0]
+        assert top_share(values, 0.01) == pytest.approx(0.901)
+
+    def test_all_zero(self):
+        assert top_share([0.0, 0.0], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1.0], 0.0)
+        with pytest.raises(ValueError):
+            top_share([1.0], 1.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            top_share([], 0.1)

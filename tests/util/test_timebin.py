@@ -1,0 +1,65 @@
+"""Unit tests for repro.util.timebin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.timebin import (
+    TimeBinner,
+    bin_count_series,
+    bin_sum_series,
+    bin_unique_series,
+)
+
+
+class TestTimeBinner:
+    def test_bin_count(self):
+        binner = TimeBinner(start=0.0, end=3600.0, width=600.0)
+        assert binner.n_bins == 6
+
+    def test_partial_last_bin(self):
+        binner = TimeBinner(start=0.0, end=1000.0, width=600.0)
+        assert binner.n_bins == 2
+
+    def test_index_of(self):
+        binner = TimeBinner(start=100.0, end=400.0, width=100.0)
+        assert binner.index_of(100.0) == 0
+        assert binner.index_of(199.9) == 0
+        assert binner.index_of(200.0) == 1
+        assert binner.index_of(399.9) == 2
+        assert binner.index_of(400.0) is None
+        assert binner.index_of(50.0) is None
+
+    def test_edges_and_centers(self):
+        binner = TimeBinner(start=0.0, end=300.0, width=100.0)
+        assert list(binner.edges()) == [0.0, 100.0, 200.0]
+        assert list(binner.centers()) == [50.0, 150.0, 250.0]
+
+    def test_iter_bins_clamps_last_edge(self):
+        binner = TimeBinner(start=0.0, end=250.0, width=100.0)
+        bins = list(binner.iter_bins())
+        assert bins[-1] == (200.0, 250.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimeBinner(start=0.0, end=10.0, width=0.0)
+        with pytest.raises(ValueError):
+            TimeBinner(start=10.0, end=10.0, width=1.0)
+
+
+class TestSeriesBuilders:
+    def test_count_series(self):
+        binner = TimeBinner(start=0.0, end=30.0, width=10.0)
+        counts = bin_count_series(binner, [1.0, 2.0, 11.0, 29.0, 35.0])
+        assert list(counts) == [2.0, 1.0, 1.0]
+
+    def test_sum_series(self):
+        binner = TimeBinner(start=0.0, end=20.0, width=10.0)
+        sums = bin_sum_series(binner, [(1.0, 5.0), (2.0, 5.0), (15.0, 1.0), (25.0, 99.0)])
+        assert list(sums) == [10.0, 1.0]
+
+    def test_unique_series_counts_each_key_once(self):
+        binner = TimeBinner(start=0.0, end=20.0, width=10.0)
+        events = [(1.0, "a"), (2.0, "a"), (3.0, "b"), (12.0, "a")]
+        uniques = bin_unique_series(binner, events)
+        assert list(uniques) == [2.0, 1.0]

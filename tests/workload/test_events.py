@@ -1,0 +1,54 @@
+"""Unit tests for repro.workload.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.records import ApiOperation
+from repro.workload.events import ClientEvent, SessionScript
+
+
+class TestClientEvent:
+    def test_transfer_flag(self):
+        upload = ClientEvent(time=0.0, user_id=1, session_id=1,
+                             operation=ApiOperation.UPLOAD, size_bytes=10)
+        listing = ClientEvent(time=0.0, user_id=1, session_id=1,
+                              operation=ApiOperation.LIST_VOLUMES)
+        assert upload.is_transfer
+        assert not listing.is_transfer
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClientEvent(time=0.0, user_id=1, session_id=1,
+                        operation=ApiOperation.UPLOAD, size_bytes=-1)
+
+
+class TestSessionScript:
+    def _script(self) -> SessionScript:
+        script = SessionScript(user_id=1, session_id=7, start=100.0, end=400.0)
+        script.events.append(ClientEvent(time=110.0, user_id=1, session_id=7,
+                                         operation=ApiOperation.LIST_VOLUMES))
+        script.events.append(ClientEvent(time=120.0, user_id=1, session_id=7,
+                                         operation=ApiOperation.UPLOAD, size_bytes=5))
+        script.events.append(ClientEvent(time=130.0, user_id=1, session_id=7,
+                                         operation=ApiOperation.UNLINK, node_id=3))
+        return script
+
+    def test_length(self):
+        assert self._script().length == 300.0
+
+    def test_storage_operation_count_excludes_maintenance(self):
+        script = self._script()
+        assert script.storage_operation_count == 2
+        assert script.is_active
+
+    def test_cold_session_is_not_active(self):
+        script = SessionScript(user_id=1, session_id=1, start=0.0, end=10.0)
+        assert not script.is_active
+        assert script.storage_operation_count == 0
+
+    def test_iteration_and_len(self):
+        script = self._script()
+        assert len(script) == 3
+        assert [e.operation for e in script] == [
+            ApiOperation.LIST_VOLUMES, ApiOperation.UPLOAD, ApiOperation.UNLINK]

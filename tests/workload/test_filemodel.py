@@ -1,0 +1,98 @@
+"""Unit tests for repro.workload.filemodel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.units import MB
+from repro.workload.filemodel import (
+    EXTENSION_PROFILES,
+    FILE_CATEGORIES,
+    FileModel,
+    category_of_extension,
+)
+
+
+@pytest.fixture
+def model(rng):
+    return FileModel(rng, duplicate_fraction=0.17)
+
+
+class TestProfiles:
+    def test_every_profile_category_is_known(self):
+        for profile in EXTENSION_PROFILES:
+            assert profile.category in FILE_CATEGORIES
+
+    def test_category_lookup(self):
+        assert category_of_extension("mp3") == "Audio/Video"
+        assert category_of_extension(".JPG") == "Pictures"
+        assert category_of_extension("py") == "Code"
+        assert category_of_extension("unknown-ext") == "Other"
+
+    def test_media_profiles_are_larger_than_code(self):
+        code = [p.median_size for p in EXTENSION_PROFILES if p.category == "Code"]
+        media = [p.median_size for p in EXTENSION_PROFILES if p.category == "Audio/Video"]
+        assert max(code) < min(media)
+
+
+class TestSampling:
+    def test_sizes_are_positive(self, model):
+        for _ in range(200):
+            profile = model.sample_profile()
+            assert model.sample_size(profile) >= 1
+
+    def test_overall_size_distribution_is_small_file_dominated(self, rng):
+        model = FileModel(rng, duplicate_fraction=0.0)
+        sizes = []
+        for _ in range(4000):
+            _, size, _ = model.sample_new_file()
+            sizes.append(size)
+        sizes = np.asarray(sizes)
+        # Fig. 4b: the vast majority of files are below 1 MB.
+        assert np.mean(sizes < 1 * MB) > 0.75
+        # ... but the tail contains multi-MB files that will dominate traffic.
+        assert sizes.max() > 10 * MB
+
+    def test_duplicate_fraction_controls_hash_reuse(self, rng):
+        model = FileModel(rng, duplicate_fraction=0.3)
+        hashes = [model.sample_new_file()[0] for _ in range(3000)]
+        reuse = 1.0 - len(set(hashes)) / len(hashes)
+        assert 0.1 < reuse < 0.35
+
+    def test_no_duplicates_when_disabled(self, rng):
+        model = FileModel(rng, duplicate_fraction=0.0)
+        hashes = [model.sample_new_file()[0] for _ in range(1000)]
+        assert len(set(hashes)) == 1000
+
+    def test_duplicates_have_consistent_size(self, rng):
+        model = FileModel(rng, duplicate_fraction=0.9)
+        seen: dict[str, int] = {}
+        for _ in range(2000):
+            content_hash, size, _ = model.sample_new_file()
+            if content_hash in seen:
+                assert seen[content_hash] == size
+            seen[content_hash] = size
+        assert len(seen) < 2000  # duplicates actually occurred
+
+    def test_duplicate_popularity_is_long_tailed(self, rng):
+        model = FileModel(rng, duplicate_fraction=0.5)
+        counts: dict[str, int] = {}
+        for _ in range(4000):
+            content_hash, _, _ = model.sample_new_file()
+            counts[content_hash] = counts.get(content_hash, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        # The most popular content collects far more copies than the median.
+        assert values[0] > 10 * np.median(values)
+
+    def test_updated_content_gets_fresh_hash_and_similar_size(self, rng):
+        model = FileModel(rng)
+        new_hash, new_size = model.sample_updated_content("txt", 10_000)
+        assert new_hash
+        assert 1 <= new_size < 10_000 * 5
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            FileModel(rng, duplicate_fraction=1.5)
+        with pytest.raises(ValueError):
+            FileModel(rng, profiles=[])

@@ -1,0 +1,130 @@
+"""Tests for the end-to-end synthetic trace generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.trace.records import ApiOperation, NodeKind, SessionEvent
+from repro.util.units import MB
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def scripts(small_config_module):
+    return SyntheticTraceGenerator(small_config_module).client_events()
+
+
+@pytest.fixture(scope="module")
+def small_config_module():
+    return WorkloadConfig.scaled(users=300, days=4, seed=13)
+
+
+class TestClientEvents:
+    def test_scripts_sorted_by_start(self, scripts):
+        starts = [s.start for s in scripts]
+        assert starts == sorted(starts)
+
+    def test_session_ids_are_unique(self, scripts):
+        ids = [s.session_id for s in scripts]
+        assert len(set(ids)) == len(ids)
+
+    def test_events_fall_inside_their_session(self, scripts):
+        for script in scripts:
+            for event in script.events:
+                assert script.start <= event.time <= script.end + 1e-6
+                assert event.session_id == script.session_id
+                assert event.user_id == script.user_id
+
+    def test_event_times_are_monotonic_within_session(self, scripts):
+        for script in scripts:
+            times = [e.time for e in script.events]
+            assert times == sorted(times)
+
+    def test_attack_scripts_present_and_flagged(self, scripts):
+        attack_scripts = [s for s in scripts if s.caused_by_attack]
+        assert attack_scripts
+        attacker_ids = {s.user_id for s in attack_scripts}
+        legit_ids = {s.user_id for s in scripts if not s.caused_by_attack}
+        assert attacker_ids.isdisjoint(legit_ids)
+
+    def test_uploads_carry_content_metadata(self, scripts):
+        uploads = [e for s in scripts for e in s.events
+                   if e.operation is ApiOperation.UPLOAD]
+        assert uploads
+        for event in uploads:
+            assert event.size_bytes > 0
+            assert event.content_hash
+            assert event.node_id > 0
+
+    def test_downloads_reference_previously_known_files(self, scripts):
+        # Downloads always reference a node id; sizes are positive.
+        downloads = [e for s in scripts for e in s.events
+                     if e.operation is ApiOperation.DOWNLOAD]
+        assert downloads
+        assert all(e.node_id > 0 and e.size_bytes > 0 for e in downloads)
+
+    def test_unlinked_nodes_are_not_operated_on_afterwards(self, scripts):
+        per_node_ops: dict[int, list] = {}
+        for script in scripts:
+            if script.caused_by_attack:
+                continue
+            for event in script.events:
+                if event.node_id:
+                    per_node_ops.setdefault(event.node_id, []).append(event)
+        violations = 0
+        for events in per_node_ops.values():
+            events.sort(key=lambda e: e.time)
+            deleted_at = None
+            for event in events:
+                if deleted_at is not None and event.operation in (
+                        ApiOperation.UPLOAD, ApiOperation.DOWNLOAD):
+                    violations += 1
+                if event.operation is ApiOperation.UNLINK:
+                    deleted_at = event.time
+        assert violations == 0
+
+    def test_reproducibility(self, small_config_module):
+        a = SyntheticTraceGenerator(small_config_module).client_events()
+        b = SyntheticTraceGenerator(small_config_module).client_events()
+        assert len(a) == len(b)
+        assert [(s.user_id, s.start, len(s.events)) for s in a[:50]] == \
+               [(s.user_id, s.start, len(s.events)) for s in b[:50]]
+
+
+class TestGenerateDataset:
+    def test_dataset_has_all_streams(self, generated_dataset):
+        assert generated_dataset.storage
+        assert generated_dataset.sessions
+        # The generator alone does not produce RPC records.
+        assert not generated_dataset.rpc
+
+    def test_session_records_are_balanced(self, generated_dataset):
+        events = Counter(r.event for r in generated_dataset.sessions)
+        assert events[SessionEvent.CONNECT] == events[SessionEvent.DISCONNECT]
+        assert events[SessionEvent.AUTH_REQUEST] >= events[SessionEvent.CONNECT]
+        assert events[SessionEvent.AUTH_FAIL] > 0
+
+    def test_disconnects_carry_session_metadata(self, generated_dataset):
+        for record in generated_dataset.completed_sessions():
+            assert record.session_length >= 0
+            assert record.storage_operations >= 0
+
+    def test_workload_shape_headlines(self, generated_dataset):
+        legit = generated_dataset.without_attack_traffic()
+        uploads = legit.uploads()
+        sizes = np.asarray([r.size_bytes for r in uploads if not r.is_update])
+        assert np.mean(sizes < 1 * MB) > 0.7          # small files dominate counts
+        update_share = sum(r.is_update for r in uploads) / len(uploads)
+        assert 0.05 < update_share < 0.25              # ~10 % updates
+        operations = Counter(r.operation for r in legit.storage)
+        transfers = operations[ApiOperation.UPLOAD] + operations[ApiOperation.DOWNLOAD]
+        assert transfers > 0.35 * sum(operations.values())
+
+    def test_directory_nodes_exist(self, generated_dataset):
+        kinds = Counter(r.node_kind for r in generated_dataset.storage if r.node_id)
+        assert kinds[NodeKind.DIRECTORY] > 0
+        assert kinds[NodeKind.FILE] > kinds[NodeKind.DIRECTORY]

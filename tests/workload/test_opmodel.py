@@ -1,0 +1,115 @@
+"""Unit tests for repro.workload.opmodel."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.trace.records import ApiOperation
+from repro.workload.opmodel import (
+    BurstGapSampler,
+    INITIAL_OPERATIONS,
+    OperationChain,
+    TRANSITION_TABLE,
+)
+from repro.workload.population import User, UserClass
+
+
+def _user(user_class=UserClass.HEAVY) -> User:
+    return User(user_id=1, user_class=user_class, activity_weight=1.0,
+                udf_volumes=1, shared_volumes=0)
+
+
+class TestTransitionTable:
+    def test_probabilities_are_positive_and_normalisable(self):
+        for source, edges in TRANSITION_TABLE.items():
+            assert edges, f"{source} has no outgoing edges"
+            total = sum(weight for _, weight in edges)
+            assert total > 0
+            for _, weight in edges:
+                assert weight > 0
+
+    def test_initial_operations_are_session_startup_ops(self):
+        ops = {op for op, _ in INITIAL_OPERATIONS}
+        assert ApiOperation.LIST_VOLUMES in ops
+        assert ApiOperation.LIST_SHARES in ops
+        assert ApiOperation.UPLOAD not in ops
+
+    def test_make_mostly_leads_to_upload(self):
+        edges = dict(TRANSITION_TABLE[ApiOperation.MAKE])
+        assert edges[ApiOperation.UPLOAD] == max(edges.values())
+
+    def test_transfers_self_reinforce(self):
+        upload_edges = dict(TRANSITION_TABLE[ApiOperation.UPLOAD])
+        download_edges = dict(TRANSITION_TABLE[ApiOperation.DOWNLOAD])
+        assert upload_edges[ApiOperation.UPLOAD] >= 0.3
+        assert download_edges[ApiOperation.DOWNLOAD] >= 0.3
+
+
+class TestOperationChain:
+    def test_sampled_transitions_follow_the_table(self, rng):
+        chain = OperationChain(rng)
+        user = _user()
+        allowed = {op for op, _ in TRANSITION_TABLE[ApiOperation.UPLOAD]}
+        for _ in range(200):
+            nxt = chain.next_operation(ApiOperation.UPLOAD, user)
+            assert nxt in allowed
+
+    def test_upload_only_users_rarely_download(self, rng):
+        chain = OperationChain(rng)
+        uploader = _user(UserClass.UPLOAD_ONLY)
+        samples = Counter(chain.next_operation(ApiOperation.GET_DELTA, uploader)
+                          for _ in range(600))
+        assert samples[ApiOperation.DOWNLOAD] < 30
+
+    def test_download_bias_shifts_towards_downloads(self, rng):
+        chain = OperationChain(rng)
+        user = _user()
+        low = Counter(chain.next_operation(ApiOperation.UPLOAD, user, download_bias=0.2)
+                      for _ in range(800))
+        high = Counter(chain.next_operation(ApiOperation.UPLOAD, user, download_bias=4.0)
+                       for _ in range(800))
+        assert high[ApiOperation.DOWNLOAD] > low[ApiOperation.DOWNLOAD]
+
+    def test_volume_ops_can_be_disabled(self, rng):
+        chain = OperationChain(rng)
+        user = _user()
+        for _ in range(300):
+            nxt = chain.next_operation(ApiOperation.UNLINK, user, allow_volume_ops=False)
+            assert nxt not in (ApiOperation.CREATE_UDF, ApiOperation.DELETE_VOLUME)
+
+    def test_unknown_state_falls_back_to_initial(self, rng):
+        chain = OperationChain(rng)
+        nxt = chain.next_operation(ApiOperation.AUTHENTICATE, _user())
+        assert nxt in {op for op, _ in INITIAL_OPERATIONS}
+
+    def test_initial_operation_distribution(self, rng):
+        chain = OperationChain(rng)
+        counts = Counter(chain.initial_operation() for _ in range(1000))
+        assert counts[ApiOperation.LIST_VOLUMES] > counts[ApiOperation.RESCAN_FROM_SCRATCH]
+
+
+class TestBurstGapSampler:
+    def test_gaps_respect_threshold_and_cap(self, rng):
+        sampler = BurstGapSampler(rng, alpha=1.5, theta=2.0, cap=100.0)
+        gaps = sampler.sample_many(5000)
+        assert gaps.min() >= 2.0
+        assert gaps.max() <= 100.0
+
+    def test_gaps_are_heavy_tailed(self, rng):
+        sampler = BurstGapSampler(rng, alpha=1.5, theta=1.0, cap=1e9)
+        gaps = sampler.sample_many(20000)
+        assert gaps.std() / gaps.mean() > 1.5
+        assert np.median(gaps) < gaps.mean()
+
+    def test_single_sample(self, rng):
+        sampler = BurstGapSampler(rng)
+        assert sampler.sample() >= 1.0
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            BurstGapSampler(rng, alpha=1.0)
+        with pytest.raises(ValueError):
+            BurstGapSampler(rng, theta=0.0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.workload.sessionmodel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.units import HOUR
+from repro.workload.config import WorkloadConfig
+from repro.workload.population import User, UserClass
+from repro.workload.sessionmodel import SessionModel
+
+
+@pytest.fixture
+def config():
+    return WorkloadConfig.scaled(users=100, days=10, seed=0)
+
+
+@pytest.fixture
+def model(config, rng):
+    return SessionModel(config, rng)
+
+
+def _heavy_user() -> User:
+    return User(user_id=1, user_class=UserClass.HEAVY, activity_weight=5.0,
+                udf_volumes=1, shared_volumes=0)
+
+
+def _occasional_user() -> User:
+    return User(user_id=2, user_class=UserClass.OCCASIONAL, activity_weight=0.01,
+                udf_volumes=0, shared_volumes=0)
+
+
+class TestSessionPlans:
+    def test_sessions_fall_inside_window(self, model, config):
+        plans = model.plan_user_sessions(_heavy_user())
+        assert plans, "a heavy user should have sessions over 10 days"
+        for plan in plans:
+            assert config.start_time <= plan.start < config.end_time
+            assert plan.end <= config.end_time + 1e-6
+            assert plan.length > 0
+
+    def test_session_count_scales_with_configured_rate(self, config, rng):
+        model = SessionModel(config, rng)
+        counts = [len(model.plan_user_sessions(_heavy_user())) for _ in range(50)]
+        mean = np.mean(counts)
+        expected = config.sessions_per_user_day * config.duration_days
+        assert expected * 0.4 < mean < expected * 1.8
+
+    def test_session_length_mixture(self, model):
+        lengths = []
+        for _ in range(300):
+            lengths.extend(p.length for p in model.plan_user_sessions(_heavy_user()))
+        lengths = np.asarray(lengths)
+        short = np.mean(lengths < 1.0)
+        assert 0.2 < short < 0.45        # ~32 % sub-second sessions
+        assert np.mean(lengths < 8 * HOUR) > 0.9   # ~97 % below 8 hours
+
+    def test_heavy_users_are_active_more_often_than_occasional(self, config, rng):
+        model = SessionModel(config, rng)
+        def active_share(user):
+            plans = []
+            for _ in range(200):
+                plans.extend(model.plan_user_sessions(user))
+            if not plans:
+                return 0.0
+            return sum(p.active for p in plans) / len(plans)
+        assert active_share(_heavy_user()) > 3 * active_share(_occasional_user())
+
+    def test_auth_failures_are_rare_but_present(self, config, rng):
+        model = SessionModel(config, rng)
+        plans = []
+        for _ in range(300):
+            plans.extend(model.plan_user_sessions(_heavy_user()))
+        failure_share = sum(p.auth_fails for p in plans) / len(plans)
+        assert 0.005 < failure_share < 0.08
+
+    def test_sub_second_sessions_are_never_active(self, model):
+        for _ in range(200):
+            for plan in model.plan_user_sessions(_heavy_user()):
+                if plan.length < 1.0:
+                    assert not plan.active
