@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+Making ``benchmarks/`` a proper package lets the figure/table benchmarks use
+``from .conftest import ...`` under the default pytest import mode, so the
+tier-1 ``python -m pytest -x -q`` run collects them alongside ``tests/``.
+"""

@@ -24,13 +24,8 @@ from repro.workload.config import WorkloadConfig  # noqa: E402
 from repro.workload.generator import SyntheticTraceGenerator  # noqa: E402
 
 
-def pytest_addoption(parser):
-    parser.addoption("--repro-users", action="store", type=int, default=900,
-                     help="synthetic user population for the benchmark dataset")
-    parser.addoption("--repro-days", action="store", type=float, default=10.0,
-                     help="synthetic trace duration in days")
-    parser.addoption("--repro-seed", action="store", type=int, default=2014,
-                     help="seed of the synthetic workload")
+# The --repro-users / --repro-days / --repro-seed options are registered by
+# the repository-root conftest so they work for whole-tree runs too.
 
 
 @pytest.fixture(scope="session")

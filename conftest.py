@@ -11,3 +11,17 @@ from pathlib import Path
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Scale knobs of the shared benchmark dataset (see benchmarks/conftest).
+
+    Registered here (the rootdir conftest) so the options are recognised no
+    matter which part of the tree is being run.
+    """
+    parser.addoption("--repro-users", action="store", type=int, default=900,
+                     help="synthetic user population for the benchmark dataset")
+    parser.addoption("--repro-days", action="store", type=float, default=10.0,
+                     help="synthetic trace duration in days")
+    parser.addoption("--repro-seed", action="store", type=int, default=2014,
+                     help="seed of the synthetic workload")

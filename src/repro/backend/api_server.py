@@ -30,12 +30,11 @@ from repro.backend.protocol.operations import ApiRequest, ApiResponse
 from repro.backend.rpc_server import RpcContext, RpcWorker
 from repro.backend.tracing import TraceSink
 from repro.trace.records import (
+    DATA_MANAGEMENT_OPERATIONS as _DATA_MANAGEMENT_OPERATIONS,
     ApiOperation,
     NodeKind,
     RpcName,
     SessionEvent,
-    SessionRecord,
-    StorageRecord,
 )
 
 __all__ = ["SessionRegistry", "ApiServerProcess"]
@@ -96,6 +95,9 @@ class ApiServerProcess:
                  interrupted_upload_fraction: float = 0.0):
         self.address = address
         self._rpc = rpc_worker
+        self._store = rpc_worker.store
+        self._server = address.server
+        self._process = address.process
         self._objects = object_store
         self._auth = auth
         self._bus = bus
@@ -108,10 +110,33 @@ class ApiServerProcess:
         self._interrupted_upload_fraction = interrupted_upload_fraction
         self._token_cache = TokenCache()
         self._sessions: dict[int, SessionHandle] = {}
+        # user id -> number of open sessions on this process; lets
+        # deliver_notification avoid scanning every open session.
+        self._user_sessions: dict[int, int] = {}
+        # Reusable request context: handle() runs once per replayed event and
+        # every RPC record copies the fields out immediately, so one mutable
+        # context per process avoids an allocation per request.
+        self._request_context = RpcContext(0.0, address.server, address.process,
+                                           0, 0)
         #: Counters useful for tests and the load-balancing analysis.
         self.requests_handled = 0
         self.notifications_pushed = 0
         bus.subscribe(str(address), self.deliver_notification)
+        # Request dispatch table, built once (handle() runs per event).
+        self._dispatch = {
+            ApiOperation.UPLOAD: self._handle_upload,
+            ApiOperation.DOWNLOAD: self._handle_download,
+            ApiOperation.MAKE: self._handle_make,
+            ApiOperation.UNLINK: self._handle_unlink,
+            ApiOperation.MOVE: self._handle_move,
+            ApiOperation.CREATE_UDF: self._handle_create_udf,
+            ApiOperation.DELETE_VOLUME: self._handle_delete_volume,
+            ApiOperation.GET_DELTA: self._handle_get_delta,
+            ApiOperation.LIST_VOLUMES: self._handle_list_volumes,
+            ApiOperation.LIST_SHARES: self._handle_list_shares,
+            ApiOperation.QUERY_SET_CAPS: self._handle_query_set_caps,
+            ApiOperation.RESCAN_FROM_SCRATCH: self._handle_rescan,
+        }
 
     # ------------------------------------------------------------ properties
     @property
@@ -129,19 +154,10 @@ class ApiServerProcess:
                         event: SessionEvent, attack: bool = False,
                         session_length: float = -1.0,
                         storage_operations: int = 0) -> None:
-        self._sink.record_session(SessionRecord(
-            timestamp=timestamp, server=self.address.server,
-            process=self.address.process, user_id=user_id,
-            session_id=session_id, event=event, caused_by_attack=attack,
-            session_length=session_length,
-            storage_operations=storage_operations))
-
-    def _context(self, request: ApiRequest) -> RpcContext:
-        return RpcContext(
-            timestamp=request.timestamp, server=self.address.server,
-            process=self.address.process, user_id=request.user_id,
-            session_id=request.session_id, api_operation=request.operation,
-            caused_by_attack=request.caused_by_attack)
+        # Positional SessionRecord field order (columnar fast path).
+        self._sink.session_row((
+            timestamp, self._server, self._process, user_id,
+            session_id, event, attack, session_length, storage_operations))
 
     # ------------------------------------------------------- session handling
     def open_session(self, user_id: int, session_id: int, timestamp: float,
@@ -156,11 +172,13 @@ class ApiServerProcess:
         self._session_record(timestamp, user_id, session_id,
                              SessionEvent.AUTH_REQUEST, attack=caused_by_attack)
         token = self._auth.token_for(user_id, timestamp)
-        context = RpcContext(timestamp=timestamp, server=self.address.server,
-                             process=self.address.process, user_id=user_id,
+        shard, shard_id = self._store.shard_and_id(user_id)
+        context = RpcContext(timestamp=timestamp, server=self._server,
+                             process=self._process, user_id=user_id,
                              session_id=session_id,
                              api_operation=ApiOperation.AUTHENTICATE,
-                             caused_by_attack=caused_by_attack)
+                             caused_by_attack=caused_by_attack,
+                             shard_id=shard_id)
         try:
             cached = self._token_cache.get(token.token)
             if cached is None:
@@ -180,16 +198,16 @@ class ApiServerProcess:
 
         # Register the user (and its root volume) on its shard, then fetch the
         # session bootstrap data the desktop client asks for.
-        shard = self.store.shard_of(user_id)
         self._rpc.execute(RpcName.GET_USER_DATA, context,
-                          lambda: shard.ensure_user(user_id, -user_id, timestamp))
-        self._rpc.execute(RpcName.GET_ROOT, context, lambda: shard.get_root(user_id))
+                          shard.ensure_user, user_id, -user_id, timestamp)
+        self._rpc.execute(RpcName.GET_ROOT, context, shard.get_root, user_id)
 
         handle = SessionHandle(session_id=session_id, user_id=user_id,
-                               server=self.address.server,
-                               process=self.address.process,
+                               server=self._server,
+                               process=self._process,
                                established_at=timestamp, token=token.token)
         self._sessions[session_id] = handle
+        self._user_sessions[user_id] = self._user_sessions.get(user_id, 0) + 1
         self._registry.register(user_id, session_id, self.address)
         self._session_record(timestamp, user_id, session_id,
                              SessionEvent.CONNECT, attack=caused_by_attack)
@@ -202,6 +220,11 @@ class ApiServerProcess:
         if handle is None:
             return
         handle.close()
+        remaining = self._user_sessions.get(handle.user_id, 0) - 1
+        if remaining > 0:
+            self._user_sessions[handle.user_id] = remaining
+        else:
+            self._user_sessions.pop(handle.user_id, None)
         self._registry.unregister(handle.user_id, session_id)
         self._session_record(
             timestamp, handle.user_id, session_id, SessionEvent.DISCONNECT,
@@ -211,11 +234,16 @@ class ApiServerProcess:
 
     # --------------------------------------------------------- notifications
     def deliver_notification(self, notification: Notification) -> int:
-        """Push a bus notification to the affected sessions on this process."""
+        """Push a bus notification to the affected sessions on this process.
+
+        Uses the per-user open-session index instead of scanning every open
+        session: notifications usually target a single user, and the bus
+        fans every publish out to every process.
+        """
+        user_sessions = self._user_sessions
         pushed = 0
-        for handle in self._sessions.values():
-            if handle.is_open and notification.affects(handle.user_id):
-                pushed += 1
+        for user_id in notification.user_ids:
+            pushed += user_sessions.get(user_id, 0)
         self.notifications_pushed += pushed
         return pushed
 
@@ -239,53 +267,54 @@ class ApiServerProcess:
 
     # -------------------------------------------------------------- requests
     def handle(self, request: ApiRequest) -> ApiResponse:
-        """Process one client request end to end."""
+        """Process one client request end to end.
+
+        Accepts anything request-shaped (a real :class:`ApiRequest` or a
+        workload ``ClientEvent``, which exposes the same attributes) — the
+        replay loop passes events straight through to avoid a per-event
+        request copy.
+        """
         self.requests_handled += 1
+        operation = request.operation
         handle = self._sessions.get(request.session_id)
-        if handle is not None and request.operation.is_data_management:
+        if handle is not None and operation in _DATA_MANAGEMENT_OPERATIONS:
             handle.storage_operations += 1
 
-        context = self._context(request)
-        shard = self.store.shard_of(request.user_id)
-        shard.ensure_user(request.user_id, -request.user_id, request.timestamp)
-        response = ApiResponse(operation=request.operation)
+        timestamp = request.timestamp
+        shard, shard_id = self._store.shard_and_id(request.user_id)
+        context = self._request_context
+        context.timestamp = timestamp
+        context.user_id = request.user_id
+        context.session_id = request.session_id
+        context.api_operation = operation
+        context.caused_by_attack = request.caused_by_attack
+        context.shard_id = shard_id
+        # Every request (re-)registers its user on the routed shard: under
+        # round-robin routing each request may land on a different shard
+        # than the session open did.
+        shard.ensure_user(request.user_id, -request.user_id, timestamp)
+        response = ApiResponse(operation=operation)
         rpc_before = self._rpc.calls_executed
 
-        dispatch = {
-            ApiOperation.UPLOAD: self._handle_upload,
-            ApiOperation.DOWNLOAD: self._handle_download,
-            ApiOperation.MAKE: self._handle_make,
-            ApiOperation.UNLINK: self._handle_unlink,
-            ApiOperation.MOVE: self._handle_move,
-            ApiOperation.CREATE_UDF: self._handle_create_udf,
-            ApiOperation.DELETE_VOLUME: self._handle_delete_volume,
-            ApiOperation.GET_DELTA: self._handle_get_delta,
-            ApiOperation.LIST_VOLUMES: self._handle_list_volumes,
-            ApiOperation.LIST_SHARES: self._handle_list_shares,
-            ApiOperation.QUERY_SET_CAPS: self._handle_query_set_caps,
-            ApiOperation.RESCAN_FROM_SCRATCH: self._handle_rescan,
-        }
-        handler = dispatch.get(request.operation)
+        handler = self._dispatch.get(operation)
         if handler is None:
             response.ok = False
-            response.error = f"unsupported operation {request.operation.value}"
+            response.error = f"unsupported operation {operation.value}"
         else:
             handler(request, context, shard, response)
 
         response.rpc_count = self._rpc.calls_executed - rpc_before
-        if request.operation in self._MUTATING_OPERATIONS and response.ok:
+        if operation in self._MUTATING_OPERATIONS and response.ok:
             response.notified_sessions = self._notify_mutation(request)
 
-        self._sink.record_storage(StorageRecord(
-            timestamp=request.timestamp, server=self.address.server,
-            process=self.address.process, user_id=request.user_id,
-            session_id=request.session_id, operation=request.operation,
-            node_id=request.node_id, volume_id=request.volume_id,
-            volume_type=request.volume_type, node_kind=request.node_kind,
-            size_bytes=request.size_bytes, content_hash=request.content_hash,
-            extension=request.extension, is_update=request.is_update,
-            shard_id=self.store.shard_id_of(request.user_id),
-            caused_by_attack=request.caused_by_attack))
+        # Positional StorageRecord field order (columnar fast path).
+        self._sink.storage_row((
+            timestamp, self._server, self._process,
+            request.user_id, request.session_id, operation,
+            request.node_id, request.volume_id, request.volume_type,
+            request.node_kind, request.size_bytes, request.content_hash,
+            request.extension, request.is_update,
+            shard_id, request.caused_by_attack))
         return response
 
     # ----------------------------------------------------------- op handlers
@@ -296,13 +325,15 @@ class ApiServerProcess:
             return
         rpc_name = (RpcName.MAKE_DIR if request.node_kind is NodeKind.DIRECTORY
                     else RpcName.MAKE_FILE)
-        maker = lambda: shard.make_node(  # noqa: E731 - tiny closure
-            request.user_id, request.volume_id, request.node_id,
-            request.node_kind, request.extension, request.timestamp)
         if traced:
-            self._rpc.execute(rpc_name, context, maker)
+            self._rpc.execute(rpc_name, context, shard.make_node,
+                              request.user_id, request.volume_id,
+                              request.node_id, request.node_kind,
+                              request.extension, context.timestamp)
         else:
-            maker()
+            shard.make_node(request.user_id, request.volume_id, request.node_id,
+                            request.node_kind, request.extension,
+                            context.timestamp)
 
     def _handle_upload(self, request: ApiRequest, context: RpcContext,
                        shard, response: ApiResponse) -> None:
@@ -318,39 +349,38 @@ class ApiServerProcess:
             storage_key = f"{storage_key}#{request.user_id}#{request.node_id}"
 
         self._rpc.execute(RpcName.GET_REUSABLE_CONTENT, context,
-                          lambda: shard.get_reusable_content(request.content_hash))
+                          shard.get_reusable_content, request.content_hash)
         dedup_hit = (self._dedup_enabled and request.content_hash
                      and request.content_hash in self._objects)
         if dedup_hit:
             self._objects.link(request.content_hash)
             self._rpc.execute(RpcName.MAKE_CONTENT, context,
-                              lambda: shard.make_content(
-                                  request.node_id, request.content_hash,
-                                  request.size_bytes, request.timestamp))
+                              shard.make_content, request.node_id,
+                              request.content_hash, request.size_bytes,
+                              context.timestamp)
             response.deduplicated = True
             return
 
         if size <= self._objects.chunk_bytes:
             transferred = self._objects.put(storage_key, size)
             self._rpc.execute(RpcName.MAKE_CONTENT, context,
-                              lambda: shard.make_content(
-                                  request.node_id, request.content_hash,
-                                  request.size_bytes, request.timestamp))
+                              shard.make_content, request.node_id,
+                              request.content_hash, request.size_bytes,
+                              context.timestamp)
             response.bytes_to_s3 = size if transferred else 0
             response.deduplicated = not transferred
             return
 
         # Multipart upload through the uploadjob state machine (Appendix A).
         job = self._rpc.execute(
-            RpcName.MAKE_UPLOADJOB, context,
-            lambda: shard.make_uploadjob(
-                request.user_id, request.node_id, request.volume_id,
-                request.content_hash, size, request.timestamp,
-                self._objects.chunk_bytes))
+            RpcName.MAKE_UPLOADJOB, context, shard.make_uploadjob,
+            request.user_id, request.node_id, request.volume_id,
+            request.content_hash, size, context.timestamp,
+            self._objects.chunk_bytes)
         multipart_id = self._objects.initiate_multipart(storage_key, size)
         self._rpc.execute(RpcName.SET_UPLOADJOB_MULTIPART_ID, context,
-                          lambda: shard.set_uploadjob_multipart_id(
-                              job.job_id, multipart_id, request.timestamp))
+                          shard.set_uploadjob_multipart_id,
+                          job.job_id, multipart_id, context.timestamp)
         interrupted = bool(self._rng.random() < self._interrupted_upload_fraction)
         remaining = size
         uploaded = 0
@@ -358,8 +388,8 @@ class ApiServerProcess:
             part = min(self._objects.chunk_bytes, remaining)
             self._objects.upload_part(multipart_id, part)
             self._rpc.execute(RpcName.ADD_PART_TO_UPLOADJOB, context,
-                              lambda p=part: shard.add_part_to_uploadjob(
-                                  job.job_id, p, request.timestamp))
+                              shard.add_part_to_uploadjob,
+                              job.job_id, part, context.timestamp)
             remaining -= part
             uploaded += part
             if interrupted and remaining > 0 and uploaded >= self._objects.chunk_bytes:
@@ -372,12 +402,12 @@ class ApiServerProcess:
                 return
         self._objects.complete_multipart(multipart_id, storage_key)
         self._rpc.execute(RpcName.MAKE_CONTENT, context,
-                          lambda: shard.make_content(
-                              request.node_id, request.content_hash,
-                              request.size_bytes, request.timestamp))
+                          shard.make_content, request.node_id,
+                          request.content_hash, request.size_bytes,
+                          context.timestamp)
         self._rpc.execute(RpcName.DELETE_UPLOADJOB, context,
                           lambda: shard.delete_uploadjob(job.job_id,
-                                                         request.timestamp,
+                                                         context.timestamp,
                                                          commit=True))
         response.bytes_to_s3 = size
 
@@ -387,14 +417,14 @@ class ApiServerProcess:
         # measurement window; register them quietly so the store is coherent.
         if not shard.has_node(request.node_id):
             shard.make_node(request.user_id, request.volume_id, request.node_id,
-                            request.node_kind, request.extension, request.timestamp)
+                            request.node_kind, request.extension, context.timestamp)
             if request.content_hash:
                 shard.make_content(request.node_id, request.content_hash,
-                                   request.size_bytes, request.timestamp)
+                                   request.size_bytes, context.timestamp)
         if request.content_hash and request.content_hash not in self._objects:
             self._objects.put(request.content_hash, request.size_bytes)
         self._rpc.execute(RpcName.GET_NODE, context,
-                          lambda: shard.get_node(request.node_id))
+                          shard.get_node, request.node_id)
         if request.content_hash:
             response.bytes_from_s3 = self._objects.get(request.content_hash)
         else:
@@ -404,16 +434,15 @@ class ApiServerProcess:
                      shard, response: ApiResponse) -> None:
         rpc_name = (RpcName.MAKE_DIR if request.node_kind is NodeKind.DIRECTORY
                     else RpcName.MAKE_FILE)
-        self._rpc.execute(rpc_name, context,
-                          lambda: shard.make_node(
-                              request.user_id, request.volume_id,
-                              request.node_id, request.node_kind,
-                              request.extension, request.timestamp))
+        self._rpc.execute(rpc_name, context, shard.make_node,
+                          request.user_id, request.volume_id, request.node_id,
+                          request.node_kind, request.extension,
+                          context.timestamp)
 
     def _handle_unlink(self, request: ApiRequest, context: RpcContext,
                        shard, response: ApiResponse) -> None:
         node = self._rpc.execute(RpcName.UNLINK_NODE, context,
-                                 lambda: shard.unlink_node(request.node_id))
+                                 shard.unlink_node, request.node_id)
         if node is not None and node.content_hash and node.content_hash in self._objects:
             self._objects.unlink(node.content_hash)
 
@@ -421,27 +450,24 @@ class ApiServerProcess:
                      shard, response: ApiResponse) -> None:
         self._ensure_node(request, context, shard, traced=False)
         try:
-            self._rpc.execute(RpcName.MOVE, context,
-                              lambda: shard.move_node(request.node_id,
-                                                      request.volume_id,
-                                                      request.timestamp))
+            self._rpc.execute(RpcName.MOVE, context, shard.move_node,
+                              request.node_id, request.volume_id,
+                              context.timestamp)
         except UnknownNodeError:
             response.ok = False
             response.error = f"node {request.node_id} does not exist"
 
     def _handle_create_udf(self, request: ApiRequest, context: RpcContext,
                            shard, response: ApiResponse) -> None:
-        self._rpc.execute(RpcName.CREATE_UDF, context,
-                          lambda: shard.create_volume(request.user_id,
-                                                      request.volume_id,
-                                                      request.volume_type,
-                                                      request.timestamp))
+        self._rpc.execute(RpcName.CREATE_UDF, context, shard.create_volume,
+                          request.user_id, request.volume_id,
+                          request.volume_type, context.timestamp)
 
     def _handle_delete_volume(self, request: ApiRequest, context: RpcContext,
                               shard, response: ApiResponse) -> None:
         removed = self._rpc.execute(RpcName.DELETE_VOLUME, context,
-                                    lambda: shard.delete_volume(request.user_id,
-                                                                request.volume_id))
+                                    shard.delete_volume, request.user_id,
+                                    request.volume_id)
         for node in removed:
             if node.content_hash and node.content_hash in self._objects:
                 self._objects.unlink(node.content_hash)
@@ -450,27 +476,27 @@ class ApiServerProcess:
     def _handle_get_delta(self, request: ApiRequest, context: RpcContext,
                           shard, response: ApiResponse) -> None:
         self._rpc.execute(RpcName.GET_DELTA, context,
-                          lambda: shard.get_delta(request.volume_id))
+                          shard.get_delta, request.volume_id)
 
     def _handle_list_volumes(self, request: ApiRequest, context: RpcContext,
                              shard, response: ApiResponse) -> None:
         volumes = self._rpc.execute(RpcName.LIST_VOLUMES, context,
-                                    lambda: shard.list_volumes(request.user_id))
+                                    shard.list_volumes, request.user_id)
         response.details["volumes"] = len(volumes)
 
     def _handle_list_shares(self, request: ApiRequest, context: RpcContext,
                             shard, response: ApiResponse) -> None:
         shares = self._rpc.execute(RpcName.LIST_SHARES, context,
-                                   lambda: shard.list_shares(request.user_id))
+                                   shard.list_shares, request.user_id)
         response.details["shares"] = len(shares)
 
     def _handle_query_set_caps(self, request: ApiRequest, context: RpcContext,
                                shard, response: ApiResponse) -> None:
         self._rpc.execute(RpcName.GET_USER_DATA, context,
-                          lambda: shard.get_user_data(request.user_id))
+                          shard.get_user_data, request.user_id)
 
     def _handle_rescan(self, request: ApiRequest, context: RpcContext,
                        shard, response: ApiResponse) -> None:
         nodes = self._rpc.execute(RpcName.GET_FROM_SCRATCH, context,
-                                  lambda: shard.get_from_scratch(request.user_id))
+                                  shard.get_from_scratch, request.user_id)
         response.details["nodes"] = len(nodes)

@@ -9,7 +9,6 @@ producing the complete back-end trace (storage, RPC and session records).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -26,11 +25,11 @@ from repro.backend.metadata_store import (
     user_id_routing,
 )
 from repro.backend.notifications import NotificationBus
-from repro.backend.protocol.operations import ApiRequest, UPLOAD_CHUNK_BYTES
+from repro.backend.protocol.operations import UPLOAD_CHUNK_BYTES
 from repro.backend.rpc_server import RpcContext, RpcWorker
 from repro.backend.tracing import TraceSink
 from repro.trace.dataset import TraceDataset
-from repro.trace.records import ApiOperation, RpcName
+from repro.trace.records import RpcName
 from repro.util.units import DAY
 from repro.workload.events import SessionScript
 
@@ -163,27 +162,53 @@ class U1Cluster:
         order, exactly as the production servers would observe them; every
         session lives on the API process the load balancer picked at connect
         time.  Returns the merged, sorted trace dataset.
+
+        The merge is a single timsort over pre-materialized ``(timestamp,
+        kind, sequence)`` keys: scripts arrive sorted by start time and each
+        script's events are already in time order, so the concatenated
+        timeline is near-sorted and the sort runs in close to linear time —
+        replacing the historical per-event heap (O(n log n) push/pop pairs
+        with Python-level tuple comparisons on every operation).
         """
-        heap: list[tuple[float, int, int, str, object]] = []
+        # Kinds double as tie-break priority: opens before events before
+        # closes at equal timestamps.
+        _OPEN, _EVENT, _CLOSE = 0, 1, 2
+        timeline: list[tuple[float, int, int, object]] = []
+        append = timeline.append
         sequence = 0
         for script in scripts:
-            heapq.heappush(heap, (script.start, 0, sequence, "open", script))
+            append((script.start, _OPEN, sequence, script))
             sequence += 1
             for event in script.events:
-                heapq.heappush(heap, (event.time, 1, sequence, "event", event))
+                append((event.time, _EVENT, sequence, event))
                 sequence += 1
-            heapq.heappush(heap, (script.end, 2, sequence, "close", script))
+            append((script.end, _CLOSE, sequence, script))
             sequence += 1
+        timeline.sort()
 
-        session_address: dict[int, ProcessAddress] = {}
+        # session id -> (assigned process, its address); the process object
+        # is kept directly so the per-event hot path skips a dataclass-keyed
+        # dict lookup.
+        session_process: dict[int, tuple[ApiServerProcess, ProcessAddress]] = {}
         failed_sessions: set[int] = set()
-        while heap:
-            timestamp, _, _, kind, payload = heapq.heappop(heap)
-            self._maybe_collect_garbage(timestamp)
-            if kind == "open":
+        process_by_address = self._process_by_address
+        gc_interval = self.config.gc_interval
+        for timestamp, kind, _, payload in timeline:
+            if self._last_gc is None:
+                self._last_gc = timestamp
+            elif timestamp - self._last_gc >= gc_interval:
+                self._collect_garbage(timestamp)
+            if kind == _EVENT:
+                event = payload
+                assigned = session_process.get(event.session_id)
+                if assigned is None:
+                    continue
+                # ClientEvent is request-shaped; no per-event ApiRequest copy.
+                assigned[0].handle(event)
+            elif kind == _OPEN:
                 script: SessionScript = payload  # type: ignore[assignment]
                 address = self.gateway.assign()
-                process = self._process_by_address[address]
+                process = process_by_address[address]
                 handle = process.open_session(
                     script.user_id, script.session_id, script.start,
                     force_auth_failure=script.auth_failed,
@@ -192,24 +217,15 @@ class U1Cluster:
                     self.gateway.release(address)
                     failed_sessions.add(script.session_id)
                 else:
-                    session_address[script.session_id] = address
-            elif kind == "event":
-                event = payload
-                if event.session_id in failed_sessions:
-                    continue
-                address = session_address.get(event.session_id)
-                if address is None:
-                    continue
-                process = self._process_by_address[address]
-                process.handle(ApiRequest.from_event(event))
+                    session_process[script.session_id] = (process, address)
             else:  # close
                 script = payload  # type: ignore[assignment]
                 if script.session_id in failed_sessions:
                     continue
-                address = session_address.pop(script.session_id, None)
-                if address is None:
+                assigned = session_process.pop(script.session_id, None)
+                if assigned is None:
                     continue
-                process = self._process_by_address[address]
+                process, address = assigned
                 process.close_session(script.session_id, script.end,
                                       caused_by_attack=script.caused_by_attack)
                 self.gateway.release(address)
@@ -230,6 +246,10 @@ class U1Cluster:
             return
         if now - self._last_gc < self.config.gc_interval:
             return
+        self._collect_garbage(now)
+
+    def _collect_garbage(self, now: float) -> None:
+        """One uploadjob garbage-collection sweep."""
         self._last_gc = now
         gc_process = self.processes[0]
         for shard, jobs in self.metadata_store.pending_uploadjobs():

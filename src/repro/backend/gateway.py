@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.rngpool import RngPool
+
 __all__ = ["ProcessAddress", "LoadBalancer"]
 
 
@@ -36,21 +38,52 @@ class LoadBalancer:
             raise ValueError("at least one API process is required")
         self._processes = list(processes)
         self._rng = rng or np.random.default_rng(0)
+        self._pool = RngPool(self._rng)
         self._open_connections: dict[ProcessAddress, int] = {p: 0 for p in self._processes}
         self._total_assigned: dict[ProcessAddress, int] = {p: 0 for p in self._processes}
+        # Incremental least-connections structure: processes bucketed by
+        # open-connection count, so assign() does not scan every process.
+        # Buckets are dicts used as ordered sets to keep tie-breaking
+        # deterministic (set iteration order depends on string hashing).
+        self._buckets: dict[int, dict[ProcessAddress, None]] = {
+            0: dict.fromkeys(self._processes)}
+        self._min_count = 0
 
     @property
     def processes(self) -> list[ProcessAddress]:
         """All the API processes behind the balancer."""
         return list(self._processes)
 
+    def _move(self, address: ProcessAddress, old: int, new: int) -> None:
+        bucket = self._buckets.get(old)
+        if bucket is not None:
+            bucket.pop(address, None)
+            if not bucket and old == self._min_count:
+                # The minimum moved; the next occupied bucket is at most
+                # one step away on assignment, further on release.
+                del self._buckets[old]
+        target = self._buckets.get(new)
+        if target is None:
+            self._buckets[new] = {address: None}
+        else:
+            target[address] = None
+        if new < self._min_count:
+            self._min_count = new
+
     def assign(self) -> ProcessAddress:
         """Pick the process with the fewest open connections (ties random)."""
-        minimum = min(self._open_connections.values())
-        candidates = [p for p, count in self._open_connections.items() if count == minimum]
-        choice = candidates[int(self._rng.integers(len(candidates)))]
-        self._open_connections[choice] += 1
+        while not self._buckets.get(self._min_count):
+            self._min_count += 1
+        candidates = self._buckets[self._min_count]
+        if len(candidates) == 1:
+            choice = next(iter(candidates))
+        else:
+            ordered = list(candidates)
+            choice = ordered[self._pool.integers(len(ordered))]
+        count = self._open_connections[choice]
+        self._open_connections[choice] = count + 1
         self._total_assigned[choice] += 1
+        self._move(choice, count, count + 1)
         return choice
 
     def release(self, address: ProcessAddress) -> None:
@@ -59,6 +92,7 @@ class LoadBalancer:
         if current <= 0:
             raise ValueError(f"no open connections on {address}")
         self._open_connections[address] = current - 1
+        self._move(address, current, current - 1)
 
     def open_connections(self) -> dict[ProcessAddress, int]:
         """Snapshot of the open-connection counters."""

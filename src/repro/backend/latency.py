@@ -100,9 +100,37 @@ class ServiceTimeModel:
         self._medians_ms = dict(DEFAULT_MEDIANS_MS)
         if medians_ms:
             self._medians_ms.update(medians_ms)
+        #: Per-RPC median in seconds, precomputed for the sampling fast path.
+        self._median_seconds = {rpc: ms / 1000.0
+                                for rpc, ms in self._medians_ms.items()}
         # Fixed per-shard skew factors, deterministic given the RNG state.
         skew = self._parameters.shard_skew
-        self._shard_factors = 1.0 + skew * (rng.random(n_shards) - 0.5) * 2.0
+        self._shard_factors = (1.0 + skew * (rng.random(n_shards) - 0.5) * 2.0).tolist()
+        self._n_shards = len(self._shard_factors)
+        # median * shard_factor, pre-multiplied per (rpc, shard): the sample
+        # fast path then only draws the lognormal body and the Pareto tail.
+        self._base_by_rpc = {
+            rpc: [median * factor for factor in self._shard_factors]
+            for rpc, median in self._median_seconds.items()
+        }
+        # Pre-drawn multiplicative body factors (lognormal body x Pareto
+        # tail).  The factor distribution is independent of the RPC and the
+        # shard — both only scale the median — so whole blocks can be drawn
+        # vectorised and sample() reduces to a table lookup and a multiply.
+        self._factors: list[float] = []
+        self._factor_index = 0
+
+    def _refill_factors(self, block: int = 4096) -> None:
+        params = self._parameters
+        rng = self._rng
+        factors = np.exp(params.sigma * rng.standard_normal(block))
+        tails = rng.random(block) < params.tail_probability
+        n_tails = int(tails.sum())
+        if n_tails:
+            pareto = (1.0 - rng.random(n_tails)) ** (-1.0 / params.tail_exponent) - 1.0
+            factors[tails] *= 1.0 + params.tail_scale * pareto
+        self._factors = factors.tolist()
+        self._factor_index = 0
 
     @property
     def parameters(self) -> LatencyParameters:
@@ -111,18 +139,22 @@ class ServiceTimeModel:
 
     def median_seconds(self, rpc: RpcName) -> float:
         """Median service time of ``rpc`` in seconds."""
-        return self._medians_ms[rpc] / 1000.0
+        return self._median_seconds[rpc]
 
     def sample(self, rpc: RpcName, shard_id: int = 0) -> float:
-        """Sample one service time (seconds) for ``rpc`` on ``shard_id``."""
-        median = self.median_seconds(rpc)
-        params = self._parameters
-        body = float(self._rng.lognormal(mean=np.log(median), sigma=params.sigma))
-        if self._rng.random() < params.tail_probability:
-            tail_factor = 1.0 + params.tail_scale * float(self._rng.pareto(params.tail_exponent))
-            body *= tail_factor
-        shard_factor = float(self._shard_factors[shard_id % len(self._shard_factors)])
-        return body * shard_factor
+        """Sample one service time (seconds) for ``rpc`` on ``shard_id``.
+
+        Samples come from the pooled RNG: a lognormal body around the per-RPC
+        median, a Pareto tail with probability ``tail_probability`` and the
+        fixed per-shard skew — the same distribution as the historical
+        per-call Generator draws, at a fraction of the overhead.
+        """
+        i = self._factor_index
+        if i >= len(self._factors):
+            self._refill_factors()
+            i = 0
+        self._factor_index = i + 1
+        return self._base_by_rpc[rpc][shard_id % self._n_shards] * self._factors[i]
 
     def sample_class(self, rpc_class: RpcClass, shard_id: int = 0) -> float:
         """Sample a service time for an arbitrary RPC of the given class."""

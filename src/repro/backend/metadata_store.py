@@ -69,6 +69,11 @@ class ShardedMetadataStore:
         """The shard index responsible for ``user_id``."""
         return self._route(user_id)
 
+    def shard_and_id(self, user_id: int) -> tuple[MetadataShard, int]:
+        """``(shard, shard_id)`` in one routing call (request hot path)."""
+        shard_id = self._route(user_id)
+        return self._shards[shard_id], shard_id
+
     def requests_per_shard(self) -> list[int]:
         """Total DAL requests served by each shard."""
         return [shard.requests_served for shard in self._shards]

@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 import itertools
-import uuid
+
 from dataclasses import dataclass, field
 
 from repro.trace.records import NodeKind, VolumeType
@@ -34,13 +34,23 @@ VolumeId = int
 _uuid_counter = itertools.count(1)
 
 
+_NAMESPACE_TAGS: dict[str, int] = {}
+
+
 def generate_uuid(namespace: str = "node") -> str:
-    """Deterministic-ish UUID generator for back-end objects.
+    """Deterministic UUID generator for back-end objects.
 
     Real U1 generates UUIDs in the back-end; for reproducibility we derive
-    them from a monotonically increasing counter in a fixed namespace.
+    them from a monotonically increasing counter in a fixed namespace.  The
+    value is formatted directly as a version-5-shaped UUID string (namespace
+    tag + counter) instead of hashing through :func:`uuid.uuid5`, which is an
+    order of magnitude cheaper and runs once per created node/volume.
     """
-    return str(uuid.uuid5(uuid.NAMESPACE_URL, f"u1://{namespace}/{next(_uuid_counter)}"))
+    tag = _NAMESPACE_TAGS.setdefault(namespace, len(_NAMESPACE_TAGS) + 1)
+    counter = next(_uuid_counter)
+    return (f"{tag:08x}-{(counter >> 48) & 0xffff:04x}-"
+            f"5{(counter >> 36) & 0xfff:03x}-"
+            f"8{(counter >> 24) & 0xfff:03x}-{counter & 0xffffff:012x}")
 
 
 @dataclass(slots=True)

@@ -8,7 +8,7 @@ single API server without the full workload machinery).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.trace.records import ApiOperation, NodeKind, VolumeType
 
@@ -39,24 +39,15 @@ class ApiRequest:
     @classmethod
     def from_event(cls, event) -> "ApiRequest":
         """Build a request from a workload :class:`ClientEvent`."""
+        # Positional (field order) — this runs once per replayed event.
         return cls(
-            operation=event.operation,
-            user_id=event.user_id,
-            session_id=event.session_id,
-            timestamp=event.time,
-            node_id=event.node_id,
-            volume_id=event.volume_id,
-            volume_type=event.volume_type,
-            node_kind=event.node_kind,
-            size_bytes=event.size_bytes,
-            content_hash=event.content_hash,
-            extension=event.extension,
-            is_update=event.is_update,
-            caused_by_attack=event.caused_by_attack,
+            event.operation, event.user_id, event.session_id, event.time,
+            event.node_id, event.volume_id, event.volume_type, event.node_kind,
+            event.size_bytes, event.content_hash, event.extension,
+            event.is_update, event.caused_by_attack,
         )
 
 
-@dataclass(slots=True)
 class ApiResponse:
     """The API server's answer to a request.
 
@@ -64,14 +55,42 @@ class ApiResponse:
     the back-end performed on behalf of the request; ``deduplicated`` is True
     when an upload was satisfied by linking to existing content instead of a
     transfer (file-level cross-user deduplication, Section 3.3).
+
+    A plain slotted class (one instance per replayed request): the
+    ``details`` dict is created lazily because only the listing handlers use
+    it.
     """
 
-    operation: ApiOperation
-    ok: bool = True
-    error: str = ""
-    rpc_count: int = 0
-    bytes_to_s3: int = 0
-    bytes_from_s3: int = 0
-    deduplicated: bool = False
-    notified_sessions: int = 0
-    details: dict = field(default_factory=dict)
+    __slots__ = ("operation", "ok", "error", "rpc_count", "bytes_to_s3",
+                 "bytes_from_s3", "deduplicated", "notified_sessions",
+                 "_details")
+
+    def __init__(self, operation: ApiOperation, ok: bool = True,
+                 error: str = "", rpc_count: int = 0, bytes_to_s3: int = 0,
+                 bytes_from_s3: int = 0, deduplicated: bool = False,
+                 notified_sessions: int = 0, details: dict | None = None):
+        self.operation = operation
+        self.ok = ok
+        self.error = error
+        self.rpc_count = rpc_count
+        self.bytes_to_s3 = bytes_to_s3
+        self.bytes_from_s3 = bytes_from_s3
+        self.deduplicated = deduplicated
+        self.notified_sessions = notified_sessions
+        self._details = details
+
+    @property
+    def details(self) -> dict:
+        """Free-form per-operation payload (created on first access)."""
+        if self._details is None:
+            self._details = {}
+        return self._details
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ApiResponse(operation={self.operation!r}, ok={self.ok!r}, "
+                f"error={self.error!r}, rpc_count={self.rpc_count!r}, "
+                f"bytes_to_s3={self.bytes_to_s3!r}, "
+                f"bytes_from_s3={self.bytes_from_s3!r}, "
+                f"deduplicated={self.deduplicated!r}, "
+                f"notified_sessions={self.notified_sessions!r}, "
+                f"details={self._details!r})")

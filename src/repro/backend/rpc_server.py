@@ -10,28 +10,53 @@ every executed call and emitting an :class:`~repro.trace.records.RpcRecord`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.backend.latency import ServiceTimeModel
 from repro.backend.metadata_store import ShardedMetadataStore
 from repro.backend.tracing import TraceSink
-from repro.trace.records import ApiOperation, RpcName, RpcRecord
+from repro.trace.records import ApiOperation, RpcName
 
 __all__ = ["RpcContext", "RpcWorker"]
 
 
-@dataclass(frozen=True)
 class RpcContext:
-    """Provenance of an RPC call: who asked, when, from which API process."""
+    """Provenance of an RPC call: who asked, when, from which API process.
 
-    timestamp: float
-    server: str
-    process: int
-    user_id: int
-    session_id: int
-    api_operation: ApiOperation | None = None
-    caused_by_attack: bool = False
+    A plain slotted class (not a dataclass): one context is built per API
+    request, so construction cost matters in the replay hot loop.
+    """
+
+    __slots__ = ("timestamp", "server", "process", "user_id", "session_id",
+                 "api_operation", "caused_by_attack", "shard_id")
+
+    def __init__(self, timestamp: float, server: str, process: int,
+                 user_id: int, session_id: int,
+                 api_operation: ApiOperation | None = None,
+                 caused_by_attack: bool = False,
+                 shard_id: int | None = None):
+        self.timestamp = timestamp
+        self.server = server
+        self.process = process
+        self.user_id = user_id
+        self.session_id = session_id
+        self.api_operation = api_operation
+        self.caused_by_attack = caused_by_attack
+        #: Pre-routed shard of ``user_id`` (optional; saves the worker a
+        #: routing call per RPC on the request hot path).
+        self.shard_id = shard_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RpcContext(timestamp={self.timestamp!r}, server={self.server!r}, "
+                f"process={self.process!r}, user_id={self.user_id!r}, "
+                f"session_id={self.session_id!r}, api_operation={self.api_operation!r}, "
+                f"caused_by_attack={self.caused_by_attack!r})")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RpcContext):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
 
 
 class RpcWorker:
@@ -43,6 +68,9 @@ class RpcWorker:
         self._store = store
         self._latency = latency
         self._sink = sink
+        # Bound hot-path callees (execute() runs once per RPC).
+        self._sample = latency.sample
+        self._rpc_row = sink.rpc_row
         #: Total number of RPCs executed by this worker.
         self.calls_executed = 0
         #: Total simulated time spent servicing RPCs (seconds).
@@ -54,32 +82,31 @@ class RpcWorker:
         return self._store
 
     def execute(self, rpc: RpcName, context: RpcContext,
-                operation: Callable[[], Any], shard_user_id: int | None = None) -> Any:
-        """Run ``operation`` against the store as RPC ``rpc``.
+                operation: Callable[..., Any], *args,
+                shard_user_id: int | None = None) -> Any:
+        """Run ``operation(*args)`` against the store as RPC ``rpc``.
 
-        ``operation`` is a zero-argument callable performing the actual shard
-        query (already bound to its arguments by the API server); the worker
-        samples a service time, traces the call and returns the operation's
-        result.  ``shard_user_id`` overrides the user id used for shard
-        attribution (needed for system-initiated calls such as the uploadjob
-        garbage collector).
+        ``operation`` performs the actual shard query; callers on the hot
+        path pass the bound shard method plus its arguments directly (no
+        closure allocation per RPC), while zero-argument closures keep
+        working.  The worker samples a service time, traces the call and
+        returns the operation's result.  ``shard_user_id`` overrides the
+        user id used for shard attribution (needed for system-initiated
+        calls such as the uploadjob garbage collector).
         """
-        routing_user = context.user_id if shard_user_id is None else shard_user_id
-        shard_id = self._store.shard_id_of(routing_user)
-        service_time = self._latency.sample(rpc, shard_id)
-        result = operation()
+        if shard_user_id is None:
+            shard_id = context.shard_id
+            if shard_id is None:
+                shard_id = self._store.shard_id_of(context.user_id)
+        else:
+            shard_id = self._store.shard_id_of(shard_user_id)
+        service_time = self._sample(rpc, shard_id)
+        result = operation(*args)
         self.calls_executed += 1
         self.busy_time += service_time
-        self._sink.record_rpc(RpcRecord(
-            timestamp=context.timestamp,
-            server=context.server,
-            process=context.process,
-            user_id=context.user_id,
-            session_id=context.session_id,
-            rpc=rpc,
-            shard_id=shard_id,
-            service_time=service_time,
-            api_operation=context.api_operation,
-            caused_by_attack=context.caused_by_attack,
-        ))
+        # Positional RpcRecord field order (columnar fast path).
+        self._rpc_row((
+            context.timestamp, context.server, context.process,
+            context.user_id, context.session_id, rpc, shard_id, service_time,
+            context.api_operation, context.caused_by_attack))
         return result

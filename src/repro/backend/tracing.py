@@ -5,11 +5,17 @@ merges their logfiles.  The simulator short-circuits that by writing records
 straight into a :class:`~repro.trace.dataset.TraceDataset`; the logfile
 round-trip of :mod:`repro.trace.logfile` is still available for tests and
 examples that want on-disk traces.
+
+The sink exposes two ingestion speeds:
+
+* ``record_*`` take record objects (compatibility path, used by tests);
+* ``*_row`` / the ``raw_*_appender`` bound appenders take positional field
+  tuples and write straight into the dataset's columnar row storage — the
+  replay hot loops use these, so no record object (and no per-append cache
+  bookkeeping) happens while the simulation runs.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from repro.trace.dataset import TraceDataset
 from repro.trace.records import RpcRecord, SessionRecord, StorageRecord
@@ -17,31 +23,70 @@ from repro.trace.records import RpcRecord, SessionRecord, StorageRecord
 __all__ = ["TraceSink"]
 
 
-@dataclass
 class TraceSink:
     """Accumulates trace records produced during a simulation run."""
 
-    dataset: TraceDataset = field(default_factory=TraceDataset)
-    storage_records: int = 0
-    rpc_records: int = 0
-    session_records: int = 0
+    __slots__ = ("dataset", "_append_storage", "_append_rpc", "_append_session")
 
+    def __init__(self, dataset: TraceDataset | None = None):
+        self.dataset = dataset if dataset is not None else TraceDataset()
+        # Bound raw appenders: one C-level list.append per emitted record.
+        self._append_storage = self.dataset._storage.raw_appender()
+        self._append_rpc = self.dataset._rpc.raw_appender()
+        self._append_session = self.dataset._sessions.raw_appender()
+
+    # ------------------------------------------------------------- counters
+    @property
+    def storage_records(self) -> int:
+        """Number of storage records collected so far."""
+        return len(self.dataset._storage)
+
+    @property
+    def rpc_records(self) -> int:
+        """Number of RPC records collected so far."""
+        return len(self.dataset._rpc)
+
+    @property
+    def session_records(self) -> int:
+        """Number of session records collected so far."""
+        return len(self.dataset._sessions)
+
+    # -------------------------------------------------------- record objects
     def record_storage(self, record: StorageRecord) -> None:
         """Record one completed API (storage) operation."""
         self.dataset.add_storage(record)
-        self.storage_records += 1
 
     def record_rpc(self, record: RpcRecord) -> None:
         """Record one RPC call against the metadata store."""
         self.dataset.add_rpc(record)
-        self.rpc_records += 1
 
     def record_session(self, record: SessionRecord) -> None:
         """Record one session-management event."""
         self.dataset.add_session(record)
-        self.session_records += 1
+
+    # ------------------------------------------------------------ fast paths
+    def storage_row(self, row: tuple) -> None:
+        """Record one storage operation as a raw field tuple."""
+        self._append_storage(row)
+
+    def rpc_row(self, row: tuple) -> None:
+        """Record one RPC call as a raw field tuple."""
+        self._append_rpc(row)
+
+    def session_row(self, row: tuple) -> None:
+        """Record one session event as a raw field tuple."""
+        self._append_session(row)
 
     def finish(self) -> TraceDataset:
         """Sort and return the collected dataset."""
         self.dataset.sort()
+        # Sorting may have replaced the underlying row lists; rebind the raw
+        # appenders so the sink stays usable for a subsequent replay.
+        self._append_storage = self.dataset._storage.raw_appender()
+        self._append_rpc = self.dataset._rpc.raw_appender()
+        self._append_session = self.dataset._sessions.raw_appender()
         return self.dataset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceSink(storage={self.storage_records}, "
+                f"rpc={self.rpc_records}, sessions={self.session_records})")

@@ -1,0 +1,176 @@
+"""End-to-end pipeline benchmark (``python -m repro bench``).
+
+Times the three phases every reproduction run goes through — workload
+generation, back-end replay and a representative analysis pass — and writes
+the measurements to ``BENCH_pipeline.json`` so the performance trajectory is
+tracked across PRs.
+
+The analysis pass is the consolidated report (:func:`repro.core.report.
+format_report`), i.e. every figure/table analysis of the paper — the same
+work ``python -m repro report`` performs — so the benchmark captures how fast
+the Fig. 2-17 analyses consume a trace, not just how fast one is generated.
+
+The seed baseline below was measured on the seed revision (commit 42c7397,
+per-event pure-Python engine) with this same harness at the default scale of
+300 users / 3 days / seed 2014, best of 3 repeats.  Speedups reported in
+``BENCH_pipeline.json`` are relative to it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.core.report import format_report
+from repro.trace.dataset import TraceDataset
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+__all__ = ["BenchResult", "run_benchmark", "analysis_pass", "SEED_BASELINE"]
+
+
+#: Phase timings (seconds) of the seed engine at 300 users / 3 days, measured
+#: with this harness on the reference machine before the vectorized engine
+#: landed, together with the workload realised by the seed engine's RNG draw
+#: order (events generated; records replayed and analysed).  Keys match the
+#: ``phases`` dict of :class:`BenchResult`.
+SEED_BASELINE: dict[str, float] = {
+    "generate": 0.1593,
+    "replay": 0.2520,
+    "analysis": 0.1224,
+}
+
+#: Workload units processed by each phase in the seed measurement.  The
+#: vectorized engine draws the same distributions in a different order, so a
+#: given seed realises a different (equally likely) workload size; speedups
+#: are therefore normalised per workload unit (events for generation,
+#: records for replay/analysis) to compare like with like.
+SEED_BASELINE_UNITS: dict[str, int] = {
+    "generate": 9264,
+    "replay": 29525,
+    "analysis": 29525,
+}
+
+
+@dataclass
+class BenchResult:
+    """Timings of one benchmark run."""
+
+    users: int
+    days: float
+    seed: int
+    repeats: int
+    phases: dict[str, float]
+    events_generated: int
+    records_replayed: int
+    analysis_records: int
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def to_json(self) -> dict:
+        """JSON payload written to ``BENCH_pipeline.json``."""
+        baseline_total = sum(SEED_BASELINE.values())
+        payload = {
+            "config": {"users": self.users, "days": self.days, "seed": self.seed,
+                       "repeats": self.repeats},
+            "phases_seconds": dict(self.phases),
+            "total_seconds": self.total,
+            "events_generated": self.events_generated,
+            "events_per_second": self.events_generated / max(self.phases["generate"], 1e-12),
+            "records_replayed": self.records_replayed,
+            "records_per_second": self.records_replayed / max(self.phases["replay"], 1e-12),
+            "seed_baseline_seconds": dict(SEED_BASELINE),
+            "seed_baseline_units": dict(SEED_BASELINE_UNITS),
+            "machine": platform.platform(),
+        }
+        if baseline_total > 0:
+            units = {"generate": self.events_generated,
+                     "replay": self.records_replayed,
+                     "analysis": self.records_replayed}
+            # Time this run would need for exactly the seed workload: scale
+            # each phase by (seed units / this run's units).  Different RNG
+            # draw orders realise different (equally likely) workload sizes
+            # for the same seed, so raw wall-clock ratios would compare
+            # different amounts of work.
+            normalized = {
+                name: seconds * SEED_BASELINE_UNITS[name] / max(units[name], 1)
+                for name, seconds in self.phases.items()
+            }
+            payload["normalized_seconds"] = normalized
+            payload["speedup_vs_seed"] = baseline_total / max(sum(normalized.values()), 1e-12)
+            payload["raw_wallclock_speedup"] = baseline_total / max(self.total, 1e-12)
+            payload["phase_speedups"] = {
+                name: SEED_BASELINE[name] / max(normalized[name], 1e-12)
+                for name in normalized
+            }
+        return payload
+
+
+def analysis_pass(dataset: TraceDataset) -> int:
+    """One representative analysis pass over a replayed trace.
+
+    Runs the consolidated report — every figure/table analysis of the paper —
+    and returns its length so the work cannot be optimised away.
+    """
+    return len(format_report(dataset))
+
+
+def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
+                  repeats: int = 5) -> BenchResult:
+    """Run the generate + replay + analysis pipeline, best-of-``repeats``."""
+    config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
+    best: dict[str, float] = {}
+    events_generated = 0
+    records_replayed = 0
+    analysis_records = 0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        generator = SyntheticTraceGenerator(config)
+        scripts = generator.client_events()
+        t1 = time.perf_counter()
+        cluster = U1Cluster(ClusterConfig(seed=seed))
+        t2 = time.perf_counter()
+        dataset = cluster.replay(scripts)
+        t3 = time.perf_counter()
+        analysis_records = analysis_pass(dataset)
+        t4 = time.perf_counter()
+        events_generated = sum(len(s.events) for s in scripts)
+        records_replayed = len(dataset)
+        timings = {"generate": t1 - t0, "replay": t3 - t2, "analysis": t4 - t3}
+        for name, seconds in timings.items():
+            best[name] = min(best.get(name, float("inf")), seconds)
+    return BenchResult(users=users, days=days, seed=seed, repeats=repeats,
+                       phases=best, events_generated=events_generated,
+                       records_replayed=records_replayed,
+                       analysis_records=analysis_records)
+
+
+def write_report(result: BenchResult, out_path: Path) -> Path:
+    """Write the benchmark JSON report."""
+    out_path = Path(out_path)
+    out_path.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    return out_path
+
+
+def format_summary(result: BenchResult) -> str:
+    """Human-readable one-screen summary of a benchmark run."""
+    payload = result.to_json()
+    lines = [
+        f"pipeline benchmark — {result.users} users / {result.days:g} days "
+        f"(seed {result.seed}, best of {result.repeats})",
+        f"  generate: {result.phases['generate']:8.3f} s "
+        f"({payload['events_per_second']:,.0f} events/s)",
+        f"  replay:   {result.phases['replay']:8.3f} s "
+        f"({payload['records_per_second']:,.0f} records/s)",
+        f"  analysis: {result.phases['analysis']:8.3f} s",
+        f"  total:    {result.total:8.3f} s",
+    ]
+    if "speedup_vs_seed" in payload:
+        lines.append(f"  speedup vs seed engine: {payload['speedup_vs_seed']:.2f}x")
+    return "\n".join(lines)

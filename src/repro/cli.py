@@ -16,6 +16,11 @@ Four sub-commands cover the full pipeline::
     python -m repro summarize trace_dir
         Print only the Table 3 summary of a trace directory.
 
+    python -m repro bench
+        Time the generate + replay + analysis pipeline and write the
+        measurements (and the speedup versus the seed engine) to
+        ``BENCH_pipeline.json``.
+
 The CLI is intentionally a thin veneer over the library: everything it does
 can be done programmatically through :mod:`repro.workload`,
 :mod:`repro.backend` and :mod:`repro.core`.
@@ -81,6 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser(
         "report", help="generate, simulate and analyse in one go")
     _add_workload_options(report)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark the generate + replay + analysis pipeline")
+    bench.add_argument("--users", type=int, default=300,
+                       help="number of synthetic users (default: 300)")
+    bench.add_argument("--days", type=float, default=3.0,
+                       help="trace duration in days (default: 3)")
+    bench.add_argument("--seed", type=int, default=2014,
+                       help="random seed (default: 2014)")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="repetitions per phase, best-of (default: 5)")
+    bench.add_argument("--out", type=Path, default=Path("BENCH_pipeline.json"),
+                       help="path of the JSON report (default: BENCH_pipeline.json)")
     return parser
 
 
@@ -128,11 +146,23 @@ def _command_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace, out) -> int:
+    from repro.bench import format_summary, run_benchmark, write_report
+
+    result = run_benchmark(users=args.users, days=args.days, seed=args.seed,
+                           repeats=args.repeats)
+    path = write_report(result, args.out)
+    print(format_summary(result), file=out)
+    print(f"Wrote {path}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "analyze": _command_analyze,
     "summarize": _command_summarize,
     "report": _command_report,
+    "bench": _command_bench,
 }
 
 

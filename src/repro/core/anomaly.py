@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import SESSION_EVENT_CODE, TraceDataset
 from repro.trace.records import SessionEvent
 from repro.util.timebin import TimeBinner, bin_count_series
 from repro.util.units import HOUR
@@ -57,15 +57,18 @@ def request_rate_series(dataset: TraceDataset,
     """Build the per-hour request-rate series of Fig. 5 (attacks included)."""
     start, end = dataset.time_span()
     binner = TimeBinner(start=start, end=end + bin_width, width=bin_width)
-    rpc = bin_count_series(binner, (r.timestamp for r in dataset.rpc))
-    session = bin_count_series(
-        binner, (r.timestamp for r in dataset.sessions
-                 if r.event in (SessionEvent.CONNECT, SessionEvent.DISCONNECT)))
-    auth = bin_count_series(
-        binner, (r.timestamp for r in dataset.sessions
-                 if r.event in (SessionEvent.AUTH_REQUEST, SessionEvent.AUTH_OK,
-                                SessionEvent.AUTH_FAIL)))
-    storage = bin_count_series(binner, (r.timestamp for r in dataset.storage))
+    # Columnar fast path: event-code masks over the cached session columns.
+    session_ts = dataset.session_column("timestamp")
+    event_codes = dataset.session_column("event")
+    connectish = np.isin(event_codes, [SESSION_EVENT_CODE[SessionEvent.CONNECT],
+                                       SESSION_EVENT_CODE[SessionEvent.DISCONNECT]])
+    authish = np.isin(event_codes, [SESSION_EVENT_CODE[SessionEvent.AUTH_REQUEST],
+                                    SESSION_EVENT_CODE[SessionEvent.AUTH_OK],
+                                    SESSION_EVENT_CODE[SessionEvent.AUTH_FAIL]])
+    rpc = bin_count_series(binner, dataset.rpc_column("timestamp"))
+    session = bin_count_series(binner, session_ts[connectish])
+    auth = bin_count_series(binner, session_ts[authish])
+    storage = bin_count_series(binner, dataset.storage_column("timestamp"))
     return RequestRateSeries(bin_edges=binner.edges(), rpc=rpc, session=session,
                              auth=auth, storage=storage, bin_width=bin_width)
 

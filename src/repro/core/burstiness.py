@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
 from repro.trace.records import ApiOperation
 from repro.util.powerlaw import PowerLawFit, ccdf_points, fit_power_law, is_bursty
 
@@ -28,16 +28,25 @@ __all__ = ["BurstinessAnalysis", "inter_operation_times", "burstiness_analysis"]
 
 def inter_operation_times(dataset: TraceDataset, operation: ApiOperation,
                           include_attacks: bool = False) -> np.ndarray:
-    """Per-user inter-arrival times of one operation type (seconds)."""
+    """Per-user inter-arrival times of one operation type (seconds).
+
+    Columnar fast path: select the operation's records, lexsort by
+    ``(user, timestamp)`` and difference consecutive timestamps, dropping
+    the pairs that straddle a user boundary.
+    """
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    gaps: list[float] = []
-    for records in source.storage_by_user().values():
-        timestamps = [r.timestamp for r in records if r.operation is operation]
-        for previous, current in zip(timestamps, timestamps[1:]):
-            gap = current - previous
-            if gap > 0:
-                gaps.append(gap)
-    return np.asarray(gaps, dtype=float)
+    mask = source.storage_column("operation") == OPERATION_CODE[operation]
+    timestamps = source.storage_column("timestamp")[mask]
+    users = source.storage_column("user_id")[mask]
+    if timestamps.size < 2:
+        return np.empty(0)
+    order = np.lexsort((timestamps, users))
+    ts_sorted = timestamps[order]
+    users_sorted = users[order]
+    gaps = ts_sorted[1:] - ts_sorted[:-1]
+    same_user = users_sorted[1:] == users_sorted[:-1]
+    gaps = gaps[same_user & (gaps > 0)]
+    return gaps.astype(float)
 
 
 @dataclass(frozen=True)

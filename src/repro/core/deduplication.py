@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
+from repro.trace.records import ApiOperation
 from repro.util.stats import EmpiricalCDF
 
 __all__ = ["DeduplicationAnalysis", "deduplication_analysis"]
@@ -82,21 +83,24 @@ def deduplication_analysis(dataset: TraceDataset,
                            include_attacks: bool = False) -> DeduplicationAnalysis:
     """Compute the Fig. 4a deduplication analysis from upload records."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    copies: dict[str, int] = {}
-    first_size: dict[str, int] = {}
-    total_bytes = 0
-    total_files = 0
-    for record in source.uploads():
-        if not record.content_hash:
-            continue
-        total_files += 1
-        total_bytes += record.size_bytes
-        copies[record.content_hash] = copies.get(record.content_hash, 0) + 1
-        if record.content_hash not in first_size:
-            first_size[record.content_hash] = record.size_bytes
+    # Columnar fast path: factorise the content hashes once, then count
+    # copies per hash and take the size of each hash's first occurrence.
+    hash_codes, hashes = source.storage_codes("content_hash")
+    upload_mask = (source.storage_column("operation")
+                   == OPERATION_CODE[ApiOperation.UPLOAD])
+    has_hash = np.asarray([bool(h) for h in hashes], dtype=bool)
+    mask = upload_mask & has_hash[hash_codes]
+    codes = hash_codes[mask]
+    sizes = source.storage_column("size_bytes")[mask]
+    if codes.size == 0:
+        return DeduplicationAnalysis(copies_per_hash=np.empty(0),
+                                     unique_bytes=0, total_bytes=0,
+                                     total_files=0)
+    distinct, first_positions = np.unique(codes, return_index=True)
+    copies = np.bincount(codes)[distinct]
     return DeduplicationAnalysis(
-        copies_per_hash=np.asarray(sorted(copies.values()), dtype=float),
-        unique_bytes=sum(first_size.values()),
-        total_bytes=total_bytes,
-        total_files=total_files,
+        copies_per_hash=np.sort(copies).astype(float),
+        unique_bytes=int(sizes[first_positions].sum()),
+        total_bytes=int(sizes.sum()),
+        total_files=int(codes.size),
     )

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
 from repro.trace.records import ApiOperation
 from repro.util.stats import EmpiricalCDF
 from repro.util.units import DAY
@@ -52,6 +52,30 @@ _OP_KIND = {
     ApiOperation.DOWNLOAD: "R",
     ApiOperation.UNLINK: "D",
 }
+
+#: Small integer codes of the W/R/D kinds used by the vectorised fast paths.
+_KIND_WRITE, _KIND_READ, _KIND_DELETE = 0, 1, 2
+_KIND_OF_LETTER = {"W": _KIND_WRITE, "R": _KIND_READ, "D": _KIND_DELETE}
+
+
+def _rwd_sorted(source: TraceDataset) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """W/R/D storage records with a node id, sorted by ``(node, timestamp)``.
+
+    Returns ``(node_ids, timestamps, kind_codes)``; ties keep insertion
+    order (stable lexsort), matching ``storage_by_node``'s ordering.
+    """
+    op_codes = source.storage_column("operation")
+    node_ids = source.storage_column("node_id")
+    kind_by_code = np.full(len(ApiOperation), -1, dtype=np.int8)
+    for operation, letter in _OP_KIND.items():
+        kind_by_code[OPERATION_CODE[operation]] = _KIND_OF_LETTER[letter]
+    kinds = kind_by_code[op_codes]
+    mask = (kinds >= 0) & (node_ids != 0)
+    node_ids = node_ids[mask]
+    timestamps = source.storage_column("timestamp")[mask]
+    kinds = kinds[mask].astype(np.int64)
+    order = np.lexsort((timestamps, node_ids))
+    return node_ids[order], timestamps[order], kinds[order]
 
 
 @dataclass(frozen=True)
@@ -101,25 +125,25 @@ def file_dependencies(dataset: TraceDataset,
                       include_attacks: bool = False) -> DependencyAnalysis:
     """Extract every consecutive-operation dependency per file (Fig. 3a/3b)."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    times: dict[Dependency, list[float]] = {d: [] for d in Dependency}
-    for records in source.storage_by_node().values():
-        ops = [(r.timestamp, _OP_KIND.get(r.operation)) for r in records
-               if r.operation in _OP_KIND]
-        for (t_prev, kind_prev), (t_next, kind_next) in zip(ops, ops[1:]):
-            if kind_prev is None or kind_next is None:
-                continue
-            if kind_prev == "D":
-                # Nothing can follow a delete of the same node id.
-                continue
-            gap = max(t_next - t_prev, 0.0)
-            name = f"{kind_next}A{kind_prev}"
-            try:
-                dependency = Dependency(name)
-            except ValueError:
-                continue
-            times[dependency].append(gap)
-    return DependencyAnalysis(times={d: np.asarray(v, dtype=float)
-                                     for d, v in times.items()})
+    # Columnar fast path: keep W/R/D records with a node id, order them by
+    # (node, timestamp) and classify each same-node consecutive pair.
+    nodes, timestamps, kinds = _rwd_sorted(source)
+    times: dict[Dependency, np.ndarray] = {}
+    if nodes.size < 2:
+        return DependencyAnalysis(times={d: np.empty(0) for d in Dependency})
+    same_node = nodes[1:] == nodes[:-1]
+    prev_kind = kinds[:-1]
+    next_kind = kinds[1:]
+    gaps = np.maximum(timestamps[1:] - timestamps[:-1], 0.0)
+    valid = same_node & (prev_kind != _KIND_DELETE)
+    pair_code = prev_kind[valid] * 3 + next_kind[valid]
+    pair_gaps = gaps[valid]
+    for dependency in Dependency:
+        # Dependency "XAY" = next kind X after previous kind Y.
+        code = _KIND_OF_LETTER[dependency.value[2]] * 3 \
+            + _KIND_OF_LETTER[dependency.value[0]]
+        times[dependency] = pair_gaps[pair_code == code]
+    return DependencyAnalysis(times=times)
 
 
 def downloads_per_file(dataset: TraceDataset,
@@ -130,11 +154,12 @@ def downloads_per_file(dataset: TraceDataset,
     popular, which motivates server-side caching.
     """
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    counts: dict[int, int] = {}
-    for record in source.downloads():
-        if record.node_id:
-            counts[record.node_id] = counts.get(record.node_id, 0) + 1
-    return np.asarray(sorted(counts.values()), dtype=float)
+    mask = ((source.storage_column("operation")
+             == OPERATION_CODE[ApiOperation.DOWNLOAD])
+            & (source.storage_column("node_id") != 0))
+    _, counts = np.unique(source.storage_column("node_id")[mask],
+                          return_counts=True)
+    return np.sort(counts).astype(float)
 
 
 @dataclass(frozen=True)
@@ -155,21 +180,23 @@ def dying_files(dataset: TraceDataset, idle_threshold: float = DAY,
                 include_attacks: bool = False) -> DyingFilesReport:
     """Count files that sat unused for ``idle_threshold`` before deletion."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    dying = 0
-    deleted = 0
-    observed = 0
-    for records in source.storage_by_node().values():
-        relevant = [r for r in records if r.operation in _OP_KIND]
-        if not relevant:
-            continue
-        observed += 1
-        if relevant[-1].operation is not ApiOperation.UNLINK:
-            continue
-        deleted += 1
-        if len(relevant) < 2:
-            continue
-        idle = relevant[-1].timestamp - relevant[-2].timestamp
-        if idle > idle_threshold:
-            dying += 1
+    nodes, timestamps, kinds = _rwd_sorted(source)
+    if nodes.size == 0:
+        return DyingFilesReport(dying_files=0, deleted_files=0, observed_files=0)
+    # Last relevant record of each node = position before a node change.
+    last_of_node = np.empty(nodes.size, dtype=bool)
+    last_of_node[:-1] = nodes[1:] != nodes[:-1]
+    last_of_node[-1] = True
+    observed = int(last_of_node.sum())
+    deleted_mask = last_of_node & (kinds == _KIND_DELETE)
+    deleted = int(deleted_mask.sum())
+    # A "dying" file also has a previous record of the same node and sat
+    # idle longer than the threshold before the final unlink.
+    positions = np.flatnonzero(deleted_mask)
+    has_prev = positions > 0
+    positions = positions[has_prev]
+    same_node_prev = nodes[positions - 1] == nodes[positions]
+    idle = timestamps[positions] - timestamps[positions - 1]
+    dying = int(np.sum(same_node_prev & (idle > idle_threshold)))
     return DyingFilesReport(dying_files=dying, deleted_files=deleted,
                             observed_files=observed)

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
+from repro.trace.records import ApiOperation
 from repro.util.stats import EmpiricalCDF
 from repro.util.units import MB
 from repro.workload.filemodel import FILE_CATEGORIES, category_of_extension
@@ -76,29 +77,41 @@ class FileSizeAnalysis:
         return counts[:n]
 
 
-def _distinct_files(dataset: TraceDataset, include_attacks: bool):
-    """Last observed (size, extension) per distinct uploaded file node."""
+def _distinct_file_arrays(dataset: TraceDataset, include_attacks: bool):
+    """Last observed (sizes, extension codes, categories) per uploaded node.
+
+    Columnar: selects upload records with a node id and keeps, per node, the
+    last occurrence in stream order (reversed-unique trick).
+    """
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    per_node: dict[int, tuple[int, str]] = {}
-    for record in source.uploads():
-        if record.node_id:
-            per_node[record.node_id] = (record.size_bytes, record.extension)
-    return per_node
+    mask = ((source.storage_column("operation")
+             == OPERATION_CODE[ApiOperation.UPLOAD])
+            & (source.storage_column("node_id") != 0))
+    nodes = source.storage_column("node_id")[mask]
+    sizes = source.storage_column("size_bytes")[mask]
+    ext_codes, ext_categories = source.storage_codes("extension")
+    ext_codes = ext_codes[mask]
+    if nodes.size == 0:
+        return sizes.astype(float), ext_codes, ext_categories
+    reversed_nodes = nodes[::-1]
+    _, first_in_reversed = np.unique(reversed_nodes, return_index=True)
+    last_positions = (nodes.size - 1) - first_in_reversed
+    return (sizes[last_positions].astype(float), ext_codes[last_positions],
+            ext_categories)
 
 
 def file_size_analysis(dataset: TraceDataset,
                        include_attacks: bool = False) -> FileSizeAnalysis:
     """Compute the Fig. 4b file-size distributions from uploaded files."""
-    per_node = _distinct_files(dataset, include_attacks)
-    by_extension: dict[str, list[float]] = {}
-    all_sizes: list[float] = []
-    for size, extension in per_node.values():
-        all_sizes.append(float(size))
-        by_extension.setdefault(extension, []).append(float(size))
+    all_sizes, ext_codes, categories = _distinct_file_arrays(dataset, include_attacks)
+    by_extension: dict[str, np.ndarray] = {}
+    for code, extension in enumerate(categories):
+        sizes = all_sizes[ext_codes == code]
+        if sizes.size:
+            by_extension[extension] = sizes
     return FileSizeAnalysis(
-        sizes_by_extension={ext: np.asarray(v, dtype=float)
-                            for ext, v in by_extension.items()},
-        all_sizes=np.asarray(all_sizes, dtype=float),
+        sizes_by_extension=by_extension,
+        all_sizes=all_sizes,
     )
 
 
@@ -116,13 +129,21 @@ class CategoryShare:
 def category_shares(dataset: TraceDataset,
                     include_attacks: bool = False) -> dict[str, CategoryShare]:
     """Compute the Fig. 4c number-of-files vs storage-space shares."""
-    per_node = _distinct_files(dataset, include_attacks)
+    sizes, ext_codes, categories = _distinct_file_arrays(dataset, include_attacks)
     counts: dict[str, int] = {c: 0 for c in FILE_CATEGORIES}
     storage: dict[str, int] = {c: 0 for c in FILE_CATEGORIES}
-    for size, extension in per_node.values():
-        category = category_of_extension(extension)
-        counts[category] = counts.get(category, 0) + 1
-        storage[category] = storage.get(category, 0) + size
+    category_index = {c: i for i, c in enumerate(FILE_CATEGORIES)}
+    # extension code -> category row, computed once per distinct extension.
+    row_of = np.asarray([category_index[category_of_extension(ext)]
+                         for ext in categories], dtype=np.intp)
+    if sizes.size:
+        rows = row_of[ext_codes]
+        count_rows = np.bincount(rows, minlength=len(FILE_CATEGORIES))
+        byte_rows = np.bincount(rows, weights=sizes,
+                                minlength=len(FILE_CATEGORIES))
+        for category, i in category_index.items():
+            counts[category] = int(count_rows[i])
+            storage[category] = int(byte_rows[i])
     total_files = sum(counts.values()) or 1
     total_storage = sum(storage.values()) or 1
     return {

@@ -75,33 +75,42 @@ class FindingsReport:
         return "\n".join(lines)
 
 
-def compute_findings(dataset: TraceDataset) -> FindingsReport:
-    """Recompute every quantitative Table 1 finding from ``dataset``."""
+def compute_findings(dataset: TraceDataset,
+                     precomputed: dict | None = None) -> FindingsReport:
+    """Recompute every quantitative Table 1 finding from ``dataset``.
+
+    ``precomputed`` optionally supplies analysis results already produced by
+    :func:`repro.core.report.full_report` (keyed by figure id) so the
+    consolidated report does not run every underlying analysis twice.
+    """
+    pre = precomputed or {}
     findings: list[Finding] = []
 
     # -- Storage workload ----------------------------------------------------
-    sizes = file_types.file_size_analysis(dataset)
+    sizes = pre.get("fig4b") or file_types.file_size_analysis(dataset)
     findings.append(Finding(
         section="Storage workload",
         statement="Files smaller than 1 MByte",
         paper_value=0.90,
         measured_value=sizes.fraction_below(1 * MB)))
 
-    updates = storage_workload.update_traffic_share(dataset)
+    updates = pre.get("updates") or storage_workload.update_traffic_share(dataset)
     findings.append(Finding(
         section="Storage workload",
         statement="Upload traffic caused by file updates",
         paper_value=0.185,
         measured_value=updates.traffic_share))
 
-    dedup = deduplication.deduplication_analysis(dataset)
+    dedup = pre.get("fig4a") or deduplication.deduplication_analysis(dataset)
     findings.append(Finding(
         section="Storage workload",
         statement="Deduplication ratio over one month",
         paper_value=0.17,
         measured_value=dedup.byte_dedup_ratio))
 
-    attacks = anomaly.detect_anomalies(dataset, family="session")
+    attacks = pre.get("fig5")
+    if attacks is None:
+        attacks = anomaly.detect_anomalies(dataset, family="session")
     findings.append(Finding(
         section="Storage workload",
         statement="DDoS attacks detected in the trace",
@@ -110,22 +119,30 @@ def compute_findings(dataset: TraceDataset) -> FindingsReport:
         unit="count"))
 
     # -- User behaviour --------------------------------------------------------
-    inequality = user_traffic.traffic_inequality(dataset)
-    findings.append(Finding(
-        section="User behavior",
-        statement="Traffic share of the top 1% of users",
-        paper_value=0.656,
-        measured_value=inequality.top_1_percent_share))
-    findings.append(Finding(
-        section="User behavior",
-        statement="Gini coefficient of per-user traffic",
-        paper_value=0.895,
-        measured_value=inequality.gini))
-
     try:
-        rw = storage_workload.rw_ratio_analysis(dataset)
+        inequality = pre.get("fig7c") or user_traffic.traffic_inequality(dataset)
     except ValueError:
-        rw = None
+        # Tiny traces may contain no legitimate transfer traffic at all.
+        inequality = None
+    if inequality is not None:
+        findings.append(Finding(
+            section="User behavior",
+            statement="Traffic share of the top 1% of users",
+            paper_value=0.656,
+            measured_value=inequality.top_1_percent_share))
+        findings.append(Finding(
+            section="User behavior",
+            statement="Gini coefficient of per-user traffic",
+            paper_value=0.895,
+            measured_value=inequality.gini))
+
+    if "fig2c" in pre:
+        rw = pre["fig2c"]
+    else:
+        try:
+            rw = storage_workload.rw_ratio_analysis(dataset)
+        except ValueError:
+            rw = None
     if rw is not None:
         findings.append(Finding(
             section="User behavior",
@@ -136,7 +153,7 @@ def compute_findings(dataset: TraceDataset) -> FindingsReport:
 
     # -- Back-end performance --------------------------------------------------
     if dataset.rpc:
-        points = rpc_performance.rpc_scatter(dataset)
+        points = pre.get("fig13") or rpc_performance.rpc_scatter(dataset)
         ranges = rpc_performance.class_median_ranges(points)
         from repro.trace.records import RpcClass
 
@@ -152,14 +169,14 @@ def compute_findings(dataset: TraceDataset) -> FindingsReport:
                 measured_value=slowest_cascade / max(fastest_read, 1e-9),
                 unit="ratio"))
 
-        shard_series = load_balancing.shard_load(dataset)
+        shard_series = pre.get("fig14_shards") or load_balancing.shard_load(dataset)
         findings.append(Finding(
             section="Back-end performance",
             statement="Long-term load imbalance across shards (CV)",
             paper_value=0.049,
             measured_value=shard_series.long_term_imbalance()))
 
-    session_stats = sessions.session_analysis(dataset)
+    session_stats = pre.get("fig16") or sessions.session_analysis(dataset)
     findings.append(Finding(
         section="Back-end performance",
         statement="Sessions that perform storage operations",

@@ -74,15 +74,24 @@ class LoadBalanceSeries:
         return float(totals.std() / mean)
 
 
-def _build_series(entities: list[str], events: list[tuple[float, str]],
-                  start: float, end: float, bin_width: float) -> LoadBalanceSeries:
+def _build_series(entities: list[str], timestamps: np.ndarray,
+                  rows: np.ndarray, start: float, end: float,
+                  bin_width: float) -> LoadBalanceSeries:
+    """Vectorised (entity x bin) histogram.
+
+    ``rows`` holds, per event, the row index of its entity in ``entities``
+    (or -1 for entities not configured); the (row, bin) pairs are counted in
+    one ``np.bincount`` over a flattened index.
+    """
     binner = TimeBinner(start=start, end=end + bin_width, width=bin_width)
-    index = {entity: i for i, entity in enumerate(entities)}
-    counts = np.zeros((len(entities), binner.n_bins))
-    for timestamp, entity in events:
-        bin_idx = binner.index_of(timestamp)
-        if bin_idx is not None and entity in index:
-            counts[index[entity], bin_idx] += 1
+    n_bins = binner.n_bins
+    in_range = (timestamps >= binner.start) & (timestamps < binner.end)
+    bin_idx = ((timestamps[in_range] - binner.start) // bin_width).astype(np.intp)
+    rows = rows[in_range]
+    known = rows >= 0
+    flat = rows[known].astype(np.intp) * n_bins + bin_idx[known]
+    counts = np.bincount(flat, minlength=len(entities) * n_bins) \
+        .reshape(len(entities), n_bins).astype(float)
     return LoadBalanceSeries(entities=tuple(entities), bin_edges=binner.edges(),
                              counts=counts, bin_width=bin_width)
 
@@ -93,15 +102,43 @@ def api_server_load(dataset: TraceDataset, bin_width: float = HOUR,
     """Requests per API server (physical machine) per hour (Fig. 14, top)."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
     start, end = dataset.time_span()
-    events = []
-    for record in source.storage:
-        entity = record.server if by_machine else f"{record.server}/{record.process}"
-        events.append((record.timestamp, entity))
-    for record in source.sessions:
-        entity = record.server if by_machine else f"{record.server}/{record.process}"
-        events.append((record.timestamp, entity))
-    entities = sorted({entity for _, entity in events})
-    return _build_series(entities, events, start, end, bin_width)
+    timestamps = np.concatenate([source.storage_column("timestamp"),
+                                 source.session_column("timestamp")])
+    storage_codes, storage_cats = source.storage_codes("server")
+    session_codes, session_cats = source.session_codes("server")
+    if by_machine:
+        labels_per_stream = [list(storage_cats), list(session_cats)]
+        code_arrays = [storage_codes, session_codes]
+    else:
+        # Entity = server/process: fold the (small) process number into the
+        # factorised server code, then keep only the combinations actually
+        # observed (the cross product would fabricate zero-count entities).
+        labels_per_stream = []
+        code_arrays = []
+        for stream_codes, cats, processes in (
+                (storage_codes, storage_cats, source.storage_column("process")),
+                (session_codes, session_cats, source.session_column("process"))):
+            n_proc = int(processes.max()) + 1 if processes.size else 1
+            combined = stream_codes.astype(np.int64) * n_proc + processes
+            observed, inverse = np.unique(combined, return_inverse=True)
+            labels_per_stream.append(
+                [f"{cats[code // n_proc]}/{code % n_proc}"
+                 for code in observed.tolist()])
+            code_arrays.append(inverse)
+    # Merge the two streams' code spaces into one entity list.
+    entity_index: dict[str, int] = {}
+    remapped = []
+    for cats, codes in zip(labels_per_stream, code_arrays):
+        row_of = np.empty(len(cats), dtype=np.intp)
+        for i, label in enumerate(cats):
+            row_of[i] = entity_index.setdefault(label, len(entity_index))
+        remapped.append(row_of[codes])
+    rows = np.concatenate(remapped) if remapped else np.empty(0, dtype=np.intp)
+    ordered = sorted(entity_index)
+    reorder = np.empty(len(entity_index), dtype=np.intp)
+    for new_row, label in enumerate(ordered):
+        reorder[entity_index[label]] = new_row
+    return _build_series(ordered, timestamps, reorder[rows], start, end, bin_width)
 
 
 def shard_load(dataset: TraceDataset, bin_width: float = MINUTE,
@@ -110,12 +147,22 @@ def shard_load(dataset: TraceDataset, bin_width: float = MINUTE,
     """RPC calls per metadata shard per minute (Fig. 14, bottom)."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
     start, end = dataset.time_span()
-    events = [(record.timestamp, f"shard-{record.shard_id}") for record in source.rpc]
-    if n_shards is not None:
-        entities = [f"shard-{i}" for i in range(n_shards)]
-    else:
-        entities = sorted({entity for _, entity in events})
-    if not entities:
+    shard_ids = source.rpc_column("shard_id")
+    timestamps = source.rpc_column("timestamp")
+    if shard_ids.size == 0 and n_shards is None:
         raise ValueError("no RPC records in the dataset; run the back-end "
                          "simulator to obtain shard-level load")
-    return _build_series(entities, events, start, end, bin_width)
+    max_shard = int(shard_ids.max()) if shard_ids.size else -1
+    if n_shards is not None:
+        entities = [f"shard-{i}" for i in range(n_shards)]
+        rows = np.where(shard_ids < n_shards, shard_ids, -1)
+    else:
+        present = np.unique(shard_ids)
+        labels = [f"shard-{i}" for i in present.tolist()]
+        order = sorted(range(len(labels)), key=lambda i: labels[i])
+        entities = [labels[i] for i in order]
+        row_of = np.full(max_shard + 1, -1, dtype=np.intp)
+        for row, idx in enumerate(order):
+            row_of[present[idx]] = row
+        rows = row_of[shard_ids]
+    return _build_series(entities, timestamps, rows, start, end, bin_width)

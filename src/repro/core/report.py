@@ -57,7 +57,11 @@ def full_report(dataset: TraceDataset) -> dict[str, Any]:
     report["fig6"] = user_activity.online_active_users(dataset)
     report["fig7a"] = user_activity.operation_counts(dataset)
     report["fig7b"] = user_traffic.per_user_traffic(dataset)
-    report["fig7c"] = user_traffic.traffic_inequality(dataset)
+    try:
+        report["fig7c"] = user_traffic.traffic_inequality(dataset)
+    except ValueError:
+        # Tiny traces may contain no legitimate transfer traffic at all.
+        report["fig7c"] = None
     report["user_classes"] = user_traffic.classify_users(dataset)
     report["fig8"] = request_graph.build_transition_graph(dataset)
     try:
@@ -75,7 +79,7 @@ def full_report(dataset: TraceDataset) -> dict[str, Any]:
         report["fig14_shards"] = load_balancing.shard_load(dataset)
     report["fig15"] = sessions.auth_activity(dataset)
     report["fig16"] = sessions.session_analysis(dataset)
-    report["table1"] = findings.compute_findings(dataset)
+    report["table1"] = findings.compute_findings(dataset, precomputed=report)
     return report
 
 
@@ -117,8 +121,9 @@ def format_report(dataset: TraceDataset) -> str:
     lines.append(f"Active/online user share per hour: {low:.1%} - {high:.1%} "
                  f"(paper: 3.5% - 16.3%)")
     fig7c = results["fig7c"]
-    lines.append(f"Gini of per-user traffic: {fig7c.gini:.3f} (paper: ~0.895); "
-                 f"top 1% share: {fig7c.top_1_percent_share:.1%} (paper: 65.6%)")
+    if fig7c is not None:
+        lines.append(f"Gini of per-user traffic: {fig7c.gini:.3f} (paper: ~0.895); "
+                     f"top 1% share: {fig7c.top_1_percent_share:.1%} (paper: 65.6%)")
     classes = results["user_classes"]
     lines.append("User classes: "
                  f"occasional {classes.occasional:.1%}, upload-only {classes.upload_only:.1%}, "

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import networkx as nx
+import numpy as np
 
 from repro.trace.dataset import TraceDataset
 from repro.trace.records import ApiOperation
@@ -88,16 +89,25 @@ def build_transition_graph(dataset: TraceDataset,
     exactly like the figure ("user-centric").
     """
     source = dataset if include_attacks else dataset.without_attack_traffic()
+    # Columnar fast path: order records by (group key, timestamp), pair each
+    # record with its successor inside the same group, and count the
+    # (previous op, next op) code pairs in one bincount.
+    key_column = "session_id" if per_session else "user_id"
+    keys = source.storage_column(key_column)
+    if keys.size < 2:
+        return TransitionGraph(counts={}, total_transitions=0)
+    timestamps = source.storage_column("timestamp")
+    op_codes = source.storage_column("operation").astype(np.int64)
+    order = np.lexsort((timestamps, keys))
+    keys_sorted = keys[order]
+    ops_sorted = op_codes[order]
+    same_group = keys_sorted[1:] == keys_sorted[:-1]
+    n_ops = len(ApiOperation)
+    pair_codes = ops_sorted[:-1][same_group] * n_ops + ops_sorted[1:][same_group]
+    pair_counts = np.bincount(pair_codes, minlength=n_ops * n_ops)
+    operations = list(ApiOperation)
     counts: dict[tuple[ApiOperation, ApiOperation], int] = {}
-    total = 0
-    grouping = (source.storage_by_session() if per_session
-                else source.storage_by_user())
-    for records in grouping.values():
-        previous: ApiOperation | None = None
-        for record in records:
-            if previous is not None:
-                key = (previous, record.operation)
-                counts[key] = counts.get(key, 0) + 1
-                total += 1
-            previous = record.operation
-    return TransitionGraph(counts=counts, total_transitions=total)
+    for code in np.flatnonzero(pair_counts).tolist():
+        counts[(operations[code // n_ops], operations[code % n_ops])] = \
+            int(pair_counts[code])
+    return TransitionGraph(counts=counts, total_transitions=int(pair_counts.sum()))

@@ -105,11 +105,23 @@ def rpc_service_times(dataset: TraceDataset,
     RPCs are part of the measured performance.
     """
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    grouped: dict[RpcName, list[float]] = {}
-    for record in source.rpc:
-        grouped.setdefault(record.rpc, []).append(record.service_time)
-    return RpcServiceTimes(samples={rpc: np.asarray(values, dtype=float)
-                                    for rpc, values in grouped.items()})
+    # Columnar fast path: argsort the RPC code column once and split the
+    # service-time column at the code boundaries.
+    codes = source.rpc_column("rpc")
+    times = source.rpc_column("service_time")
+    if codes.size == 0:
+        return RpcServiceTimes(samples={})
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_times = times[order]
+    boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+    rpc_names = list(RpcName)
+    samples = {
+        rpc_names[int(chunk_codes[0])]: chunk_times
+        for chunk_codes, chunk_times
+        in zip(np.split(sorted_codes, boundaries), np.split(sorted_times, boundaries))
+    }
+    return RpcServiceTimes(samples=samples)
 
 
 @dataclass(frozen=True)

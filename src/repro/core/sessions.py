@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import SESSION_EVENT_CODE, TraceDataset
 from repro.trace.records import SessionEvent
 from repro.util.stats import EmpiricalCDF
 from repro.util.timebin import TimeBinner, bin_count_series
@@ -67,17 +67,19 @@ def auth_activity(dataset: TraceDataset, bin_width: float = HOUR,
     source = dataset if include_attacks else dataset.without_attack_traffic()
     start, end = dataset.time_span()
     binner = TimeBinner(start=start, end=end + bin_width, width=bin_width)
-    session_events = (r.timestamp for r in source.sessions
-                      if r.event in (SessionEvent.CONNECT, SessionEvent.DISCONNECT))
-    auth_events = [r for r in source.sessions
-                   if r.event in (SessionEvent.AUTH_REQUEST,)]
-    failures = sum(1 for r in source.sessions if r.event is SessionEvent.AUTH_FAIL)
+    # Columnar fast path: event-code masks over the cached session columns.
+    ts = source.session_column("timestamp")
+    event_codes = source.session_column("event")
+    connectish = np.isin(event_codes, [SESSION_EVENT_CODE[SessionEvent.CONNECT],
+                                       SESSION_EVENT_CODE[SessionEvent.DISCONNECT]])
+    requests = event_codes == SESSION_EVENT_CODE[SessionEvent.AUTH_REQUEST]
+    failures = int(np.sum(event_codes == SESSION_EVENT_CODE[SessionEvent.AUTH_FAIL]))
     return AuthActivitySeries(
         bin_edges=binner.edges(),
-        session_requests=bin_count_series(binner, session_events),
-        auth_requests=bin_count_series(binner, (r.timestamp for r in auth_events)),
+        session_requests=bin_count_series(binner, ts[connectish]),
+        auth_requests=bin_count_series(binner, ts[requests]),
         auth_failures=failures,
-        auth_total=len(auth_events),
+        auth_total=int(np.sum(requests)),
         bin_width=bin_width,
     )
 
@@ -148,7 +150,9 @@ def session_analysis(dataset: TraceDataset,
                      include_attacks: bool = False) -> SessionAnalysis:
     """Build the Fig. 16 session-length / operations-per-session analysis."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    completed = source.completed_sessions()
-    lengths = np.asarray([max(r.session_length, 0.0) for r in completed], dtype=float)
-    operations = np.asarray([r.storage_operations for r in completed], dtype=float)
+    # Columnar fast path: DISCONNECT records carry the session metadata.
+    disconnect = (source.session_column("event")
+                  == SESSION_EVENT_CODE[SessionEvent.DISCONNECT])
+    lengths = np.maximum(source.session_column("session_length")[disconnect], 0.0)
+    operations = source.session_column("storage_operations")[disconnect].astype(float)
     return SessionAnalysis(lengths=lengths, storage_operations=operations)

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
+from repro.trace.records import ApiOperation
 from repro.util.stats import BoxplotSummary, autocorrelation, boxplot_summary
 from repro.util.timebin import TimeBinner, bin_sum_series
 from repro.util.units import GB, HOUR, MB
@@ -90,8 +91,14 @@ def traffic_timeseries(dataset: TraceDataset, bin_width: float = HOUR,
     source = dataset if include_attacks else dataset.without_attack_traffic()
     start, end = dataset.time_span()
     binner = TimeBinner(start=start, end=end + bin_width, width=bin_width)
-    uploads = bin_sum_series(binner, ((r.timestamp, r.size_bytes) for r in source.uploads()))
-    downloads = bin_sum_series(binner, ((r.timestamp, r.size_bytes) for r in source.downloads()))
+    # Columnar fast path: operation-code masks over the cached columns.
+    ts = source.storage_column("timestamp")
+    sizes = source.storage_column("size_bytes")
+    codes = source.storage_column("operation")
+    up = codes == OPERATION_CODE[ApiOperation.UPLOAD]
+    down = codes == OPERATION_CODE[ApiOperation.DOWNLOAD]
+    uploads = bin_sum_series(binner, (ts[up], sizes[up]))
+    downloads = bin_sum_series(binner, (ts[down], sizes[down]))
     return TrafficTimeSeries(bin_edges=binner.edges(), upload_bytes=uploads,
                              download_bytes=downloads, bin_width=bin_width)
 
@@ -137,16 +144,13 @@ def _category_label(low: float, high: float) -> str:
     return f"{low:g}-{high:g}MB"
 
 
-def _share_by_category(records) -> tuple[np.ndarray, np.ndarray]:
-    ops = np.zeros(len(SIZE_CATEGORIES_MB))
-    traffic = np.zeros(len(SIZE_CATEGORIES_MB))
-    for record in records:
-        size_mb = record.size_bytes / MB
-        for index, (low, high) in enumerate(SIZE_CATEGORIES_MB):
-            if low <= size_mb < high:
-                ops[index] += 1
-                traffic[index] += record.size_bytes
-                break
+def _share_by_category(sizes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised per-size-category shares from a size_bytes array."""
+    n_categories = len(SIZE_CATEGORIES_MB)
+    edges = np.asarray([high * MB for _, high in SIZE_CATEGORIES_MB[:-1]])
+    category = np.searchsorted(edges, sizes, side="right")
+    ops = np.bincount(category, minlength=n_categories).astype(float)
+    traffic = np.bincount(category, weights=sizes, minlength=n_categories)
     ops_total = ops.sum() or 1.0
     traffic_total = traffic.sum() or 1.0
     return ops / ops_total, traffic / traffic_total
@@ -156,8 +160,12 @@ def traffic_by_size_category(dataset: TraceDataset,
                              include_attacks: bool = False) -> SizeCategoryBreakdown:
     """Compute the Fig. 2b shares of operations and traffic by file size."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    upload_ops, upload_traffic = _share_by_category(source.uploads())
-    download_ops, download_traffic = _share_by_category(source.downloads())
+    codes = source.storage_column("operation")
+    sizes = source.storage_column("size_bytes").astype(float)
+    up = codes == OPERATION_CODE[ApiOperation.UPLOAD]
+    down = codes == OPERATION_CODE[ApiOperation.DOWNLOAD]
+    upload_ops, upload_traffic = _share_by_category(sizes[up])
+    download_ops, download_traffic = _share_by_category(sizes[down])
     labels = tuple(_category_label(low, high) for low, high in SIZE_CATEGORIES_MB)
     return SizeCategoryBreakdown(
         categories=labels,
@@ -257,11 +265,13 @@ def update_traffic_share(dataset: TraceDataset,
                          include_attacks: bool = False) -> UpdateTrafficShare:
     """Quantify how much upload traffic is due to updates of existing files."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    uploads = source.uploads()
-    updates = [r for r in uploads if r.is_update]
+    upload_mask = (source.storage_column("operation")
+                   == OPERATION_CODE[ApiOperation.UPLOAD])
+    update_mask = upload_mask & source.storage_column("is_update")
+    sizes = source.storage_column("size_bytes")
     return UpdateTrafficShare(
-        update_operations=len(updates),
-        total_operations=len(uploads),
-        update_bytes=sum(r.size_bytes for r in updates),
-        total_bytes=sum(r.size_bytes for r in uploads),
+        update_operations=int(update_mask.sum()),
+        total_operations=int(upload_mask.sum()),
+        update_bytes=int(sizes[update_mask].sum()),
+        total_bytes=int(sizes[upload_mask].sum()),
     )

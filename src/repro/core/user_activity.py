@@ -17,8 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
 from repro.trace.records import ApiOperation
+
+#: Codes of the data-management operations (the paper's "active user" test).
+_DATA_MANAGEMENT_CODES = np.asarray(
+    [OPERATION_CODE[op] for op in ApiOperation if op.is_data_management],
+    dtype=np.int16)
 from repro.util.timebin import TimeBinner, bin_unique_series
 from repro.util.units import HOUR
 
@@ -62,13 +67,16 @@ def online_active_users(dataset: TraceDataset, bin_width: float = HOUR,
     source = dataset if include_attacks else dataset.without_attack_traffic()
     start, end = dataset.time_span()
     binner = TimeBinner(start=start, end=end + bin_width, width=bin_width)
-    online_events = []
-    online_events.extend((r.timestamp, r.user_id) for r in source.sessions)
-    online_events.extend((r.timestamp, r.user_id) for r in source.storage)
-    online = bin_unique_series(binner, online_events)
-    active = bin_unique_series(
-        binner, ((r.timestamp, r.user_id) for r in source.storage
-                 if r.operation.is_data_management))
+    # Columnar fast path: concatenate the session and storage columns and
+    # deduplicate (bin, user) pairs vectorised.
+    storage_ts = source.storage_column("timestamp")
+    storage_users = source.storage_column("user_id")
+    online_ts = np.concatenate([source.session_column("timestamp"), storage_ts])
+    online_users = np.concatenate([source.session_column("user_id"), storage_users])
+    online = bin_unique_series(binner, (online_ts, online_users))
+    management = np.isin(source.storage_column("operation"), _DATA_MANAGEMENT_CODES)
+    active = bin_unique_series(binner, (storage_ts[management],
+                                        storage_users[management]))
     return OnlineActiveSeries(bin_edges=binner.edges(), online=online,
                               active=active, bin_width=bin_width)
 
@@ -111,12 +119,20 @@ def operation_counts(dataset: TraceDataset,
     derived from the session stream, as the paper's figure does.
     """
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    counts: dict[ApiOperation, int] = {}
-    for record in source.storage:
-        counts[record.operation] = counts.get(record.operation, 0) + 1
+    # Columnar fast path: one bincount over the operation-code column.
+    operations = list(ApiOperation)
+    code_counts = np.bincount(source.storage_column("operation"),
+                              minlength=len(operations))
+    counts: dict[ApiOperation, int] = {
+        operations[code]: int(count)
+        for code, count in enumerate(code_counts) if count
+    }
     if include_sessions:
-        opens = sum(1 for r in source.sessions if r.event.value == "connect")
-        closes = sum(1 for r in source.sessions if r.event.value == "disconnect")
+        from repro.trace.dataset import SESSION_EVENT_CODE
+        from repro.trace.records import SessionEvent
+        events = source.session_column("event")
+        opens = int(np.sum(events == SESSION_EVENT_CODE[SessionEvent.CONNECT]))
+        closes = int(np.sum(events == SESSION_EVENT_CODE[SessionEvent.DISCONNECT]))
         if opens:
             counts[ApiOperation.OPEN_SESSION] = opens
         if closes:

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import OPERATION_CODE, TraceDataset
+from repro.trace.records import ApiOperation
 from repro.util.inequality import gini_coefficient, lorenz_curve, top_share
 from repro.util.stats import EmpiricalCDF
 from repro.util.units import KB
@@ -87,14 +88,24 @@ def per_user_traffic(dataset: TraceDataset,
                      include_attacks: bool = False) -> UserTraffic:
     """Aggregate upload/download bytes per user."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    uploads: dict[int, int] = {}
-    downloads: dict[int, int] = {}
-    for record in source.uploads():
-        uploads[record.user_id] = uploads.get(record.user_id, 0) + record.size_bytes
-    for record in source.downloads():
-        downloads[record.user_id] = downloads.get(record.user_id, 0) + record.size_bytes
-    return UserTraffic(upload_bytes=uploads, download_bytes=downloads,
-                       all_users=len(source.user_ids()))
+    # Columnar fast path: per-user byte totals via unique + weighted bincount.
+    op_codes = source.storage_column("operation")
+    users = source.storage_column("user_id")
+    sizes = source.storage_column("size_bytes")
+
+    def totals(mask: np.ndarray) -> dict[int, int]:
+        masked_users = users[mask]
+        if masked_users.size == 0:
+            return {}
+        distinct, inverse = np.unique(masked_users, return_inverse=True)
+        sums = np.bincount(inverse, weights=sizes[mask])
+        return {int(uid): int(total)
+                for uid, total in zip(distinct.tolist(), sums.tolist())}
+
+    return UserTraffic(
+        upload_bytes=totals(op_codes == OPERATION_CODE[ApiOperation.UPLOAD]),
+        download_bytes=totals(op_codes == OPERATION_CODE[ApiOperation.DOWNLOAD]),
+        all_users=len(source.user_ids()))
 
 
 @dataclass(frozen=True)

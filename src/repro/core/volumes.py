@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.dataset import TraceDataset
+from repro.trace.dataset import (
+    NODE_KIND_CODE,
+    OPERATION_CODE,
+    VOLUME_TYPE_CODE,
+    TraceDataset,
+)
 from repro.trace.records import ApiOperation, NodeKind, VolumeType
 from repro.util.stats import EmpiricalCDF, pearson_correlation
 
@@ -83,20 +88,28 @@ def volume_contents(dataset: TraceDataset,
     (exactly what the back-end logs allow).
     """
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    node_volume: dict[int, tuple[int, NodeKind]] = {}
-    volumes: set[int] = set()
-    for record in source.storage:
-        if record.volume_id:
-            volumes.add(record.volume_id)
-        if record.node_id:
-            node_volume[record.node_id] = (record.volume_id, record.node_kind)
-    files: dict[int, int] = {v: 0 for v in volumes}
-    dirs: dict[int, int] = {v: 0 for v in volumes}
-    for volume_id, kind in node_volume.values():
-        if kind is NodeKind.DIRECTORY:
-            dirs[volume_id] = dirs.get(volume_id, 0) + 1
-        else:
-            files[volume_id] = files.get(volume_id, 0) + 1
+    # Columnar fast path: attribute each node to its last-seen volume via the
+    # reversed-unique trick, then count files/dirs per volume with bincounts.
+    volume_ids = source.storage_column("volume_id")
+    node_ids = source.storage_column("node_id")
+    volumes = np.unique(volume_ids[volume_ids != 0])
+    files: dict[int, int] = {int(v): 0 for v in volumes.tolist()}
+    dirs: dict[int, int] = {int(v): 0 for v in volumes.tolist()}
+    node_mask = node_ids != 0
+    nodes = node_ids[node_mask]
+    if nodes.size:
+        node_volumes = volume_ids[node_mask]
+        node_kinds = source.storage_column("node_kind")[node_mask]
+        reversed_nodes = nodes[::-1]
+        _, first_in_reversed = np.unique(reversed_nodes, return_index=True)
+        last = (nodes.size - 1) - first_in_reversed
+        last_volumes = node_volumes[last]
+        is_dir = node_kinds[last] == NODE_KIND_CODE[NodeKind.DIRECTORY]
+        for volume_array, target in ((last_volumes[is_dir], dirs),
+                                     (last_volumes[~is_dir], files)):
+            distinct, counts = np.unique(volume_array, return_counts=True)
+            for volume_id, count in zip(distinct.tolist(), counts.tolist()):
+                target[int(volume_id)] = target.get(int(volume_id), 0) + int(count)
     return VolumeContents(files_per_volume=files, directories_per_volume=dirs)
 
 
@@ -131,17 +144,29 @@ def volume_type_distribution(dataset: TraceDataset,
                              include_attacks: bool = False) -> VolumeTypeDistribution:
     """Count distinct UDF/shared volumes referenced per user (Fig. 11)."""
     source = dataset if include_attacks else dataset.without_attack_traffic()
-    udf: dict[int, set[int]] = {}
-    shared: dict[int, set[int]] = {}
-    for record in source.storage:
-        if not record.volume_id:
-            continue
-        if record.volume_type is VolumeType.UDF or record.operation is ApiOperation.CREATE_UDF:
-            udf.setdefault(record.user_id, set()).add(record.volume_id)
-        elif record.volume_type is VolumeType.SHARED:
-            shared.setdefault(record.user_id, set()).add(record.volume_id)
+    # Columnar fast path: deduplicate (user, volume) pairs per class with one
+    # np.unique over a fused key, then count distinct volumes per user.
+    volume_ids = source.storage_column("volume_id")
+    users = source.storage_column("user_id")
+    types = source.storage_column("volume_type")
+    ops = source.storage_column("operation")
+    has_volume = volume_ids != 0
+    udf_mask = has_volume & ((types == VOLUME_TYPE_CODE[VolumeType.UDF])
+                             | (ops == OPERATION_CODE[ApiOperation.CREATE_UDF]))
+    shared_mask = has_volume & ~udf_mask \
+        & (types == VOLUME_TYPE_CODE[VolumeType.SHARED])
+
+    def distinct_per_user(mask: np.ndarray) -> dict[int, int]:
+        if not mask.any():
+            return {}
+        pairs = np.unique(np.stack([users[mask], volume_ids[mask]], axis=1),
+                          axis=0)
+        distinct_users, counts = np.unique(pairs[:, 0], return_counts=True)
+        return {int(u): int(c)
+                for u, c in zip(distinct_users.tolist(), counts.tolist())}
+
     return VolumeTypeDistribution(
-        udf_volumes_per_user={u: len(v) for u, v in udf.items()},
-        shared_volumes_per_user={u: len(v) for u, v in shared.items()},
+        udf_volumes_per_user=distinct_per_user(udf_mask),
+        shared_volumes_per_user=distinct_per_user(shared_mask),
         total_users=len(source.user_ids()),
     )

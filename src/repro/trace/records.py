@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "TRACE_EPOCH",
+    "DATA_MANAGEMENT_OPERATIONS",
     "ApiOperation",
     "VolumeType",
     "NodeKind",
@@ -92,6 +93,10 @@ _DATA_MANAGEMENT_OPERATIONS = frozenset({
     ApiOperation.CREATE_UDF,
     ApiOperation.DELETE_VOLUME,
 })
+
+#: Public view of the data-management operation set, for hot paths that
+#: prefer one frozenset lookup over the per-record enum property.
+DATA_MANAGEMENT_OPERATIONS = _DATA_MANAGEMENT_OPERATIONS
 
 
 class VolumeType(str, enum.Enum):

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.trace.dataset import TraceDataset
+import numpy as np
+
+from repro.trace.dataset import NODE_KIND_CODE, OPERATION_CODE, TraceDataset
+from repro.trace.records import ApiOperation, NodeKind
 from repro.util.units import DAY, format_bytes
 
 __all__ = ["TraceSummary", "summarize"]
@@ -48,24 +51,28 @@ class TraceSummary:
 
 
 def summarize(dataset: TraceDataset) -> TraceSummary:
-    """Compute the Table 3 summary of ``dataset``."""
+    """Compute the Table 3 summary of ``dataset`` (columnar fast paths)."""
     if dataset.is_empty:
         raise ValueError("cannot summarise an empty dataset")
     start, end = dataset.time_span()
-    servers = {(r.server) for r in dataset.storage}
-    servers.update(r.server for r in dataset.rpc)
-    servers.update(r.server for r in dataset.sessions)
-    unique_files = {r.node_id for r in dataset.storage
-                    if r.node_id and r.node_kind.value == "file"}
-    uploads = dataset.uploads()
-    downloads = dataset.downloads()
+    servers: set[str] = set()
+    for stream in (dataset._storage, dataset._rpc, dataset._sessions):
+        if len(stream):
+            servers.update(stream.distinct("server"))
+    node_ids = dataset.storage_column("node_id")
+    kinds = dataset.storage_column("node_kind")
+    file_mask = (node_ids != 0) & (kinds == NODE_KIND_CODE[NodeKind.FILE])
+    unique_files = np.unique(node_ids[file_mask])
+    op_codes = dataset.storage_column("operation")
+    n_uploads = int(np.sum(op_codes == OPERATION_CODE[ApiOperation.UPLOAD]))
+    n_downloads = int(np.sum(op_codes == OPERATION_CODE[ApiOperation.DOWNLOAD]))
     return TraceSummary(
         duration_days=(end - start) / DAY,
         servers_traced=len(servers),
         unique_users=len(dataset.user_ids()),
-        unique_files=len(unique_files),
+        unique_files=int(unique_files.size),
         user_sessions=len(dataset.session_ids()),
-        transfer_operations=len(uploads) + len(downloads),
-        upload_bytes=sum(r.size_bytes for r in uploads),
-        download_bytes=sum(r.size_bytes for r in downloads),
+        transfer_operations=n_uploads + n_downloads,
+        upload_bytes=dataset.upload_bytes(),
+        download_bytes=dataset.download_bytes(),
     )

@@ -65,25 +65,51 @@ class TimeBinner:
             yield float(left), float(min(left + self.width, self.end))
 
 
+def _bin_indices(binner: TimeBinner, timestamps: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``index_of``: (in-range mask, bin index per in-range event)."""
+    in_range = (timestamps >= binner.start) & (timestamps < binner.end)
+    indices = ((timestamps[in_range] - binner.start) // binner.width).astype(np.intp)
+    return in_range, indices
+
+
+def _is_presplit(events) -> bool:
+    """Whether ``events`` is a pre-split ``(array, array)`` pair.
+
+    The array members are required so a legacy iterable that happens to be a
+    tuple of two (timestamp, value) pairs is not misparsed.
+    """
+    return (isinstance(events, tuple) and len(events) == 2
+            and isinstance(events[0], np.ndarray)
+            and isinstance(events[1], np.ndarray))
+
+
 def bin_count_series(binner: TimeBinner, timestamps: Iterable[float]) -> np.ndarray:
-    """Number of events per bin."""
-    counts = np.zeros(binner.n_bins, dtype=float)
-    for ts in timestamps:
-        idx = binner.index_of(float(ts))
-        if idx is not None:
-            counts[idx] += 1.0
-    return counts
+    """Number of events per bin (vectorised ``np.bincount``)."""
+    ts = np.asarray(timestamps if isinstance(timestamps, np.ndarray)
+                    else list(timestamps), dtype=float)
+    _, indices = _bin_indices(binner, ts)
+    return np.bincount(indices, minlength=binner.n_bins).astype(float)
 
 
 def bin_sum_series(binner: TimeBinner,
                    events: Iterable[tuple[float, float]]) -> np.ndarray:
-    """Sum of event values per bin, from ``(timestamp, value)`` pairs."""
-    sums = np.zeros(binner.n_bins, dtype=float)
-    for ts, value in events:
-        idx = binner.index_of(float(ts))
-        if idx is not None:
-            sums[idx] += float(value)
-    return sums
+    """Sum of event values per bin, from ``(timestamp, value)`` pairs.
+
+    Also accepts a pre-split ``(timestamps, values)`` pair of arrays, which
+    the columnar analyses use to avoid building tuples per event.
+    """
+    if _is_presplit(events):
+        ts, values = (np.asarray(events[0], dtype=float),
+                      np.asarray(events[1], dtype=float))
+    else:
+        pairs = list(events)
+        if not pairs:
+            return np.zeros(binner.n_bins, dtype=float)
+        ts = np.asarray([p[0] for p in pairs], dtype=float)
+        values = np.asarray([p[1] for p in pairs], dtype=float)
+    in_range, indices = _bin_indices(binner, ts)
+    return np.bincount(indices, weights=values[in_range],
+                       minlength=binner.n_bins).astype(float)
 
 
 def bin_unique_series(binner: TimeBinner,
@@ -92,11 +118,30 @@ def bin_unique_series(binner: TimeBinner,
 
     Used for the online/active users-per-hour series of Fig. 6, where each
     user should be counted once per hour regardless of how many requests the
-    user issued in that hour.
+    user issued in that hour.  Accepts a pre-split ``(timestamps, keys)``
+    array pair like :func:`bin_sum_series`; integer keys are deduplicated
+    per bin with a vectorised unique over ``(bin, key)`` pairs.
     """
-    seen: list[set[object]] = [set() for _ in range(binner.n_bins)]
-    for ts, key in events:
-        idx = binner.index_of(float(ts))
-        if idx is not None:
-            seen[idx].add(key)
-    return np.asarray([len(bucket) for bucket in seen], dtype=float)
+    if _is_presplit(events):
+        ts = np.asarray(events[0], dtype=float)
+        keys = np.asarray(events[1])
+    else:
+        pairs = list(events)
+        if not pairs:
+            return np.zeros(binner.n_bins, dtype=float)
+        ts = np.asarray([p[0] for p in pairs], dtype=float)
+        keys = np.asarray([p[1] for p in pairs])
+    in_range, indices = _bin_indices(binner, ts)
+    keys = keys[in_range]
+    if keys.size == 0:
+        return np.zeros(binner.n_bins, dtype=float)
+    if np.issubdtype(keys.dtype, np.number):
+        distinct = np.unique(np.stack([indices, keys.astype(np.int64)], axis=1), axis=0)
+        bins = distinct[:, 0]
+    else:  # object keys: fall back to per-bin sets
+        seen: dict[int, set] = {}
+        for idx, key in zip(indices.tolist(), keys.tolist()):
+            seen.setdefault(idx, set()).add(key)
+        return np.asarray([len(seen.get(i, ())) for i in range(binner.n_bins)],
+                          dtype=float)
+    return np.bincount(bins, minlength=binner.n_bins).astype(float)

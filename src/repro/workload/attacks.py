@@ -67,43 +67,45 @@ class AttackEpisode:
 
         session_id = session_id_start
         starts = np.sort(rng.uniform(self.start, self.end, size=n_sessions))
-        for session_start in starts:
+        # Vectorised draws: session lengths, per-session op counts, and the
+        # inter-op gaps / upload rolls for all sessions at once.  The
+        # distributions are identical to the historical per-event scalar
+        # draws; only the order the RNG stream is consumed in changes.
+        lengths = np.minimum(rng.exponential(300.0, size=n_sessions) + 1.0,
+                             self.end - starts)
+        op_counts = np.maximum(rng.poisson(ops_per_session, size=n_sessions), 1)
+        total_ops = int(op_counts.sum())
+        gaps = rng.exponential(5.0, size=total_ops)
+        uploads = rng.random(total_ops) >= 0.95
+        cursor = 0
+        for i in range(n_sessions):
             session_id += 1
-            length = float(min(rng.exponential(300.0) + 1.0, self.end - session_start))
+            session_start = float(starts[i])
+            session_end = session_start + float(lengths[i])
             script = SessionScript(
                 user_id=self.attacker_user_id,
                 session_id=session_id,
-                start=float(session_start),
-                end=float(session_start + length),
+                start=session_start,
+                end=session_end,
                 caused_by_attack=True,
             )
-            t = float(session_start)
-            for _ in range(int(rng.poisson(ops_per_session)) or 1):
-                t += float(rng.exponential(5.0))
-                if t >= script.end:
+            n_ops = int(op_counts[i])
+            times = session_start + np.cumsum(gaps[cursor:cursor + n_ops])
+            is_upload = uploads[cursor:cursor + n_ops]
+            cursor += n_ops
+            events = script.events
+            for t, upload in zip(times.tolist(), is_upload.tolist()):
+                if t >= session_end:
                     break
                 # The attack is content distribution: overwhelmingly reads of
                 # the same shared file, with occasional re-uploads.
-                if rng.random() < 0.95:
-                    operation = ApiOperation.DOWNLOAD
-                    is_update = False
-                else:
-                    operation = ApiOperation.UPLOAD
-                    is_update = True
-                script.events.append(ClientEvent(
-                    time=t,
-                    user_id=self.attacker_user_id,
-                    session_id=session_id,
-                    operation=operation,
-                    node_id=self.shared_node_id,
-                    volume_id=self.shared_volume_id,
-                    volume_type=VolumeType.SHARED,
-                    node_kind=NodeKind.FILE,
-                    size_bytes=self.config.shared_file_size,
-                    content_hash=self.content_hash,
-                    extension="avi",
-                    is_update=is_update,
-                    caused_by_attack=True,
+                events.append(ClientEvent(
+                    t, self.attacker_user_id, session_id,
+                    ApiOperation.UPLOAD if upload else ApiOperation.DOWNLOAD,
+                    self.shared_node_id, self.shared_volume_id,
+                    VolumeType.SHARED, NodeKind.FILE,
+                    self.config.shared_file_size, self.content_hash, "avi",
+                    upload, True,
                 ))
             yield script
 

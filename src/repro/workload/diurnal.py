@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.units import DAY, HOUR
 
 __all__ = ["DiurnalProfile"]
@@ -77,6 +79,25 @@ class DiurnalProfile:
             value *= self.weekend_factor
         # Normalise so that the weekly mean multiplier is ~1.
         return value / mid
+
+    def intensity_array(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`intensity` over an array of timestamps."""
+        ts = np.asarray(timestamps, dtype=np.float64)
+        hour = (ts % DAY) / HOUR
+        peak = self.peak_to_trough
+        trough = 1.0
+        mid = (peak + trough) / 2.0
+        amplitude = (peak - trough) / 2.0
+        value = mid + amplitude * np.cos(2 * np.pi * (hour - self.phase_hours) / 24.0)
+        # day_of_week(ts) = (ts // DAY + 3) % 7; weekends are days 5 and 6.
+        weekend = ((ts // DAY).astype(np.int64) + 3) % 7 >= 5
+        value = np.where(weekend, value * self.weekend_factor, value)
+        return value / mid
+
+    def max_intensity(self, start_time: float = 0.0) -> float:
+        """Maximum of :meth:`intensity` over one week from ``start_time``."""
+        hours = start_time + np.arange(24 * 7) * HOUR
+        return float(self.intensity_array(hours).max())
 
     def mean_intensity(self) -> float:
         """Average of :meth:`intensity` over one week (should be close to 1)."""

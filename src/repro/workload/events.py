@@ -51,6 +51,16 @@ class ClientEvent:
         """True for uploads and downloads."""
         return self.operation.is_transfer
 
+    @property
+    def timestamp(self) -> float:
+        """Alias of :attr:`time`.
+
+        Makes events request-shaped (same attribute set as
+        :class:`repro.backend.protocol.operations.ApiRequest`), so the replay
+        loop can hand them to the API servers without a per-event copy.
+        """
+        return self.time
+
 
 @dataclass
 class SessionScript:

@@ -20,11 +20,14 @@ with those observations.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.util.rngpool import RngPool
 from repro.util.units import KB, MB
 
 __all__ = [
@@ -152,27 +155,38 @@ class FileModel:
         if max_size_bytes <= 0:
             raise ValueError("max_size_bytes must be positive")
         self._rng = rng
+        self._pool = RngPool(rng)
         self._max_size_bytes = max_size_bytes
         self._profiles = list(profiles)
         weights = np.asarray([p.popularity for p in self._profiles], dtype=float)
         self._probabilities = weights / weights.sum()
+        # Cumulative popularity (plain floats) for bisect-based sampling.
+        self._cumulative = np.cumsum(self._probabilities).tolist()
         self._duplicate_fraction = duplicate_fraction
         self._zipf_exponent = duplicate_zipf_exponent
         # Pool of "popular" contents that attract duplicates.  The pool grows
         # lazily; its Zipf weights give a long tail of duplicates per hash.
+        # The rank weight of an entry (rank^-s) never changes once assigned,
+        # so the cumulative weights are maintained incrementally on growth
+        # instead of being rebuilt for every draw.
         self._popular_contents: list[tuple[str, int, str]] = []
+        self._zipf_cumulative: list[float] = []
+        self._small_songs = [p for p in self._profiles
+                             if p.category == "Audio/Video" and p.median_size <= 16 * MB]
         self._next_content_id = 0
 
     # ---------------------------------------------------------------- sizing
     def sample_profile(self) -> ExtensionProfile:
         """Sample an extension profile according to popularity."""
-        index = int(self._rng.choice(len(self._profiles), p=self._probabilities))
+        index = bisect_right(self._cumulative, self._pool.random())
+        if index >= len(self._profiles):
+            index = len(self._profiles) - 1
         return self._profiles[index]
 
     def sample_size(self, profile: ExtensionProfile) -> int:
         """Sample a file size in bytes for the given extension profile."""
-        mu = np.log(profile.median_size)
-        size = float(self._rng.lognormal(mean=mu, sigma=profile.sigma))
+        mu = math.log(profile.median_size)
+        size = self._pool.lognormal(mu, profile.sigma)
         return max(1, min(int(size), self._max_size_bytes))
 
     # --------------------------------------------------------------- content
@@ -185,24 +199,25 @@ class FileModel:
         # Grow the pool occasionally so that early contents accumulate the
         # most duplicates (Zipf-like popularity) while a broad base of
         # contents ends up with only a couple of copies.
-        if not self._popular_contents or self._rng.random() < 0.30:
+        if not self._popular_contents or self._pool.random() < 0.30:
             # Popular duplicated contents skew towards media files (songs,
             # videos shared across many users), which is what makes the
             # byte-level dedup ratio (~0.17) much larger than one would get
             # from duplicating typical (small) files.
             profile = self.sample_profile()
-            if profile.category not in ("Audio/Video", "Compressed") and self._rng.random() < 0.5:
-                songs = [p for p in self._profiles
-                         if p.category == "Audio/Video" and p.median_size <= 16 * MB]
-                profile = songs[int(self._rng.integers(len(songs)))]
+            if profile.category not in ("Audio/Video", "Compressed") and self._pool.random() < 0.5:
+                songs = self._small_songs
+                profile = songs[self._pool.integers(len(songs))]
             entry = (self._new_content_hash(), self.sample_size(profile), profile.extension)
             self._popular_contents.append(entry)
+            rank = len(self._popular_contents)
+            previous = self._zipf_cumulative[-1] if self._zipf_cumulative else 0.0
+            self._zipf_cumulative.append(previous + rank ** (-self._zipf_exponent))
             return entry
-        n = len(self._popular_contents)
-        ranks = np.arange(1, n + 1, dtype=float)
-        weights = ranks ** (-self._zipf_exponent)
-        weights /= weights.sum()
-        index = int(self._rng.choice(n, p=weights))
+        cumulative = self._zipf_cumulative
+        index = bisect_right(cumulative, self._pool.random() * cumulative[-1])
+        if index >= len(self._popular_contents):
+            index = len(self._popular_contents) - 1
         return self._popular_contents[index]
 
     def sample_new_file(self) -> tuple[str, int, str]:
@@ -212,7 +227,7 @@ class FileModel:
         existing popular content (same hash, same size); otherwise a fresh
         unique content is minted.
         """
-        if self._rng.random() < self._duplicate_fraction:
+        if self._pool.random() < self._duplicate_fraction:
             return self._sample_popular_content()
         profile = self.sample_profile()
         return self._new_content_hash(), self.sample_size(profile), profile.extension
@@ -224,6 +239,6 @@ class FileModel:
         code changes) but always produce new content — U1 has no delta
         updates, so the full file is re-uploaded.
         """
-        jitter = float(self._rng.lognormal(mean=0.0, sigma=0.2))
+        jitter = self._pool.lognormal(0.0, 0.2)
         new_size = max(1, int(old_size * jitter))
         return self._new_content_hash(), new_size

@@ -16,8 +16,8 @@ the paper describes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
 
 import numpy as np
 
@@ -26,10 +26,9 @@ from repro.trace.records import (
     ApiOperation,
     NodeKind,
     SessionEvent,
-    SessionRecord,
-    StorageRecord,
     VolumeType,
 )
+from repro.util.rngpool import RngPool
 from repro.util.units import HOUR
 from repro.workload.attacks import build_attack_episodes
 from repro.workload.config import WorkloadConfig
@@ -70,12 +69,193 @@ class _VolumeState:
     file_ids: set[int] = field(default_factory=set)
 
 
+class _PendingUploads:
+    """FIFO of node ids awaiting upload: O(1) append/pop/contains/discard.
+
+    Replaces the historical plain list whose ``pop(0)``, ``remove`` and
+    ``in`` were all O(n).  Removal is lazy: ``discard`` only drops the id
+    from the membership set, and ``popleft`` skips tombstoned entries.
+    """
+
+    __slots__ = ("_queue", "_members")
+
+    def __init__(self) -> None:
+        self._queue: deque[int] = deque()
+        self._members: set[int] = set()
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def append(self, node_id: int) -> None:
+        self._queue.append(node_id)
+        self._members.add(node_id)
+
+    def discard(self, node_id: int) -> None:
+        self._members.discard(node_id)
+
+    def popleft(self) -> int | None:
+        queue = self._queue
+        members = self._members
+        while queue:
+            node_id = queue.popleft()
+            if node_id in members:
+                members.discard(node_id)
+                return node_id
+        return None
+
+
+class _FileTable:
+    """Columnar mirror of a user's live files, for weighted operand choice.
+
+    The per-operation target choices (download/update/unlink/move) weight
+    every live file by recency, popularity and size.  Rebuilding a Python
+    weight list per operation made operand choice O(n_files) *interpreted*
+    work; this table keeps the numeric state in parallel NumPy arrays that
+    are updated in O(1) on file create/delete/touch, so each choice is a
+    vectorised weight computation plus a binary search over the running
+    cumulative sum.
+    """
+
+    __slots__ = ("node_ids", "created", "last_write", "last_read", "reads",
+                 "size_bytes", "slot", "n")
+
+    def __init__(self, capacity: int = 16):
+        self.node_ids = np.zeros(capacity, dtype=np.int64)
+        self.created = np.zeros(capacity)
+        self.last_write = np.zeros(capacity)
+        self.last_read = np.zeros(capacity)
+        self.reads = np.zeros(capacity)
+        self.size_bytes = np.zeros(capacity)
+        self.slot: dict[int, int] = {}
+        self.n = 0
+
+    def _grow(self) -> None:
+        for name in ("node_ids", "created", "last_write", "last_read",
+                     "reads", "size_bytes"):
+            old = getattr(self, name)
+            new = np.zeros(len(old) * 2, dtype=old.dtype)
+            new[:len(old)] = old
+            setattr(self, name, new)
+
+    # -------------------------------------------------------------- updates
+    def add(self, node_id: int, created: float, size_bytes: int,
+            last_read: float = -1.0) -> None:
+        if self.n == len(self.node_ids):
+            self._grow()
+        i = self.n
+        self.node_ids[i] = node_id
+        self.created[i] = created
+        self.last_write[i] = created
+        self.last_read[i] = last_read
+        self.reads[i] = 0
+        self.size_bytes[i] = size_bytes
+        self.slot[node_id] = i
+        self.n += 1
+
+    def remove(self, node_id: int) -> None:
+        i = self.slot.pop(node_id, None)
+        if i is None:
+            return
+        last = self.n - 1
+        if i != last:
+            for name in ("node_ids", "created", "last_write", "last_read",
+                         "reads", "size_bytes"):
+                column = getattr(self, name)
+                column[i] = column[last]
+            self.slot[int(self.node_ids[i])] = i
+        self.n = last
+
+    def touch_write(self, node_id: int, when: float,
+                    size_bytes: int | None = None) -> None:
+        i = self.slot[node_id]
+        self.last_write[i] = when
+        if size_bytes is not None:
+            self.size_bytes[i] = size_bytes
+
+    def touch_read(self, node_id: int, when: float) -> None:
+        i = self.slot[node_id]
+        self.last_read[i] = when
+        self.reads[i] += 1
+
+    # -------------------------------------------------------------- choices
+    def _pick(self, weights: np.ndarray, u: float) -> int:
+        cumulative = np.cumsum(weights)
+        index = int(np.searchsorted(cumulative, u * cumulative[-1], side="right"))
+        if index >= self.n:
+            index = self.n - 1
+        return int(self.node_ids[index])
+
+    def pick_weighted(self, now: float, u: float, favour_recent_writes: bool,
+                      favour_popular: bool, favour_large: bool,
+                      penalise_already_synced: bool = False) -> int | None:
+        n = self.n
+        if n == 0:
+            return None
+        weights = np.ones(n)
+        if favour_recent_writes:
+            weights[now - self.last_write[:n] < HOUR] += 4.0
+        if favour_popular:
+            weights += np.minimum(self.reads[:n], 10.0) * 0.5
+        if favour_large:
+            weights += np.minimum(self.size_bytes[:n] / (4 * 1024 * 1024), 3.0)
+        if penalise_already_synced:
+            weights[self.last_read[:n] > self.last_write[:n]] *= 0.15
+        return self._pick(weights, u)
+
+    def pick_update(self, now: float, u: float) -> int | None:
+        n = self.n
+        if n == 0:
+            return None
+        weights = 0.4 + np.minimum(self.size_bytes[:n] / (1024 * 1024), 1.5)
+        weights[now - self.last_write[:n] < HOUR] += 2.0
+        return self._pick(weights, u)
+
+    def pick_unsynced(self, now: float, u: float) -> int | None:
+        """A file with ``last_read < last_write`` (pending synchronisation)."""
+        n = self.n
+        unsynced = np.flatnonzero(self.last_read[:n] < self.last_write[:n])
+        if unsynced.size == 0:
+            return None
+        weights = np.ones(unsynced.size)
+        weights[now - self.last_write[unsynced] < HOUR] += 3.0
+        cumulative = np.cumsum(weights)
+        index = int(np.searchsorted(cumulative, u * cumulative[-1], side="right"))
+        if index >= unsynced.size:
+            index = unsynced.size - 1
+        return int(self.node_ids[unsynced[index]])
+
+    def has_unsynced(self) -> bool:
+        n = self.n
+        return bool(np.any(self.last_read[:n] < self.last_write[:n]))
+
+    def pick_recent_created(self, now: float, window: float, u: float) -> int | None:
+        """A uniformly chosen file created less than ``window`` seconds ago."""
+        n = self.n
+        recent = np.flatnonzero(now - self.created[:n] < window)
+        if recent.size == 0:
+            return None
+        index = int(u * recent.size)
+        if index >= recent.size:
+            index = recent.size - 1
+        return int(self.node_ids[recent[index]])
+
+
 @dataclass
 class _UserState:
     user: User
     volumes: dict[int, _VolumeState] = field(default_factory=dict)
     files: dict[int, _FileState] = field(default_factory=dict)
-    pending_uploads: list[int] = field(default_factory=list)
+    pending_uploads: _PendingUploads = field(default_factory=_PendingUploads)
+    table: _FileTable = field(default_factory=_FileTable)
+    # Volume choice cache: (volume list, cumulative weights); rebuilt only
+    # when the volume set changes (UDF creation/deletion is rare).
+    volume_cache: tuple[list[_VolumeState], list[float]] | None = None
 
     def live_file_ids(self) -> list[int]:
         return list(self.files.keys())
@@ -98,6 +278,7 @@ class SyntheticTraceGenerator:
         config.validate()
         self.config = config
         self._rng = np.random.default_rng(config.seed)
+        self._pool = RngPool(self._rng)
         self._diurnal = DiurnalProfile(
             peak_to_trough=config.diurnal_peak_to_trough,
             weekend_factor=config.weekend_factor,
@@ -168,11 +349,22 @@ class SyntheticTraceGenerator:
         return state
 
     def _pick_volume(self, state: _UserState) -> _VolumeState:
-        volumes = list(state.volumes.values())
-        weights = np.asarray([3.0 if v.volume_type is VolumeType.ROOT else 1.0
-                              for v in volumes])
-        weights /= weights.sum()
-        return volumes[int(self._rng.choice(len(volumes), p=weights))]
+        cache = state.volume_cache
+        if cache is None:
+            volumes = list(state.volumes.values())
+            cumulative: list[float] = []
+            total = 0.0
+            for volume in volumes:
+                total += 3.0 if volume.volume_type is VolumeType.ROOT else 1.0
+                cumulative.append(total)
+            cache = (volumes, cumulative)
+            state.volume_cache = cache
+        volumes, cumulative = cache
+        u = self._pool.random() * cumulative[-1]
+        for volume, bound in zip(volumes, cumulative):
+            if u < bound:
+                return volume
+        return volumes[-1]
 
     def _create_file(self, state: _UserState, created: float) -> _FileState:
         volume = self._pick_volume(state)
@@ -188,8 +380,14 @@ class SyntheticTraceGenerator:
             last_write=created,
         )
         state.files[file_state.node_id] = file_state
+        state.table.add(file_state.node_id, created, size)
         volume.file_ids.add(file_state.node_id)
         return file_state
+
+    def _drop_file(self, state: _UserState, node_id: int) -> None:
+        state.files.pop(node_id, None)
+        state.table.remove(node_id)
+        state.pending_uploads.discard(node_id)
 
     # -------------------------------------------------------- operand logic
     def _weighted_file_choice(self, state: _UserState, now: float,
@@ -197,23 +395,12 @@ class SyntheticTraceGenerator:
                               favour_popular: bool,
                               favour_large: bool,
                               penalise_already_synced: bool = False) -> _FileState | None:
-        files = list(state.files.values())
-        if not files:
-            return None
-        weights = np.ones(len(files))
-        for i, f in enumerate(files):
-            if favour_recent_writes and now - f.last_write < HOUR:
-                weights[i] += 4.0
-            if favour_popular:
-                weights[i] += min(f.reads, 10) * 0.5
-            if favour_large:
-                weights[i] += min(f.size_bytes / (4 * 1024 * 1024), 3.0)
-            if penalise_already_synced and f.last_read > f.last_write:
-                # Desktop clients do not re-download files that have not
-                # changed since the last synchronisation.
-                weights[i] *= 0.15
-        weights /= weights.sum()
-        return files[int(self._rng.choice(len(files), p=weights))]
+        node_id = state.table.pick_weighted(
+            now, self._pool.random(),
+            favour_recent_writes=favour_recent_writes,
+            favour_popular=favour_popular, favour_large=favour_large,
+            penalise_already_synced=penalise_already_synced)
+        return None if node_id is None else state.files[node_id]
 
     def _pick_update_target(self, state: _UserState, now: float) -> _FileState | None:
         """Choose the file an update rewrites.
@@ -222,17 +409,8 @@ class SyntheticTraceGenerator:
         (tagged media, documents under revision), which is why they account
         for ~18.5 % of upload bytes while being only ~10 % of uploads.
         """
-        files = list(state.files.values())
-        if not files:
-            return None
-        weights = np.empty(len(files))
-        for i, f in enumerate(files):
-            size_mb = f.size_bytes / (1024 * 1024)
-            weights[i] = 0.4 + min(size_mb, 1.5)
-            if now - f.last_write < HOUR:
-                weights[i] += 2.0
-        weights /= weights.sum()
-        return files[int(self._rng.choice(len(files), p=weights))]
+        node_id = state.table.pick_update(now, self._pool.random())
+        return None if node_id is None else state.files[node_id]
 
     def _pick_download_target(self, state: _UserState, now: float) -> _FileState | None:
         """Choose the file a download reads.
@@ -245,16 +423,11 @@ class SyntheticTraceGenerator:
         a handful of large files would be fetched over and over and the R/W
         ratio would explode, which is not what the paper observes.
         """
-        unsynced = [f for f in state.files.values() if f.last_read < f.last_write]
-        roll = self._rng.random()
-        if unsynced and roll < 0.75:
-            weights = np.empty(len(unsynced))
-            for i, f in enumerate(unsynced):
-                weights[i] = 1.0
-                if now - f.last_write < HOUR:
-                    weights[i] += 3.0
-            weights /= weights.sum()
-            return unsynced[int(self._rng.choice(len(unsynced), p=weights))]
+        roll = self._pool.random()
+        if roll < 0.75:
+            node_id = state.table.pick_unsynced(now, self._pool.random())
+            if node_id is not None:
+                return state.files[node_id]
         if state.files and roll < 0.85:
             return self._weighted_file_choice(state, now, favour_recent_writes=True,
                                               favour_popular=True, favour_large=False,
@@ -269,7 +442,7 @@ class SyntheticTraceGenerator:
         root_volume = state.root_volume_id()
 
         if operation is ApiOperation.MAKE:
-            if self._rng.random() < 0.30:
+            if self._pool.random() < 0.30:
                 volume = self._pick_volume(state)
                 volume.directory_count += 1
                 return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
@@ -287,7 +460,7 @@ class SyntheticTraceGenerator:
 
         if operation is ApiOperation.UPLOAD:
             update_target = None
-            if state.files and self._rng.random() < self.config.update_fraction * 1.3:
+            if state.files and self._pool.random() < self.config.update_fraction * 1.3:
                 update_target = self._pick_update_target(state, t)
             if update_target is not None and update_target.node_id not in state.pending_uploads:
                 new_hash, new_size = self._file_model.sample_updated_content(
@@ -296,6 +469,7 @@ class SyntheticTraceGenerator:
                 update_target.size_bytes = new_size
                 update_target.last_write = t
                 update_target.writes += 1
+                state.table.touch_write(update_target.node_id, t, new_size)
                 return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
                                    operation=operation, node_id=update_target.node_id,
                                    volume_id=update_target.volume_id,
@@ -306,11 +480,12 @@ class SyntheticTraceGenerator:
                                    extension=update_target.extension,
                                    is_update=True)
             if state.pending_uploads:
-                node_id = state.pending_uploads.pop(0)
+                node_id = state.pending_uploads.popleft()
                 file_state = state.files.get(node_id)
                 if file_state is None:
                     return None
                 file_state.last_write = t
+                state.table.touch_write(node_id, t)
             else:
                 file_state = self._create_file(state, created=t)
             return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
@@ -331,6 +506,7 @@ class SyntheticTraceGenerator:
                                    volume_id=root_volume)
             target.last_read = t
             target.reads += 1
+            state.table.touch_read(target.node_id, t)
             return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
                                operation=operation, node_id=target.node_id,
                                volume_id=target.volume_id,
@@ -343,23 +519,21 @@ class SyntheticTraceGenerator:
         if operation is ApiOperation.UNLINK:
             if not state.files:
                 return None
-            short_lived = self._rng.random() < self.config.short_lived_file_fraction
-            if short_lived:
-                recent = [f for f in state.files.values() if t - f.created < 8 * HOUR]
-                target = recent[int(self._rng.integers(len(recent)))] if recent else None
-            else:
-                target = None
+            target = None
+            if self._pool.random() < self.config.short_lived_file_fraction:
+                node_id = state.table.pick_recent_created(t, 8 * HOUR,
+                                                          self._pool.random())
+                if node_id is not None:
+                    target = state.files[node_id]
             if target is None:
                 target = self._weighted_file_choice(state, t, favour_recent_writes=False,
                                                     favour_popular=False, favour_large=False)
             if target is None:
                 return None
-            state.files.pop(target.node_id, None)
+            self._drop_file(state, target.node_id)
             volume = state.volumes.get(target.volume_id)
             if volume is not None:
                 volume.file_ids.discard(target.node_id)
-            if target.node_id in state.pending_uploads:
-                state.pending_uploads.remove(target.node_id)
             return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
                                operation=operation, node_id=target.node_id,
                                volume_id=target.volume_id,
@@ -383,6 +557,7 @@ class SyntheticTraceGenerator:
             udf = _VolumeState(volume_id=self._new_volume_id(),
                                volume_type=VolumeType.UDF)
             state.volumes[udf.volume_id] = udf
+            state.volume_cache = None
             user.volume_ids.append(udf.volume_id)
             return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
                                operation=operation, volume_id=udf.volume_id,
@@ -393,12 +568,11 @@ class SyntheticTraceGenerator:
             udf_ids = state.udf_volume_ids()
             if not udf_ids:
                 return None
-            volume_id = udf_ids[int(self._rng.integers(len(udf_ids)))]
+            volume_id = udf_ids[self._pool.integers(len(udf_ids))]
             volume = state.volumes.pop(volume_id)
+            state.volume_cache = None
             for node_id in volume.file_ids:
-                state.files.pop(node_id, None)
-                if node_id in state.pending_uploads:
-                    state.pending_uploads.remove(node_id)
+                self._drop_file(state, node_id)
             return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
                                operation=operation, volume_id=volume_id,
                                volume_type=VolumeType.UDF,
@@ -412,7 +586,7 @@ class SyntheticTraceGenerator:
     def _sample_ops_count(self, user: User) -> int:
         base = self.config.mean_ops_per_active_session
         weight_factor = 0.5 + min(user.activity_weight, 50.0)
-        heavy_tail = float(self._rng.pareto(1.15)) + 0.3
+        heavy_tail = self._pool.pareto(1.15) + 0.3
         count = int(base * heavy_tail * weight_factor / 5.0) + 1
         return min(count, self.config.max_ops_per_session)
 
@@ -431,18 +605,18 @@ class SyntheticTraceGenerator:
             # idle sessions still register as "online" activity.
             t = plan.start + 1.0
             while t < plan.end:
-                operation = (ApiOperation.GET_DELTA if self._rng.random() < 0.6
+                operation = (ApiOperation.GET_DELTA if self._pool.random() < 0.6
                              else ApiOperation.QUERY_SET_CAPS)
                 event = self._materialize(state, operation, t, session_id)
                 if event is not None:
                     script.events.append(event)
-                t += float(self._rng.uniform(4 * HOUR, 10 * HOUR))
+                t += self._pool.uniform(4 * HOUR, 10 * HOUR)
             return script
 
         n_ops = self._sample_ops_count(state.user)
-        t = plan.start + float(self._rng.uniform(0.2, 3.0))
+        t = plan.start + self._pool.uniform(0.2, 3.0)
         operation = self._chain.initial_operation()
-        allow_volume_ops = state.user.udf_volumes > 0 or self._rng.random() < 0.3
+        allow_volume_ops = state.user.udf_volumes > 0 or self._pool.random() < 0.3
         for _ in range(n_ops):
             if t >= plan.end:
                 break
@@ -493,8 +667,8 @@ class SyntheticTraceGenerator:
     # ------------------------------------------------------------ rendering
     def _placement(self) -> tuple[str, int]:
         """Random (machine, process) placement used when no simulator runs."""
-        machine = int(self._rng.integers(self.config.api_machines))
-        process = int(self._rng.integers(self.config.processes_per_machine))
+        machine = self._pool.integers(self.config.api_machines)
+        process = self._pool.integers(self.config.processes_per_machine)
         return f"api{machine}", process
 
     def generate(self) -> TraceDataset:
@@ -507,47 +681,35 @@ class SyntheticTraceGenerator:
         """
         dataset = TraceDataset()
         shards = self.config.metadata_shards
+        # Row-append fast paths (positional record-field order); record
+        # objects are only built if an analysis iterates the dataset.
+        session_row = dataset.append_session_row
+        storage_row = dataset.append_storage_row
         for script in self.client_events():
             server, process = self._placement()
             shard_id = script.user_id % shards
-            dataset.add_session(SessionRecord(
-                timestamp=script.start, server=server, process=process,
-                user_id=script.user_id, session_id=script.session_id,
-                event=SessionEvent.AUTH_REQUEST,
-                caused_by_attack=script.caused_by_attack))
+            user_id = script.user_id
+            session_id = script.session_id
+            attack = script.caused_by_attack
+            session_row(script.start, server, process, user_id, session_id,
+                        SessionEvent.AUTH_REQUEST, attack, -1.0, 0)
             if script.auth_failed:
-                dataset.add_session(SessionRecord(
-                    timestamp=script.start, server=server, process=process,
-                    user_id=script.user_id, session_id=script.session_id,
-                    event=SessionEvent.AUTH_FAIL,
-                    caused_by_attack=script.caused_by_attack))
+                session_row(script.start, server, process, user_id, session_id,
+                            SessionEvent.AUTH_FAIL, attack, -1.0, 0)
                 continue
-            dataset.add_session(SessionRecord(
-                timestamp=script.start, server=server, process=process,
-                user_id=script.user_id, session_id=script.session_id,
-                event=SessionEvent.AUTH_OK,
-                caused_by_attack=script.caused_by_attack))
-            dataset.add_session(SessionRecord(
-                timestamp=script.start, server=server, process=process,
-                user_id=script.user_id, session_id=script.session_id,
-                event=SessionEvent.CONNECT,
-                caused_by_attack=script.caused_by_attack))
+            session_row(script.start, server, process, user_id, session_id,
+                        SessionEvent.AUTH_OK, attack, -1.0, 0)
+            session_row(script.start, server, process, user_id, session_id,
+                        SessionEvent.CONNECT, attack, -1.0, 0)
             for event in script.events:
-                dataset.add_storage(StorageRecord(
-                    timestamp=event.time, server=server, process=process,
-                    user_id=event.user_id, session_id=event.session_id,
-                    operation=event.operation, node_id=event.node_id,
-                    volume_id=event.volume_id, volume_type=event.volume_type,
-                    node_kind=event.node_kind, size_bytes=event.size_bytes,
-                    content_hash=event.content_hash, extension=event.extension,
-                    is_update=event.is_update, shard_id=shard_id,
-                    caused_by_attack=event.caused_by_attack))
-            dataset.add_session(SessionRecord(
-                timestamp=script.end, server=server, process=process,
-                user_id=script.user_id, session_id=script.session_id,
-                event=SessionEvent.DISCONNECT,
-                session_length=script.length,
-                storage_operations=script.storage_operation_count,
-                caused_by_attack=script.caused_by_attack))
+                storage_row(event.time, server, process, event.user_id,
+                            event.session_id, event.operation, event.node_id,
+                            event.volume_id, event.volume_type, event.node_kind,
+                            event.size_bytes, event.content_hash,
+                            event.extension, event.is_update, shard_id,
+                            event.caused_by_attack)
+            session_row(script.end, server, process, user_id, session_id,
+                        SessionEvent.DISCONNECT, attack, script.length,
+                        script.storage_operation_count)
         dataset.sort()
         return dataset

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.trace.records import ApiOperation
+from repro.util.rngpool import RngPool
 from repro.workload.population import User, UserClass
 
 __all__ = ["OperationChain", "BurstGapSampler", "TRANSITION_TABLE", "INITIAL_OPERATIONS"]
@@ -143,51 +144,96 @@ _CLASS_BIAS = {
 }
 
 
+#: Per-entry tags used by the precompiled transition rows.
+_KIND_PLAIN, _KIND_UPLOAD, _KIND_DOWNLOAD, _KIND_VOLUME = 0, 1, 2, 3
+
+
+def _compile_row(entries: tuple[tuple[ApiOperation, float], ...]):
+    row = []
+    for op, weight in entries:
+        if op is ApiOperation.UPLOAD:
+            kind = _KIND_UPLOAD
+        elif op is ApiOperation.DOWNLOAD:
+            kind = _KIND_DOWNLOAD
+        elif op in (ApiOperation.CREATE_UDF, ApiOperation.DELETE_VOLUME):
+            kind = _KIND_VOLUME
+        else:
+            kind = _KIND_PLAIN
+        row.append((op, weight, kind))
+    return tuple(row)
+
+
+#: TRANSITION_TABLE precompiled into (op, weight, kind) rows so that the
+#: per-step sampling only applies class/diurnal multipliers and a cumulative
+#: scan — no list rebuilding, no ``np.random.choice`` probability validation.
+_COMPILED_TABLE = {current: _compile_row(entries)
+                   for current, entries in TRANSITION_TABLE.items()}
+
+_INITIAL_OPS = tuple(op for op, _ in INITIAL_OPERATIONS)
+_INITIAL_CUMULATIVE = tuple(
+    float(c) for c in np.cumsum([w for _, w in INITIAL_OPERATIONS]))
+
+
 class OperationChain:
     """Samples sequences of API operations for a session.
 
     The chain is the Fig. 8 transition structure re-weighted per user class
     (upload-only users rarely download and vice versa) and per time of day
     (the download bias from the diurnal model nudges the R/W ratio).
+
+    Sampling is a cumulative-weight scan over the precompiled transition row
+    driven by one pooled uniform — the tables never change at run time, only
+    the upload/download multipliers do.
     """
 
     def __init__(self, rng: np.random.Generator):
         self._rng = rng
+        self._pool = RngPool(rng)
 
     def initial_operation(self) -> ApiOperation:
         """First operation of a session after authentication."""
-        ops, weights = zip(*INITIAL_OPERATIONS)
-        probs = np.asarray(weights, dtype=float)
-        probs /= probs.sum()
-        return ops[int(self._rng.choice(len(ops), p=probs))]
+        u = self._pool.random() * _INITIAL_CUMULATIVE[-1]
+        for op, cumulative in zip(_INITIAL_OPS, _INITIAL_CUMULATIVE):
+            if u < cumulative:
+                return op
+        return _INITIAL_OPS[-1]
 
     def next_operation(self, current: ApiOperation, user: User,
                        download_bias: float = 1.0,
                        allow_volume_ops: bool = True) -> ApiOperation:
         """Sample the operation following ``current`` for ``user``."""
-        table = TRANSITION_TABLE.get(current)
-        if table is None:
+        row = _COMPILED_TABLE.get(current)
+        if row is None:
             return self.initial_operation()
         bias = _CLASS_BIAS[user.user_class]
-        ops = []
-        weights = []
-        for op, weight in table:
-            if not allow_volume_ops and op in (ApiOperation.CREATE_UDF,
-                                               ApiOperation.DELETE_VOLUME):
+        upload_mult = bias.upload
+        download_mult = bias.download * download_bias
+        total = 0.0
+        for op, weight, kind in row:
+            if kind == _KIND_UPLOAD:
+                weight *= upload_mult
+            elif kind == _KIND_DOWNLOAD:
+                weight *= download_mult
+            elif kind == _KIND_VOLUME and not allow_volume_ops:
                 continue
-            multiplier = 1.0
-            if op is ApiOperation.UPLOAD:
-                multiplier = bias.upload
-            elif op is ApiOperation.DOWNLOAD:
-                multiplier = bias.download * download_bias
-            ops.append(op)
-            weights.append(weight * multiplier)
-        probs = np.asarray(weights, dtype=float)
-        total = probs.sum()
+            total += weight
         if total <= 0:
             return self.initial_operation()
-        probs /= total
-        return ops[int(self._rng.choice(len(ops), p=probs))]
+        u = self._pool.random() * total
+        acc = 0.0
+        chosen = None
+        for op, weight, kind in row:
+            if kind == _KIND_UPLOAD:
+                weight *= upload_mult
+            elif kind == _KIND_DOWNLOAD:
+                weight *= download_mult
+            elif kind == _KIND_VOLUME and not allow_volume_ops:
+                continue
+            acc += weight
+            chosen = op
+            if u < acc:
+                return op
+        return chosen if chosen is not None else self.initial_operation()
 
 
 class BurstGapSampler:
@@ -206,15 +252,16 @@ class BurstGapSampler:
         if theta <= 0:
             raise ValueError("theta must be positive")
         self._rng = rng
+        self._pool = RngPool(rng)
         self._alpha = alpha
         self._theta = theta
         self._cap = cap
 
     def sample(self) -> float:
         """One inter-operation gap in seconds."""
-        u = self._rng.random()
+        u = self._pool.random()
         gap = self._theta * (1.0 - u) ** (-1.0 / self._alpha)
-        return float(min(gap, self._cap))
+        return gap if gap < self._cap else self._cap
 
     def sample_many(self, n: int) -> np.ndarray:
         """Vector of ``n`` gaps."""

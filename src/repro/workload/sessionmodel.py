@@ -67,30 +67,31 @@ class SessionModel:
             peak_to_trough=config.diurnal_peak_to_trough,
             weekend_factor=config.weekend_factor,
         )
+        # Thinning bound of the inhomogeneous Poisson process; constant per
+        # configuration, so computed once instead of per user.
+        self._max_multiplier = self._diurnal.max_intensity(config.start_time)
 
     # ----------------------------------------------------------------- starts
-    def _sample_start_times(self, user: User) -> list[float]:
-        """Session start times over the whole window via thinned Poisson."""
+    def _sample_start_times(self, user: User) -> np.ndarray:
+        """Session start times over the whole window via thinned Poisson.
+
+        Fully vectorised: candidate times, diurnal intensities and the
+        acceptance test are drawn as arrays rather than per candidate.
+        """
         config = self._config
         duration = config.duration_days * DAY
         base_rate = config.sessions_per_user_day / DAY  # sessions per second
-        # Thinning against the diurnal profile (max multiplier ~2x mean).
-        max_multiplier = max(self._diurnal.intensity(config.start_time + h * 3600.0)
-                             for h in range(int(24 * 7)))
-        rate_bound = base_rate * max_multiplier
+        rate_bound = base_rate * self._max_multiplier
         expected = rate_bound * duration
         n_candidates = int(self._rng.poisson(expected))
         if n_candidates == 0:
-            return []
+            return np.empty(0)
         candidates = config.start_time + self._rng.uniform(0.0, duration, size=n_candidates)
         candidates.sort()
-        starts = []
-        for ts in candidates:
-            shifted = ts + user.phase_offset_hours * 3600.0
-            accept_prob = self._diurnal.intensity(shifted) / max_multiplier
-            if self._rng.random() < accept_prob:
-                starts.append(float(ts))
-        return starts
+        shifted = candidates + user.phase_offset_hours * 3600.0
+        accept_prob = self._diurnal.intensity_array(shifted) / self._max_multiplier
+        accepted = self._rng.random(n_candidates) < accept_prob
+        return candidates[accepted]
 
     # ---------------------------------------------------------------- lengths
     def _sample_length(self) -> float:
@@ -111,27 +112,47 @@ class SessionModel:
         """
         if length < 1.0:
             return False
+        return bool(self._rng.random() < self._active_probability(user))
+
+    def _active_probability(self, user: User) -> float:
+        """Probability that a non-sub-second session is active for ``user``."""
         base = self._config.active_session_fraction
         multiplier = self._ACTIVE_MULTIPLIER[user.user_class]
         weight_boost = min(3.0, 1.0 + user.activity_weight / 10.0)
-        probability = min(0.95, base * multiplier * weight_boost)
-        return bool(self._rng.random() < probability)
+        return min(0.95, base * multiplier * weight_boost)
 
     # -------------------------------------------------------------------- API
     def plan_user_sessions(self, user: User) -> list[SessionPlan]:
-        """All the session plans of one user over the measurement window."""
-        plans = []
-        for start in self._sample_start_times(user):
-            length = self._sample_length()
-            end_cap = self._config.end_time
-            if start >= end_cap:
-                continue
-            length = min(length, end_cap - start)
-            plans.append(SessionPlan(
-                user_id=user.user_id,
-                start=start,
-                length=length,
-                active=self._is_active(user, length),
-                auth_fails=bool(self._rng.random() < self._config.auth_failure_fraction),
-            ))
-        return plans
+        """All the session plans of one user over the measurement window.
+
+        Lengths, activity flags and authentication outcomes are drawn as
+        vectors for the whole user at once; the per-session distributions are
+        identical to the historical scalar sampling.
+        """
+        config = self._config
+        starts = self._sample_start_times(user)
+        starts = starts[starts < config.end_time]
+        n = len(starts)
+        if n == 0:
+            return []
+        rng = self._rng
+        # Short/body length mixture, vectorised (same mixture as
+        # _sample_length, drawn as arrays).
+        short = rng.random(n) < config.short_session_fraction
+        mu = np.log(config.session_length_median)
+        lengths = np.where(
+            short,
+            rng.uniform(0.05, 1.0, size=n),
+            np.minimum(rng.lognormal(mean=mu, sigma=config.session_length_sigma, size=n),
+                       config.session_length_cap))
+        lengths = np.minimum(lengths, config.end_time - starts)
+        active_prob = self._active_probability(user)
+        active = (lengths >= 1.0) & (rng.random(n) < active_prob)
+        auth_fails = rng.random(n) < config.auth_failure_fraction
+        return [
+            SessionPlan(user_id=user.user_id, start=float(start),
+                        length=float(length), active=bool(is_active),
+                        auth_fails=bool(fails))
+            for start, length, is_active, fails
+            in zip(starts, lengths, active, auth_fails)
+        ]

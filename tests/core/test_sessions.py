@@ -46,9 +46,16 @@ class TestAuthActivity:
         assert activity.session_requests.sum() == 8  # 4 connects + 4 disconnects
 
     def test_simulated_dataset_matches_fig15_shape(self, simulated_dataset):
-        activity = auth_activity(simulated_dataset)
-        # Daily pattern: daytime authentication activity exceeds night-time.
-        assert activity.day_night_ratio() > 1.1
+        # Fig. 15 characterises the daily rhythm of *regular* users, so the
+        # shape assertion excludes DDoS episodes: attack bursts land at
+        # arbitrary hours, and whether they fall in the day or night window
+        # is pure seed luck (the aggregate ratio hovers around 1.05-1.1
+        # either side of any fixed threshold).  Legitimate traffic shows the
+        # diurnal pattern unambiguously.
+        activity = auth_activity(simulated_dataset, include_attacks=False)
+        # Daily pattern: daytime authentication activity clearly exceeds
+        # night-time (the paper reports 50-60 % higher during the day).
+        assert activity.day_night_ratio() > 1.3
         # ~2.76 % of authentication requests fail.
         assert 0.005 < activity.auth_failure_ratio < 0.08
 
