@@ -1,0 +1,60 @@
+"""Micro-benchmark: the load balancer must stay O(1) per operation.
+
+The sharded replay engine opens and closes one balancer connection per
+session; with millions of sessions against big fleets a per-assignment scan
+of the process list would show up on the profile.  This benchmark drives
+assign/release cycles against a small and a large fleet and asserts the
+per-operation cost does not grow with fleet size (a linear scan would be
+~40x slower on the large fleet; the swap-remove bucket structure is flat).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backend.gateway import LoadBalancer, ProcessAddress
+
+from .conftest import print_rows
+
+
+def _fleet(n: int) -> list[ProcessAddress]:
+    return [ProcessAddress(server=f"m{i // 8}", process=i % 8)
+            for i in range(n)]
+
+
+def _cost_per_op(n_processes: int, operations: int = 20_000,
+                 repeats: int = 3) -> float:
+    """Best-of-``repeats`` seconds per assign+release pair."""
+    best = float("inf")
+    for attempt in range(repeats):
+        balancer = LoadBalancer(_fleet(n_processes),
+                                rng=np.random.default_rng(attempt))
+        # Keep a realistic open-connection load: fill to half capacity, then
+        # cycle assign/release so buckets churn on both sides.
+        held = [balancer.assign() for _ in range(n_processes // 2)]
+        started = time.perf_counter()
+        for _ in range(operations):
+            balancer.release(balancer.assign())
+        elapsed = time.perf_counter() - started
+        for address in held:
+            balancer.release(address)
+        best = min(best, elapsed / operations)
+    return best
+
+
+def test_load_balancer_cost_is_flat_in_fleet_size():
+    small = _cost_per_op(48)
+    large = _cost_per_op(2048)
+    ratio = large / small
+    print_rows("Load balancer scaling (assign+release)", [
+        ("48 processes", "-", f"{small * 1e6:.2f} us/op"),
+        ("2048 processes", "-", f"{large * 1e6:.2f} us/op"),
+        ("cost ratio (O(1) target ~1x)", "-", f"{ratio:.2f}x"),
+    ])
+    # A scan-based balancer would be ~40x here; leave generous headroom for
+    # shared-CI noise while still failing any return to O(n) behaviour.
+    assert ratio < 8.0, f"assign/release cost grew {ratio:.1f}x with fleet size"
+    # Absolute sanity: stays well off the replay profile (~2.5 us/event).
+    assert large < 25e-6, f"assign+release too slow: {large * 1e6:.1f} us/op"

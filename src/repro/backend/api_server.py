@@ -39,6 +39,16 @@ from repro.trace.records import (
 
 __all__ = ["SessionRegistry", "ApiServerProcess"]
 
+# Hot-path constants (module-level loads are faster than enum attribute
+# lookups in the per-request fast path).
+_DOWNLOAD_OPERATION = ApiOperation.DOWNLOAD
+_GET_NODE_RPC = RpcName.GET_NODE
+_AUTH_REQUEST = SessionEvent.AUTH_REQUEST
+_AUTH_OK = SessionEvent.AUTH_OK
+_AUTH_FAIL = SessionEvent.AUTH_FAIL
+_CONNECT = SessionEvent.CONNECT
+_DISCONNECT = SessionEvent.DISCONNECT
+
 
 @dataclass
 class SessionRegistry:
@@ -77,6 +87,17 @@ class SessionRegistry:
         """Total number of open sessions across the cluster."""
         return sum(len(s) for s in self._by_user.values())
 
+    def has_fellow_sessions(self, user_id: int, session_id: int) -> bool:
+        """Whether ``user_id`` has open sessions other than ``session_id``.
+
+        A copy-free probe for the notification fast path: most mutations come
+        from a user with a single open session, where no fan-out is needed.
+        """
+        sessions = self._by_user.get(user_id)
+        if not sessions:
+            return False
+        return len(sessions) > 1 or session_id not in sessions
+
 
 class ApiServerProcess:
     """One API server process (there are several per physical machine)."""
@@ -108,6 +129,11 @@ class ApiServerProcess:
         self._delta_updates_enabled = delta_updates_enabled
         self._delta_update_factor = delta_update_factor
         self._interrupted_upload_fraction = interrupted_upload_fraction
+        self._stable_routing = getattr(rpc_worker.store, "stable_routing", False)
+        # Bound row emitters; bind_raw_sink() swaps in the sink's raw
+        # appenders for the sharded replay hot path.
+        self._storage_row = sink.storage_row
+        self._session_row = sink.session_row
         self._token_cache = TokenCache()
         self._sessions: dict[int, SessionHandle] = {}
         # user id -> number of open sessions on this process; lets
@@ -150,12 +176,24 @@ class ApiServerProcess:
         return len(self._sessions)
 
     # ---------------------------------------------------------------- helpers
+    def bind_raw_sink(self) -> None:
+        """Bind the sink's raw row appenders directly (shard replay wiring).
+
+        Skips one method frame per emitted storage/session/RPC record.  The
+        bindings go stale when the sink's ``finish()`` runs, so this is only
+        for single-run wiring (the sharded replay engine builds fresh
+        processes per run); interactive use keeps the safe defaults.
+        """
+        self._storage_row = self._sink._append_storage  # noqa: SLF001
+        self._session_row = self._sink._append_session  # noqa: SLF001
+        self._rpc.bind_raw_sink()
+
     def _session_record(self, timestamp: float, user_id: int, session_id: int,
                         event: SessionEvent, attack: bool = False,
                         session_length: float = -1.0,
                         storage_operations: int = 0) -> None:
         # Positional SessionRecord field order (columnar fast path).
-        self._sink.session_row((
+        self._session_row((
             timestamp, self._server, self._process, user_id,
             session_id, event, attack, session_length, storage_operations))
 
@@ -169,12 +207,17 @@ class ApiServerProcess:
         failed attempt is still traced, since it still consumed work in the
         authentication subsystem).
         """
-        self._session_record(timestamp, user_id, session_id,
-                             SessionEvent.AUTH_REQUEST, attack=caused_by_attack)
+        server = self._server
+        process = self._process
+        session_row = self._session_row
+        # Positional SessionRecord rows built inline: session management runs
+        # once per session but four rows deep, so the helper frames add up.
+        session_row((timestamp, server, process, user_id, session_id,
+                     _AUTH_REQUEST, caused_by_attack, -1.0, 0))
         token = self._auth.token_for(user_id, timestamp)
         shard, shard_id = self._store.shard_and_id(user_id)
-        context = RpcContext(timestamp=timestamp, server=self._server,
-                             process=self._process, user_id=user_id,
+        context = RpcContext(timestamp=timestamp, server=server,
+                             process=process, user_id=user_id,
                              session_id=session_id,
                              api_operation=ApiOperation.AUTHENTICATE,
                              caused_by_attack=caused_by_attack,
@@ -190,27 +233,29 @@ class ApiServerProcess:
             elif force_auth_failure:
                 raise AuthenticationError("forced authentication failure")
         except AuthenticationError:
-            self._session_record(timestamp, user_id, session_id,
-                                 SessionEvent.AUTH_FAIL, attack=caused_by_attack)
+            session_row((timestamp, server, process, user_id, session_id,
+                         _AUTH_FAIL, caused_by_attack, -1.0, 0))
             return None
-        self._session_record(timestamp, user_id, session_id,
-                             SessionEvent.AUTH_OK, attack=caused_by_attack)
+        session_row((timestamp, server, process, user_id, session_id,
+                     _AUTH_OK, caused_by_attack, -1.0, 0))
 
         # Register the user (and its root volume) on its shard, then fetch the
         # session bootstrap data the desktop client asks for.
         self._rpc.execute(RpcName.GET_USER_DATA, context,
                           shard.ensure_user, user_id, -user_id, timestamp)
-        self._rpc.execute(RpcName.GET_ROOT, context, shard.get_root, user_id)
+        self._rpc.execute_one(RpcName.GET_ROOT, context, shard.get_root, user_id)
 
         handle = SessionHandle(session_id=session_id, user_id=user_id,
-                               server=self._server,
-                               process=self._process,
+                               server=server,
+                               process=process,
                                established_at=timestamp, token=token.token)
+        if self._stable_routing:
+            handle.shard_cache = (shard, shard_id)
         self._sessions[session_id] = handle
         self._user_sessions[user_id] = self._user_sessions.get(user_id, 0) + 1
         self._registry.register(user_id, session_id, self.address)
-        self._session_record(timestamp, user_id, session_id,
-                             SessionEvent.CONNECT, attack=caused_by_attack)
+        session_row((timestamp, server, process, user_id, session_id,
+                     _CONNECT, caused_by_attack, -1.0, 0))
         return handle
 
     def close_session(self, session_id: int, timestamp: float,
@@ -226,11 +271,11 @@ class ApiServerProcess:
         else:
             self._user_sessions.pop(handle.user_id, None)
         self._registry.unregister(handle.user_id, session_id)
-        self._session_record(
-            timestamp, handle.user_id, session_id, SessionEvent.DISCONNECT,
-            attack=caused_by_attack,
-            session_length=max(0.0, timestamp - handle.established_at),
-            storage_operations=handle.storage_operations)
+        self._session_row((
+            timestamp, self._server, self._process, handle.user_id,
+            session_id, _DISCONNECT, caused_by_attack,
+            max(0.0, timestamp - handle.established_at),
+            handle.storage_operations))
 
     # --------------------------------------------------------- notifications
     def deliver_notification(self, notification: Notification) -> int:
@@ -249,7 +294,10 @@ class ApiServerProcess:
 
     def _notify_mutation(self, request: ApiRequest) -> int:
         """Notify other online clients of the user about a mutation."""
-        others = self._registry.other_sessions(request.user_id, request.session_id)
+        registry = self._registry
+        if not registry.has_fellow_sessions(request.user_id, request.session_id):
+            return 0
+        others = registry.other_sessions(request.user_id, request.session_id)
         if not others:
             return 0
         local = sum(1 for address in others.values() if address == self.address)
@@ -273,6 +321,15 @@ class ApiServerProcess:
         workload ``ClientEvent``, which exposes the same attributes) — the
         replay loop passes events straight through to avoid a per-event
         request copy.
+
+        Downloads take a fused fast path: they dominate every workload the
+        generator produces (and DDoS episodes are download floods), so the
+        whole request — routing memo, GET_NODE RPC with its pooled
+        service-time draw, S3 accounting and both trace rows — runs in this
+        one frame with no request-context mutation.  The fast path emits
+        bit-identical rows to the generic path below; everything unusual
+        (missing node, sessionless request, round-robin routing) falls
+        through to the generic machinery.
         """
         self.requests_handled += 1
         operation = request.operation
@@ -281,7 +338,76 @@ class ApiServerProcess:
             handle.storage_operations += 1
 
         timestamp = request.timestamp
-        shard, shard_id = self._store.shard_and_id(request.user_id)
+        if (operation is _DOWNLOAD_OPERATION and handle is not None
+                and self._stable_routing):
+            routed = handle.shard_cache
+            if routed is None:
+                routed = handle.shard_cache = self._store.shard_and_id(
+                    request.user_id)
+            shard, shard_id = routed
+            node_id = request.node_id
+            content_hash = request.content_hash
+            size_bytes = request.size_bytes
+            objects = self._objects
+            if node_id in shard._nodes:  # noqa: SLF001 - has_node, inlined
+                if content_hash and content_hash not in objects:
+                    objects.put(content_hash, size_bytes)
+                # Inlined RpcWorker.execute_one(GET_NODE): pooled factor
+                # draw, DAL touch, worker counters, RPC row.
+                worker = self._rpc
+                model = worker._latency
+                factors = model._factors
+                i = model._factor_index
+                if i >= len(factors):
+                    model._refill_factors()
+                    factors = model._factors
+                    i = 0
+                model._factor_index = i + 1
+                service_time = (model._base_by_rpc[_GET_NODE_RPC]
+                                [shard_id % model._n_shards] * factors[i])
+                shard.requests_served += 1  # get_node, result unused
+                worker.calls_executed += 1
+                worker.busy_time += service_time
+                user_id = request.user_id
+                session_id = request.session_id
+                attack = request.caused_by_attack
+                worker._rpc_row((
+                    timestamp, self._server, self._process, user_id,
+                    session_id, _GET_NODE_RPC, shard_id, service_time,
+                    operation, attack))
+                response = ApiResponse(operation, True, "", 1)
+                if content_hash:
+                    # Inlined ObjectStore.get() accounting.
+                    size = objects._objects[content_hash]  # noqa: SLF001
+                    accounting = objects.accounting
+                    accounting.get_requests += 1
+                    accounting.bytes_downloaded += size
+                    response.bytes_from_s3 = size
+                else:
+                    response.bytes_from_s3 = size_bytes
+                self._storage_row((
+                    timestamp, self._server, self._process, user_id,
+                    session_id, operation, node_id, request.volume_id,
+                    request.volume_type, request.node_kind, size_bytes,
+                    content_hash, request.extension, request.is_update,
+                    shard_id, attack))
+                return response
+        if handle is not None and self._stable_routing:
+            # A session's shard never changes under user-id routing, and the
+            # session open already registered the user there — routing is a
+            # handle memo and the per-request re-registration is skipped.
+            routed = handle.shard_cache
+            if routed is None:
+                routed = handle.shard_cache = self._store.shard_and_id(
+                    request.user_id)
+            shard, shard_id = routed
+        else:
+            shard, shard_id = self._store.shard_and_id(request.user_id)
+            # Every request (re-)registers its user on the routed shard:
+            # under round-robin routing each request may land on a different
+            # shard than the session open did, and sessionless requests may
+            # hit a shard that has never seen the user.
+            shard.ensure_user(request.user_id, -request.user_id, timestamp)
         context = self._request_context
         context.timestamp = timestamp
         context.user_id = request.user_id
@@ -289,10 +415,6 @@ class ApiServerProcess:
         context.api_operation = operation
         context.caused_by_attack = request.caused_by_attack
         context.shard_id = shard_id
-        # Every request (re-)registers its user on the routed shard: under
-        # round-robin routing each request may land on a different shard
-        # than the session open did.
-        shard.ensure_user(request.user_id, -request.user_id, timestamp)
         response = ApiResponse(operation=operation)
         rpc_before = self._rpc.calls_executed
 
@@ -308,7 +430,7 @@ class ApiServerProcess:
             response.notified_sessions = self._notify_mutation(request)
 
         # Positional StorageRecord field order (columnar fast path).
-        self._sink.storage_row((
+        self._storage_row((
             timestamp, self._server, self._process,
             request.user_id, request.session_id, operation,
             request.node_id, request.volume_id, request.volume_type,
@@ -348,8 +470,8 @@ class ApiServerProcess:
         if not self._dedup_enabled:
             storage_key = f"{storage_key}#{request.user_id}#{request.node_id}"
 
-        self._rpc.execute(RpcName.GET_REUSABLE_CONTENT, context,
-                          shard.get_reusable_content, request.content_hash)
+        self._rpc.execute_one(RpcName.GET_REUSABLE_CONTENT, context,
+                              shard.get_reusable_content, request.content_hash)
         dedup_hit = (self._dedup_enabled and request.content_hash
                      and request.content_hash in self._objects)
         if dedup_hit:
@@ -382,24 +504,30 @@ class ApiServerProcess:
                           shard.set_uploadjob_multipart_id,
                           job.job_id, multipart_id, context.timestamp)
         interrupted = bool(self._rng.random() < self._interrupted_upload_fraction)
-        remaining = size
+        # The part schedule is known up front (full chunks plus a tail), so
+        # the per-part RPC bookkeeping runs through the worker's block path:
+        # one pooled service-time draw and one counter update for the whole
+        # transfer instead of per-chunk dispatch.  An interrupted client goes
+        # away after the first chunk; the uploadjob stays in the metadata
+        # store until the garbage collector reaps it.
+        chunk = self._objects.chunk_bytes
+        n_full, tail = divmod(size, chunk)
+        parts = [chunk] * n_full + ([tail] if tail else [])
+        if interrupted and len(parts) > 1:
+            parts = parts[:1]
         uploaded = 0
-        while remaining > 0:
-            part = min(self._objects.chunk_bytes, remaining)
+        for part in parts:
             self._objects.upload_part(multipart_id, part)
-            self._rpc.execute(RpcName.ADD_PART_TO_UPLOADJOB, context,
-                              shard.add_part_to_uploadjob,
-                              job.job_id, part, context.timestamp)
-            remaining -= part
             uploaded += part
-            if interrupted and remaining > 0 and uploaded >= self._objects.chunk_bytes:
-                # The client went away mid-transfer; the uploadjob stays in
-                # the metadata store until the garbage collector reaps it.
-                self._objects.abort_multipart(multipart_id)
-                response.bytes_to_s3 = uploaded
-                response.ok = False
-                response.error = "upload interrupted by client"
-                return
+        self._rpc.execute_block(
+            RpcName.ADD_PART_TO_UPLOADJOB, context, shard.add_part_to_uploadjob,
+            [(job.job_id, part, context.timestamp) for part in parts])
+        if interrupted and uploaded < size:
+            self._objects.abort_multipart(multipart_id)
+            response.bytes_to_s3 = uploaded
+            response.ok = False
+            response.error = "upload interrupted by client"
+            return
         self._objects.complete_multipart(multipart_id, storage_key)
         self._rpc.execute(RpcName.MAKE_CONTENT, context,
                           shard.make_content, request.node_id,
@@ -423,8 +551,8 @@ class ApiServerProcess:
                                    request.size_bytes, context.timestamp)
         if request.content_hash and request.content_hash not in self._objects:
             self._objects.put(request.content_hash, request.size_bytes)
-        self._rpc.execute(RpcName.GET_NODE, context,
-                          shard.get_node, request.node_id)
+        self._rpc.execute_one(RpcName.GET_NODE, context,
+                              shard.get_node, request.node_id)
         if request.content_hash:
             response.bytes_from_s3 = self._objects.get(request.content_hash)
         else:

@@ -26,10 +26,9 @@ from repro.backend.metadata_store import (
 )
 from repro.backend.notifications import NotificationBus
 from repro.backend.protocol.operations import UPLOAD_CHUNK_BYTES
-from repro.backend.rpc_server import RpcContext, RpcWorker
+from repro.backend.rpc_server import RpcWorker
 from repro.backend.tracing import TraceSink
 from repro.trace.dataset import TraceDataset
-from repro.trace.records import RpcName
 from repro.util.units import DAY
 from repro.workload.events import SessionScript
 
@@ -74,6 +73,16 @@ class ClusterConfig:
     gc_interval: float = DAY
     #: Observed fraction of failing authentication requests.
     auth_failure_fraction: float = 0.0276
+    #: Logical replay shards: sessions partition by ``user_id % replay_shards``
+    #: and each shard owns a disjoint slice of users, stores and API
+    #: processes.  This is a *model* knob, not a parallelism knob — the
+    #: replayed trace is a pure function of the configuration, and
+    #: ``replay(n_jobs=...)`` only decides how many OS processes execute the
+    #: shards.  Capped at the process count for tiny clusters.  Note that
+    #: cross-user dedup becomes per-shard (see
+    #: :mod:`repro.backend.replay_shard`); ``replay_shards=1`` recovers the
+    #: exact single-store semantics.
+    replay_shards: int = 8
     #: Service-time distribution shape.
     latency: LatencyParameters = field(default_factory=LatencyParameters)
 
@@ -85,6 +94,17 @@ class ClusterConfig:
             suffix = "" if i < len(_MACHINE_NAMES) else str(i // len(_MACHINE_NAMES))
             names.append(base + suffix)
         return names
+
+    def process_addresses(self) -> list[ProcessAddress]:
+        """Addresses of every API server process, in canonical order."""
+        return [ProcessAddress(server=machine, process=proc)
+                for machine in self.machine_names()
+                for proc in range(self.processes_per_machine)]
+
+    def effective_replay_shards(self) -> int:
+        """Replay shard count after capping at the API process count."""
+        return max(1, min(self.replay_shards,
+                          self.api_machines * self.processes_per_machine))
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on inconsistent settings."""
@@ -98,6 +118,8 @@ class ClusterConfig:
             raise ValueError("interrupted_upload_fraction must be in [0, 1)")
         if self.multipart_chunk_bytes <= 0:
             raise ValueError("multipart_chunk_bytes must be positive")
+        if self.replay_shards <= 0:
+            raise ValueError("replay_shards must be positive")
 
 
 class U1Cluster:
@@ -121,28 +143,24 @@ class U1Cluster:
                                         n_shards=self.config.metadata_shards)
 
         self.processes: list[ApiServerProcess] = []
-        addresses: list[ProcessAddress] = []
-        worker_id = 0
-        for machine in self.config.machine_names():
-            for proc in range(self.config.processes_per_machine):
-                address = ProcessAddress(server=machine, process=proc)
-                worker = RpcWorker(worker_id=worker_id, store=self.metadata_store,
-                                   latency=self.latency, sink=self.sink)
-                process = ApiServerProcess(
-                    address=address, rpc_worker=worker,
-                    object_store=self.object_store, auth=self.auth,
-                    bus=self.bus, registry=self.registry, sink=self.sink,
-                    rng=self._rng,
-                    dedup_enabled=self.config.dedup_enabled,
-                    delta_updates_enabled=self.config.delta_updates_enabled,
-                    delta_update_factor=self.config.delta_update_factor,
-                    interrupted_upload_fraction=self.config.interrupted_upload_fraction)
-                self.processes.append(process)
-                addresses.append(address)
-                worker_id += 1
+        addresses = self.config.process_addresses()
+        for worker_id, address in enumerate(addresses):
+            worker = RpcWorker(worker_id=worker_id, store=self.metadata_store,
+                               latency=self.latency, sink=self.sink)
+            process = ApiServerProcess(
+                address=address, rpc_worker=worker,
+                object_store=self.object_store, auth=self.auth,
+                bus=self.bus, registry=self.registry, sink=self.sink,
+                rng=self._rng,
+                dedup_enabled=self.config.dedup_enabled,
+                delta_updates_enabled=self.config.delta_updates_enabled,
+                delta_update_factor=self.config.delta_update_factor,
+                interrupted_upload_fraction=self.config.interrupted_upload_fraction)
+            self.processes.append(process)
         self.gateway = LoadBalancer(addresses, rng=self._rng)
         self._process_by_address = {p.address: p for p in self.processes}
-        self._last_gc: float | None = None
+        #: Timings and shape of the most recent :meth:`replay` call.
+        self.last_replay_stats: dict | None = None
 
     # ----------------------------------------------------------------- sizes
     @property
@@ -155,120 +173,84 @@ class U1Cluster:
         return self._process_by_address[address]
 
     # ---------------------------------------------------------------- replay
-    def replay(self, scripts: Iterable[SessionScript]) -> TraceDataset:
+    def replay(self, scripts: Iterable[SessionScript],
+               n_jobs: int = 1) -> TraceDataset:
         """Replay a workload (session scripts) through the back-end.
 
-        Events from overlapping sessions are interleaved in global timestamp
-        order, exactly as the production servers would observe them; every
-        session lives on the API process the load balancer picked at connect
-        time.  Returns the merged, sorted trace dataset.
+        The replay is *sharded* (see :mod:`repro.backend.replay_shard`):
+        sessions partition by ``user_id % replay_shards`` into logical shards
+        that own disjoint slices of the users, the metadata/object stores and
+        the API processes — mirroring the multi-process production fleet the
+        paper measured.  Within each shard, events from overlapping sessions
+        interleave in global timestamp order and every session lives on the
+        API process the shard's balancer picked at connect time; per-shard
+        uploadjob GC runs against the shard's own store.  The per-shard
+        sorted row blocks are then merge-sorted into one
+        :class:`~repro.trace.dataset.TraceDataset`.
 
-        The merge is a single timsort over pre-materialized ``(timestamp,
-        kind, sequence)`` keys: scripts arrive sorted by start time and each
-        script's events are already in time order, so the concatenated
-        timeline is near-sorted and the sort runs in close to linear time —
-        replacing the historical per-event heap (O(n log n) push/pop pairs
-        with Python-level tuple comparisons on every operation).
+        ``n_jobs`` chooses how many worker processes execute the shards
+        (``1`` replays them sequentially in-process, which is also the
+        fallback on platforms without ``fork``).  Because the shard layout,
+        the per-shard RNG streams (spawned from the root seed, keyed by shard
+        id) and the merge are all independent of the worker count, the
+        returned dataset is **bit-identical for any** ``n_jobs``.
+
+        After the replay the per-shard counter summaries are folded back
+        into this cluster's gateway, processes, metadata store and object
+        store, so the fleet-wide statistics helpers keep working.
         """
-        # Kinds double as tie-break priority: opens before events before
-        # closes at equal timestamps.
-        _OPEN, _EVENT, _CLOSE = 0, 1, 2
-        timeline: list[tuple[float, int, int, object]] = []
-        append = timeline.append
-        sequence = 0
-        for script in scripts:
-            append((script.start, _OPEN, sequence, script))
-            sequence += 1
-            for event in script.events:
-                append((event.time, _EVENT, sequence, event))
-                sequence += 1
-            append((script.end, _CLOSE, sequence, script))
-            sequence += 1
-        timeline.sort()
+        from repro.backend.replay_shard import partition_scripts, run_shards
+        import time as _time
 
-        # session id -> (assigned process, its address); the process object
-        # is kept directly so the per-event hot path skips a dataclass-keyed
-        # dict lookup.
-        session_process: dict[int, tuple[ApiServerProcess, ProcessAddress]] = {}
-        failed_sessions: set[int] = set()
-        process_by_address = self._process_by_address
-        gc_interval = self.config.gc_interval
-        for timestamp, kind, _, payload in timeline:
-            if self._last_gc is None:
-                self._last_gc = timestamp
-            elif timestamp - self._last_gc >= gc_interval:
-                self._collect_garbage(timestamp)
-            if kind == _EVENT:
-                event = payload
-                assigned = session_process.get(event.session_id)
-                if assigned is None:
-                    continue
-                # ClientEvent is request-shaped; no per-event ApiRequest copy.
-                assigned[0].handle(event)
-            elif kind == _OPEN:
-                script: SessionScript = payload  # type: ignore[assignment]
-                address = self.gateway.assign()
-                process = process_by_address[address]
-                handle = process.open_session(
-                    script.user_id, script.session_id, script.start,
-                    force_auth_failure=script.auth_failed,
-                    caused_by_attack=script.caused_by_attack)
-                if handle is None:
-                    self.gateway.release(address)
-                    failed_sessions.add(script.session_id)
-                else:
-                    session_process[script.session_id] = (process, address)
-            else:  # close
-                script = payload  # type: ignore[assignment]
-                if script.session_id in failed_sessions:
-                    continue
-                assigned = session_process.pop(script.session_id, None)
-                if assigned is None:
-                    continue
-                process, address = assigned
-                process.close_session(script.session_id, script.end,
-                                      caused_by_attack=script.caused_by_attack)
-                self.gateway.release(address)
-        return self.sink.finish()
+        scripts = scripts if isinstance(scripts, list) else list(scripts)
+        started = _time.perf_counter()
+        n_shards = self.config.effective_replay_shards()
+        addresses = [p.address for p in self.processes]
+        # Round-robin process ownership: each shard's slice spans machines.
+        assignments = [
+            [(i, addresses[i]) for i in range(k, len(addresses), n_shards)]
+            for k in range(n_shards)
+        ]
+        outcomes, jobs_used = run_shards(
+            self.config, assignments, self.latency.shard_factors,
+            partition_scripts(scripts, n_shards), n_jobs=n_jobs)
 
-    def run_workload(self, workload_config) -> TraceDataset:
+        merge_started = _time.perf_counter()
+        dataset = TraceDataset.from_sorted_blocks(
+            [(o.storage_rows, o.rpc_rows, o.session_rows) for o in outcomes])
+        merge_seconds = _time.perf_counter() - merge_started
+
+        for outcome in outcomes:
+            for index, (handled, pushed, calls, busy) in \
+                    outcome.process_counters.items():
+                process = self.processes[index]
+                process.requests_handled += handled
+                process.notifications_pushed += pushed
+                process._rpc.calls_executed += calls  # noqa: SLF001
+                process._rpc.busy_time += busy  # noqa: SLF001
+            self.gateway.absorb_totals(
+                {addresses[index]: count
+                 for index, count in outcome.gateway_totals.items()})
+            self.metadata_store.absorb_summary(outcome.store_summary)
+            self.object_store.absorb_summary(outcome.object_count,
+                                             outcome.accounting)
+
+        self.last_replay_stats = {
+            "n_jobs": jobs_used,
+            "n_shards": n_shards,
+            "shard_seconds": [outcome.seconds for outcome in outcomes],
+            "merge_seconds": merge_seconds,
+            "replay_seconds": _time.perf_counter() - started,
+            "gc_sweeps": sum(outcome.gc_sweeps for outcome in outcomes),
+        }
+        return dataset
+
+    def run_workload(self, workload_config, n_jobs: int = 1) -> TraceDataset:
         """Convenience: generate a workload and replay it in one call."""
         from repro.workload.generator import SyntheticTraceGenerator
 
         generator = SyntheticTraceGenerator(workload_config)
-        return self.replay(generator.client_events())
-
-    # ------------------------------------------------------------------- GC
-    def _maybe_collect_garbage(self, now: float) -> None:
-        """Periodic uploadjob garbage collection (Appendix A)."""
-        if self._last_gc is None:
-            self._last_gc = now
-            return
-        if now - self._last_gc < self.config.gc_interval:
-            return
-        self._collect_garbage(now)
-
-    def _collect_garbage(self, now: float) -> None:
-        """One uploadjob garbage-collection sweep."""
-        self._last_gc = now
-        gc_process = self.processes[0]
-        for shard, jobs in self.metadata_store.pending_uploadjobs():
-            for job in jobs:
-                context = RpcContext(
-                    timestamp=now, server=gc_process.address.server,
-                    process=gc_process.address.process, user_id=job.user_id,
-                    session_id=0, api_operation=None)
-                worker = gc_process._rpc  # noqa: SLF001 - internal wiring
-                worker.execute(RpcName.GET_UPLOADJOB, context,
-                               lambda j=job: shard.get_uploadjob(j.job_id))
-                expired = worker.execute(
-                    RpcName.TOUCH_UPLOADJOB, context,
-                    lambda j=job: shard.touch_uploadjob(j.job_id, now))
-                if expired:
-                    worker.execute(
-                        RpcName.DELETE_UPLOADJOB, context,
-                        lambda j=job: shard.delete_uploadjob(j.job_id, now,
-                                                             commit=False))
+        return self.replay(generator.client_events(), n_jobs=n_jobs)
 
     # ------------------------------------------------------------ statistics
     def load_per_machine(self) -> dict[str, int]:

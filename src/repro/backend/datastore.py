@@ -65,6 +65,17 @@ class StorageAccounting:
         """Rough S3 storage bill estimate (the paper cites ~$20k/month)."""
         return self.bytes_stored / GB * dollars_per_gb_month
 
+    def merge(self, other: "StorageAccounting") -> None:
+        """Fold another accounting (e.g. one replay shard's) into this one."""
+        self.bytes_stored += other.bytes_stored
+        self.logical_bytes += other.logical_bytes
+        self.bytes_uploaded += other.bytes_uploaded
+        self.bytes_downloaded += other.bytes_downloaded
+        self.put_requests += other.put_requests
+        self.get_requests += other.get_requests
+        self.delete_requests += other.delete_requests
+        self.dedup_hits += other.dedup_hits
+
 
 class ObjectStore:
     """Content-addressed object store with multipart uploads and refcounts.
@@ -82,6 +93,7 @@ class ObjectStore:
         self._refcounts: dict[str, int] = {}
         self._multiparts: dict[str, MultipartUpload] = {}
         self._multipart_ids = itertools.count(1)
+        self._absorbed_objects = 0
         self.accounting = StorageAccounting()
 
     # ------------------------------------------------------------- queries
@@ -89,7 +101,21 @@ class ObjectStore:
         return content_hash in self._objects
 
     def __len__(self) -> int:
-        return len(self._objects)
+        return len(self._objects) + self._absorbed_objects
+
+    def absorb_summary(self, n_objects: int,
+                       accounting: StorageAccounting) -> None:
+        """Fold one replay shard's object-store outcome into this store.
+
+        The sharded replay engine gives every shard its own store (shards own
+        disjoint users, so cross-shard state never interacts during a run);
+        workers ship back only ``(object count, accounting)`` summaries —
+        cheap to pickle — and the cluster-level store absorbs them so
+        fleet-wide accounting (bytes stored, dedup hits, cost estimates)
+        keeps working after a sharded replay.
+        """
+        self._absorbed_objects += n_objects
+        self.accounting.merge(accounting)
 
     def size_of(self, content_hash: str) -> int:
         """Size in bytes of a stored content."""
@@ -131,7 +157,12 @@ class ObjectStore:
         self.accounting.dedup_hits += 1
 
     def get(self, content_hash: str) -> int:
-        """Download a content; returns the number of bytes transferred."""
+        """Download a content; returns the number of bytes transferred.
+
+        NOTE: the accounting side effects (``get_requests``,
+        ``bytes_downloaded``) are inlined in the download fast path of
+        ``ApiServerProcess.handle``; keep both in sync.
+        """
         size = self.size_of(content_hash)
         self.accounting.get_requests += 1
         self.accounting.bytes_downloaded += size

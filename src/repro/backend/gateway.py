@@ -42,11 +42,12 @@ class LoadBalancer:
         self._open_connections: dict[ProcessAddress, int] = {p: 0 for p in self._processes}
         self._total_assigned: dict[ProcessAddress, int] = {p: 0 for p in self._processes}
         # Incremental least-connections structure: processes bucketed by
-        # open-connection count, so assign() does not scan every process.
-        # Buckets are dicts used as ordered sets to keep tie-breaking
-        # deterministic (set iteration order depends on string hashing).
-        self._buckets: dict[int, dict[ProcessAddress, None]] = {
-            0: dict.fromkeys(self._processes)}
+        # open-connection count, each bucket a list plus a position map so
+        # membership moves are O(1) swap-removes and a random tie-break is an
+        # O(1) index draw — assign/release never scan the process list.
+        self._buckets: dict[int, list[ProcessAddress]] = {0: list(self._processes)}
+        self._pos: dict[ProcessAddress, int] = {
+            p: i for i, p in enumerate(self._processes)}
         self._min_count = 0
 
     @property
@@ -57,16 +58,22 @@ class LoadBalancer:
     def _move(self, address: ProcessAddress, old: int, new: int) -> None:
         bucket = self._buckets.get(old)
         if bucket is not None:
-            bucket.pop(address, None)
+            i = self._pos[address]
+            last = bucket[-1]
+            bucket[i] = last
+            self._pos[last] = i
+            bucket.pop()
             if not bucket and old == self._min_count:
                 # The minimum moved; the next occupied bucket is at most
                 # one step away on assignment, further on release.
                 del self._buckets[old]
         target = self._buckets.get(new)
         if target is None:
-            self._buckets[new] = {address: None}
+            self._buckets[new] = [address]
+            self._pos[address] = 0
         else:
-            target[address] = None
+            self._pos[address] = len(target)
+            target.append(address)
         if new < self._min_count:
             self._min_count = new
 
@@ -76,10 +83,9 @@ class LoadBalancer:
             self._min_count += 1
         candidates = self._buckets[self._min_count]
         if len(candidates) == 1:
-            choice = next(iter(candidates))
+            choice = candidates[0]
         else:
-            ordered = list(candidates)
-            choice = ordered[self._pool.integers(len(ordered))]
+            choice = candidates[self._pool.integers(len(candidates))]
         count = self._open_connections[choice]
         self._open_connections[choice] = count + 1
         self._total_assigned[choice] += 1
@@ -93,6 +99,20 @@ class LoadBalancer:
             raise ValueError(f"no open connections on {address}")
         self._open_connections[address] = current - 1
         self._move(address, current, current - 1)
+
+    def absorb_totals(self, totals: dict[ProcessAddress, int]) -> None:
+        """Fold per-shard assignment totals into this balancer's counters.
+
+        The sharded replay engine runs one balancer per replay shard (each
+        over its slice of processes); after the run their totals are absorbed
+        here so cluster-level statistics (:meth:`total_assigned`,
+        :meth:`imbalance`) keep describing the whole fleet.  Only addresses
+        this balancer fronts are accepted.
+        """
+        for address, count in totals.items():
+            if address not in self._total_assigned:
+                raise ValueError(f"unknown process {address}")
+            self._total_assigned[address] += count
 
     def open_connections(self) -> dict[ProcessAddress, int]:
         """Snapshot of the open-connection counters."""

@@ -94,7 +94,8 @@ class ServiceTimeModel:
     def __init__(self, rng: np.random.Generator,
                  parameters: LatencyParameters | None = None,
                  medians_ms: dict[RpcName, float] | None = None,
-                 n_shards: int = 10):
+                 n_shards: int = 10,
+                 shard_factors: list[float] | None = None):
         self._rng = rng
         self._parameters = parameters or LatencyParameters()
         self._medians_ms = dict(DEFAULT_MEDIANS_MS)
@@ -103,9 +104,15 @@ class ServiceTimeModel:
         #: Per-RPC median in seconds, precomputed for the sampling fast path.
         self._median_seconds = {rpc: ms / 1000.0
                                 for rpc, ms in self._medians_ms.items()}
-        # Fixed per-shard skew factors, deterministic given the RNG state.
-        skew = self._parameters.shard_skew
-        self._shard_factors = (1.0 + skew * (rng.random(n_shards) - 0.5) * 2.0).tolist()
+        if shard_factors is not None:
+            # Externally supplied skew (the sharded replay engine passes one
+            # cluster-wide table so every replay shard sees the same
+            # per-metadata-shard hardware skew).
+            self._shard_factors = list(shard_factors)
+        else:
+            # Fixed per-shard skew factors, deterministic given the RNG state.
+            skew = self._parameters.shard_skew
+            self._shard_factors = (1.0 + skew * (rng.random(n_shards) - 0.5) * 2.0).tolist()
         self._n_shards = len(self._shard_factors)
         # median * shard_factor, pre-multiplied per (rpc, shard): the sample
         # fast path then only draws the lognormal body and the Pareto tail.
@@ -137,6 +144,11 @@ class ServiceTimeModel:
         """The shape parameters in use."""
         return self._parameters
 
+    @property
+    def shard_factors(self) -> list[float]:
+        """The fixed per-shard skew factors (shareable across replay shards)."""
+        return list(self._shard_factors)
+
     def median_seconds(self, rpc: RpcName) -> float:
         """Median service time of ``rpc`` in seconds."""
         return self._median_seconds[rpc]
@@ -148,6 +160,14 @@ class ServiceTimeModel:
         median, a Pareto tail with probability ``tail_probability`` and the
         fixed per-shard skew — the same distribution as the historical
         per-call Generator draws, at a fraction of the overhead.
+
+        NOTE: this draw sequence (index check, :meth:`_refill_factors`,
+        ``_base_by_rpc[rpc][shard_id % _n_shards] * factor``) is inlined for
+        call-overhead reasons in ``RpcWorker.execute``,
+        ``RpcWorker.execute_one`` and the download fast path of
+        ``ApiServerProcess.handle``; any change to the sequence or to the
+        pool state layout must be mirrored there, or the shared random
+        stream desynchronizes between the paths.
         """
         i = self._factor_index
         if i >= len(self._factors):
@@ -155,6 +175,30 @@ class ServiceTimeModel:
             i = 0
         self._factor_index = i + 1
         return self._base_by_rpc[rpc][shard_id % self._n_shards] * self._factors[i]
+
+    def sample_block(self, rpc: RpcName, shard_id: int, n: int) -> list[float]:
+        """Sample ``n`` service times for ``rpc`` on ``shard_id`` at once.
+
+        Consumes the same pooled factor stream as :meth:`sample`, so a block
+        of ``n`` draws equals ``n`` successive scalar draws — batched callers
+        (multipart part loops, GC sweeps) stay on the same random sequence as
+        the per-call path.
+        """
+        base = self._base_by_rpc[rpc][shard_id % self._n_shards]
+        out: list[float] = []
+        remaining = n
+        while remaining:
+            i = self._factor_index
+            available = len(self._factors) - i
+            if available <= 0:
+                self._refill_factors(max(4096, remaining))
+                i = 0
+                available = len(self._factors)
+            take = available if available < remaining else remaining
+            out.extend(base * f for f in self._factors[i:i + take])
+            self._factor_index = i + take
+            remaining -= take
+        return out
 
     def sample_class(self, rpc_class: RpcClass, shard_id: int = 0) -> float:
         """Sample a service time for an arbitrary RPC of the given class."""

@@ -49,6 +49,11 @@ class ShardedMetadataStore:
             raise ValueError("n_shards must be positive")
         self._shards = [MetadataShard(shard_id=i) for i in range(n_shards)]
         self._route = routing_factory(n_shards)
+        #: True when a user's shard can never change between requests (the
+        #: production user-id policy).  API servers use this to cache the
+        #: routed shard on the session handle and to skip the per-request
+        #: user re-registration that only round-robin routing needs.
+        self.stable_routing = routing_factory is user_id_routing
 
     # ------------------------------------------------------------------ shards
     @property
@@ -92,3 +97,21 @@ class ShardedMetadataStore:
             jobs = shard.pending_uploadjobs()
             if jobs:
                 yield shard, jobs
+
+    # ------------------------------------------------------ sharded replay
+    def summary(self) -> list[tuple[int, int, int]]:
+        """Per-shard ``(users, nodes, requests)`` counts (picklable)."""
+        return [shard.local_counts() for shard in self._shards]
+
+    def absorb_summary(self, summary: list[tuple[int, int, int]]) -> None:
+        """Fold one replay shard's store outcome into this store's counters.
+
+        The sharded replay engine runs a private store per replay shard
+        (replay shards own disjoint users, so their stores never interact);
+        absorbing each shard's summary keeps :meth:`users_per_shard` /
+        :meth:`nodes_per_shard` / :meth:`requests_per_shard` fleet-wide.
+        """
+        if len(summary) != len(self._shards):
+            raise ValueError("summary shard count mismatch")
+        for shard, (users, nodes, requests) in zip(self._shards, summary):
+            shard.absorb_counts(users, nodes, requests)

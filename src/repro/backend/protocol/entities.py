@@ -128,6 +128,10 @@ class SessionHandle:
     token: str
     is_open: bool = True
     storage_operations: int = 0
+    #: ``(shard, shard_id)`` memo filled by the API server on first use —
+    #: under stable (user-id) routing a session's shard never changes, so
+    #: per-request routing is a handle attribute read.
+    shard_cache: tuple | None = None
 
     def close(self) -> None:
         """Mark the session as closed."""

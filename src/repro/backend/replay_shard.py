@@ -1,0 +1,381 @@
+"""Sharded workload replay: partitioned mini-clusters with a deterministic merge.
+
+The production measurement the paper draws from is inherently parallel: many
+API machines log independently and the logfiles are merged afterwards.  This
+module gives the simulator the same shape.  A replay is partitioned into
+``n_shards`` *logical replay shards* by ``user_id % n_shards``: every shard
+owns a disjoint slice of the users, its own metadata store, object store,
+authentication service, notification bus and a disjoint slice of the API
+server processes, so shards share no mutable state and can run concurrently.
+
+Sharding is a *model* change, not only an execution change: state that
+production keeps globally consistent becomes per-shard.  The visible
+consequence is file-level deduplication (Section 3.3) — a content uploaded
+by users in two different replay shards is stored once per shard instead of
+once per cluster, so with the default ``replay_shards=8`` the object-store
+dedup hit rate and stored-byte totals sit a few percent below the
+single-store model (the Fig. 4 dedup *analyses* are unaffected: they are
+computed from content hashes in the trace, not from object-store state).
+Set ``replay_shards=1`` to recover the exact single-store semantics.
+
+Determinism is the headline guarantee.  The shard count is a *configuration*
+knob (``ClusterConfig.replay_shards``), not the worker count: ``n_jobs`` only
+decides how many OS processes execute the shards, never what they compute.
+Each shard draws from an :class:`~repro.util.rngpool.RngPool` stream spawned
+from the root seed and keyed by the shard id, uploadjob garbage collection
+runs per shard against the shard's own store, and the per-shard sorted row
+blocks are merged with a stable, block-ordered merge
+(:meth:`~repro.trace.dataset.TraceDataset.from_sorted_blocks`).  The replayed
+trace is therefore bit-identical for any ``n_jobs`` — including the
+in-process sequential fallback used for ``n_jobs=1`` and on platforms
+without ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.api_server import ApiServerProcess, SessionRegistry
+from repro.backend.auth import AuthenticationService
+from repro.backend.datastore import ObjectStore, StorageAccounting
+from repro.backend.gateway import LoadBalancer, ProcessAddress
+from repro.backend.latency import ServiceTimeModel
+from repro.backend.metadata_store import (
+    ShardedMetadataStore,
+    round_robin_routing,
+    user_id_routing,
+)
+from repro.backend.notifications import NotificationBus
+from repro.backend.rpc_server import RpcContext, RpcWorker
+from repro.backend.tracing import TraceSink
+from repro.trace.records import RpcName
+from repro.util.gctools import cyclic_gc_paused
+from repro.util.rngpool import RngPool
+from repro.workload.events import SessionScript
+
+__all__ = [
+    "ReplayShard",
+    "ShardOutcome",
+    "UploadJobCollector",
+    "fork_available",
+    "partition_scripts",
+    "run_shards",
+    "usable_cpus",
+]
+
+
+def fork_available() -> bool:
+    """Whether this platform can run replay shards in forked workers."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+
+
+def partition_scripts(scripts: list[SessionScript],
+                      n_shards: int) -> list[list[SessionScript]]:
+    """Split session scripts into per-shard lists by ``user_id % n_shards``.
+
+    Scripts arrive sorted by session start time and each per-shard list
+    preserves that order, so every shard replays a time-ordered sub-workload.
+    """
+    by_shard: list[list[SessionScript]] = [[] for _ in range(n_shards)]
+    for script in scripts:
+        by_shard[script.user_id % n_shards].append(script)
+    return by_shard
+
+
+class UploadJobCollector:
+    """Periodic uploadjob garbage collection (Appendix A) — the single
+    implementation of both the sweep and its interval policy.
+
+    The replay hot loop keeps only a float deadline comparison inline and
+    calls :meth:`observe` when the deadline passes; :meth:`observe` applies
+    the interval policy and delegates to the one :meth:`collect` sweep, so
+    the GC behaviour can never drift between callers.
+    """
+
+    def __init__(self, store: ShardedMetadataStore, gc_process: ApiServerProcess,
+                 interval: float):
+        self._store = store
+        self._process = gc_process
+        self.interval = interval
+        self.last_sweep: float | None = None
+        self.sweeps = 0
+
+    def observe(self, now: float) -> float:
+        """Note timeline progress; sweep when the interval elapsed.
+
+        Returns the next sweep deadline, letting the caller skip the method
+        call entirely until the timeline reaches it.
+        """
+        if self.last_sweep is None:
+            self.last_sweep = now
+        elif now - self.last_sweep >= self.interval:
+            self.collect(now)
+        return self.last_sweep + self.interval
+
+    def collect(self, now: float) -> None:
+        """One uploadjob garbage-collection sweep."""
+        self.last_sweep = now
+        self.sweeps += 1
+        process = self._process
+        worker = process._rpc  # noqa: SLF001 - internal wiring
+        for shard, jobs in self._store.pending_uploadjobs():
+            for job in jobs:
+                context = RpcContext(
+                    timestamp=now, server=process.address.server,
+                    process=process.address.process, user_id=job.user_id,
+                    session_id=0, api_operation=None)
+                worker.execute(RpcName.GET_UPLOADJOB, context,
+                               shard.get_uploadjob, job.job_id)
+                expired = worker.execute(RpcName.TOUCH_UPLOADJOB, context,
+                                         shard.touch_uploadjob, job.job_id, now)
+                if expired:
+                    worker.execute(
+                        RpcName.DELETE_UPLOADJOB, context,
+                        lambda j=job: shard.delete_uploadjob(j.job_id, now,
+                                                            commit=False))
+
+
+@dataclass
+class ShardOutcome:
+    """Picklable result of one replay shard.
+
+    Carries the shard's sorted trace row blocks (merged by the parent into
+    the final :class:`~repro.trace.dataset.TraceDataset`) plus the counter
+    summaries the cluster absorbs so fleet-wide statistics keep working
+    after a sharded replay.
+    """
+
+    shard_id: int
+    seconds: float
+    storage_rows: list = field(default_factory=list)
+    rpc_rows: list = field(default_factory=list)
+    session_rows: list = field(default_factory=list)
+    #: address index -> (requests_handled, notifications_pushed,
+    #:                   rpc_calls_executed, rpc_busy_time)
+    process_counters: dict[int, tuple[int, int, int, float]] = field(
+        default_factory=dict)
+    #: address index -> sessions ever assigned by the shard's balancer
+    gateway_totals: dict[int, int] = field(default_factory=dict)
+    #: per-metadata-shard (users, nodes, requests) counts
+    store_summary: list = field(default_factory=list)
+    object_count: int = 0
+    accounting: StorageAccounting = field(default_factory=StorageAccounting)
+    gc_sweeps: int = 0
+
+
+class ReplayShard:
+    """One logical replay shard: a self-contained slice of the back-end.
+
+    ``addresses`` is the shard's slice of the cluster's process addresses as
+    ``(global_index, address)`` pairs — the global index keys the counter
+    summaries so the parent cluster can absorb them positionally.
+    """
+
+    def __init__(self, config, shard_id: int,
+                 addresses: list[tuple[int, ProcessAddress]],
+                 shard_factors: list[float]):
+        if not addresses:
+            raise ValueError(f"replay shard {shard_id} owns no API processes")
+        self.shard_id = shard_id
+        self._address_indices = [index for index, _ in addresses]
+        # Independent per-shard stream, a pure function of (seed, shard id).
+        pool = RngPool(np.random.default_rng(config.seed)).spawn(shard_id)
+        rng = pool.generator
+        self.sink = TraceSink()
+        routing = (user_id_routing if config.shard_routing == "user_id"
+                   else round_robin_routing)
+        self.store = ShardedMetadataStore(
+            n_shards=config.metadata_shards, routing_factory=routing)
+        self.objects = ObjectStore(chunk_bytes=config.multipart_chunk_bytes)
+        # The auth service and the API processes only draw scalar uniforms;
+        # handing them the pool (same .random() surface as a Generator)
+        # amortises the per-draw Generator call overhead.
+        self.auth = AuthenticationService(
+            rng=pool, failure_fraction=config.auth_failure_fraction)
+        self.bus = NotificationBus()
+        self.registry = SessionRegistry()
+        self.latency = ServiceTimeModel(rng, parameters=config.latency,
+                                        n_shards=config.metadata_shards,
+                                        shard_factors=shard_factors)
+        self.processes: list[ApiServerProcess] = []
+        for index, address in addresses:
+            worker = RpcWorker(worker_id=index, store=self.store,
+                               latency=self.latency, sink=self.sink)
+            self.processes.append(ApiServerProcess(
+                address=address, rpc_worker=worker,
+                object_store=self.objects, auth=self.auth,
+                bus=self.bus, registry=self.registry, sink=self.sink,
+                rng=pool,
+                dedup_enabled=config.dedup_enabled,
+                delta_updates_enabled=config.delta_updates_enabled,
+                delta_update_factor=config.delta_update_factor,
+                interrupted_upload_fraction=config.interrupted_upload_fraction))
+            # A shard's sink lives exactly one run, so the raw appender
+            # bindings can never go stale here.
+            self.processes[-1].bind_raw_sink()
+        self.gateway = LoadBalancer([address for _, address in addresses],
+                                    rng=rng)
+        self.collector = UploadJobCollector(self.store, self.processes[0],
+                                            config.gc_interval)
+
+    # ------------------------------------------------------------------- run
+    def run(self, scripts: list[SessionScript]) -> ShardOutcome:
+        """Replay this shard's scripts and summarise the outcome.
+
+        The loop is the classic timsort-merge replay: opens before events
+        before closes at equal timestamps, sessions pinned to the process the
+        balancer picked at connect time, uploadjob GC driven by the shard's
+        own timeline.
+        """
+        started = time.perf_counter()
+        _OPEN, _EVENT, _CLOSE = 0, 1, 2
+        timeline: list[tuple[float, int, int, object]] = []
+        append = timeline.append
+        sequence = 0
+        for script in scripts:
+            append((script.start, _OPEN, sequence, script))
+            sequence += 1
+            for event in script.events:
+                append((event.time, _EVENT, sequence, event))
+                sequence += 1
+            append((script.end, _CLOSE, sequence, script))
+            sequence += 1
+        timeline.sort()
+
+        process_by_address = {p.address: p for p in self.processes}
+        # session id -> (bound handle method, process, address): the per-event
+        # hot path then runs one dict get and one call.
+        session_process: dict[int, tuple] = {}
+        failed_sessions: set[int] = set()
+        gateway = self.gateway
+        collector = self.collector
+        next_gc = float("-inf")
+        for timestamp, kind, _, payload in timeline:
+            if timestamp >= next_gc:
+                next_gc = collector.observe(timestamp)
+            if kind == _EVENT:
+                event = payload
+                assigned = session_process.get(event.session_id)
+                if assigned is None:
+                    continue
+                # ClientEvent is request-shaped; no per-event ApiRequest copy.
+                assigned[0](event)
+            elif kind == _OPEN:
+                script: SessionScript = payload  # type: ignore[assignment]
+                address = gateway.assign()
+                process = process_by_address[address]
+                handle = process.open_session(
+                    script.user_id, script.session_id, script.start,
+                    force_auth_failure=script.auth_failed,
+                    caused_by_attack=script.caused_by_attack)
+                if handle is None:
+                    gateway.release(address)
+                    failed_sessions.add(script.session_id)
+                else:
+                    session_process[script.session_id] = (process.handle,
+                                                          process, address)
+            else:  # close
+                script = payload  # type: ignore[assignment]
+                if script.session_id in failed_sessions:
+                    continue
+                assigned = session_process.pop(script.session_id, None)
+                if assigned is None:
+                    continue
+                _, process, address = assigned
+                process.close_session(script.session_id, script.end,
+                                      caused_by_attack=script.caused_by_attack)
+                gateway.release(address)
+
+        # The timeline is processed in timestamp order, so every stream was
+        # appended sorted; skip the per-stream re-check.
+        dataset = self.sink.finish_sorted()
+        totals = self.gateway.total_assigned()
+        return ShardOutcome(
+            shard_id=self.shard_id,
+            seconds=time.perf_counter() - started,
+            storage_rows=dataset._storage.rows(),
+            rpc_rows=dataset._rpc.rows(),
+            session_rows=dataset._sessions.rows(),
+            process_counters={
+                index: (p.requests_handled, p.notifications_pushed,
+                        p._rpc.calls_executed, p._rpc.busy_time)  # noqa: SLF001
+                for index, p in zip(self._address_indices, self.processes)},
+            gateway_totals={index: totals[p.address]
+                            for index, p in zip(self._address_indices,
+                                                self.processes)},
+            store_summary=self.store.summary(),
+            object_count=len(self.objects),
+            accounting=self.objects.accounting,
+            gc_sweeps=self.collector.sweeps)
+
+
+# ---------------------------------------------------------------------------
+# Orchestration: sequential fallback and forked worker pool
+# ---------------------------------------------------------------------------
+
+#: Fork-inherited task state: (config, assignments, shard_factors,
+#: scripts_by_shard).  Set in the parent immediately before the pool forks;
+#: workers receive only shard ids through the pipe.
+_FORK_STATE: tuple | None = None
+
+
+def _run_shard_task(shard_id: int) -> ShardOutcome:
+    config, assignments, shard_factors, scripts_by_shard = _FORK_STATE
+    with cyclic_gc_paused():
+        shard = ReplayShard(config, shard_id, assignments[shard_id],
+                            shard_factors)
+        return shard.run(scripts_by_shard[shard_id])
+
+
+def run_shards(config, assignments: list[list[tuple[int, ProcessAddress]]],
+               shard_factors: list[float],
+               scripts_by_shard: list[list[SessionScript]],
+               n_jobs: int = 1) -> tuple[list[ShardOutcome], int]:
+    """Run every replay shard and return ``(outcomes, jobs_used)``.
+
+    ``assignments[k]`` is shard ``k``'s slice of process addresses.  With
+    ``n_jobs > 1`` on a platform with ``fork``, shards run in a worker pool
+    (task state is fork-inherited, so only shard ids and outcomes cross the
+    process boundary); otherwise the shards run sequentially in-process —
+    producing bit-identical outcomes either way.  ``n_jobs`` is a ceiling,
+    not a demand: it is additionally capped at the shard count and at the
+    machine's usable CPUs (forking workers a single core must time-slice
+    only adds overhead, and changes nothing about the result).
+    """
+    n_shards = len(assignments)
+    jobs = max(1, min(int(n_jobs), n_shards, usable_cpus()))
+    if jobs > 1 and not fork_available():
+        jobs = 1
+    if jobs == 1:
+        outcomes = []
+        with cyclic_gc_paused():
+            for shard_id in range(n_shards):
+                shard = ReplayShard(config, shard_id, assignments[shard_id],
+                                    shard_factors)
+                outcomes.append(shard.run(scripts_by_shard[shard_id]))
+        return outcomes, 1
+
+    global _FORK_STATE
+    _FORK_STATE = (config, assignments, shard_factors, scripts_by_shard)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=jobs) as pool:
+            outcomes = pool.map(_run_shard_task, range(n_shards))
+    finally:
+        _FORK_STATE = None
+    return outcomes, jobs

@@ -68,8 +68,8 @@ class RpcWorker:
         self._store = store
         self._latency = latency
         self._sink = sink
-        # Bound hot-path callees (execute() runs once per RPC).
-        self._sample = latency.sample
+        # Bound hot-path callee (execute() runs once per RPC); see
+        # bind_raw_sink() for the shard-replay variant.
         self._rpc_row = sink.rpc_row
         #: Total number of RPCs executed by this worker.
         self.calls_executed = 0
@@ -81,6 +81,17 @@ class RpcWorker:
         """The sharded metadata store this worker queries."""
         return self._store
 
+    def bind_raw_sink(self) -> None:
+        """Bind the sink's raw row appender directly (shard replay wiring).
+
+        Skips the ``TraceSink`` method frame on every emitted RPC record.
+        Only valid until the sink's ``finish()`` is called — the sharded
+        replay engine builds fresh workers per run, so the binding can never
+        go stale there; long-lived interactive wiring keeps the safe
+        method-bound default.
+        """
+        self._rpc_row = self._sink._append_rpc  # noqa: SLF001
+
     def execute(self, rpc: RpcName, context: RpcContext,
                 operation: Callable[..., Any], *args,
                 shard_user_id: int | None = None) -> Any:
@@ -91,16 +102,27 @@ class RpcWorker:
         closure allocation per RPC), while zero-argument closures keep
         working.  The worker samples a service time, traces the call and
         returns the operation's result.  ``shard_user_id`` overrides the
-        user id used for shard attribution (needed for system-initiated
-        calls such as the uploadjob garbage collector).
+        user id used for shard attribution (system-initiated calls).
         """
-        if shard_user_id is None:
+        if shard_user_id is not None:
+            shard_id = self._store.shard_id_of(shard_user_id)
+        else:
             shard_id = context.shard_id
             if shard_id is None:
                 shard_id = self._store.shard_id_of(context.user_id)
-        else:
-            shard_id = self._store.shard_id_of(shard_user_id)
-        service_time = self._sample(rpc, shard_id)
+        # Inlined ServiceTimeModel.sample (one call frame per RPC matters
+        # here): pull the next pooled body factor and scale the per-(rpc,
+        # shard) base median.  Falls back to the model for pool refills.
+        model = self._latency
+        factors = model._factors
+        i = model._factor_index
+        if i >= len(factors):
+            model._refill_factors()
+            factors = model._factors
+            i = 0
+        model._factor_index = i + 1
+        service_time = (model._base_by_rpc[rpc][shard_id % model._n_shards]
+                        * factors[i])
         result = operation(*args)
         self.calls_executed += 1
         self.busy_time += service_time
@@ -110,3 +132,66 @@ class RpcWorker:
             context.user_id, context.session_id, rpc, shard_id, service_time,
             context.api_operation, context.caused_by_attack))
         return result
+
+    def execute_one(self, rpc: RpcName, context: RpcContext,
+                    operation: Callable[[Any], Any], arg: Any) -> Any:
+        """:meth:`execute` specialised to single-argument shard queries.
+
+        The replay workload is dominated by one-argument reads (every
+        download issues ``get_node(node_id)``), where the generic ``*args``
+        packing and keyword handling of :meth:`execute` are measurable; this
+        variant is the same bookkeeping without them.
+        """
+        shard_id = context.shard_id
+        if shard_id is None:
+            shard_id = self._store.shard_id_of(context.user_id)
+        model = self._latency
+        factors = model._factors
+        i = model._factor_index
+        if i >= len(factors):
+            model._refill_factors()
+            factors = model._factors
+            i = 0
+        model._factor_index = i + 1
+        service_time = (model._base_by_rpc[rpc][shard_id % model._n_shards]
+                        * factors[i])
+        result = operation(arg)
+        self.calls_executed += 1
+        self.busy_time += service_time
+        self._rpc_row((
+            context.timestamp, context.server, context.process,
+            context.user_id, context.session_id, rpc, shard_id, service_time,
+            context.api_operation, context.caused_by_attack))
+        return result
+
+    def execute_block(self, rpc: RpcName, context: RpcContext,
+                      operation: Callable[..., Any],
+                      args_list: list[tuple]) -> list[Any]:
+        """Run a block of same-kind RPCs sharing one context.
+
+        The vectorised counterpart of :meth:`execute` for runs of identical
+        calls (multipart part uploads, GC sweeps): service times are drawn in
+        one pooled block, the counters are updated once for the whole block,
+        and the trace rows share the prebuilt context fields — only the
+        per-call service time differs.  Returns the operation results in
+        call order.
+        """
+        n = len(args_list)
+        if n == 0:
+            return []
+        shard_id = context.shard_id
+        if shard_id is None:
+            shard_id = self._store.shard_id_of(context.user_id)
+        times = self._latency.sample_block(rpc, shard_id, n)
+        results = [operation(*args) for args in args_list]
+        self.calls_executed += n
+        self.busy_time += sum(times)
+        rpc_row = self._rpc_row
+        timestamp, server, process = (context.timestamp, context.server,
+                                      context.process)
+        user_id, session_id = context.user_id, context.session_id
+        api_operation, attack = context.api_operation, context.caused_by_attack
+        for service_time in times:
+            rpc_row((timestamp, server, process, user_id, session_id, rpc,
+                     shard_id, service_time, api_operation, attack))
+        return results

@@ -42,8 +42,17 @@ class MetadataShard:
         self._nodes: dict[int, Node] = {}
         self._uploadjobs: dict[int, UploadJob] = {}
         self._next_uploadjob_id = 1
+        # content hash -> {node_id: live node} — lets get_reusable_content
+        # answer in O(1) instead of scanning every node of the shard (the
+        # scan is O(nodes) and runs once per upload).
+        self._content_index: dict[str, dict[int, Node]] = {}
         #: Number of DAL requests served, for load-balancing analyses/tests.
         self.requests_served = 0
+        # Users/nodes that live in sibling stores of a sharded replay (the
+        # replay engine runs one store per replay shard and folds summary
+        # counts back here, so user_count()/node_count() stay fleet-wide).
+        self._absorbed_users = 0
+        self._absorbed_nodes = 0
 
     # ------------------------------------------------------------------ users
     def ensure_user(self, user_id: int, root_volume_id: int, now: float) -> UserRow:
@@ -77,7 +86,19 @@ class MetadataShard:
 
     def user_count(self) -> int:
         """Number of users whose metadata lives in this shard."""
-        return len(self._users)
+        return len(self._users) + self._absorbed_users
+
+    def absorb_counts(self, users: int, nodes: int, requests: int) -> None:
+        """Fold one replay shard's per-shard outcome into this shard's counters."""
+        self._absorbed_users += users
+        self._absorbed_nodes += nodes
+        self.requests_served += requests
+
+    def local_counts(self) -> tuple[int, int, int]:
+        """``(users, nodes, requests)`` held/served by this shard itself
+        (absorbed sibling counts excluded) — the picklable summary a replay
+        worker ships back for :meth:`absorb_counts`."""
+        return len(self._users), len(self._nodes), self.requests_served
 
     # ---------------------------------------------------------------- volumes
     def create_volume(self, user_id: int, volume_id: int,
@@ -138,6 +159,8 @@ class MetadataShard:
             node = self._nodes.pop(node_id, None)
             if node is not None:
                 node.is_live = False
+                if node.content_hash:
+                    self._deindex_content(node.content_hash, node_id)
                 removed.append(node)
         volume.node_ids.clear()
         volume.is_live = False
@@ -190,11 +213,25 @@ class MetadataShard:
         node = self._nodes.get(node_id)
         if node is None:
             raise UnknownNodeError(node_id)
+        old_hash = node.content_hash
         node.apply_content(content_hash, size_bytes, now)
+        if content_hash != old_hash:
+            if old_hash:
+                self._deindex_content(old_hash, node_id)
+            if content_hash:
+                self._content_index.setdefault(content_hash, {})[node_id] = node
         volume = self._volumes.get(node.volume_id)
         if volume is not None:
             volume.bump_generation()
         return node
+
+    def _deindex_content(self, content_hash: str, node_id: int) -> None:
+        """Drop a node from the content index (delete / content change)."""
+        entry = self._content_index.get(content_hash)
+        if entry is not None:
+            entry.pop(node_id, None)
+            if not entry:
+                del self._content_index[content_hash]
 
     def unlink_node(self, node_id: int) -> Node | None:
         """``dal.unlink_node`` — delete a node; returns it, or None if absent."""
@@ -203,6 +240,8 @@ class MetadataShard:
         if node is None:
             return None
         node.is_live = False
+        if node.content_hash:
+            self._deindex_content(node.content_hash, node_id)
         volume = self._volumes.get(node.volume_id)
         if volume is not None:
             volume.node_ids.discard(node_id)
@@ -251,16 +290,21 @@ class MetadataShard:
         return nodes
 
     def get_reusable_content(self, content_hash: str) -> Node | None:
-        """``dal.get_reusable_content`` — any live node with this content."""
+        """``dal.get_reusable_content`` — any live node with this content.
+
+        Answered from the content-hash index in O(1); the index only holds
+        live nodes (maintained by make_content / unlink_node /
+        delete_volume), so no liveness scan is needed.
+        """
         self.requests_served += 1
-        for node in self._nodes.values():
-            if node.content_hash == content_hash and node.is_live:
-                return node
-        return None
+        entry = self._content_index.get(content_hash)
+        if not entry:
+            return None
+        return next(iter(entry.values()))
 
     def node_count(self) -> int:
         """Number of live nodes stored in this shard."""
-        return len(self._nodes)
+        return len(self._nodes) + self._absorbed_nodes
 
     # ------------------------------------------------------------ uploadjobs
     def make_uploadjob(self, user_id: int, node_id: int, volume_id: int,

@@ -87,6 +87,21 @@ class TraceSink:
         self._append_session = self.dataset._sessions.raw_appender()
         return self.dataset
 
+    def finish_sorted(self) -> TraceDataset:
+        """Finish a sink whose rows were appended in timestamp order.
+
+        The replay shard loop processes a time-sorted timeline, so every
+        stream is emitted in nondecreasing timestamp order by construction;
+        this variant marks the streams sorted instead of re-deriving it from
+        the timestamp columns.  Downstream, the deterministic block merge
+        (:meth:`TraceDataset.from_sorted_blocks`) still verifies global
+        order, so a violated assumption cannot produce an unsorted dataset.
+        """
+        for stream in (self.dataset._storage, self.dataset._rpc,
+                       self.dataset._sessions):
+            stream._sorted = True
+        return self.dataset
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TraceSink(storage={self.storage_records}, "
                 f"rpc={self.rpc_records}, sessions={self.session_records})")

@@ -51,6 +51,10 @@ def _add_workload_options(parser: argparse.ArgumentParser) -> None:
                         help="trace duration in days (default: 5)")
     parser.add_argument("--seed", type=int, default=2014,
                         help="random seed (default: 2014)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sharded replay "
+                             "(default: 1; the trace is bit-identical for "
+                             "any value)")
     parser.add_argument("--no-backend", action="store_true",
                         help="emit client-side records only (skip the back-end "
                              "simulation; no RPC records will be available)")
@@ -97,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random seed (default: 2014)")
     bench.add_argument("--repeats", type=int, default=5,
                        help="repetitions per phase, best-of (default: 5)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sharded replay "
+                            "(default: 1)")
     bench.add_argument("--out", type=Path, default=Path("BENCH_pipeline.json"),
                        help="path of the JSON report (default: BENCH_pipeline.json)")
     return parser
@@ -108,7 +115,8 @@ def _build_dataset(args: argparse.Namespace) -> TraceDataset:
     if args.no_backend:
         return generator.generate()
     cluster = U1Cluster(ClusterConfig(seed=args.seed))
-    return cluster.replay(generator.client_events())
+    return cluster.replay(generator.client_events(),
+                          n_jobs=getattr(args, "jobs", 1))
 
 
 def _command_generate(args: argparse.Namespace, out) -> int:
@@ -150,7 +158,7 @@ def _command_bench(args: argparse.Namespace, out) -> int:
     from repro.bench import format_summary, run_benchmark, write_report
 
     result = run_benchmark(users=args.users, days=args.days, seed=args.seed,
-                           repeats=args.repeats)
+                           repeats=args.repeats, n_jobs=args.jobs)
     path = write_report(result, args.out)
     print(format_summary(result), file=out)
     print(f"Wrote {path}", file=out)

@@ -348,6 +348,51 @@ class _Stream:
                 self._view_records = [snapshot[i] for i in self._indices.tolist()]
         return self._view_records
 
+    def rows(self) -> list[tuple]:
+        """The stream's events as raw field tuples (in stream order).
+
+        Rows-mode base streams return their canonical list directly (do not
+        mutate it); records-mode streams and views decompose their records
+        into fresh tuples.  This is the export side of the columnar fast
+        path — the sharded replay engine ships these lists between worker
+        processes instead of record objects.
+        """
+        if self._base is None and self._is_rows:
+            return self._data
+        fields = self.spec.fields
+        return [tuple(getattr(r, name) for name in fields)
+                for r in self.records()]
+
+    @classmethod
+    def _from_sorted_row_blocks(cls, spec: _StreamSpec,
+                                blocks: list[list[tuple]]) -> "_Stream":
+        """Merge row blocks, each already sorted by timestamp, into one stream.
+
+        The merge is a concatenation in block order followed by a stable sort
+        on the timestamp column: equal timestamps therefore resolve to the
+        lower block index first, preserving each block's internal order — a
+        deterministic k-way merge whose result does not depend on how the
+        blocks were produced (sequentially or by parallel workers).
+        """
+        merged: list[tuple] = []
+        for rows in blocks:
+            merged.extend(rows)
+        stream = cls(spec)
+        if not merged:
+            return stream
+        ts = np.fromiter((row[0] for row in merged), dtype=np.float64,
+                         count=len(merged))
+        if ts.size > 1 and not bool(np.all(ts[1:] >= ts[:-1])):
+            order = np.argsort(ts, kind="stable")
+            merged = [merged[i] for i in order.tolist()]
+            ts = ts[order]
+        stream._data = merged
+        stream._is_rows = True
+        stream._sorted = True
+        stream._last_ts = float(ts[-1])
+        stream.seed_column("timestamp", ts)
+        return stream
+
     # --------------------------------------------------------------- columns
     def column(self, name: str) -> np.ndarray:
         """One field of the stream as a NumPy array (cached).
@@ -454,7 +499,17 @@ class _Stream:
     def is_sorted(self) -> bool:
         """Whether the stream is sorted by timestamp (computed lazily)."""
         if self._sorted is None:
-            ts = self.column("timestamp")
+            if self._base is None and self._is_rows:
+                # Rows-mode fast path: extract timestamps directly instead of
+                # going through column(), which would transpose *every* field
+                # of the stream just to read one — the replay sinks hit this
+                # once per stream at finish() time.
+                data = self._data
+                ts = np.fromiter((row[0] for row in data), dtype=np.float64,
+                                 count=len(data))
+                self._cols.setdefault("timestamp", ts)
+            else:
+                ts = self.column("timestamp")
             self._sorted = bool(ts.size < 2 or np.all(ts[1:] >= ts[:-1]))
         return self._sorted
 
@@ -659,6 +714,37 @@ class TraceDataset:
         dataset._legit_cache = None
         dataset._groupby_cache = {}
         return dataset
+
+    @classmethod
+    def from_sorted_blocks(cls, blocks) -> "TraceDataset":
+        """Merge per-shard trace blocks into one sorted dataset.
+
+        ``blocks`` is a sequence whose elements are either
+        :class:`TraceDataset` instances or ``(storage_rows, rpc_rows,
+        session_rows)`` tuples of raw field-tuple lists; every block's
+        streams must already be sorted by timestamp (a shard sink's
+        ``finish()`` guarantees that).  The merge is deterministic: ties on
+        timestamp keep lower-block-first, intra-block order — so the result
+        is a pure function of the block contents, independent of whether the
+        blocks were produced sequentially or by parallel replay workers.
+        """
+        storage_blocks: list[list[tuple]] = []
+        rpc_blocks: list[list[tuple]] = []
+        session_blocks: list[list[tuple]] = []
+        for block in blocks:
+            if isinstance(block, TraceDataset):
+                storage_blocks.append(block._storage.rows())
+                rpc_blocks.append(block._rpc.rows())
+                session_blocks.append(block._sessions.rows())
+            else:
+                storage_rows, rpc_rows, session_rows = block
+                storage_blocks.append(storage_rows)
+                rpc_blocks.append(rpc_rows)
+                session_blocks.append(session_rows)
+        return cls._from_streams(
+            _Stream._from_sorted_row_blocks(_STORAGE_SPEC, storage_blocks),
+            _Stream._from_sorted_row_blocks(_RPC_SPEC, rpc_blocks),
+            _Stream._from_sorted_row_blocks(_SESSION_SPEC, session_blocks))
 
     # ------------------------------------------------------------ stream API
     @property

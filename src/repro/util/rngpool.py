@@ -82,3 +82,19 @@ class RngPool:
         """One Lomax/Pareto-II sample (same support as ``rng.pareto``)."""
         u = self.random()
         return (1.0 - u) ** (-1.0 / alpha) - 1.0
+
+    # ------------------------------------------------------ derived streams
+    def spawn(self, key: int) -> "RngPool":
+        """A child pool with an independent stream derived from ``key``.
+
+        The child's bit stream is a pure function of this pool's root seed
+        and ``key`` (via the NumPy ``SeedSequence`` spawn-key mechanism), so
+        children are reproducible, mutually independent, and — crucially for
+        the sharded replay engine — do not depend on how many draws the
+        parent or any sibling has made.  Spawning the same key twice yields
+        identical streams.
+        """
+        root = self._rng.bit_generator.seed_seq
+        child_seq = np.random.SeedSequence(
+            entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (key,))
+        return RngPool(np.random.default_rng(child_seq), block=self._block)

@@ -28,6 +28,7 @@ from repro.trace.records import (
     SessionEvent,
     VolumeType,
 )
+from repro.util.gctools import cyclic_gc_paused
 from repro.util.rngpool import RngPool
 from repro.util.units import HOUR
 from repro.workload.attacks import build_attack_episodes
@@ -635,8 +636,14 @@ class SyntheticTraceGenerator:
         """Generate every session script of the measurement window.
 
         The result is sorted by session start time and includes both the
-        legitimate workload and the configured DDoS episodes.
+        legitimate workload and the configured DDoS episodes.  Generation is
+        a cycle-free bulk allocation, so the cyclic garbage collector is
+        paused for the duration (see :mod:`repro.util.gctools`).
         """
+        with cyclic_gc_paused():
+            return self._client_events()
+
+    def _client_events(self) -> list[SessionScript]:
         scripts: list[SessionScript] = []
         for user in self._population:
             state = self._init_user_state(user)

@@ -1,0 +1,166 @@
+"""Tests for the sharded replay engine: determinism, partitioning, merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from unittest import mock
+
+from repro.backend import replay_shard
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.backend.replay_shard import fork_available, partition_scripts
+from repro.trace.dataset import TraceDataset
+from repro.workload.config import WorkloadConfig
+from repro.workload.events import SessionScript
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+def _scripts(seed: int = 11, users: int = 80, days: float = 1.0):
+    config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
+    return SyntheticTraceGenerator(config).client_events()
+
+
+def _replay(scripts, n_jobs: int, seed: int = 11):
+    cluster = U1Cluster(ClusterConfig(seed=seed))
+    dataset = cluster.replay(scripts, n_jobs=n_jobs)
+    return cluster, dataset
+
+
+class TestJobCountEquivalence:
+    """The headline guarantee: output is bit-identical for any worker count."""
+
+    @pytest.fixture(scope="class")
+    def replays(self):
+        scripts = _scripts()
+        # Pretend the machine has plenty of CPUs so n_jobs > 1 really runs
+        # the forked worker pool (the point of the test) even on small CI
+        # boxes where run_shards would otherwise cap the worker count.
+        with mock.patch.object(replay_shard, "usable_cpus", return_value=8):
+            return {jobs: _replay(scripts, jobs) for jobs in (1, 2, 4)}
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_datasets_bit_identical_across_job_counts(self, replays, jobs):
+        _, sequential = replays[1]
+        _, parallel = replays[jobs]
+        for name in ("timestamp", "user_id", "session_id", "size_bytes",
+                     "caused_by_attack", "operation"):
+            assert np.array_equal(sequential.storage_column(name),
+                                  parallel.storage_column(name)), name
+        for name in ("timestamp", "user_id", "rpc", "shard_id",
+                     "service_time"):
+            assert np.array_equal(sequential.rpc_column(name),
+                                  parallel.rpc_column(name)), name
+        for name in ("timestamp", "user_id", "event", "session_length",
+                     "storage_operations"):
+            assert np.array_equal(sequential.session_column(name),
+                                  parallel.session_column(name)), name
+        # Field-by-field record equality across all three streams (covers
+        # the string-valued columns the checks above skip).
+        assert sequential == parallel
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_cluster_counters_identical_across_job_counts(self, replays, jobs):
+        sequential_cluster, _ = replays[1]
+        parallel_cluster, _ = replays[jobs]
+        assert ([p.requests_handled for p in sequential_cluster.processes]
+                == [p.requests_handled for p in parallel_cluster.processes])
+        assert (sequential_cluster.rpc_calls_per_worker()
+                == parallel_cluster.rpc_calls_per_worker())
+        assert (sequential_cluster.gateway.total_assigned()
+                == parallel_cluster.gateway.total_assigned())
+        assert (sequential_cluster.metadata_store.users_per_shard()
+                == parallel_cluster.metadata_store.users_per_shard())
+        assert (sequential_cluster.object_store.accounting
+                == parallel_cluster.object_store.accounting)
+
+    def test_replay_is_deterministic_across_runs(self):
+        a = _replay(_scripts(), 1)[1]
+        b = _replay(_scripts(), 1)[1]
+        assert a == b
+
+    def test_stats_record_jobs_and_shards(self, replays):
+        cluster, _ = replays[4]
+        stats = cluster.last_replay_stats
+        assert stats["n_shards"] == ClusterConfig().effective_replay_shards()
+        expected_jobs = 4 if fork_available() else 1
+        assert stats["n_jobs"] == expected_jobs
+        assert len(stats["shard_seconds"]) == stats["n_shards"]
+        assert stats["merge_seconds"] >= 0.0
+
+
+class TestPartitioning:
+    def test_partition_is_disjoint_and_complete(self):
+        scripts = _scripts(seed=3, users=40)
+        parts = partition_scripts(scripts, 8)
+        assert sum(len(p) for p in parts) == len(scripts)
+        for shard_id, part in enumerate(parts):
+            assert all(s.user_id % 8 == shard_id for s in part)
+            starts = [s.start for s in part]
+            assert starts == sorted(starts)
+
+    def test_effective_shards_capped_by_process_count(self):
+        config = ClusterConfig(api_machines=1, processes_per_machine=2,
+                               replay_shards=8)
+        assert config.effective_replay_shards() == 2
+        # A tiny cluster still replays correctly.
+        cluster = U1Cluster(config)
+        dataset = cluster.replay(_scripts(seed=5, users=20))
+        assert not dataset.is_empty
+
+    def test_replay_shards_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(replay_shards=0).validate()
+
+
+class TestSortedBlockMerge:
+    def test_merge_equals_stable_global_sort(self):
+        scripts = _scripts(seed=13, users=30)
+        dataset = _replay(scripts, 1, seed=13)[1]
+        ts = dataset.storage_column("timestamp")
+        assert bool(np.all(ts[1:] >= ts[:-1]))
+        ts_rpc = dataset.rpc_column("timestamp")
+        assert bool(np.all(ts_rpc[1:] >= ts_rpc[:-1]))
+
+    def test_from_sorted_blocks_accepts_datasets_and_row_tuples(self):
+        blocks = [
+            ([(2.0, "a", 0, 1, 1, None, 0, 0, None, None, 10, "", "", False,
+               0, False)], [], []),
+            ([(1.0, "b", 0, 2, 2, None, 0, 0, None, None, 20, "", "", False,
+               0, False)], [], []),
+        ]
+        merged = TraceDataset.from_sorted_blocks(blocks)
+        assert [r[0] for r in merged._storage.rows()] == [1.0, 2.0]
+        assert len(merged._rpc) == 0
+
+    def test_tie_break_preserves_block_order(self):
+        row = lambda ts, server: (ts, server, 0, 1, 1, None, 0, 0, None, None,
+                                  0, "", "", False, 0, False)
+        merged = TraceDataset.from_sorted_blocks([
+            ([row(5.0, "first")], [], []),
+            ([row(5.0, "second")], [], []),
+        ])
+        servers = [r[1] for r in merged._storage.rows()]
+        assert servers == ["first", "second"]
+
+
+class TestShardedStateAbsorption:
+    def test_fleet_statistics_survive_sharded_replay(self):
+        scripts = _scripts(seed=21, users=60)
+        cluster, dataset = _replay(scripts, 2, seed=21)
+        assert sum(p.requests_handled for p in cluster.processes) \
+            == len(dataset.storage)
+        assert sum(cluster.rpc_calls_per_worker()) == len(dataset.rpc)
+        assert all(v == 0 for v in cluster.gateway.open_connections().values())
+        assert sum(cluster.gateway.total_assigned().values()) > 0
+        assert sum(cluster.metadata_store.users_per_shard()) > 0
+        assert len(cluster.object_store) > 0
+
+
+class TestScriptOrderIndependenceOfMerge:
+    def test_single_session_script_replays_on_one_process(self):
+        script = SessionScript(user_id=9, session_id=1, start=100.0, end=200.0)
+        cluster = U1Cluster(ClusterConfig(seed=1))
+        dataset = cluster.replay([script])
+        placements = {(r.server, r.process) for r in dataset.sessions}
+        assert len(placements) == 1
