@@ -53,7 +53,7 @@ def quick_dataset(users: int = 200, days: float = 2.0, seed: int = 0,
     generator = SyntheticTraceGenerator(config)
     if simulate_backend:
         cluster = U1Cluster(ClusterConfig(seed=seed))
-        return cluster.replay(generator.client_events())
+        return cluster.replay_plan(generator.plan())
     return generator.generate()
 
 

@@ -173,51 +173,30 @@ class U1Cluster:
         return self._process_by_address[address]
 
     # ---------------------------------------------------------------- replay
-    def replay(self, scripts: Iterable[SessionScript],
-               n_jobs: int = 1) -> TraceDataset:
-        """Replay a workload (session scripts) through the back-end.
-
-        The replay is *sharded* (see :mod:`repro.backend.replay_shard`):
-        sessions partition by ``user_id % replay_shards`` into logical shards
-        that own disjoint slices of the users, the metadata/object stores and
-        the API processes — mirroring the multi-process production fleet the
-        paper measured.  Within each shard, events from overlapping sessions
-        interleave in global timestamp order and every session lives on the
-        API process the shard's balancer picked at connect time; per-shard
-        uploadjob GC runs against the shard's own store.  The per-shard
-        sorted row blocks are then merge-sorted into one
-        :class:`~repro.trace.dataset.TraceDataset`.
-
-        ``n_jobs`` chooses how many worker processes execute the shards
-        (``1`` replays them sequentially in-process, which is also the
-        fallback on platforms without ``fork``).  Because the shard layout,
-        the per-shard RNG streams (spawned from the root seed, keyed by shard
-        id) and the merge are all independent of the worker count, the
-        returned dataset is **bit-identical for any** ``n_jobs``.
-
-        After the replay the per-shard counter summaries are folded back
-        into this cluster's gateway, processes, metadata store and object
-        store, so the fleet-wide statistics helpers keep working.
-        """
-        from repro.backend.replay_shard import partition_scripts, run_shards
-        import time as _time
-
-        scripts = scripts if isinstance(scripts, list) else list(scripts)
-        started = _time.perf_counter()
-        n_shards = self.config.effective_replay_shards()
+    def _shard_assignments(self, n_shards: int):
+        """Each shard's slice of process addresses as (index, address)."""
         addresses = [p.address for p in self.processes]
         # Round-robin process ownership: each shard's slice spans machines.
-        assignments = [
+        return addresses, [
             [(i, addresses[i]) for i in range(k, len(addresses), n_shards)]
             for k in range(n_shards)
         ]
+
+    def _run_sharded(self, workloads, n_shards: int, n_jobs: int,
+                     addresses) -> TraceDataset:
+        """Run shard workloads, merge columnar outcomes, absorb counters."""
+        from repro.backend.replay_shard import run_shards
+        import time as _time
+
+        started = _time.perf_counter()
+        _, assignments = self._shard_assignments(n_shards)
         outcomes, jobs_used = run_shards(
             self.config, assignments, self.latency.shard_factors,
-            partition_scripts(scripts, n_shards), n_jobs=n_jobs)
+            workloads, n_jobs=n_jobs)
 
         merge_started = _time.perf_counter()
         dataset = TraceDataset.from_sorted_blocks(
-            [(o.storage_rows, o.rpc_rows, o.session_rows) for o in outcomes])
+            [(o.storage, o.rpc, o.sessions) for o in outcomes])
         merge_seconds = _time.perf_counter() - merge_started
 
         for outcome in outcomes:
@@ -235,22 +214,104 @@ class U1Cluster:
             self.object_store.absorb_summary(outcome.object_count,
                                              outcome.accounting)
 
+        totals = [outcome.total_seconds for outcome in outcomes]
+        mean_total = sum(totals) / max(len(totals), 1)
         self.last_replay_stats = {
             "n_jobs": jobs_used,
             "n_shards": n_shards,
             "shard_seconds": [outcome.seconds for outcome in outcomes],
+            "shard_generate_seconds": [outcome.generate_seconds
+                                       for outcome in outcomes],
+            "shard_total_seconds": totals,
+            #: max/mean per-shard (generate + replay) seconds — 1.0 is a
+            #: perfectly balanced fleet; the critical-path shard bounds how
+            #: far ``n_jobs`` can scale.
+            "shard_imbalance": (max(totals) / mean_total
+                                if mean_total > 0 else 1.0),
+            "ipc_block_bytes": sum(outcome.ipc_bytes for outcome in outcomes),
+            "events_replayed": sum(outcome.n_events for outcome in outcomes),
             "merge_seconds": merge_seconds,
             "replay_seconds": _time.perf_counter() - started,
             "gc_sweeps": sum(outcome.gc_sweeps for outcome in outcomes),
         }
         return dataset
 
+    def replay(self, scripts: Iterable[SessionScript],
+               n_jobs: int = 1) -> TraceDataset:
+        """Replay a workload (session scripts) through the back-end.
+
+        The replay is *sharded* (see :mod:`repro.backend.replay_shard`):
+        sessions partition into logical shards by a deterministic
+        longest-processing-time assignment over per-user planned operation
+        counts (falling back to event counts for hand-built scripts); every
+        shard owns a disjoint slice of the users, the metadata/object
+        stores and the API processes — mirroring the multi-process
+        production fleet the paper measured.  Within each shard, events
+        from overlapping sessions interleave in global timestamp order and
+        every session lives on the API process the shard's balancer picked
+        at connect time; per-shard uploadjob GC runs against the shard's
+        own store.  The per-shard sorted columnar blocks are then merged
+        column-wise into one :class:`~repro.trace.dataset.TraceDataset`
+        with every field's column cache pre-seeded.
+
+        ``n_jobs`` chooses how many worker processes execute the shards
+        (``1`` replays them sequentially in-process, which is also the
+        fallback on platforms without ``fork``).  Because the shard layout,
+        the per-shard RNG streams (spawned from the root seed, keyed by shard
+        id) and the merge are all independent of the worker count, the
+        returned dataset is **bit-identical for any** ``n_jobs``.
+
+        After the replay the per-shard counter summaries are folded back
+        into this cluster's gateway, processes, metadata store and object
+        store, so the fleet-wide statistics helpers keep working.
+        """
+        from repro.backend.replay_shard import (
+            PrebuiltShardWorkload,
+            lpt_assignment,
+            partition_scripts,
+            script_weights,
+        )
+
+        scripts = scripts if isinstance(scripts, list) else list(scripts)
+        n_shards = self.config.effective_replay_shards()
+        addresses, _ = self._shard_assignments(n_shards)
+        shard_of = lpt_assignment(script_weights(scripts), n_shards)
+        workloads = [PrebuiltShardWorkload(part)
+                     for part in partition_scripts(scripts, n_shards,
+                                                   shard_of=shard_of)]
+        return self._run_sharded(workloads, n_shards, n_jobs, addresses)
+
+    def replay_plan(self, plan, n_jobs: int = 1) -> TraceDataset:
+        """The fused pipeline: materialize *and* replay a workload plan.
+
+        ``plan`` is a :class:`~repro.workload.plan.WorkloadPlan` (from
+        :meth:`~repro.workload.generator.SyntheticTraceGenerator.plan`).
+        Plan members are LPT-assigned to shards by their planned operation
+        counts, and each shard worker materializes its members' session
+        scripts from their per-user RNG streams before replaying them — the
+        generate phase runs inside the workers, in parallel across shards,
+        instead of sequentially in the parent.  Because materialization is
+        a pure function of ``(config, plan member)`` and the assignment
+        depends only on the plan, the returned dataset is bit-identical to
+        ``replay(materialized_scripts)`` for any ``n_jobs``.
+        """
+        from repro.backend.replay_shard import (
+            PlannedShardWorkload,
+            partition_members,
+        )
+
+        n_shards = self.config.effective_replay_shards()
+        addresses, _ = self._shard_assignments(n_shards)
+        workloads = [PlannedShardWorkload(plan, members)
+                     for members in partition_members(plan, n_shards)]
+        return self._run_sharded(workloads, n_shards, n_jobs, addresses)
+
     def run_workload(self, workload_config, n_jobs: int = 1) -> TraceDataset:
-        """Convenience: generate a workload and replay it in one call."""
+        """Convenience: plan a workload and run the fused generate→replay."""
         from repro.workload.generator import SyntheticTraceGenerator
 
         generator = SyntheticTraceGenerator(workload_config)
-        return self.replay(generator.client_events(), n_jobs=n_jobs)
+        return self.replay_plan(generator.plan(), n_jobs=n_jobs)
 
     # ------------------------------------------------------------ statistics
     def load_per_machine(self) -> dict[str, int]:

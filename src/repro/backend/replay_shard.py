@@ -3,10 +3,28 @@
 The production measurement the paper draws from is inherently parallel: many
 API machines log independently and the logfiles are merged afterwards.  This
 module gives the simulator the same shape.  A replay is partitioned into
-``n_shards`` *logical replay shards* by ``user_id % n_shards``: every shard
-owns a disjoint slice of the users, its own metadata store, object store,
-authentication service, notification bus and a disjoint slice of the API
-server processes, so shards share no mutable state and can run concurrently.
+``n_shards`` *logical replay shards*: every shard owns a disjoint slice of
+the users, its own metadata store, object store, authentication service,
+notification bus and a disjoint slice of the API server processes, so shards
+share no mutable state and can run concurrently.
+
+Users map to shards by deterministic **longest-processing-time assignment**
+(:func:`lpt_assignment`) keyed on each user's *planned* operation count:
+users are placed heaviest-first onto the least-loaded shard, so one
+DDoS-heavy user no longer drags six neighbours onto the critical-path shard
+the way the historical ``user_id % n_shards`` round-robin did.  The
+assignment depends only on the plan weights — never on the worker count —
+preserving the bit-identical-for-any-``n_jobs`` guarantee.
+
+Since PR 3 a shard can also *generate* its own workload: the fused pipeline
+hands each worker a :class:`PlannedShardWorkload` (a slice of the global
+:class:`~repro.workload.plan.WorkloadPlan`), and the worker materializes its
+members' session scripts from their per-user RNG streams before replaying
+them — the generate phase parallelises with the replay instead of running
+sequentially in the parent.  Results return as
+:class:`~repro.trace.dataset.ColumnBlock` NumPy columns (buffer-pickled
+arrays, factorised strings) instead of per-event row tuples, so the parent's
+merge is pure array work and every merged column arrives pre-seeded.
 
 Sharding is a *model* change, not only an execution change: state that
 production keeps globally consistent becomes per-shard.  The visible
@@ -53,18 +71,24 @@ from repro.backend.metadata_store import (
 from repro.backend.notifications import NotificationBus
 from repro.backend.rpc_server import RpcContext, RpcWorker
 from repro.backend.tracing import TraceSink
+from repro.trace.dataset import ColumnBlock
 from repro.trace.records import RpcName
 from repro.util.gctools import cyclic_gc_paused
 from repro.util.rngpool import RngPool
 from repro.workload.events import SessionScript
 
 __all__ = [
+    "PlannedShardWorkload",
+    "PrebuiltShardWorkload",
     "ReplayShard",
     "ShardOutcome",
     "UploadJobCollector",
     "fork_available",
+    "lpt_assignment",
+    "partition_members",
     "partition_scripts",
     "run_shards",
+    "script_weights",
     "usable_cpus",
 ]
 
@@ -84,17 +108,129 @@ def usable_cpus() -> int:
 
 
 
-def partition_scripts(scripts: list[SessionScript],
-                      n_shards: int) -> list[list[SessionScript]]:
-    """Split session scripts into per-shard lists by ``user_id % n_shards``.
+def lpt_assignment(weights: list[tuple[int, float]],
+                   n_shards: int) -> dict[int, int]:
+    """Deterministic longest-processing-time mapping ``key -> shard``.
 
-    Scripts arrive sorted by session start time and each per-shard list
-    preserves that order, so every shard replays a time-ordered sub-workload.
+    ``weights`` holds ``(key, weight)`` pairs (keys are user ids or plan
+    member indices).  Keys are placed heaviest-first onto the currently
+    least-loaded shard; ties break on the smaller weight-sorted position and
+    the smaller shard id, so the mapping is a pure function of the weights —
+    independent of input order, worker count or machine.  LPT is the classic
+    4/3-approximation of makespan scheduling: a single flood user ends up
+    alone on one shard instead of pinning six unlucky ``user_id % n_shards``
+    neighbours to the critical path.
+    """
+    import heapq
+
+    order = sorted(weights, key=lambda item: (-item[1], item[0]))
+    loads = [(0.0, shard_id) for shard_id in range(n_shards)]
+    heapq.heapify(loads)
+    assignment: dict[int, int] = {}
+    for key, weight in order:
+        load, shard_id = heapq.heappop(loads)
+        assignment[key] = shard_id
+        heapq.heappush(loads, (load + weight, shard_id))
+    return assignment
+
+
+def _member_key(script: SessionScript) -> int:
+    """The LPT grouping key of a script.
+
+    Generator-produced scripts carry their plan-member index (a legitimate
+    user or one slice of a DDoS episode); hand-built scripts group per user
+    under negative keys so they can never collide with member indices.
+    """
+    if script.plan_member >= 0:
+        return script.plan_member
+    return -script.user_id - 1
+
+
+def script_weights(scripts: list[SessionScript]) -> list[tuple[int, float]]:
+    """Per-member ``(key, weight)`` pairs for the LPT shard assignment.
+
+    Generator-produced scripts carry their member's planned operation total
+    (``member_planned_ops``), making the weights — and therefore the shard
+    layout — identical whether the scripts were materialized up front or
+    will be materialized inside the shard workers from the same plan.
+    Hand-built scripts (``plan_member < 0``) fall back to counting events
+    per user, which is equally deterministic.
+    """
+    planned: dict[int, float] = {}
+    for script in scripts:
+        key = _member_key(script)
+        if script.plan_member >= 0:
+            planned[key] = script.member_planned_ops
+        else:
+            planned[key] = planned.get(key, 0.0) + 1.0 + len(script.events)
+    return sorted(planned.items())
+
+
+def partition_scripts(scripts: list[SessionScript], n_shards: int,
+                      shard_of: dict[int, int] | None = None
+                      ) -> list[list[SessionScript]]:
+    """Split session scripts into per-shard lists.
+
+    ``shard_of`` maps member keys (see :func:`script_weights`) to shard ids
+    — the LPT assignment; without it the historical ``user_id % n_shards``
+    round-robin applies.  Scripts arrive sorted by session start time and
+    each per-shard list preserves that order, so every shard replays a
+    time-ordered sub-workload.
     """
     by_shard: list[list[SessionScript]] = [[] for _ in range(n_shards)]
-    for script in scripts:
-        by_shard[script.user_id % n_shards].append(script)
+    if shard_of is None:
+        for script in scripts:
+            by_shard[script.user_id % n_shards].append(script)
+    else:
+        for script in scripts:
+            by_shard[shard_of[_member_key(script)]].append(script)
     return by_shard
+
+
+def partition_members(plan, n_shards: int) -> list[list[int]]:
+    """LPT-partition a workload plan's members into per-shard index lists.
+
+    Keyed on the planned per-member operation counts, so the partition is a
+    pure function of the plan — the fused pipeline and a pre-materialized
+    ``replay(scripts)`` of the same plan produce the same shard layout.
+    """
+    assignment = lpt_assignment(plan.member_weights(), n_shards)
+    members: list[list[int]] = [[] for _ in range(n_shards)]
+    for index in range(plan.n_members):
+        members[assignment[index]].append(index)
+    return members
+
+
+# ---------------------------------------------------------------------------
+# Shard workloads: pre-materialized scripts or a plan slice to materialize
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PrebuiltShardWorkload:
+    """A shard workload that was already materialized in the parent."""
+
+    prebuilt: list[SessionScript]
+
+    def scripts(self) -> list[SessionScript]:
+        return self.prebuilt
+
+
+@dataclass
+class PlannedShardWorkload:
+    """A shard's slice of the global workload plan (the fused pipeline).
+
+    ``members`` are plan member indices; the shard worker materializes them
+    from their per-user RNG streams (see
+    :func:`repro.workload.generator.materialize_members`), so generation
+    runs inside the worker, in parallel across shards.
+    """
+
+    plan: object  # WorkloadPlan (kept untyped: workload layer import cycle)
+    members: list[int]
+
+    def scripts(self) -> list[SessionScript]:
+        from repro.workload.generator import materialize_members
+        return materialize_members(self.plan, self.members)
 
 
 class UploadJobCollector:
@@ -154,17 +290,29 @@ class UploadJobCollector:
 class ShardOutcome:
     """Picklable result of one replay shard.
 
-    Carries the shard's sorted trace row blocks (merged by the parent into
-    the final :class:`~repro.trace.dataset.TraceDataset`) plus the counter
-    summaries the cluster absorbs so fleet-wide statistics keep working
-    after a sharded replay.
+    Carries the shard's sorted trace streams as columnar
+    :class:`~repro.trace.dataset.ColumnBlock`\\ s — one NumPy array per
+    trace field, numeric arrays crossing the worker boundary as contiguous
+    pickle buffers and string fields factorised — plus the counter summaries
+    the cluster absorbs so fleet-wide statistics keep working after a
+    sharded replay.  The parent merges the blocks column-wise
+    (:meth:`~repro.trace.dataset.TraceDataset.from_sorted_blocks`), so the
+    merged dataset's columns are all pre-seeded.
     """
 
     shard_id: int
+    #: Replay seconds (the shard's ``run`` call, including column packing).
     seconds: float
-    storage_rows: list = field(default_factory=list)
-    rpc_rows: list = field(default_factory=list)
-    session_rows: list = field(default_factory=list)
+    #: Seconds spent materializing the shard's scripts inside the worker
+    #: (0.0 when the workload was pre-materialized in the parent).
+    generate_seconds: float = 0.0
+    storage: ColumnBlock | None = None
+    rpc: ColumnBlock | None = None
+    sessions: ColumnBlock | None = None
+    #: Client events replayed (``sum(len(script.events))``).
+    n_events: int = 0
+    #: Total NumPy payload bytes of the three column blocks (IPC size).
+    ipc_bytes: int = 0
     #: address index -> (requests_handled, notifications_pushed,
     #:                   rpc_calls_executed, rpc_busy_time)
     process_counters: dict[int, tuple[int, int, int, float]] = field(
@@ -176,6 +324,11 @@ class ShardOutcome:
     object_count: int = 0
     accounting: StorageAccounting = field(default_factory=StorageAccounting)
     gc_sweeps: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Generate + replay seconds of this shard (the balance metric)."""
+        return self.generate_seconds + self.seconds
 
 
 class ReplayShard:
@@ -302,15 +455,23 @@ class ReplayShard:
                 gateway.release(address)
 
         # The timeline is processed in timestamp order, so every stream was
-        # appended sorted; skip the per-stream re-check.
+        # appended sorted; skip the per-stream re-check.  Column packing
+        # happens here, in the worker: building the per-field arrays is the
+        # lazy materialization cost the parent would otherwise pay serially
+        # after the merge.
         dataset = self.sink.finish_sorted()
+        storage = ColumnBlock.from_stream(dataset._storage)
+        rpc = ColumnBlock.from_stream(dataset._rpc)
+        sessions = ColumnBlock.from_stream(dataset._sessions)
         totals = self.gateway.total_assigned()
         return ShardOutcome(
             shard_id=self.shard_id,
             seconds=time.perf_counter() - started,
-            storage_rows=dataset._storage.rows(),
-            rpc_rows=dataset._rpc.rows(),
-            session_rows=dataset._sessions.rows(),
+            storage=storage,
+            rpc=rpc,
+            sessions=sessions,
+            n_events=sum(len(script.events) for script in scripts),
+            ipc_bytes=storage.nbytes + rpc.nbytes + sessions.nbytes,
             process_counters={
                 index: (p.requests_handled, p.notifications_pushed,
                         p._rpc.calls_executed, p._rpc.busy_time)  # noqa: SLF001
@@ -329,33 +490,48 @@ class ReplayShard:
 # ---------------------------------------------------------------------------
 
 #: Fork-inherited task state: (config, assignments, shard_factors,
-#: scripts_by_shard).  Set in the parent immediately before the pool forks;
+#: workloads).  Set in the parent immediately before the pool forks;
 #: workers receive only shard ids through the pipe.
 _FORK_STATE: tuple | None = None
 
 
+def _run_one_shard(config, assignments, shard_factors, workloads,
+                   shard_id: int) -> ShardOutcome:
+    generate_started = time.perf_counter()
+    scripts = workloads[shard_id].scripts()
+    generate_seconds = time.perf_counter() - generate_started
+    shard = ReplayShard(config, shard_id, assignments[shard_id],
+                        shard_factors)
+    outcome = shard.run(scripts)
+    outcome.generate_seconds = generate_seconds
+    return outcome
+
+
 def _run_shard_task(shard_id: int) -> ShardOutcome:
-    config, assignments, shard_factors, scripts_by_shard = _FORK_STATE
+    config, assignments, shard_factors, workloads = _FORK_STATE
     with cyclic_gc_paused():
-        shard = ReplayShard(config, shard_id, assignments[shard_id],
-                            shard_factors)
-        return shard.run(scripts_by_shard[shard_id])
+        return _run_one_shard(config, assignments, shard_factors, workloads,
+                              shard_id)
 
 
 def run_shards(config, assignments: list[list[tuple[int, ProcessAddress]]],
                shard_factors: list[float],
-               scripts_by_shard: list[list[SessionScript]],
+               workloads: list,
                n_jobs: int = 1) -> tuple[list[ShardOutcome], int]:
     """Run every replay shard and return ``(outcomes, jobs_used)``.
 
-    ``assignments[k]`` is shard ``k``'s slice of process addresses.  With
-    ``n_jobs > 1`` on a platform with ``fork``, shards run in a worker pool
-    (task state is fork-inherited, so only shard ids and outcomes cross the
-    process boundary); otherwise the shards run sequentially in-process —
-    producing bit-identical outcomes either way.  ``n_jobs`` is a ceiling,
-    not a demand: it is additionally capped at the shard count and at the
-    machine's usable CPUs (forking workers a single core must time-slice
-    only adds overhead, and changes nothing about the result).
+    ``assignments[k]`` is shard ``k``'s slice of process addresses and
+    ``workloads[k]`` its workload — either a :class:`PrebuiltShardWorkload`
+    (scripts materialized in the parent) or a :class:`PlannedShardWorkload`
+    (a plan slice the worker materializes itself, fusing generation into
+    the parallel phase).  With ``n_jobs > 1`` on a platform with ``fork``,
+    shards run in a worker pool (task state is fork-inherited, so only
+    shard ids and columnar outcomes cross the process boundary); otherwise
+    the shards run sequentially in-process — producing bit-identical
+    outcomes either way.  ``n_jobs`` is a ceiling, not a demand: it is
+    additionally capped at the shard count and at the machine's usable CPUs
+    (forking workers a single core must time-slice only adds overhead, and
+    changes nothing about the result).
     """
     n_shards = len(assignments)
     jobs = max(1, min(int(n_jobs), n_shards, usable_cpus()))
@@ -365,13 +541,13 @@ def run_shards(config, assignments: list[list[tuple[int, ProcessAddress]]],
         outcomes = []
         with cyclic_gc_paused():
             for shard_id in range(n_shards):
-                shard = ReplayShard(config, shard_id, assignments[shard_id],
-                                    shard_factors)
-                outcomes.append(shard.run(scripts_by_shard[shard_id]))
+                outcomes.append(_run_one_shard(config, assignments,
+                                               shard_factors, workloads,
+                                               shard_id))
         return outcomes, 1
 
     global _FORK_STATE
-    _FORK_STATE = (config, assignments, shard_factors, scripts_by_shard)
+    _FORK_STATE = (config, assignments, shard_factors, workloads)
     try:
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=jobs) as pool:

@@ -1,9 +1,14 @@
 """End-to-end pipeline benchmark (``python -m repro bench``).
 
-Times the three phases every reproduction run goes through — workload
-generation, back-end replay and a representative analysis pass — and writes
-the measurements to ``BENCH_pipeline.json`` so the performance trajectory is
-tracked across PRs.
+Times the phases every reproduction run goes through and writes the
+measurements to ``BENCH_pipeline.json`` so the performance trajectory is
+tracked across PRs.  Since PR 3 the pipeline is *fused*: the ``generate``
+phase is only the cheap global planning pass, and workload materialization
+runs inside the replay shard workers (``U1Cluster.replay_plan``), in
+parallel across shards — the ``replay`` phase therefore covers
+materialize + replay + merge.  Per-shard generate/replay seconds, the
+shard balance (``shard_imbalance = max/mean`` shard seconds) and the
+columnar IPC payload size are recorded alongside.
 
 The analysis pass is the consolidated report (:func:`repro.core.report.
 format_report`), i.e. every figure/table analysis of the paper — the same
@@ -30,7 +35,8 @@ from repro.trace.dataset import TraceDataset
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTraceGenerator
 
-__all__ = ["BenchResult", "run_benchmark", "analysis_pass", "SEED_BASELINE"]
+__all__ = ["BenchResult", "run_benchmark", "run_profile", "analysis_pass",
+           "SEED_BASELINE"]
 
 
 #: Phase timings (seconds) of the seed engine at 300 users / 3 days, measured
@@ -48,7 +54,10 @@ SEED_BASELINE: dict[str, float] = {
 #: vectorized engine draws the same distributions in a different order, so a
 #: given seed realises a different (equally likely) workload size; speedups
 #: are therefore normalised per workload unit (events for generation,
-#: records for replay/analysis) to compare like with like.
+#: records for replay/analysis) to compare like with like.  In the fused
+#: pipeline the ``generate`` phase is the planning pass (its per-event cost
+#: is what fusion removes from the critical path) and materialization time
+#: is part of ``replay``.
 SEED_BASELINE_UNITS: dict[str, int] = {
     "generate": 9264,
     "replay": 29525,
@@ -70,7 +79,8 @@ class BenchResult:
     analysis_records: int
     n_jobs: int = 1
     #: ``U1Cluster.last_replay_stats`` of the best replay round (shard
-    #: layout, per-shard seconds, merge seconds).
+    #: layout, per-shard generate/replay seconds, imbalance, IPC bytes,
+    #: merge seconds).
     replay_stats: dict | None = None
 
     @property
@@ -80,16 +90,27 @@ class BenchResult:
     def to_json(self) -> dict:
         """JSON payload written to ``BENCH_pipeline.json``."""
         baseline_total = sum(SEED_BASELINE.values())
+        stats = self.replay_stats or {}
         payload = {
             "config": {"users": self.users, "days": self.days, "seed": self.seed,
                        "repeats": self.repeats, "jobs": self.n_jobs},
-            "replay_shards": (self.replay_stats or {}).get("n_shards"),
-            "replay_shard_seconds": (self.replay_stats or {}).get("shard_seconds"),
-            "replay_merge_seconds": (self.replay_stats or {}).get("merge_seconds"),
+            "replay_shards": stats.get("n_shards"),
+            "replay_shard_seconds": stats.get("shard_seconds"),
+            "replay_shard_generate_seconds": stats.get("shard_generate_seconds"),
+            "replay_merge_seconds": stats.get("merge_seconds"),
+            "shard_imbalance": stats.get("shard_imbalance"),
+            "ipc_block_bytes": stats.get("ipc_block_bytes"),
             "phases_seconds": dict(self.phases),
             "total_seconds": self.total,
             "events_generated": self.events_generated,
-            "events_per_second": self.events_generated / max(self.phases["generate"], 1e-12),
+            # NOTE: the pre-PR-3 reports carried ``events_per_second`` =
+            # events / generate-phase seconds.  The fused pipeline
+            # materializes events inside the replay phase, so that quantity
+            # no longer exists; the new key name marks the discontinuity
+            # instead of silently changing the denominator.
+            "events_per_pipeline_second": self.events_generated
+                                          / max(self.phases["generate"]
+                                                + self.phases["replay"], 1e-12),
             "records_replayed": self.records_replayed,
             "records_per_second": self.records_replayed / max(self.phases["replay"], 1e-12),
             "seed_baseline_seconds": dict(SEED_BASELINE),
@@ -138,11 +159,12 @@ def analysis_pass(dataset: TraceDataset) -> int:
 
 def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
                   repeats: int = 5, n_jobs: int = 1) -> BenchResult:
-    """Run the generate + replay + analysis pipeline, best-of-``repeats``.
+    """Run the fused plan + (materialize+replay) + analysis pipeline.
 
-    ``n_jobs`` is forwarded to the sharded replay; the produced dataset (and
-    therefore the analysis work) is bit-identical for any value, so the
-    timings stay comparable across job counts.
+    Best-of-``repeats`` per phase.  ``n_jobs`` is forwarded to the sharded
+    replay; the produced dataset (and therefore the analysis work) is
+    bit-identical for any value, so the timings stay comparable across job
+    counts.
     """
     config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
     best: dict[str, float] = {}
@@ -157,15 +179,15 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
         dataset = None  # noqa: F841 - frees the previous round eagerly
         t0 = time.perf_counter()
         generator = SyntheticTraceGenerator(config)
-        scripts = generator.client_events()
+        plan = generator.plan()
         t1 = time.perf_counter()
         cluster = U1Cluster(ClusterConfig(seed=seed))
         t2 = time.perf_counter()
-        dataset = cluster.replay(scripts, n_jobs=n_jobs)
+        dataset = cluster.replay_plan(plan, n_jobs=n_jobs)
         t3 = time.perf_counter()
         analysis_records = analysis_pass(dataset)
         t4 = time.perf_counter()
-        events_generated = sum(len(s.events) for s in scripts)
+        events_generated = cluster.last_replay_stats["events_replayed"]
         records_replayed = len(dataset)
         timings = {"generate": t1 - t0, "replay": t3 - t2, "analysis": t4 - t3}
         if timings["replay"] <= best.get("replay", float("inf")):
@@ -179,6 +201,50 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
                        n_jobs=n_jobs, replay_stats=replay_stats)
 
 
+def run_profile(users: int = 300, days: float = 3.0, seed: int = 2014,
+                n_jobs: int = 1, out=None, top: int = 20) -> None:
+    """Profile one pipeline run and print per-phase cProfile tables.
+
+    Each phase (plan, materialize+replay, analysis) runs once under its own
+    :class:`cProfile.Profile`; the top ``top`` functions by cumulative time
+    are printed per phase.  Note that with ``n_jobs > 1`` the shard workers
+    are separate processes the profiler cannot see — profile with the
+    default ``--jobs 1`` to capture materialization and replay inline.
+    """
+    import cProfile
+    import pstats
+    import sys
+
+    out = out or sys.stdout
+    config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
+    profiles: list[tuple[str, cProfile.Profile]] = []
+
+    profile = cProfile.Profile()
+    profile.enable()
+    generator = SyntheticTraceGenerator(config)
+    plan = generator.plan()
+    profile.disable()
+    profiles.append(("plan", profile))
+
+    cluster = U1Cluster(ClusterConfig(seed=seed))
+    profile = cProfile.Profile()
+    profile.enable()
+    dataset = cluster.replay_plan(plan, n_jobs=n_jobs)
+    profile.disable()
+    profiles.append(("materialize+replay", profile))
+
+    profile = cProfile.Profile()
+    profile.enable()
+    analysis_pass(dataset)
+    profile.disable()
+    profiles.append(("analysis", profile))
+
+    for name, profile in profiles:
+        print(f"--- {name}: top {top} by cumulative time ---", file=out)
+        stats = pstats.Stats(profile, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)
+
+
 def write_report(result: BenchResult, out_path: Path) -> Path:
     """Write the benchmark JSON report."""
     out_path = Path(out_path)
@@ -190,16 +256,20 @@ def format_summary(result: BenchResult) -> str:
     """One-line human summary of a benchmark run.
 
     Everything a reader needs without opening the JSON: per-phase seconds,
-    replay throughput, job count and the speedup versus the seed engine.
+    replay throughput, job count, shard balance and the speedup versus the
+    seed engine.
     """
     payload = result.to_json()
     phases = result.phases
     line = (f"bench[{result.users}u/{result.days:g}d seed {result.seed} "
             f"jobs {result.n_jobs} best-of-{result.repeats}]: "
-            f"generate {phases['generate']:.3f}s + "
-            f"replay {phases['replay']:.3f}s "
+            f"plan {phases['generate']:.3f}s + "
+            f"materialize+replay {phases['replay']:.3f}s "
             f"({payload['records_per_second']:,.0f} rec/s) + "
             f"analysis {phases['analysis']:.3f}s = {result.total:.3f}s")
+    imbalance = payload.get("shard_imbalance")
+    if imbalance:
+        line += f" | imbalance {imbalance:.2f}"
     if "speedup_vs_seed" in payload:
         line += f" | {payload['speedup_vs_seed']:.2f}x vs seed"
     return line

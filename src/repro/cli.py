@@ -106,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 1)")
     bench.add_argument("--out", type=Path, default=Path("BENCH_pipeline.json"),
                        help="path of the JSON report (default: BENCH_pipeline.json)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run each phase once under cProfile and print the "
+                            "top-20 functions by cumulative time per phase "
+                            "(use --jobs 1 to capture the shard workers "
+                            "inline) instead of timing repeats")
     return parser
 
 
@@ -115,8 +120,9 @@ def _build_dataset(args: argparse.Namespace) -> TraceDataset:
     if args.no_backend:
         return generator.generate()
     cluster = U1Cluster(ClusterConfig(seed=args.seed))
-    return cluster.replay(generator.client_events(),
-                          n_jobs=getattr(args, "jobs", 1))
+    # Fused pipeline: plan globally, materialize inside the replay workers.
+    return cluster.replay_plan(generator.plan(),
+                               n_jobs=getattr(args, "jobs", 1))
 
 
 def _command_generate(args: argparse.Namespace, out) -> int:
@@ -155,8 +161,12 @@ def _command_report(args: argparse.Namespace, out) -> int:
 
 
 def _command_bench(args: argparse.Namespace, out) -> int:
-    from repro.bench import format_summary, run_benchmark, write_report
+    from repro.bench import format_summary, run_benchmark, run_profile, write_report
 
+    if args.profile:
+        run_profile(users=args.users, days=args.days, seed=args.seed,
+                    n_jobs=args.jobs, out=out)
+        return 0
     result = run_benchmark(users=args.users, days=args.days, seed=args.seed,
                            repeats=args.repeats, n_jobs=args.jobs)
     path = write_report(result, args.out)

@@ -101,6 +101,10 @@ def _hour_of_day_baseline(series: np.ndarray, bins_per_day: int) -> np.ndarray:
     baseline = np.empty_like(series)
     for offset in range(bins_per_day):
         values = series[offset::bins_per_day]
+        if values.size == 0:
+            # Trace shorter than a day: positions past the last bin have no
+            # samples at all (np.median would warn and yield NaN).
+            continue
         positive = values[values > 0]
         med = float(np.median(positive)) if positive.size else float(np.median(values))
         baseline[offset::bins_per_day] = max(med, 1.0)

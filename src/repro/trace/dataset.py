@@ -59,6 +59,7 @@ from repro.trace.records import (
 )
 
 __all__ = [
+    "ColumnBlock",
     "TraceDataset",
     "OPERATION_CODE",
     "RPC_CODE",
@@ -83,7 +84,7 @@ _DISCONNECT_CODE = SESSION_EVENT_CODE[SessionEvent.DISCONNECT]
 class _StreamSpec:
     """Static description of one record stream (fields, dtypes, factory)."""
 
-    __slots__ = ("factory", "fields", "index", "kinds", "codes")
+    __slots__ = ("factory", "fields", "index", "kinds", "codes", "decode")
 
     def __init__(self, factory, fields: tuple[str, ...],
                  kinds: dict[str, object], codes: dict[str, dict]):
@@ -92,6 +93,9 @@ class _StreamSpec:
         self.index = {name: i for i, name in enumerate(fields)}
         self.kinds = kinds
         self.codes = codes
+        # Reverse enum tables: code -> enum member (codes are 0..n-1 in
+        # declaration order, so a list indexes directly).
+        self.decode = {name: list(mapping) for name, mapping in codes.items()}
 
 
 _STORAGE_SPEC = _StreamSpec(
@@ -132,6 +136,96 @@ _SESSION_SPEC = _StreamSpec(
 )
 
 
+class ColumnBlock:
+    """One stream's events as per-field NumPy arrays (the shard IPC format).
+
+    This is what a replay shard ships across the worker boundary instead of
+    a list of per-event row tuples: ``cols`` maps every numeric/enum field
+    to the exact array ``_Stream.column`` would return (enum fields as
+    ``int16`` code arrays), and ``codes`` maps every object-dtype field
+    (``server``, ``content_hash``, ``extension``) to the factorised
+    ``(int32 codes, categories)`` pair ``_Stream.codes`` would return.
+    Numeric arrays pickle as contiguous buffers — no per-event Python
+    objects cross the process boundary — and the factorisation dedups the
+    repeated strings (machine names, duplicated content hashes).
+    """
+
+    __slots__ = ("n", "cols", "codes")
+
+    def __init__(self, n: int, cols: dict[str, np.ndarray],
+                 codes: dict[str, tuple[np.ndarray, list]]):
+        self.n = n
+        self.cols = cols
+        self.codes = codes
+
+    @classmethod
+    def from_stream(cls, stream: "_Stream") -> "ColumnBlock":
+        """Snapshot a stream's fields as columns (built in the shard worker)."""
+        spec = stream.spec
+        cols: dict[str, np.ndarray] = {}
+        codes: dict[str, tuple[np.ndarray, list]] = {}
+        for name in spec.fields:
+            if spec.kinds[name] is object:
+                codes[name] = stream.codes(name)
+            else:
+                cols[name] = stream.column(name)
+        return cls(len(stream), cols, codes)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the NumPy arrays (the IPC payload size)."""
+        total = sum(arr.nbytes for arr in self.cols.values())
+        total += sum(pair[0].nbytes for pair in self.codes.values())
+        return total
+
+    def to_rows(self, spec: _StreamSpec) -> list[tuple]:
+        """Decode the block back into row tuples (mixed-block fallback)."""
+        return _decode_columns(spec, self.cols, self.codes, self.n)
+
+
+def _decode_columns(spec: _StreamSpec, cols: dict[str, np.ndarray],
+                    factorised: dict[str, tuple[np.ndarray, list]],
+                    n: int) -> list[tuple]:
+    """Row tuples (exact historical values) from per-field column arrays."""
+    if n == 0:
+        return []
+    columns = []
+    for name in spec.fields:
+        kind = spec.kinds[name]
+        if kind is object:
+            codes_arr, categories = factorised[name]
+            columns.append([categories[c] for c in codes_arr.tolist()])
+        elif kind == "enum":
+            decode = spec.decode[name]
+            columns.append([decode[c] if c >= 0 else None
+                            for c in cols[name].tolist()])
+        else:
+            columns.append(cols[name].tolist())
+    return list(zip(*columns))
+
+
+def _merge_factorised(pairs: list[tuple[np.ndarray, list]]) -> tuple[np.ndarray, list]:
+    """Concatenate factorised ``(codes, categories)`` pairs in block order.
+
+    Categories keep first-occurrence order across blocks; per-block codes are
+    remapped through a small translation array (vectorised ``take``).
+    """
+    categories: list = []
+    index: dict = {}
+    remapped: list[np.ndarray] = []
+    for codes_arr, cats in pairs:
+        mapping = np.empty(len(cats), dtype=np.int32)
+        for i, value in enumerate(cats):
+            code = index.get(value)
+            if code is None:
+                code = index[value] = len(categories)
+                categories.append(value)
+            mapping[i] = code
+        remapped.append(mapping[codes_arr] if len(cats)
+                        else codes_arr.astype(np.int32))
+    return np.concatenate(remapped), categories
+
+
 class _Stream:
     """One record stream: canonical data + lazy columns + lazy record views.
 
@@ -148,7 +242,7 @@ class _Stream:
 
     __slots__ = ("spec", "_data", "_is_rows", "_cols", "order_version",
                  "_sorted", "_last_ts", "_row_source", "_transposed",
-                 "_records_cache",
+                 "_records_cache", "_pending",
                  "_base", "_snapshot", "_snapshot_is_rows", "_indices",
                  "_base_order_version", "_view_records")
 
@@ -169,6 +263,11 @@ class _Stream:
         self._transposed: tuple[int, tuple] | None = None
         # Rows-mode record view, extended incrementally as rows arrive.
         self._records_cache: list | None = None
+        # Columns-canonical mode (the merged shard-IPC path): when non-zero,
+        # the stream's canonical content is the fully seeded ``_cols`` cache
+        # and ``_data`` is an empty rows list materialised lazily by
+        # ``_hydrate`` — columnar readers never pay for row tuples.
+        self._pending = 0
         self._base: _Stream | None = None
         self._snapshot: list | None = None
         self._snapshot_is_rows = False
@@ -181,6 +280,7 @@ class _Stream:
         stream = cls.__new__(cls)
         stream.spec = base.spec
         stream._data = []
+        stream._pending = 0
         stream._is_rows = False
         stream._cols = {}
         stream.order_version = 0
@@ -201,11 +301,38 @@ class _Stream:
     def __len__(self) -> int:
         if self._base is not None:
             return len(self._indices)
+        if self._pending:
+            return self._pending
         return len(self._data)
+
+    # ------------------------------------------------------------- hydration
+    def _hydrate(self) -> None:
+        """Materialise the row tuples of a columns-canonical stream.
+
+        Runs at most once, only when something actually needs rows or record
+        objects (iteration, logfile export, mutation); the rows are appended
+        into the *existing* ``_data`` list so views that snapshotted it stay
+        coherent.  All columns were seeded at merge time, so this is a pure
+        decode — no RNG, no re-sorting.
+        """
+        n = self._pending
+        if not n:
+            return
+        spec = self.spec
+        cols = {name: self.column(name) for name in spec.fields
+                if spec.kinds[name] is not object}
+        factorised = {name: self.codes(name) for name in spec.fields
+                      if spec.kinds[name] is object}
+        rows = _decode_columns(spec, cols, factorised, n)
+        self._pending = 0
+        self._data.extend(rows)
+        self._is_rows = True
 
     # -------------------------------------------------------------- mutation
     def append_row(self, row: tuple) -> None:
         """Fast path: append one event as a raw field tuple."""
+        if self._pending:
+            self._hydrate()
         if self._is_rows:
             self._data.append(row)
         else:
@@ -234,6 +361,8 @@ class _Stream:
         """
         if self._base is not None:
             self._devirtualize()
+        if self._pending:
+            self._hydrate()
         if not self._is_rows and self._data:
             return self.append_row  # records-mode: compatible slow path
         self._is_rows = True
@@ -249,6 +378,8 @@ class _Stream:
         """
         if self._base is not None:
             self._devirtualize()
+        if self._pending:
+            self._hydrate()
         if self._is_rows or not self._data:
             self._is_rows = True
             data = self._data
@@ -271,6 +402,8 @@ class _Stream:
         """Merge another stream's records into this one (records shared)."""
         if self._base is not None:
             self._devirtualize()
+        if self._pending:
+            self._hydrate()
         if self._is_rows:
             self._to_records_mode()
         records = other.records()
@@ -321,6 +454,8 @@ class _Stream:
         interleaved with (raw) appends always see every event.
         """
         if self._base is None:
+            if self._pending:
+                self._hydrate()
             if not self._is_rows:
                 return self._data
             data = self._data
@@ -358,6 +493,8 @@ class _Stream:
         processes instead of record objects.
         """
         if self._base is None and self._is_rows:
+            if self._pending:
+                self._hydrate()
             return self._data
         fields = self.spec.fields
         return [tuple(getattr(r, name) for name in fields)
@@ -393,6 +530,52 @@ class _Stream:
         stream.seed_column("timestamp", ts)
         return stream
 
+    @classmethod
+    def _from_sorted_column_blocks(cls, spec: _StreamSpec,
+                                   blocks: list[ColumnBlock]) -> "_Stream":
+        """Merge per-shard :class:`ColumnBlock`\\ s into one columnar stream.
+
+        The merge happens entirely on NumPy arrays: concatenate each field in
+        block order, then apply one stable argsort of the timestamp column to
+        every field (a no-op when the concatenation is already globally
+        sorted).  Ties on timestamp keep lower-block-first, intra-block order
+        — the same deterministic guarantee as the row merge.  Every field is
+        seeded into the column cache (object fields as factorised codes), so
+        post-merge columnar analyses never pay lazy column materialisation;
+        row tuples / record objects are only decoded if something iterates
+        the stream (see :meth:`_hydrate`).
+        """
+        blocks = [b for b in blocks if b.n]
+        stream = cls(spec)
+        if not blocks:
+            return stream
+        ts = np.concatenate([b.cols["timestamp"] for b in blocks])
+        order = None
+        if ts.size > 1 and not bool(np.all(ts[1:] >= ts[:-1])):
+            order = np.argsort(ts, kind="stable")
+            ts = ts[order]
+        cols: dict = {"timestamp": ts}
+        for name in spec.fields:
+            if name == "timestamp":
+                continue
+            if spec.kinds[name] is object:
+                merged_codes, categories = _merge_factorised(
+                    [b.codes[name] for b in blocks])
+                if order is not None:
+                    merged_codes = merged_codes[order]
+                cols[f"{name}#codes"] = (merged_codes, categories)
+            else:
+                arr = np.concatenate([b.cols[name] for b in blocks])
+                if order is not None:
+                    arr = arr[order]
+                cols[name] = arr
+        stream._cols = cols
+        stream._pending = int(ts.size)
+        stream._is_rows = True
+        stream._sorted = True
+        stream._last_ts = float(ts[-1])
+        return stream
+
     # --------------------------------------------------------------- columns
     def column(self, name: str) -> np.ndarray:
         """One field of the stream as a NumPy array (cached).
@@ -403,8 +586,20 @@ class _Stream:
         """
         cached = self._cols.get(name)
         if cached is not None and (self._base is not None
-                                   or len(cached) == len(self._data)):
+                                   or len(cached) == len(self)):
             return cached
+        if self._base is None and self._pending:
+            # Columns-canonical stream: object columns are stored factorised;
+            # decode vectorised instead of hydrating the row tuples.
+            pair = self._cols.get(f"{name}#codes")
+            if pair is not None:
+                codes_arr, categories = pair
+                table = np.empty(len(categories), dtype=object)
+                table[:] = categories
+                arr = table[codes_arr]
+                self._cols[name] = arr
+                return arr
+            self._hydrate()  # unseeded field (defensive): decode the rows
         if self._base is not None:
             if self._base.order_version == self._base_order_version:
                 arr = self._base.column(name)[self._indices]
@@ -447,7 +642,7 @@ class _Stream:
         key = f"{name}#codes"
         cached = self._cols.get(key)
         if cached is not None and (self._base is not None
-                                   or len(cached[0]) == len(self._data)):
+                                   or len(cached[0]) == len(self)):
             return cached  # type: ignore[return-value]
         if self._base is not None and self._base.order_version == self._base_order_version:
             base_codes, categories = self._base.codes(name)
@@ -469,6 +664,10 @@ class _Stream:
 
     def distinct(self, name: str) -> set:
         """Distinct values of a field without building a column array."""
+        if self._base is None and self._pending:
+            pair = self._cols.get(f"{name}#codes")
+            if pair is not None:
+                return set(pair[1])
         return set(self._iter_field(name))
 
     def _iter_field(self, name: str):
@@ -489,6 +688,8 @@ class _Stream:
 
     def _field_source(self) -> tuple[list, bool]:
         """(sequence, is_rows) to read raw field values from."""
+        if self._pending:
+            self._hydrate()
         if self._is_rows:
             return self._data, True
         if self._row_source is not None and len(self._row_source) == len(self._data):
@@ -568,8 +769,15 @@ def _column_from_values(spec: _StreamSpec, name: str, values: tuple) -> np.ndarr
     n = len(values)
     if kind == "enum":
         codes = spec.codes[name]
-        return np.fromiter((codes.get(v, -1) for v in values), dtype=np.int16,
-                           count=n)
+        try:
+            # C-level map over the code table — the shard column-packing hot
+            # path.  Falls back to .get for rows carrying None enum fields
+            # (hand-built blocks).
+            return np.fromiter(map(codes.__getitem__, values),
+                               dtype=np.int16, count=n)
+        except KeyError:
+            return np.fromiter((codes.get(v, -1) for v in values),
+                               dtype=np.int16, count=n)
     if kind is object:
         arr = np.empty(n, dtype=object)
         arr[:] = values
@@ -720,17 +928,23 @@ class TraceDataset:
         """Merge per-shard trace blocks into one sorted dataset.
 
         ``blocks`` is a sequence whose elements are either
-        :class:`TraceDataset` instances or ``(storage_rows, rpc_rows,
-        session_rows)`` tuples of raw field-tuple lists; every block's
+        :class:`TraceDataset` instances or ``(storage, rpc, sessions)``
+        triples whose entries are raw field-tuple lists or
+        :class:`ColumnBlock`\\ s (the shard IPC format); every block's
         streams must already be sorted by timestamp (a shard sink's
         ``finish()`` guarantees that).  The merge is deterministic: ties on
         timestamp keep lower-block-first, intra-block order — so the result
         is a pure function of the block contents, independent of whether the
         blocks were produced sequentially or by parallel replay workers.
+
+        When every entry of a stream is a :class:`ColumnBlock`, the merge
+        runs column-wise and the resulting dataset has *every* field's
+        column cache pre-seeded (see ``_Stream._from_sorted_column_blocks``);
+        mixing columnar and row blocks falls back to the row merge.
         """
-        storage_blocks: list[list[tuple]] = []
-        rpc_blocks: list[list[tuple]] = []
-        session_blocks: list[list[tuple]] = []
+        storage_blocks: list = []
+        rpc_blocks: list = []
+        session_blocks: list = []
         for block in blocks:
             if isinstance(block, TraceDataset):
                 storage_blocks.append(block._storage.rows())
@@ -741,10 +955,19 @@ class TraceDataset:
                 storage_blocks.append(storage_rows)
                 rpc_blocks.append(rpc_rows)
                 session_blocks.append(session_rows)
-        return cls._from_streams(
-            _Stream._from_sorted_row_blocks(_STORAGE_SPEC, storage_blocks),
-            _Stream._from_sorted_row_blocks(_RPC_SPEC, rpc_blocks),
-            _Stream._from_sorted_row_blocks(_SESSION_SPEC, session_blocks))
+        streams = []
+        for spec, stream_blocks in ((_STORAGE_SPEC, storage_blocks),
+                                    (_RPC_SPEC, rpc_blocks),
+                                    (_SESSION_SPEC, session_blocks)):
+            if stream_blocks and all(isinstance(b, ColumnBlock)
+                                     for b in stream_blocks):
+                streams.append(_Stream._from_sorted_column_blocks(
+                    spec, stream_blocks))
+            else:
+                streams.append(_Stream._from_sorted_row_blocks(
+                    spec, [b.to_rows(spec) if isinstance(b, ColumnBlock) else b
+                           for b in stream_blocks]))
+        return cls._from_streams(*streams)
 
     # ------------------------------------------------------------ stream API
     @property

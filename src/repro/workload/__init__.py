@@ -18,16 +18,25 @@ using the empirical models the paper reports:
 * DDoS episodes (:mod:`repro.workload.attacks`).
 
 :class:`~repro.workload.generator.SyntheticTraceGenerator` stitches these
-models together and either emits client events for the back-end simulator
-(:meth:`client_events`) or a ready-to-analyse
-:class:`~repro.trace.dataset.TraceDataset` (:meth:`generate`).
+models together.  Generation is a two-pass pipeline: :meth:`plan` runs the
+global planning pass (a :class:`~repro.workload.plan.WorkloadPlan`) and
+:func:`~repro.workload.generator.materialize_members` turns plan members
+into session scripts from per-user RNG streams — in-process
+(:meth:`client_events`, :meth:`generate`) or inside the sharded replay
+workers (the fused pipeline, :meth:`repro.backend.cluster.U1Cluster.replay_plan`).
 """
 
 from repro.workload.config import WorkloadConfig
 from repro.workload.events import ClientEvent, SessionScript
-from repro.workload.generator import SyntheticTraceGenerator
+from repro.workload.generator import SyntheticTraceGenerator, materialize_members
+from repro.workload.plan import AttackPlan, SessionSpec, UserPlan, WorkloadPlan
 from repro.workload.population import User, UserClass, build_population
-from repro.workload.filemodel import FileModel, ExtensionProfile, FILE_CATEGORIES
+from repro.workload.filemodel import (
+    FileModel,
+    ExtensionProfile,
+    FILE_CATEGORIES,
+    PopularContentPool,
+)
 from repro.workload.attacks import AttackEpisode
 
 __all__ = [
@@ -35,11 +44,17 @@ __all__ = [
     "ClientEvent",
     "SessionScript",
     "SyntheticTraceGenerator",
+    "materialize_members",
+    "AttackPlan",
+    "SessionSpec",
+    "UserPlan",
+    "WorkloadPlan",
     "User",
     "UserClass",
     "build_population",
     "FileModel",
     "ExtensionProfile",
     "FILE_CATEGORIES",
+    "PopularContentPool",
     "AttackEpisode",
 ]

@@ -39,12 +39,36 @@ class AttackEpisode:
     start: float
     end: float
 
+    def planned_size(self, baseline_sessions_per_hour: float,
+                     baseline_storage_ops_per_hour: float,
+                     max_sessions: int = 5_000,
+                     max_storage_ops: int = 30_000) -> tuple[int, int]:
+        """``(n_sessions, n_storage_ops)`` this episode will generate.
+
+        Deterministic (no RNG draws), so the global planning pass can
+        allocate session-id ranges and shard-assignment weights *before*
+        the episode is materialized inside a replay worker.
+        ``generate_sessions`` uses the same arithmetic, which is what keeps
+        the two in lockstep.
+        """
+        duration_hours = (self.end - self.start) / HOUR
+        n_sessions = int(baseline_sessions_per_hour
+                         * self.config.session_amplification * duration_hours)
+        n_storage_ops = int(baseline_storage_ops_per_hour
+                            * self.config.storage_amplification * duration_hours)
+        n_sessions = min(max(n_sessions, 10), max_sessions)
+        n_storage_ops = min(max(n_storage_ops, n_sessions), max_storage_ops)
+        return n_sessions, n_storage_ops
+
     def generate_sessions(self, rng: np.random.Generator,
                           baseline_sessions_per_hour: float,
                           baseline_storage_ops_per_hour: float,
                           session_id_start: int,
                           max_sessions: int = 5_000,
-                          max_storage_ops: int = 30_000) -> Iterator[SessionScript]:
+                          max_storage_ops: int = 30_000,
+                          member_planned_ops: float = -1.0,
+                          session_range: tuple[int, int] | None = None
+                          ) -> Iterator[SessionScript]:
         """Yield the attack sessions.
 
         ``baseline_sessions_per_hour`` and ``baseline_storage_ops_per_hour``
@@ -55,17 +79,22 @@ class AttackEpisode:
         uploads re-seeding content.  ``max_sessions`` / ``max_storage_ops``
         bound the absolute size of an episode so that laptop-scale runs stay
         tractable while the relative spike remains visible.
-        """
-        duration_hours = (self.end - self.start) / HOUR
-        n_sessions = int(baseline_sessions_per_hour
-                         * self.config.session_amplification * duration_hours)
-        n_storage_ops = int(baseline_storage_ops_per_hour
-                            * self.config.storage_amplification * duration_hours)
-        n_sessions = min(max(n_sessions, 10), max_sessions)
-        n_storage_ops = min(max(n_storage_ops, n_sessions), max_storage_ops)
-        ops_per_session = max(1, n_storage_ops // n_sessions)
 
-        session_id = session_id_start
+        ``session_range=(lo, hi)`` yields only sessions ``lo <= i < hi`` of
+        the episode.  The whole-episode vectorised draws happen regardless
+        (they are what make the episode deterministic), but the per-event
+        script building — the actual cost — is skipped outside the range,
+        so a sharded replay can split one botnet flood across workers: the
+        attack's thousands of sessions are *concurrent* independent clients
+        sharing one account, not a sequential per-user activity stream, and
+        building a slice consumes no RNG beyond the shared episode arrays.
+        """
+        n_sessions, n_storage_ops = self.planned_size(
+            baseline_sessions_per_hour, baseline_storage_ops_per_hour,
+            max_sessions=max_sessions, max_storage_ops=max_storage_ops)
+        ops_per_session = max(1, n_storage_ops // n_sessions)
+        lo, hi = session_range if session_range is not None else (0, n_sessions)
+
         starts = np.sort(rng.uniform(self.start, self.end, size=n_sessions))
         # Vectorised draws: session lengths, per-session op counts, and the
         # inter-op gaps / upload rolls for all sessions at once.  The
@@ -77,9 +106,9 @@ class AttackEpisode:
         total_ops = int(op_counts.sum())
         gaps = rng.exponential(5.0, size=total_ops)
         uploads = rng.random(total_ops) >= 0.95
-        cursor = 0
-        for i in range(n_sessions):
-            session_id += 1
+        offsets = np.concatenate(([0], np.cumsum(op_counts)))
+        for i in range(lo, min(hi, n_sessions)):
+            session_id = session_id_start + i + 1
             session_start = float(starts[i])
             session_end = session_start + float(lengths[i])
             script = SessionScript(
@@ -88,11 +117,12 @@ class AttackEpisode:
                 start=session_start,
                 end=session_end,
                 caused_by_attack=True,
+                member_planned_ops=member_planned_ops,
             )
             n_ops = int(op_counts[i])
+            cursor = int(offsets[i])
             times = session_start + np.cumsum(gaps[cursor:cursor + n_ops])
             is_upload = uploads[cursor:cursor + n_ops]
-            cursor += n_ops
             events = script.events
             for t, upload in zip(times.tolist(), is_upload.tolist()):
                 if t >= session_end:

@@ -77,6 +77,18 @@ class SessionScript:
     events: list[ClientEvent] = field(default_factory=list)
     caused_by_attack: bool = False
     auth_failed: bool = False
+    #: Plan-member identity and weight, stamped by the plan-driven
+    #: generator: ``plan_member`` is the index of the workload-plan member
+    #: (a legitimate user, or one slice of a DDoS episode) this script was
+    #: materialized from, and ``member_planned_ops`` the member's planned
+    #: operation total (the same value on every script of the member).  The
+    #: sharded replay keys its deterministic longest-processing-time shard
+    #: assignment on these, so replaying pre-materialized scripts and
+    #: materializing them inside the shard workers produce the same shard
+    #: layout.  ``-1`` means "unknown" (hand-built scripts); the assignment
+    #: then falls back to per-user event counting.
+    plan_member: int = -1
+    member_planned_ops: float = -1.0
 
     @property
     def length(self) -> float:

@@ -33,6 +33,7 @@ from repro.util.units import KB, MB
 __all__ = [
     "ExtensionProfile",
     "FileModel",
+    "PopularContentPool",
     "FILE_CATEGORIES",
     "EXTENSION_PROFILES",
     "category_of_extension",
@@ -124,14 +125,75 @@ def category_of_extension(extension: str) -> str:
     return _CATEGORY_BY_EXTENSION.get(extension.lower().lstrip("."), "Other")
 
 
+#: Memoised derived tables per profile sequence: (profiles list, normalised
+#: probabilities, cumulative popularity floats, small-song profiles).
+_PROFILE_TABLES: dict[tuple, tuple] = {}
+
+
+def _profile_tables(profiles: tuple) -> tuple:
+    tables = _PROFILE_TABLES.get(profiles)
+    if tables is None:
+        profile_list = list(profiles)
+        weights = np.asarray([p.popularity for p in profile_list], dtype=float)
+        probabilities = weights / weights.sum()
+        cumulative = np.cumsum(probabilities).tolist()
+        small_songs = [p for p in profile_list
+                       if p.category == "Audio/Video" and p.median_size <= 16 * MB]
+        tables = _PROFILE_TABLES[profiles] = (profile_list, probabilities,
+                                              cumulative, small_songs)
+    return tables
+
+
+class PopularContentPool:
+    """A frozen pool of duplicated contents shared by every user.
+
+    Cross-user file-level deduplication (Fig. 4a) needs users to upload the
+    *same* content hashes.  The historical model grew a popularity pool
+    lazily inside one global :class:`FileModel`; the plan/materialize
+    generator split instead pre-builds the pool once during the global
+    planning pass and hands the frozen pool to every per-user materializer,
+    so independent per-user RNG streams still duplicate each other's
+    contents.  Entries keep the rank-``Zipf`` popularity weights of the
+    lazy-growth model: early entries attract the most duplicates, with a
+    long tail of contents that gain only a couple of copies.
+    """
+
+    __slots__ = ("entries", "_cumulative")
+
+    def __init__(self, entries: Sequence[tuple[str, int, str]],
+                 zipf_exponent: float = 1.3):
+        self.entries = list(entries)
+        weights = np.arange(1, len(self.entries) + 1, dtype=float) ** (-zipf_exponent)
+        self._cumulative = np.cumsum(weights).tolist()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def build(cls, file_model: "FileModel", size: int,
+              zipf_exponent: float = 1.3) -> "PopularContentPool":
+        """Mint ``size`` popular contents using ``file_model``'s sampler."""
+        return cls([file_model.mint_popular_entry() for _ in range(size)],
+                   zipf_exponent=zipf_exponent)
+
+    def sample(self, u: float) -> tuple[str, int, str]:
+        """Zipf-weighted pick of ``(hash, size, extension)`` from ``u`` in [0,1)."""
+        cumulative = self._cumulative
+        index = bisect_right(cumulative, u * cumulative[-1])
+        if index >= len(self.entries):
+            index = len(self.entries) - 1
+        return self.entries[index]
+
+
 class FileModel:
     """Samples file extensions, sizes and content hashes.
 
     Parameters
     ----------
     rng:
-        Numpy random generator (the model never creates its own so that the
-        whole workload is reproducible from a single seed).
+        Numpy random generator — or an :class:`RngPool` to share with other
+        models drawing from the same stream (the model never creates its own
+        generator so that the whole workload is reproducible from a seed).
     duplicate_fraction:
         Probability that a newly uploaded file duplicates content that some
         user already stores (file-level cross-user dedup, ratio ~0.17).
@@ -141,27 +203,43 @@ class FileModel:
         duplicates while ~80 % of contents have no duplicates at all.
     profiles:
         Extension profiles; defaults to :data:`EXTENSION_PROFILES`.
+    shared_pool:
+        Optional frozen :class:`PopularContentPool`.  When given, duplicate
+        draws sample the shared pool instead of growing a private one — the
+        per-user materializers of the sharded generator all point at the one
+        pool built during planning, which is what keeps cross-user dedup
+        alive across independent per-user RNG streams.
+    hash_namespace:
+        Prefix baked into minted content hashes so models drawing from
+        independent streams (one per user) can never collide.
     """
 
-    def __init__(self, rng: np.random.Generator,
+    def __init__(self, rng: np.random.Generator | RngPool,
                  duplicate_fraction: float = 0.17,
                  duplicate_zipf_exponent: float = 1.3,
                  profiles: Sequence[ExtensionProfile] = EXTENSION_PROFILES,
-                 max_size_bytes: int = 512 * 1024 * 1024):
+                 max_size_bytes: int = 512 * 1024 * 1024,
+                 shared_pool: PopularContentPool | None = None,
+                 hash_namespace: str = ""):
         if not 0.0 <= duplicate_fraction < 1.0:
             raise ValueError("duplicate_fraction must be in [0, 1)")
         if not profiles:
             raise ValueError("at least one extension profile is required")
         if max_size_bytes <= 0:
             raise ValueError("max_size_bytes must be positive")
-        self._rng = rng
-        self._pool = RngPool(rng)
+        if isinstance(rng, RngPool):
+            self._pool = rng
+            self._rng = rng.generator
+        else:
+            self._rng = rng
+            self._pool = RngPool(rng)
         self._max_size_bytes = max_size_bytes
-        self._profiles = list(profiles)
-        weights = np.asarray([p.popularity for p in self._profiles], dtype=float)
-        self._probabilities = weights / weights.sum()
-        # Cumulative popularity (plain floats) for bisect-based sampling.
-        self._cumulative = np.cumsum(self._probabilities).tolist()
+        # The derived profile tables are pure functions of the profile
+        # sequence; memoising them makes per-user model construction (one
+        # FileModel per user in the sharded generator) allocation-free.
+        tables = _profile_tables(tuple(profiles))
+        self._profiles, self._probabilities, self._cumulative, \
+            self._small_songs = tables
         self._duplicate_fraction = duplicate_fraction
         self._zipf_exponent = duplicate_zipf_exponent
         # Pool of "popular" contents that attract duplicates.  The pool grows
@@ -171,9 +249,9 @@ class FileModel:
         # instead of being rebuilt for every draw.
         self._popular_contents: list[tuple[str, int, str]] = []
         self._zipf_cumulative: list[float] = []
-        self._small_songs = [p for p in self._profiles
-                             if p.category == "Audio/Video" and p.median_size <= 16 * MB]
         self._next_content_id = 0
+        self._shared_pool = shared_pool
+        self._hash_namespace = hash_namespace
 
     # ---------------------------------------------------------------- sizing
     def sample_profile(self) -> ExtensionProfile:
@@ -192,23 +270,32 @@ class FileModel:
     # --------------------------------------------------------------- content
     def _new_content_hash(self) -> str:
         self._next_content_id += 1
-        return f"sha1:{self._next_content_id:016x}"
+        return f"sha1:{self._hash_namespace}{self._next_content_id:016x}"
+
+    def mint_popular_entry(self) -> tuple[str, int, str]:
+        """Mint one popular-content entry ``(hash, size, extension)``.
+
+        Popular duplicated contents skew towards media files (songs, videos
+        shared across many users), which is what makes the byte-level dedup
+        ratio (~0.17) much larger than one would get from duplicating
+        typical (small) files.
+        """
+        profile = self.sample_profile()
+        if profile.category not in ("Audio/Video", "Compressed") and self._pool.random() < 0.5:
+            songs = self._small_songs
+            profile = songs[self._pool.integers(len(songs))]
+        return (self._new_content_hash(), self.sample_size(profile),
+                profile.extension)
 
     def _sample_popular_content(self) -> tuple[str, int, str]:
         """Pick (or mint) a popular content entry ``(hash, size, extension)``."""
+        if self._shared_pool is not None:
+            return self._shared_pool.sample(self._pool.random())
         # Grow the pool occasionally so that early contents accumulate the
         # most duplicates (Zipf-like popularity) while a broad base of
         # contents ends up with only a couple of copies.
         if not self._popular_contents or self._pool.random() < 0.30:
-            # Popular duplicated contents skew towards media files (songs,
-            # videos shared across many users), which is what makes the
-            # byte-level dedup ratio (~0.17) much larger than one would get
-            # from duplicating typical (small) files.
-            profile = self.sample_profile()
-            if profile.category not in ("Audio/Video", "Compressed") and self._pool.random() < 0.5:
-                songs = self._small_songs
-                profile = songs[self._pool.integers(len(songs))]
-            entry = (self._new_content_hash(), self.sample_size(profile), profile.extension)
+            entry = self.mint_popular_entry()
             self._popular_contents.append(entry)
             rank = len(self._popular_contents)
             previous = self._zipf_cumulative[-1] if self._zipf_cumulative else 0.0

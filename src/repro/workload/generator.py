@@ -1,23 +1,41 @@
-"""Top-level synthetic trace generator.
+"""Top-level synthetic trace generator (plan/materialize split).
 
 :class:`SyntheticTraceGenerator` stitches together the population, file,
 session, operation and attack models into a stream of per-session client
 scripts (:meth:`client_events`) or directly into a
 :class:`~repro.trace.dataset.TraceDataset` (:meth:`generate`).
 
-The generator maintains the *client-side namespace state* of every user —
-volumes, directories and files, together with their sizes, content hashes and
-read/write history — so that the emitted operations are structurally
-consistent: downloads read files that exist, updates rewrite files that were
-uploaded before, unlinks delete live nodes, and the per-file operation
-dependencies (Fig. 3) emerge from the same editing/synchronisation behaviour
-the paper describes.
+Since PR 3 generation is split into two passes:
+
+* :meth:`SyntheticTraceGenerator.plan` is the cheap **global planning
+  pass**: it draws everything that needs cross-user totals from the one
+  seeded root stream — per-user session plans (including each active
+  session's planned operation count), globally allocated session ids, the
+  DDoS rate normalisation and the shared popular-content pool that keeps
+  cross-user dedup alive.
+* :func:`materialize_members` is the **per-user materialization pass**: it
+  turns plan members (users or attack episodes) into concrete
+  :class:`SessionScript` streams.  Every member draws exclusively from its
+  own RNG stream spawned from ``(seed, member user id)``, and node /
+  volume / content-hash identifiers live in per-user namespaces, so the
+  realised workload is a pure function of ``(config, plan member)`` —
+  independent of which replay shard (or worker process) materializes it,
+  and bit-identical to running the whole generator unsharded.
+
+The per-user materializer maintains the *client-side namespace state* of its
+user — volumes, directories and files, together with their sizes, content
+hashes and read/write history — so that the emitted operations are
+structurally consistent: downloads read files that exist, updates rewrite
+files that were uploaded before, unlinks delete live nodes, and the per-file
+operation dependencies (Fig. 3) emerge from the same
+editing/synchronisation behaviour the paper describes.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -35,12 +53,38 @@ from repro.workload.attacks import build_attack_episodes
 from repro.workload.config import WorkloadConfig
 from repro.workload.diurnal import DiurnalProfile
 from repro.workload.events import ClientEvent, SessionScript
-from repro.workload.filemodel import FileModel
+from repro.workload.filemodel import FileModel, PopularContentPool
 from repro.workload.opmodel import BurstGapSampler, OperationChain
+from repro.workload.plan import AttackPlan, SessionSpec, UserPlan, WorkloadPlan
 from repro.workload.population import User, UserClass, build_population
-from repro.workload.sessionmodel import SessionModel, SessionPlan
+from repro.workload.sessionmodel import SessionModel
 
-__all__ = ["SyntheticTraceGenerator"]
+__all__ = [
+    "SyntheticTraceGenerator",
+    "UserMaterializer",
+    "materialize_member",
+    "materialize_members",
+]
+
+
+#: Spawn-key namespace of the per-member materialization streams.  Member
+#: streams use ``SeedSequence(entropy=seed, spawn_key=(_SPAWN_NAMESPACE,
+#: user_id))`` — a two-element key disjoint from the single-element
+#: ``(shard_id,)`` keys of the replay shards, so a workload seed equal to a
+#: cluster seed can never alias a user stream onto a shard stream.
+_SPAWN_NAMESPACE = 0x6D41
+
+#: Per-user id namespaces: node and volume ids are ``(user_id << _ID_BITS) +
+#: local``, giving every user ~16.7M ids — materialization order inside one
+#: user decides ``local``, so ids are shard- and worker-independent.  Attack
+#: episodes keep their historical fixed ids below ``1 << _ID_BITS``.
+_ID_BITS = 24
+
+#: Sessions per DDoS plan-member slice.  Small enough that even the largest
+#: capped episode (5000 sessions) splits into ~20 balanceable members, big
+#: enough that re-running the episode's whole-episode vectorised draws per
+#: slice stays negligible next to building the slice's events.
+_ATTACK_SLICE_SESSIONS = 256
 
 
 # ---------------------------------------------------------------------------
@@ -272,55 +316,72 @@ class _UserState:
         raise RuntimeError("user state has no root volume")
 
 
-class SyntheticTraceGenerator:
-    """Generates a synthetic U1 workload from a :class:`WorkloadConfig`."""
+# ---------------------------------------------------------------------------
+# Per-user materialization
+# ---------------------------------------------------------------------------
 
-    def __init__(self, config: WorkloadConfig):
-        config.validate()
+def member_rng(seed: int, user_id: int) -> np.random.Generator:
+    """The independent materialization stream of one plan member.
+
+    A pure function of ``(seed, user_id)`` via the NumPy ``SeedSequence``
+    spawn-key mechanism — no dependence on how many draws any other member
+    (or the planning pass) made.
+    """
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(_SPAWN_NAMESPACE, user_id))
+    return np.random.default_rng(sequence)
+
+
+class UserMaterializer:
+    """Materializes one user's planned sessions into concrete scripts.
+
+    All randomness comes from the user's own spawned stream (one
+    :class:`RngPool` shared with the per-user file/operation/gap models), and
+    all allocated identifiers live in the user's namespaces, so the produced
+    scripts are a pure function of ``(config, user plan, popular pool)``.
+    """
+
+    def __init__(self, config: WorkloadConfig, user: User,
+                 popular_pool: PopularContentPool | None,
+                 diurnal: DiurnalProfile):
         self.config = config
-        self._rng = np.random.default_rng(config.seed)
-        self._pool = RngPool(self._rng)
-        self._diurnal = DiurnalProfile(
-            peak_to_trough=config.diurnal_peak_to_trough,
-            weekend_factor=config.weekend_factor,
-        )
+        self.user = user
+        rng = member_rng(config.seed, user.user_id)
+        # One pool shared by every per-user model, with a small block: most
+        # users draw a few dozen scalars, so a 4096-draw refill per user
+        # would generate ~100x more random bits than the workload consumes.
+        pool = RngPool(rng, block=256)
+        self._rng = rng
+        self._pool = pool
+        self._diurnal = diurnal
         self._file_model = FileModel(
-            self._rng,
+            pool,
             duplicate_fraction=config.duplicate_fraction,
             duplicate_zipf_exponent=config.duplicate_zipf_exponent,
             max_size_bytes=config.max_file_bytes,
+            shared_pool=popular_pool,
+            hash_namespace=f"u{user.user_id:x}-",
         )
-        self._session_model = SessionModel(config, self._rng, self._diurnal)
-        self._chain = OperationChain(self._rng)
-        self._gaps = BurstGapSampler(self._rng, alpha=config.burst_alpha,
-                                     theta=config.burst_theta, cap=config.burst_cap)
-        self._population = build_population(config, self._rng)
-        self._next_node_id = 1
-        self._next_volume_id = 1
-        self._next_session_id = 0
+        self._chain = OperationChain(pool)
+        self._gaps = BurstGapSampler(pool, alpha=config.burst_alpha,
+                                     theta=config.burst_theta,
+                                     cap=config.burst_cap)
+        self._id_base = user.user_id << _ID_BITS
+        self._next_local_node = 0
+        self._next_local_volume = 0
 
     # ------------------------------------------------------------------ ids
-    @property
-    def population(self) -> list[User]:
-        """The synthetic user population."""
-        return self._population
-
     def _new_node_id(self) -> int:
-        node_id = self._next_node_id
-        self._next_node_id += 1
-        return node_id
+        self._next_local_node += 1
+        return self._id_base + self._next_local_node
 
     def _new_volume_id(self) -> int:
-        volume_id = self._next_volume_id
-        self._next_volume_id += 1
-        return volume_id
-
-    def _new_session_id(self) -> int:
-        self._next_session_id += 1
-        return self._next_session_id
+        self._next_local_volume += 1
+        return self._id_base + self._next_local_volume
 
     # -------------------------------------------------------- initial state
-    def _init_user_state(self, user: User) -> _UserState:
+    def _init_user_state(self) -> _UserState:
+        user = self.user
         state = _UserState(user=user)
         root = _VolumeState(volume_id=self._new_volume_id(),
                             volume_type=VolumeType.ROOT)
@@ -584,44 +645,36 @@ class SyntheticTraceGenerator:
                            operation=operation, volume_id=root_volume)
 
     # ------------------------------------------------------------- sessions
-    def _sample_ops_count(self, user: User) -> int:
-        base = self.config.mean_ops_per_active_session
-        weight_factor = 0.5 + min(user.activity_weight, 50.0)
-        heavy_tail = self._pool.pareto(1.15) + 0.3
-        count = int(base * heavy_tail * weight_factor / 5.0) + 1
-        return min(count, self.config.max_ops_per_session)
-
-    def _build_session(self, state: _UserState, plan: SessionPlan) -> SessionScript:
-        session_id = self._new_session_id()
-        script = SessionScript(user_id=plan.user_id, session_id=session_id,
-                               start=plan.start, end=plan.end)
-        if plan.auth_fails:
+    def _build_session(self, state: _UserState, spec: SessionSpec) -> SessionScript:
+        script = SessionScript(user_id=self.user.user_id,
+                               session_id=spec.session_id,
+                               start=spec.start, end=spec.end)
+        if spec.auth_fails:
             # Failed authentications never establish a session; the script is
             # kept (it still hits the auth service) but carries no events.
             script.auth_failed = True
             return script
 
-        if not plan.active:
+        if not spec.active:
             # Cold session: occasional maintenance interactions so that long
             # idle sessions still register as "online" activity.
-            t = plan.start + 1.0
-            while t < plan.end:
+            t = spec.start + 1.0
+            while t < spec.end:
                 operation = (ApiOperation.GET_DELTA if self._pool.random() < 0.6
                              else ApiOperation.QUERY_SET_CAPS)
-                event = self._materialize(state, operation, t, session_id)
+                event = self._materialize(state, operation, t, spec.session_id)
                 if event is not None:
                     script.events.append(event)
                 t += self._pool.uniform(4 * HOUR, 10 * HOUR)
             return script
 
-        n_ops = self._sample_ops_count(state.user)
-        t = plan.start + self._pool.uniform(0.2, 3.0)
+        t = spec.start + self._pool.uniform(0.2, 3.0)
         operation = self._chain.initial_operation()
         allow_volume_ops = state.user.udf_volumes > 0 or self._pool.random() < 0.3
-        for _ in range(n_ops):
-            if t >= plan.end:
+        for _ in range(spec.n_ops):
+            if t >= spec.end:
                 break
-            event = self._materialize(state, operation, t, session_id)
+            event = self._materialize(state, operation, t, spec.session_id)
             if event is not None:
                 script.events.append(event)
             t += self._gaps.sample()
@@ -632,44 +685,230 @@ class SyntheticTraceGenerator:
         return script
 
     # ------------------------------------------------------------------ API
-    def client_events(self) -> list[SessionScript]:
-        """Generate every session script of the measurement window.
+    def materialize(self, plan: UserPlan) -> list[SessionScript]:
+        """All of this user's session scripts, in chronological order."""
+        state = self._init_user_state()
+        scripts = []
+        for spec in plan.sessions:
+            script = self._build_session(state, spec)
+            script.member_planned_ops = plan.planned_ops
+            scripts.append(script)
+        return scripts
 
-        The result is sorted by session start time and includes both the
-        legitimate workload and the configured DDoS episodes.  Generation is
-        a cycle-free bulk allocation, so the cyclic garbage collector is
-        paused for the duration (see :mod:`repro.util.gctools`).
+
+def _materialize_attack(config: WorkloadConfig,
+                        plan: AttackPlan) -> list[SessionScript]:
+    """Materialize one DDoS episode slice from the attacker's own stream."""
+    rng = member_rng(config.seed, plan.episode.attacker_user_id)
+    return list(plan.episode.generate_sessions(
+        rng, plan.baseline_sessions_per_hour,
+        plan.baseline_storage_ops_per_hour,
+        session_id_start=plan.session_id_start,
+        member_planned_ops=plan.planned_ops,
+        session_range=plan.sessions_slice))
+
+
+def materialize_member(plan: WorkloadPlan, index: int,
+                       diurnal: DiurnalProfile | None = None) -> list[SessionScript]:
+    """Materialize one plan member (user or attack slice) into scripts."""
+    config = plan.config
+    n_users = len(plan.users)
+    if index < n_users:
+        user_plan = plan.users[index]
+        if not user_plan.sessions:
+            # No sessions -> no scripts; skip building the materializer (the
+            # user's stream is independent, so skipping draws nothing).
+            return []
+        if diurnal is None:
+            diurnal = DiurnalProfile(
+                peak_to_trough=config.diurnal_peak_to_trough,
+                weekend_factor=config.weekend_factor)
+        materializer = UserMaterializer(config, user_plan.user,
+                                        plan.popular_pool, diurnal)
+        scripts = materializer.materialize(user_plan)
+    else:
+        scripts = _materialize_attack(config, plan.attacks[index - n_users])
+    for script in scripts:
+        script.plan_member = index
+    return scripts
+
+
+def _script_order(script: SessionScript) -> tuple[float, int]:
+    """Canonical script order: ``(start, session_id)``.
+
+    Session ids are globally unique and allocated by the plan, so this is a
+    total order — materializing any partition of the members and sorting
+    each part yields per-shard streams whose stable merge equals the
+    unsharded generator output, independent of partition shape.
+    """
+    return (script.start, script.session_id)
+
+
+def materialize_members(plan: WorkloadPlan,
+                        members: Sequence[int] | None = None) -> list[SessionScript]:
+    """Materialize plan members (default: all) sorted in canonical order."""
+    config = plan.config
+    diurnal = DiurnalProfile(peak_to_trough=config.diurnal_peak_to_trough,
+                             weekend_factor=config.weekend_factor)
+    indices = range(plan.n_members) if members is None else members
+    scripts: list[SessionScript] = []
+    for index in indices:
+        scripts.extend(materialize_member(plan, index, diurnal=diurnal))
+    scripts.sort(key=_script_order)
+    return scripts
+
+
+# ---------------------------------------------------------------------------
+# The generator façade: global planning + convenience materialization
+# ---------------------------------------------------------------------------
+
+class SyntheticTraceGenerator:
+    """Generates a synthetic U1 workload from a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig):
+        config.validate()
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._pool = RngPool(self._rng)
+        self._diurnal = DiurnalProfile(
+            peak_to_trough=config.diurnal_peak_to_trough,
+            weekend_factor=config.weekend_factor,
+        )
+        # Plan-time file model: mints the shared popular-content pool every
+        # per-user materializer duplicates from.
+        self._file_model = FileModel(
+            self._pool,
+            duplicate_fraction=config.duplicate_fraction,
+            duplicate_zipf_exponent=config.duplicate_zipf_exponent,
+            max_size_bytes=config.max_file_bytes,
+            hash_namespace="pop-",
+        )
+        self._session_model = SessionModel(config, self._rng, self._diurnal)
+        self._population = build_population(config, self._rng)
+
+    @property
+    def population(self) -> list[User]:
+        """The synthetic user population."""
+        return self._population
+
+    # ------------------------------------------------------------- planning
+    def _sample_ops_count(self, user: User) -> int:
+        base = self.config.mean_ops_per_active_session
+        weight_factor = 0.5 + min(user.activity_weight, 50.0)
+        heavy_tail = self._pool.pareto(1.15) + 0.3
+        count = int(base * heavy_tail * weight_factor / 5.0) + 1
+        return min(count, self.config.max_ops_per_session)
+
+    def plan(self) -> WorkloadPlan:
+        """The global planning pass (see :mod:`repro.workload.plan`).
+
+        Consumes the generator's root RNG stream, so each call plans a fresh
+        (equally likely) realisation; everything downstream of the returned
+        plan — materialization, sharding, replay — is deterministic in it.
         """
         with cyclic_gc_paused():
-            return self._client_events()
+            return self._plan()
 
-    def _client_events(self) -> list[SessionScript]:
-        scripts: list[SessionScript] = []
+    def _plan(self) -> WorkloadPlan:
+        config = self.config
+        user_plans: list[UserPlan] = []
+        session_id = 0
+        planned_storage_ops = 0.0
+        # Expected inter-operation gap E[min(pareto(alpha, theta), cap)]:
+        # sessions stop materializing operations when the timeline passes
+        # their end, so the *expected realized* operation count of an active
+        # session is min(n_ops, 1 + length / E[gap]) — using the raw drawn
+        # n_ops would overweight long heavy-tail draws that a short session
+        # truncates, inflating both the attack-rate baseline and the LPT
+        # weights.
+        alpha, theta, cap = config.burst_alpha, config.burst_theta, config.burst_cap
+        mean_gap = theta * (1.0 + (1.0 - (theta / cap) ** (alpha - 1.0))
+                            / (alpha - 1.0))
         for user in self._population:
-            state = self._init_user_state(user)
-            for plan in self._session_model.plan_user_sessions(user):
-                scripts.append(self._build_session(state, plan))
+            specs: list[SessionSpec] = []
+            weight = 0.0
+            for p in self._session_model.plan_user_sessions(user):
+                session_id += 1
+                n_ops = 0
+                if p.auth_fails:
+                    weight += 0.25
+                elif p.active:
+                    n_ops = self._sample_ops_count(user)
+                    expected = min(float(n_ops), 1.0 + p.length / mean_gap)
+                    weight += 1.0 + expected
+                    planned_storage_ops += expected
+                else:
+                    # Cold sessions only poll every 4-10 h; weigh them by the
+                    # expected number of maintenance interactions.
+                    weight += 1.0 + p.length / (7.0 * HOUR)
+                specs.append(SessionSpec(session_id=session_id, start=p.start,
+                                         length=p.length, active=p.active,
+                                         auth_fails=p.auth_fails, n_ops=n_ops))
+            user_plans.append(UserPlan(user=user, sessions=tuple(specs),
+                                       planned_ops=weight))
 
-        # Attack episodes are scaled from the measured legitimate baseline.
-        duration_hours = max(self.config.duration_days * 24.0, 1e-9)
-        legit_sessions_per_hour = max(len(scripts) / duration_hours, 1.0)
-        legit_storage_per_hour = max(
-            sum(s.storage_operation_count for s in scripts) / duration_hours, 1.0)
+        # Attack episodes are scaled from the *planned* legitimate baseline
+        # (the realized baseline is not known before materialization, which
+        # now happens inside the replay workers).
+        duration_hours = max(config.duration_days * 24.0, 1e-9)
+        legit_sessions_per_hour = max(session_id / duration_hours, 1.0)
+        legit_storage_per_hour = max(planned_storage_ops / duration_hours, 1.0)
         episodes = build_attack_episodes(
-            self.config,
-            first_attacker_id=self.config.n_users + 1,
+            config,
+            first_attacker_id=config.n_users + 1,
             first_node_id=10_000_000,
             first_volume_id=10_000_000,
         )
+        attack_plans: list[AttackPlan] = []
         for episode in episodes:
-            for script in episode.generate_sessions(
-                    self._rng, legit_sessions_per_hour, legit_storage_per_hour,
-                    session_id_start=self._next_session_id):
-                self._next_session_id = max(self._next_session_id, script.session_id)
-                scripts.append(script)
+            n_sessions, n_storage_ops = episode.planned_size(
+                legit_sessions_per_hour, legit_storage_per_hour)
+            # Cut the episode into session-range slices — independent plan
+            # members the LPT assignment can spread across shards, so one
+            # botnet flood no longer defines the replay's critical path.
+            n_slices = max(1, (n_sessions + _ATTACK_SLICE_SESSIONS - 1)
+                           // _ATTACK_SLICE_SESSIONS)
+            bounds = [round(k * n_sessions / n_slices)
+                      for k in range(n_slices + 1)]
+            episode_weight = float(n_sessions + n_storage_ops)
+            for k in range(n_slices):
+                lo, hi = bounds[k], bounds[k + 1]
+                share = (hi - lo) / n_sessions
+                attack_plans.append(AttackPlan(
+                    episode=episode,
+                    baseline_sessions_per_hour=legit_sessions_per_hour,
+                    baseline_storage_ops_per_hour=legit_storage_per_hour,
+                    session_id_start=session_id,
+                    sessions_slice=(lo, hi),
+                    n_storage_ops=round(n_storage_ops * share),
+                    planned_ops=episode_weight * share))
+            session_id += n_sessions
 
-        scripts.sort(key=lambda s: s.start)
-        return scripts
+        # Shared popular-content pool, sized to the planned workload (the
+        # lazy-growth model minted roughly 0.3 entries per duplicate draw).
+        expected_creations = 0.5 * planned_storage_ops + 8.0 * len(self._population)
+        pool_size = int(0.3 * config.duplicate_fraction * expected_creations)
+        pool_size = max(32, min(pool_size, 200_000))
+        popular_pool = PopularContentPool.build(
+            self._file_model, pool_size,
+            zipf_exponent=config.duplicate_zipf_exponent)
+
+        return WorkloadPlan(config=config, users=tuple(user_plans),
+                            attacks=tuple(attack_plans),
+                            popular_pool=popular_pool)
+
+    # ------------------------------------------------------------------ API
+    def client_events(self) -> list[SessionScript]:
+        """Generate every session script of the measurement window.
+
+        Equivalent to planning and materializing every member in-process:
+        the result is sorted by ``(start, session_id)`` and includes both
+        the legitimate workload and the configured DDoS episodes.
+        Generation is a cycle-free bulk allocation, so the cyclic garbage
+        collector is paused for the duration (see :mod:`repro.util.gctools`).
+        """
+        with cyclic_gc_paused():
+            return materialize_members(self._plan())
 
     # ------------------------------------------------------------ rendering
     def _placement(self) -> tuple[str, int]:

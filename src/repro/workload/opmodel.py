@@ -186,9 +186,13 @@ class OperationChain:
     the upload/download multipliers do.
     """
 
-    def __init__(self, rng: np.random.Generator):
-        self._rng = rng
-        self._pool = RngPool(rng)
+    def __init__(self, rng: np.random.Generator | RngPool):
+        if isinstance(rng, RngPool):
+            self._pool = rng
+            self._rng = rng.generator
+        else:
+            self._rng = rng
+            self._pool = RngPool(rng)
 
     def initial_operation(self) -> ApiOperation:
         """First operation of a session after authentication."""
@@ -245,14 +249,18 @@ class BurstGapSampler:
     the measurement window.
     """
 
-    def __init__(self, rng: np.random.Generator, alpha: float = 1.5,
+    def __init__(self, rng: np.random.Generator | RngPool, alpha: float = 1.5,
                  theta: float = 1.0, cap: float = 4 * 3600.0):
         if alpha <= 1.0:
             raise ValueError("alpha must exceed 1 for finite mean gaps")
         if theta <= 0:
             raise ValueError("theta must be positive")
-        self._rng = rng
-        self._pool = RngPool(rng)
+        if isinstance(rng, RngPool):
+            self._pool = rng
+            self._rng = rng.generator
+        else:
+            self._rng = rng
+            self._pool = RngPool(rng)
         self._alpha = alpha
         self._theta = theta
         self._cap = cap
