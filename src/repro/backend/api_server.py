@@ -120,6 +120,10 @@ class ApiServerProcess:
         self._server = address.server
         self._process = address.process
         self._objects = object_store
+        # Tiered stores need per-access timestamps for their idle clocks;
+        # the inlined download fast path skips that bookkeeping, so it is
+        # only taken on classic single-tier stores.
+        self._tiered = object_store.tiering is not None
         self._auth = auth
         self._bus = bus
         self._registry = registry
@@ -339,7 +343,7 @@ class ApiServerProcess:
 
         timestamp = request.timestamp
         if (operation is _DOWNLOAD_OPERATION and handle is not None
-                and self._stable_routing):
+                and self._stable_routing and not self._tiered):
             routed = handle.shard_cache
             if routed is None:
                 routed = handle.shard_cache = self._store.shard_and_id(
@@ -475,7 +479,7 @@ class ApiServerProcess:
         dedup_hit = (self._dedup_enabled and request.content_hash
                      and request.content_hash in self._objects)
         if dedup_hit:
-            self._objects.link(request.content_hash)
+            self._objects.link(request.content_hash, now=context.timestamp)
             self._rpc.execute(RpcName.MAKE_CONTENT, context,
                               shard.make_content, request.node_id,
                               request.content_hash, request.size_bytes,
@@ -484,7 +488,8 @@ class ApiServerProcess:
             return
 
         if size <= self._objects.chunk_bytes:
-            transferred = self._objects.put(storage_key, size)
+            transferred = self._objects.put(storage_key, size,
+                                            now=context.timestamp)
             self._rpc.execute(RpcName.MAKE_CONTENT, context,
                               shard.make_content, request.node_id,
                               request.content_hash, request.size_bytes,
@@ -528,7 +533,8 @@ class ApiServerProcess:
             response.ok = False
             response.error = "upload interrupted by client"
             return
-        self._objects.complete_multipart(multipart_id, storage_key)
+        self._objects.complete_multipart(multipart_id, storage_key,
+                                         now=context.timestamp)
         self._rpc.execute(RpcName.MAKE_CONTENT, context,
                           shard.make_content, request.node_id,
                           request.content_hash, request.size_bytes,
@@ -550,11 +556,13 @@ class ApiServerProcess:
                 shard.make_content(request.node_id, request.content_hash,
                                    request.size_bytes, context.timestamp)
         if request.content_hash and request.content_hash not in self._objects:
-            self._objects.put(request.content_hash, request.size_bytes)
+            self._objects.put(request.content_hash, request.size_bytes,
+                              now=context.timestamp)
         self._rpc.execute_one(RpcName.GET_NODE, context,
                               shard.get_node, request.node_id)
         if request.content_hash:
-            response.bytes_from_s3 = self._objects.get(request.content_hash)
+            response.bytes_from_s3 = self._objects.get(request.content_hash,
+                                                       now=context.timestamp)
         else:
             response.bytes_from_s3 = request.size_bytes
 
@@ -572,7 +580,7 @@ class ApiServerProcess:
         node = self._rpc.execute(RpcName.UNLINK_NODE, context,
                                  shard.unlink_node, request.node_id)
         if node is not None and node.content_hash and node.content_hash in self._objects:
-            self._objects.unlink(node.content_hash)
+            self._objects.unlink(node.content_hash, now=context.timestamp)
 
     def _handle_move(self, request: ApiRequest, context: RpcContext,
                      shard, response: ApiResponse) -> None:
@@ -598,7 +606,7 @@ class ApiServerProcess:
                                     request.volume_id)
         for node in removed:
             if node.content_hash and node.content_hash in self._objects:
-                self._objects.unlink(node.content_hash)
+                self._objects.unlink(node.content_hash, now=context.timestamp)
         response.details["nodes_removed"] = len(removed)
 
     def _handle_get_delta(self, request: ApiRequest, context: RpcContext,

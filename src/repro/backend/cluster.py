@@ -30,6 +30,8 @@ from repro.backend.rpc_server import RpcWorker
 from repro.backend.tracing import TraceSink
 from repro.trace.dataset import TraceDataset
 from repro.util.units import DAY
+from repro.whatif.costs import StorageCostModel
+from repro.whatif.tiering import TieringPolicy
 from repro.workload.events import SessionScript
 
 __all__ = ["ClusterConfig", "U1Cluster"]
@@ -85,6 +87,14 @@ class ClusterConfig:
     replay_shards: int = 8
     #: Service-time distribution shape.
     latency: LatencyParameters = field(default_factory=LatencyParameters)
+    #: Hot/cold tiering policy of the object store (Section 9 what-ifs);
+    #: ``None`` keeps the classic single-tier store.  Tier state is
+    #: per-replay-shard, like the dedup state (see the replay-shard module
+    #: docstring); ``replay_shards=1`` recovers a single global tier clock.
+    tiering: TieringPolicy | None = None
+    #: Storage cost model used for bill estimates (the historical hardcoded
+    #: ``$0.03/GB-month`` hot rate lives here now).
+    cost_model: StorageCostModel = field(default_factory=StorageCostModel)
 
     def machine_names(self) -> list[str]:
         """Names of the API machines."""
@@ -120,6 +130,9 @@ class ClusterConfig:
             raise ValueError("multipart_chunk_bytes must be positive")
         if self.replay_shards <= 0:
             raise ValueError("replay_shards must be positive")
+        if self.tiering is not None:
+            self.tiering.validate()
+        self.cost_model.validate()
 
 
 class U1Cluster:
@@ -134,7 +147,8 @@ class U1Cluster:
                    else round_robin_routing)
         self.metadata_store = ShardedMetadataStore(
             n_shards=self.config.metadata_shards, routing_factory=routing)
-        self.object_store = ObjectStore(chunk_bytes=self.config.multipart_chunk_bytes)
+        self.object_store = ObjectStore(chunk_bytes=self.config.multipart_chunk_bytes,
+                                        tiering=self.config.tiering)
         self.auth = AuthenticationService(
             rng=self._rng, failure_fraction=self.config.auth_failure_fraction)
         self.bus = NotificationBus()
@@ -233,6 +247,11 @@ class U1Cluster:
             "merge_seconds": merge_seconds,
             "replay_seconds": _time.perf_counter() - started,
             "gc_sweeps": sum(outcome.gc_sweeps for outcome in outcomes),
+            #: Last timeline timestamp across the shards — the instant the
+            #: per-shard ``finalize_tiers`` sweeps (and any offline what-if
+            #: wanting to match them) measure idle time against.
+            "timeline_end": max((outcome.timeline_end for outcome in outcomes),
+                                default=0.0),
         }
         return dataset
 

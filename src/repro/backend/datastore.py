@@ -6,16 +6,32 @@ content-addressed index of object sizes, supports the multipart upload API
 the uploadjob machinery drives, and tracks the accounting figures the paper
 discusses (bytes stored, bytes transferred, per-month storage bill estimate,
 savings from file-level deduplication).
+
+Tiered storage (Section 9)
+--------------------------
+Passing a :class:`~repro.whatif.tiering.TieringPolicy` turns the store into
+a two-tier (hot/cold) store: new objects are admitted hot, objects idle for
+longer than the policy's age threshold migrate to cold, an optional hot-tier
+byte budget evicts (LRU/LFU/size-aware) into cold, and touched cold objects
+optionally promote back.  Demotions are *lazily realised* at the object's
+next touch (or at :meth:`ObjectStore.finalize_tiers`), which keeps every
+tier counter a pure function of the access sequence — the property the
+offline what-if simulator (:mod:`repro.whatif.simulator`) relies on to
+reproduce a live tiered replay exactly.  All tier/retrieval counters live in
+:class:`StorageAccounting` and merge through the existing counter-summary
+path, so they stay correct under the sharded replay at any ``--jobs``.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 
 from repro.backend.errors import InvalidTransitionError, UnknownContentError
 from repro.backend.protocol.operations import UPLOAD_CHUNK_BYTES
-from repro.util.units import GB
+from repro.whatif.costs import StorageCostModel
+from repro.whatif.tiering import TieringPolicy
 
 __all__ = ["ObjectStore", "MultipartUpload", "StorageAccounting"]
 
@@ -55,15 +71,56 @@ class StorageAccounting:
     get_requests: int = 0
     delete_requests: int = 0
     dedup_hits: int = 0
+    # ------------------------------------------------- tiering (Section 9)
+    #: Bytes currently resident in the hot tier (0 when tiering is off —
+    #: ``bytes_stored - cold_bytes`` is the billable hot occupancy either
+    #: way, which keeps the flat-rate cost estimate backward compatible).
+    hot_bytes: int = 0
+    #: Bytes currently resident in the cold tier.
+    cold_bytes: int = 0
+    #: Downloads served from the hot tier.
+    hot_hits: int = 0
+    #: Downloads served from the cold tier (each pays a retrieval).
+    cold_hits: int = 0
+    #: Bytes read back out of the cold tier.
+    cold_retrieved_bytes: int = 0
+    #: Cumulative bytes demoted hot -> cold.
+    migrated_cold_bytes: int = 0
+    #: Cumulative bytes promoted cold -> hot.
+    migrated_hot_bytes: int = 0
+    #: Number of tier migrations (both directions).
+    migrations: int = 0
 
     @property
     def dedup_saved_bytes(self) -> int:
         """Bytes that deduplication avoided storing."""
         return self.logical_bytes - self.bytes_stored
 
-    def monthly_cost_estimate(self, dollars_per_gb_month: float = 0.03) -> float:
-        """Rough S3 storage bill estimate (the paper cites ~$20k/month)."""
-        return self.bytes_stored / GB * dollars_per_gb_month
+    @property
+    def hot_hit_rate(self) -> float:
+        """Fraction of downloads served from the hot tier.
+
+        1.0 when nothing was ever downloaded (or tiering is off): every
+        download an untier-ed store serves is by definition hot.
+        """
+        total = self.hot_hits + self.cold_hits
+        return self.hot_hits / total if total else 1.0
+
+    def monthly_cost_estimate(self, cost_model=None) -> float:
+        """Monthly storage bill estimate (the paper cites ~$20k/month).
+
+        ``cost_model`` is a :class:`~repro.whatif.costs.StorageCostModel`,
+        or a bare hot-tier $/GB-month rate for backward compatibility with
+        the historical ``monthly_cost_estimate(0.03)`` signature; ``None``
+        uses the default model.  Cold-resident bytes are billed at the cold
+        rate, the rest at the hot rate.
+        """
+        if cost_model is None:
+            cost_model = StorageCostModel()
+        elif isinstance(cost_model, (int, float)):
+            cost_model = StorageCostModel(
+                hot_dollars_per_gb_month=float(cost_model))
+        return cost_model.storage_monthly_cost(self)
 
     def merge(self, other: "StorageAccounting") -> None:
         """Fold another accounting (e.g. one replay shard's) into this one."""
@@ -75,6 +132,14 @@ class StorageAccounting:
         self.get_requests += other.get_requests
         self.delete_requests += other.delete_requests
         self.dedup_hits += other.dedup_hits
+        self.hot_bytes += other.hot_bytes
+        self.cold_bytes += other.cold_bytes
+        self.hot_hits += other.hot_hits
+        self.cold_hits += other.cold_hits
+        self.cold_retrieved_bytes += other.cold_retrieved_bytes
+        self.migrated_cold_bytes += other.migrated_cold_bytes
+        self.migrated_hot_bytes += other.migrated_hot_bytes
+        self.migrations += other.migrations
 
 
 class ObjectStore:
@@ -82,19 +147,52 @@ class ObjectStore:
 
     Contents are keyed by their (client-provided SHA-1) hash; multiple nodes
     across users may reference the same content, which is exactly the
-    file-level cross-user deduplication U1 applies.
+    file-level cross-user deduplication U1 applies.  With a
+    :class:`~repro.whatif.tiering.TieringPolicy` the store additionally
+    tracks hot/cold tier residency per object (see the module docstring);
+    the ``now`` arguments of the mutating methods drive the idle clocks and
+    are ignored when tiering is off.
     """
 
-    def __init__(self, chunk_bytes: int = UPLOAD_CHUNK_BYTES):
+    def __init__(self, chunk_bytes: int = UPLOAD_CHUNK_BYTES,
+                 tiering: TieringPolicy | None = None):
         if chunk_bytes <= 0:
             raise ValueError("chunk_bytes must be positive")
+        if tiering is not None:
+            tiering.validate()
         self._chunk_bytes = chunk_bytes
+        self._tiering = tiering
         self._objects: dict[str, int] = {}
         self._refcounts: dict[str, int] = {}
         self._multiparts: dict[str, MultipartUpload] = {}
         self._multipart_ids = itertools.count(1)
         self._absorbed_objects = 0
         self.accounting = StorageAccounting()
+        # Per-object tier state (only maintained when tiering is on).
+        self._cold: set = set()
+        self._last_access: dict = {}
+        self._access_count: dict = {}
+        self._admit_seq: dict = {}
+        self._seq = 0
+        # Lazy eviction heap of ``(metric, key)`` entries: one is pushed at
+        # every metric change of a hot object, and stale entries (metric no
+        # longer current, object gone or already cold) are skipped at pop
+        # time — amortised O(log n) per access instead of re-sorting every
+        # hot object on each overflow.  The metric tuples embed the unique
+        # admission sequence, so ordering is total and the heap pops in
+        # exactly the order a full eviction sort would produce.
+        self._evict_heap: list = []
+        if tiering is not None:
+            self._eviction_key = {
+                "lru": lambda key: (self._last_access[key],
+                                    self._admit_seq[key]),
+                "lfu": lambda key: (self._access_count[key],
+                                    self._last_access[key],
+                                    self._admit_seq[key]),
+                "size": lambda key: (-self._objects[key],
+                                     self._admit_seq[key]),
+            }[tiering.eviction]
+            self._track_eviction = tiering.hot_capacity_bytes is not None
 
     # ------------------------------------------------------------- queries
     def __contains__(self, content_hash: str) -> bool:
@@ -102,6 +200,11 @@ class ObjectStore:
 
     def __len__(self) -> int:
         return len(self._objects) + self._absorbed_objects
+
+    @property
+    def tiering(self) -> TieringPolicy | None:
+        """The tiering policy, or None for the classic single-tier store."""
+        return self._tiering
 
     def absorb_summary(self, n_objects: int,
                        accounting: StorageAccounting) -> None:
@@ -111,8 +214,8 @@ class ObjectStore:
         disjoint users, so cross-shard state never interacts during a run);
         workers ship back only ``(object count, accounting)`` summaries —
         cheap to pickle — and the cluster-level store absorbs them so
-        fleet-wide accounting (bytes stored, dedup hits, cost estimates)
-        keeps working after a sharded replay.
+        fleet-wide accounting (bytes stored, dedup hits, tier occupancy,
+        cost estimates) keeps working after a sharded replay.
         """
         self._absorbed_objects += n_objects
         self.accounting.merge(accounting)
@@ -128,8 +231,136 @@ class ObjectStore:
         """Number of file nodes referencing a content."""
         return self._refcounts.get(content_hash, 0)
 
+    def is_cold(self, content_hash: str) -> bool:
+        """Whether a stored content currently resides in the cold tier."""
+        return content_hash in self._cold
+
+    # ---------------------------------------------------------------- tiers
+    def _tier_admit(self, key, size: int, now: float) -> None:
+        """A freshly stored object enters the hot tier."""
+        self.accounting.hot_bytes += size
+        self._last_access[key] = now
+        self._access_count[key] = 1
+        self._seq += 1
+        self._admit_seq[key] = self._seq
+        if self._track_eviction:
+            self._push_eviction(key)
+            self._enforce_hot_capacity()
+
+    def _push_eviction(self, key) -> None:
+        """Push a hot object's current eviction metric; compact stale debt.
+
+        Every touch leaves the previous entry stale, so the heap is rebuilt
+        from the live hot set once it outgrows it ~4x — keeping it O(hot
+        objects) instead of O(total accesses).
+        """
+        heap = self._evict_heap
+        hot_count = len(self._objects) - len(self._cold)
+        if len(heap) > 4 * hot_count + 64:
+            cold = self._cold
+            eviction_key = self._eviction_key
+            heap[:] = [(eviction_key(k), k) for k in self._objects
+                       if k not in cold]
+            heapq.heapify(heap)
+        else:
+            heapq.heappush(heap, (self._eviction_key(key), key))
+
+    def _tier_access(self, key, now: float, download: bool) -> None:
+        """Touch an existing object: realise lazy demotion, count the hit,
+        optionally promote, refresh the idle clock."""
+        policy = self._tiering
+        accounting = self.accounting
+        size = self._objects[key]
+        cold = key in self._cold
+        if not cold and now - self._last_access[key] > policy.age_threshold:
+            # The object went cold during the idle gap; realise it now.
+            self._demote(key, size)
+            cold = True
+        if download:
+            if cold:
+                accounting.cold_hits += 1
+                accounting.cold_retrieved_bytes += size
+            else:
+                accounting.hot_hits += 1
+        promote = cold and policy.promote_on_access
+        if promote:
+            self._promote(key, size)
+        self._last_access[key] = now
+        self._access_count[key] += 1
+        if self._track_eviction and (promote or not cold):
+            self._push_eviction(key)
+            if promote:
+                self._enforce_hot_capacity()
+
+    def _tier_remove(self, key, size: int, now: float) -> None:
+        """Drop an object's tier state when it is physically deleted."""
+        if key not in self._cold \
+                and now - self._last_access[key] > self._tiering.age_threshold:
+            self._demote(key, size)
+        if key in self._cold:
+            self.accounting.cold_bytes -= size
+            self._cold.discard(key)
+        else:
+            self.accounting.hot_bytes -= size
+        del self._last_access[key]
+        del self._access_count[key]
+        del self._admit_seq[key]
+
+    def _demote(self, key, size: int) -> None:
+        self._cold.add(key)
+        accounting = self.accounting
+        accounting.hot_bytes -= size
+        accounting.cold_bytes += size
+        accounting.migrated_cold_bytes += size
+        accounting.migrations += 1
+
+    def _promote(self, key, size: int) -> None:
+        self._cold.discard(key)
+        accounting = self.accounting
+        accounting.cold_bytes -= size
+        accounting.hot_bytes += size
+        accounting.migrated_hot_bytes += size
+        accounting.migrations += 1
+
+    def _enforce_hot_capacity(self) -> None:
+        """Demote hot objects in eviction order until the budget fits.
+
+        Pops the lazy heap; an entry is acted on only when its recorded
+        metric still matches the object's current eviction key (touches and
+        promotions push fresh entries, so the current key of every hot
+        object is always present).
+        """
+        capacity = self._tiering.hot_capacity_bytes
+        accounting = self.accounting
+        heap = self._evict_heap
+        objects = self._objects
+        cold = self._cold
+        while accounting.hot_bytes > capacity and heap:
+            metric, key = heapq.heappop(heap)
+            if key not in objects or key in cold:
+                continue  # deleted or already cold
+            if metric != self._eviction_key(key):
+                continue  # stale entry; a fresher one is in the heap
+            self._demote(key, objects[key])
+
+    def finalize_tiers(self, now: float) -> None:
+        """Realise the pending age-demotions at the end of a replay.
+
+        Objects idle for longer than the age threshold at time ``now`` are
+        demoted, so the final ``hot_bytes`` / ``cold_bytes`` split reflects
+        the whole observation window.  No-op without a tiering policy.
+        """
+        if self._tiering is None:
+            return
+        threshold = self._tiering.age_threshold
+        last_access = self._last_access
+        cold = self._cold
+        for key, size in self._objects.items():
+            if key not in cold and now - last_access[key] > threshold:
+                self._demote(key, size)
+
     # ---------------------------------------------------------- simple put
-    def put(self, content_hash: str, size_bytes: int) -> bool:
+    def put(self, content_hash: str, size_bytes: int, now: float = 0.0) -> bool:
         """Store a content in a single request (small files).
 
         Returns True when bytes actually had to be transferred, False when
@@ -142,33 +373,42 @@ class ObjectStore:
         self._refcounts[content_hash] = self._refcounts.get(content_hash, 0) + 1
         if content_hash in self._objects:
             self.accounting.dedup_hits += 1
+            if self._tiering is not None:
+                self._tier_access(content_hash, now, download=False)
             return False
         self._objects[content_hash] = size_bytes
         self.accounting.bytes_stored += size_bytes
         self.accounting.bytes_uploaded += size_bytes
+        if self._tiering is not None:
+            self._tier_admit(content_hash, size_bytes, now)
         return True
 
-    def link(self, content_hash: str) -> None:
+    def link(self, content_hash: str, now: float = 0.0) -> None:
         """Add a logical reference to an existing content (dedup hit)."""
         if content_hash not in self._objects:
             raise UnknownContentError(content_hash)
         self._refcounts[content_hash] = self._refcounts.get(content_hash, 0) + 1
         self.accounting.logical_bytes += self._objects[content_hash]
         self.accounting.dedup_hits += 1
+        if self._tiering is not None:
+            self._tier_access(content_hash, now, download=False)
 
-    def get(self, content_hash: str) -> int:
+    def get(self, content_hash: str, now: float = 0.0) -> int:
         """Download a content; returns the number of bytes transferred.
 
         NOTE: the accounting side effects (``get_requests``,
         ``bytes_downloaded``) are inlined in the download fast path of
-        ``ApiServerProcess.handle``; keep both in sync.
+        ``ApiServerProcess.handle``; keep both in sync.  (That fast path is
+        disabled on tiered stores, which need the tier bookkeeping below.)
         """
         size = self.size_of(content_hash)
         self.accounting.get_requests += 1
         self.accounting.bytes_downloaded += size
+        if self._tiering is not None:
+            self._tier_access(content_hash, now, download=True)
         return size
 
-    def unlink(self, content_hash: str) -> bool:
+    def unlink(self, content_hash: str, now: float = 0.0) -> bool:
         """Drop one reference; the object is deleted when unreferenced.
 
         Returns True when the object was physically removed.
@@ -185,6 +425,8 @@ class ObjectStore:
         self._refcounts.pop(content_hash, None)
         self.accounting.bytes_stored -= size
         self.accounting.logical_bytes -= size
+        if self._tiering is not None:
+            self._tier_remove(content_hash, size, now)
         return True
 
     # ------------------------------------------------------------ multipart
@@ -209,7 +451,8 @@ class ObjectStore:
         self.accounting.bytes_uploaded += size_bytes
         return part_number
 
-    def complete_multipart(self, multipart_id: str, content_hash: str) -> int:
+    def complete_multipart(self, multipart_id: str, content_hash: str,
+                           now: float = 0.0) -> int:
         """Finish a multipart upload and commit the content.
 
         Returns the total stored size.
@@ -225,8 +468,12 @@ class ObjectStore:
         if content_hash not in self._objects:
             self._objects[content_hash] = size
             self.accounting.bytes_stored += size
+            if self._tiering is not None:
+                self._tier_admit(content_hash, size, now)
         else:
             self.accounting.dedup_hits += 1
+            if self._tiering is not None:
+                self._tier_access(content_hash, now, download=False)
         del self._multiparts[multipart_id]
         return size
 

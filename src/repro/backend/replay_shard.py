@@ -34,7 +34,12 @@ once per cluster, so with the default ``replay_shards=8`` the object-store
 dedup hit rate and stored-byte totals sit a few percent below the
 single-store model (the Fig. 4 dedup *analyses* are unaffected: they are
 computed from content hashes in the trace, not from object-store state).
-Set ``replay_shards=1`` to recover the exact single-store semantics.
+The hot/cold tier state of a tiered store (``ClusterConfig.tiering``) is in
+the same class: each shard keeps its own idle clocks and finalises them at
+its *own* last timeline instant, so tier/retrieval counters at
+``replay_shards>1`` realise a per-shard variant of the policy (still
+bit-identical for any ``n_jobs``).  Set ``replay_shards=1`` to recover the
+exact single-store semantics.
 
 Determinism is the headline guarantee.  The shard count is a *configuration*
 knob (``ClusterConfig.replay_shards``), not the worker count: ``n_jobs`` only
@@ -324,6 +329,9 @@ class ShardOutcome:
     object_count: int = 0
     accounting: StorageAccounting = field(default_factory=StorageAccounting)
     gc_sweeps: int = 0
+    #: Last timeline timestamp of the shard (the per-shard tier-finalize
+    #: instant; 0.0 for an empty shard).
+    timeline_end: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -354,7 +362,8 @@ class ReplayShard:
                    else round_robin_routing)
         self.store = ShardedMetadataStore(
             n_shards=config.metadata_shards, routing_factory=routing)
-        self.objects = ObjectStore(chunk_bytes=config.multipart_chunk_bytes)
+        self.objects = ObjectStore(chunk_bytes=config.multipart_chunk_bytes,
+                                   tiering=config.tiering)
         # The auth service and the API processes only draw scalar uniforms;
         # handing them the pool (same .random() surface as a Generator)
         # amortises the per-draw Generator call overhead.
@@ -454,6 +463,14 @@ class ReplayShard:
                                       caused_by_attack=script.caused_by_attack)
                 gateway.release(address)
 
+        # Tiering epilogue: realise the age-demotions still pending at the
+        # end of this shard's timeline, so the hot/cold byte split covers
+        # the whole observation window.  The finalize instant is per-shard
+        # (its own last session close) — part of the per-shard tier-state
+        # caveat; replay_shards=1 gives the global instant.
+        timeline_end = timeline[-1][0] if timeline else 0.0
+        self.objects.finalize_tiers(timeline_end)
+
         # The timeline is processed in timestamp order, so every stream was
         # appended sorted; skip the per-stream re-check.  Column packing
         # happens here, in the worker: building the per-field arrays is the
@@ -482,7 +499,8 @@ class ReplayShard:
             store_summary=self.store.summary(),
             object_count=len(self.objects),
             accounting=self.objects.accounting,
-            gc_sweeps=self.collector.sweeps)
+            gc_sweeps=self.collector.sweeps,
+            timeline_end=timeline_end)
 
 
 # ---------------------------------------------------------------------------

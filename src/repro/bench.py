@@ -82,6 +82,10 @@ class BenchResult:
     #: layout, per-shard generate/replay seconds, imbalance, IPC bytes,
     #: merge seconds).
     replay_stats: dict | None = None
+    #: Offline what-if sweep over the replayed trace (policy outcomes,
+    #: tier/retrieval metrics, ``whatif_sweep_seconds``) — run once after
+    #: the timed phases, so it never perturbs them.
+    whatif: dict | None = None
 
     @property
     def total(self) -> float:
@@ -117,6 +121,8 @@ class BenchResult:
             "seed_baseline_units": dict(SEED_BASELINE_UNITS),
             "machine": platform.platform(),
         }
+        if self.whatif is not None:
+            payload["whatif"] = self.whatif
         if baseline_total > 0:
             units = {"generate": self.events_generated,
                      "replay": self.records_replayed,
@@ -194,11 +200,30 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
             replay_stats = cluster.last_replay_stats
         for name, seconds in timings.items():
             best[name] = min(best.get(name, float("inf")), seconds)
+    # The offline what-if sweep over the last replayed trace: records the
+    # tier/retrieval metrics (cold_bytes, hot_hit_rate, sweep seconds) the
+    # CI smoke asserts on.  Runs after the timed phases on purpose, and
+    # best-of-``repeats`` like the phases — the CI bound compares it
+    # against the best-of replay time, so a single noisy measurement must
+    # not carry the assertion.
+    from repro.whatif.sweep import run_sweep
+
+    sweep = None
+    for _ in range(max(1, repeats)):
+        # The dataset goes in un-decoded, so the recorded sweep seconds
+        # honestly include the one-off column decode.
+        candidate = run_sweep(dataset,
+                              cost_model=cluster.config.cost_model,
+                              chunk_bytes=cluster.config.multipart_chunk_bytes,
+                              end_time=cluster.last_replay_stats["timeline_end"])
+        if sweep is None or candidate.seconds < sweep.seconds:
+            sweep = candidate
     return BenchResult(users=users, days=days, seed=seed, repeats=repeats,
                        phases=best, events_generated=events_generated,
                        records_replayed=records_replayed,
                        analysis_records=analysis_records,
-                       n_jobs=n_jobs, replay_stats=replay_stats)
+                       n_jobs=n_jobs, replay_stats=replay_stats,
+                       whatif=sweep.to_json())
 
 
 def run_profile(users: int = 300, days: float = 3.0, seed: int = 2014,
@@ -270,6 +295,10 @@ def format_summary(result: BenchResult) -> str:
     imbalance = payload.get("shard_imbalance")
     if imbalance:
         line += f" | imbalance {imbalance:.2f}"
+    whatif = payload.get("whatif")
+    if whatif:
+        line += (f" | whatif {whatif['n_policies']} policies "
+                 f"{whatif['whatif_sweep_seconds']:.3f}s")
     if "speedup_vs_seed" in payload:
         line += f" | {payload['speedup_vs_seed']:.2f}x vs seed"
     return line

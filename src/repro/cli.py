@@ -21,6 +21,12 @@ Four sub-commands cover the full pipeline::
         measurements (and the speedup versus the seed engine) to
         ``BENCH_pipeline.json``.
 
+    python -m repro whatif  --users 400 --days 5
+        Replay the workload once, then sweep storage policies (dedup off,
+        delta updates, hot/cold tiering) *offline* over the trace columns
+        and print the cost comparison — one replay plus N cheap passes
+        instead of N full replays.
+
 The CLI is intentionally a thin veneer over the library: everything it does
 can be done programmatically through :mod:`repro.workload`,
 :mod:`repro.backend` and :mod:`repro.core`.
@@ -111,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "top-20 functions by cumulative time per phase "
                             "(use --jobs 1 to capture the shard workers "
                             "inline) instead of timing repeats")
+
+    whatif = subparsers.add_parser(
+        "whatif", help="replay once, then sweep storage policies offline "
+                       "over the trace columns")
+    whatif.add_argument("--users", type=int, default=400,
+                        help="number of synthetic users (default: 400)")
+    whatif.add_argument("--days", type=float, default=5.0,
+                        help="trace duration in days (default: 5)")
+    whatif.add_argument("--seed", type=int, default=2014,
+                        help="random seed (default: 2014)")
+    whatif.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the one sharded replay "
+                             "(default: 1)")
+    whatif.add_argument("--delta-factor", type=float, default=0.05,
+                        help="delta-update upload size factor (default: 0.05)")
+    whatif.add_argument("--tier-age-days", type=float, default=1.0,
+                        help="idle days before contents migrate to the cold "
+                             "tier (default: 1)")
+    whatif.add_argument("--json", type=Path, default=None,
+                        help="also write the sweep result as JSON")
     return parser
 
 
@@ -175,12 +201,55 @@ def _command_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_whatif(args: argparse.Namespace, out) -> int:
+    import json
+    import time
+
+    from repro.util.units import DAY
+    from repro.whatif.sweep import run_sweep
+
+    config = WorkloadConfig.scaled(users=args.users, days=args.days,
+                                   seed=args.seed)
+    cluster = U1Cluster(ClusterConfig(seed=args.seed))
+    started = time.perf_counter()
+    dataset = cluster.replay_plan(SyntheticTraceGenerator(config).plan(),
+                                  n_jobs=args.jobs)
+    replay_seconds = time.perf_counter() - started
+
+    # The dataset goes in un-decoded: the sweep timing then covers the
+    # one-off column decode as well as the policy passes.
+    sweep = run_sweep(
+        dataset,
+        cost_model=cluster.config.cost_model,
+        chunk_bytes=cluster.config.multipart_chunk_bytes,
+        end_time=cluster.last_replay_stats["timeline_end"],
+        delta_update_factor=args.delta_factor,
+        tier_age=args.tier_age_days * DAY)
+
+    print(f"Replayed {len(dataset)} records in {replay_seconds:.3f}s; "
+          f"swept {len(sweep.outcomes)} policies offline in "
+          f"{sweep.seconds:.3f}s ({sweep.seconds / replay_seconds:.2f}x "
+          f"one replay)", file=out)
+    print(sweep.format_table(), file=out)
+    print("(offline estimates: global store, uninterrupted uploads; "
+          "see repro.whatif)", file=out)
+    if args.json is not None:
+        payload = sweep.to_json()
+        payload["replay_seconds"] = replay_seconds
+        payload["config"] = {"users": args.users, "days": args.days,
+                             "seed": args.seed, "jobs": args.jobs}
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"Wrote {args.json}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "analyze": _command_analyze,
     "summarize": _command_summarize,
     "report": _command_report,
     "bench": _command_bench,
+    "whatif": _command_whatif,
 }
 
 

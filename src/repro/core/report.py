@@ -30,7 +30,8 @@ from repro.core import (
 )
 from repro.trace.dataset import TraceDataset
 from repro.trace.records import ApiOperation, NodeKind
-from repro.util.units import HOUR, MB
+from repro.util.units import DAY, HOUR, MB, format_bytes
+from repro.whatif.economics import storage_economics
 
 __all__ = ["full_report", "format_report"]
 
@@ -79,6 +80,7 @@ def full_report(dataset: TraceDataset) -> dict[str, Any]:
         report["fig14_shards"] = load_balancing.shard_load(dataset)
     report["fig15"] = sessions.auth_activity(dataset)
     report["fig16"] = sessions.session_analysis(dataset)
+    report["economics"] = storage_economics(dataset)
     report["table1"] = findings.compute_findings(dataset, precomputed=report)
     return report
 
@@ -151,6 +153,21 @@ def format_report(dataset: TraceDataset) -> str:
     lines.append(f"Active sessions: {fig16.active_share:.1%} (paper: 5.57%); "
                  f"top-20% active sessions hold {fig16.top_sessions_share(0.2):.1%} of ops "
                  f"(paper: 96.7%)")
+
+    economics = results["economics"]
+    lines.append("\n-- Section 9: storage economics (what-if) " + "-" * 24)
+    lines.append(f"Dedup keeps {format_bytes(economics.unique_upload_bytes)} "
+                 f"of {format_bytes(economics.upload_bytes)} uploaded "
+                 f"({economics.dedup_saving_share:.1%} saved; paper: ~17%)")
+    lines.append(f"Upload bytes from updates: {economics.update_share:.1%} "
+                 f"(paper: 18.5%; the delta-update lever)")
+    lines.append(f"Cold candidates (idle > {economics.cold_after / DAY:g}d "
+                 f"at trace end): "
+                 f"{format_bytes(economics.cold_candidate_bytes)} "
+                 f"({economics.cold_candidate_share:.1%} of unique bytes)")
+    lines.append(f"Flat hot-tier bill ${economics.monthly_flat:.2f}/month; "
+                 f"age-tiered ${economics.monthly_tiered:.2f}/month "
+                 f"(full sweep: python -m repro whatif)")
 
     lines.append("\n-- Table 1: findings, paper vs measured " + "-" * 26)
     lines.append(results["table1"].format_table())

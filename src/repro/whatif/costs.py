@@ -1,0 +1,91 @@
+"""The shared storage cost model (Section 9).
+
+One place for every dollar figure the reproduction reasons about: per-tier
+$/GB-month storage rates, cold-retrieval and migration charges.  The live
+back-end (:class:`repro.backend.datastore.StorageAccounting`) and the offline
+what-if simulator (:mod:`repro.whatif.simulator`) both price their counters
+through this model, so a policy comparison is always apples to apples.
+
+The default hot rate keeps the historical ``$0.03/GB-month`` figure the
+paper's ~$20k/month S3 bill estimate was based on; the cold rate and the
+retrieval/migration charges are Glacier-flavoured defaults for the
+warm/cold-tiering what-ifs Section 9 motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB
+
+__all__ = ["StorageCostModel"]
+
+
+@dataclass(frozen=True)
+class StorageCostModel:
+    """Per-tier storage and data-movement prices.
+
+    All storage rates are dollars per (binary) GB-month; movement rates are
+    dollars per GB moved.
+    """
+
+    #: Standard (hot) tier storage rate — the historical flat estimate.
+    hot_dollars_per_gb_month: float = 0.03
+    #: Cold/archive tier storage rate.
+    cold_dollars_per_gb_month: float = 0.004
+    #: Charged per GB read back out of the cold tier.
+    cold_retrieval_dollars_per_gb: float = 0.01
+    #: Charged per GB migrated between tiers (lifecycle transitions).
+    migration_dollars_per_gb: float = 0.0025
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on negative rates."""
+        for name in ("hot_dollars_per_gb_month", "cold_dollars_per_gb_month",
+                     "cold_retrieval_dollars_per_gb",
+                     "migration_dollars_per_gb"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------ costs
+    def storage_monthly_cost(self, accounting) -> float:
+        """Monthly storage bill of an accounting's current tier occupancy.
+
+        ``cold_bytes`` is billed at the cold rate and the rest of
+        ``bytes_stored`` at the hot rate — a store that never tiered
+        (``cold_bytes == 0``) therefore reproduces the historical flat
+        ``bytes_stored * hot_rate`` estimate exactly.
+        """
+        cold = accounting.cold_bytes
+        hot = accounting.bytes_stored - cold
+        return (hot / GB * self.hot_dollars_per_gb_month
+                + cold / GB * self.cold_dollars_per_gb_month)
+
+    def retrieval_cost(self, accounting) -> float:
+        """One-off charge for the bytes read back from the cold tier."""
+        return accounting.cold_retrieved_bytes / GB \
+            * self.cold_retrieval_dollars_per_gb
+
+    def migration_cost(self, accounting) -> float:
+        """One-off charge for the bytes moved between tiers."""
+        moved = accounting.migrated_cold_bytes + accounting.migrated_hot_bytes
+        return moved / GB * self.migration_dollars_per_gb
+
+    def cost_breakdown(self, accounting) -> dict[str, float]:
+        """Per-component dollar breakdown (storage monthly, movement one-off)."""
+        cold = accounting.cold_bytes
+        hot = accounting.bytes_stored - cold
+        return {
+            "storage_hot": hot / GB * self.hot_dollars_per_gb_month,
+            "storage_cold": cold / GB * self.cold_dollars_per_gb_month,
+            "retrieval": self.retrieval_cost(accounting),
+            "migration": self.migration_cost(accounting),
+        }
+
+    def monthly_total(self, accounting) -> float:
+        """Storage bill plus the movement charges, as one comparable figure.
+
+        The movement charges are one-off for the observed window; folding
+        them into the monthly figure is the standard what-if simplification
+        (the observed window stands in for a typical month).
+        """
+        return sum(self.cost_breakdown(accounting).values())

@@ -1,0 +1,70 @@
+"""Hot/cold tiering policies for the object store (Section 9).
+
+A :class:`TieringPolicy` describes when stored contents migrate between the
+hot (standard) and cold (archive) tiers:
+
+* **age-threshold demotion** — an object idle for longer than
+  ``age_threshold`` migrates to cold.  The transition is *lazily realised*:
+  both the live :class:`~repro.backend.datastore.ObjectStore` and the offline
+  simulator account the migration at the object's next touch (access, unlink
+  or the end-of-trace ``finalize_tiers`` sweep), which makes the realised
+  counters a pure function of the access sequence — independent of replay
+  sharding or worker count.
+* **capacity eviction** — when ``hot_capacity_bytes`` is set and the hot
+  tier overflows, objects are demoted in eviction order (``lru``: stalest
+  last-access first; ``lfu``: fewest accesses first; ``size``: largest
+  first) until the tier fits.  Ties break on admission order, so eviction is
+  deterministic.
+* **promotion** — ``promote_on_access`` decides whether a cold object that
+  gets touched again migrates back to hot (paying the promotion migration)
+  or is served from cold forever after.
+
+The policy object is shared verbatim between the live back-end
+(``ClusterConfig.tiering``) and the offline what-if simulator, so a sweep
+result can be validated against a real tiered replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import DAY, WEEK
+
+__all__ = ["EVICTION_POLICIES", "TieringPolicy"]
+
+#: Recognised eviction orderings for capacity-driven demotion.
+EVICTION_POLICIES = ("lru", "lfu", "size")
+
+
+@dataclass(frozen=True)
+class TieringPolicy:
+    """Migration rules of a two-tier (hot/cold) object store."""
+
+    #: Idle time after which an object is considered cold.
+    age_threshold: float = WEEK
+    #: Hot-tier byte budget; ``None`` disables capacity eviction.
+    hot_capacity_bytes: int | None = None
+    #: Eviction order when the hot tier overflows: ``lru``/``lfu``/``size``.
+    eviction: str = "lru"
+    #: Whether a touched cold object migrates back to the hot tier.
+    promote_on_access: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent settings."""
+        if self.age_threshold <= 0:
+            raise ValueError("age_threshold must be positive")
+        if self.hot_capacity_bytes is not None and self.hot_capacity_bytes <= 0:
+            raise ValueError("hot_capacity_bytes must be positive or None")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"eviction must be one of {EVICTION_POLICIES}, "
+                f"got {self.eviction!r}")
+
+    def describe(self) -> str:
+        """Short human-readable summary (used by sweep tables)."""
+        parts = [f"age>{self.age_threshold / DAY:g}d"]
+        if self.hot_capacity_bytes is not None:
+            parts.append(f"{self.eviction}@{self.hot_capacity_bytes} B hot")
+        if not self.promote_on_access:
+            parts.append("no-promote")
+        return ", ".join(parts)

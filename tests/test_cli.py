@@ -64,3 +64,19 @@ class TestCommands:
         out = io.StringIO()
         assert main(["analyze", str(tmp_path)], out=out) == 1
         assert main(["summarize", str(tmp_path)], out=out) == 1
+
+    def test_whatif_sweeps_policies(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        json_path = tmp_path / "whatif.json"
+        code = main(["whatif", "--users", "40", "--days", "1", "--seed", "6",
+                     "--json", str(json_path)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name in ("baseline", "no-dedup", "delta-updates", "tier-age"):
+            assert name in text
+        payload = json.loads(json_path.read_text())
+        assert payload["n_policies"] >= 4
+        assert payload["replay_seconds"] > 0.0
+        assert payload["whatif_sweep_seconds"] > 0.0

@@ -1,0 +1,52 @@
+"""Tests for the vectorised storage-economics report section."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.core.deduplication import deduplication_analysis
+from repro.core.report import format_report, full_report
+from repro.core.storage_workload import update_traffic_share
+from repro.trace.dataset import TraceDataset
+from repro.whatif.economics import storage_economics
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = WorkloadConfig.scaled(users=80, days=2.0, seed=11)
+    cluster = U1Cluster(ClusterConfig(seed=11))
+    return cluster.replay_plan(SyntheticTraceGenerator(config).plan())
+
+
+class TestStorageEconomics:
+    def test_update_share_matches_fig2_analysis(self, dataset):
+        economics = storage_economics(dataset)
+        assert economics.update_share == pytest.approx(
+            update_traffic_share(dataset).traffic_share)
+
+    def test_dedup_saving_matches_fig4a_byte_ratio(self, dataset):
+        economics = storage_economics(dataset)
+        assert economics.dedup_saving_share == pytest.approx(
+            deduplication_analysis(dataset).byte_dedup_ratio)
+
+    def test_tiered_bill_never_exceeds_flat_bill(self, dataset):
+        economics = storage_economics(dataset)
+        assert 0.0 <= economics.monthly_tiered <= economics.monthly_flat
+        assert 0.0 <= economics.cold_candidate_share <= 1.0
+        assert economics.unique_upload_bytes <= economics.unique_content_bytes
+
+    def test_empty_dataset(self):
+        economics = storage_economics(TraceDataset())
+        assert economics.upload_bytes == 0
+        assert economics.dedup_saving_share == 0.0
+        assert economics.monthly_flat == 0.0
+
+    def test_report_includes_economics_section(self, dataset):
+        report = full_report(dataset)
+        assert report["economics"].unique_content_bytes > 0
+        text = format_report(dataset)
+        assert "storage economics" in text
+        assert "python -m repro whatif" in text
