@@ -95,6 +95,7 @@ class BenchResult:
         """JSON payload written to ``BENCH_pipeline.json``."""
         baseline_total = sum(SEED_BASELINE.values())
         stats = self.replay_stats or {}
+        generate_seconds = sum(stats.get("shard_generate_seconds") or [])
         payload = {
             "config": {"users": self.users, "days": self.days, "seed": self.seed,
                        "repeats": self.repeats, "jobs": self.n_jobs},
@@ -104,6 +105,11 @@ class BenchResult:
             "replay_merge_seconds": stats.get("merge_seconds"),
             "shard_imbalance": stats.get("shard_imbalance"),
             "ipc_block_bytes": stats.get("ipc_block_bytes"),
+            # In-worker workload materialization cost per realised event
+            # (sum of the per-shard generate seconds over every event the
+            # replay processed) — the PR 5 vectorized-materializer metric.
+            "materialize_us_per_event": (generate_seconds * 1e6
+                                         / max(self.events_generated, 1)),
             "phases_seconds": dict(self.phases),
             "total_seconds": self.total,
             "events_generated": self.events_generated,
@@ -295,6 +301,9 @@ def format_summary(result: BenchResult) -> str:
     imbalance = payload.get("shard_imbalance")
     if imbalance:
         line += f" | imbalance {imbalance:.2f}"
+    materialize = payload.get("materialize_us_per_event")
+    if materialize:
+        line += f" | materialize {materialize:.2f} us/ev"
     whatif = payload.get("whatif")
     if whatif:
         line += (f" | whatif {whatif['n_policies']} policies "

@@ -92,6 +92,13 @@ class SweepResult:
         return {
             "whatif_sweep_seconds": self.seconds,
             "n_policies": len(self.outcomes),
+            # Per-policy pass seconds: the vectorised age-only passes sit
+            # orders of magnitude below the interpreted capacity passes,
+            # and the first baseline pass carries the shared decode.
+            "whatif_per_policy_seconds": {
+                outcome.spec.name: outcome.seconds
+                for outcome in self.outcomes
+            },
             "policies": [outcome.to_json() for outcome in self.outcomes],
             "baseline_monthly_cost": self.baseline.monthly_cost,
             "cheapest_policy": cheapest.spec.name,

@@ -14,7 +14,7 @@ authentication and storage events attributed to a dedicated attacker user id.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -38,6 +38,11 @@ class AttackEpisode:
     content_hash: str
     start: float
     end: float
+    #: Memoised whole-episode draw arrays (see ``generate_sessions``): a
+    #: pure function of the spawned attacker stream and the baseline rates,
+    #: so every session-range slice reuses them within a process.
+    _draws_key: tuple | None = field(default=None, repr=False, compare=False)
+    _draws: tuple | None = field(default=None, repr=False, compare=False)
 
     def planned_size(self, baseline_sessions_per_hour: float,
                      baseline_storage_ops_per_hour: float,
@@ -81,62 +86,101 @@ class AttackEpisode:
         tractable while the relative spike remains visible.
 
         ``session_range=(lo, hi)`` yields only sessions ``lo <= i < hi`` of
-        the episode.  The whole-episode vectorised draws happen regardless
-        (they are what make the episode deterministic), but the per-event
-        script building — the actual cost — is skipped outside the range,
-        so a sharded replay can split one botnet flood across workers: the
+        the episode.  The whole-episode vectorised draws happen on the
+        first call and are memoised on the episode object (they are a pure
+        function of the spawned attacker stream and the baselines, so every
+        slice of the episode — typically materialized back to back inside
+        one replay worker — reuses the same arrays instead of re-drawing
+        and re-sorting them), while the per-event script building — the
+        actual cost — is restricted to the requested range.  A sharded
+        replay can therefore split one botnet flood across workers: the
         attack's thousands of sessions are *concurrent* independent clients
-        sharing one account, not a sequential per-user activity stream, and
-        building a slice consumes no RNG beyond the shared episode arrays.
+        sharing one account, not a sequential per-user activity stream.
         """
-        n_sessions, n_storage_ops = self.planned_size(
-            baseline_sessions_per_hour, baseline_storage_ops_per_hour,
-            max_sessions=max_sessions, max_storage_ops=max_storage_ops)
-        ops_per_session = max(1, n_storage_ops // n_sessions)
+        # The memo key includes the identity of the caller's stream (its
+        # SeedSequence entropy/spawn key): a differently-seeded rng must
+        # never be served another stream's cached draws.  Streams without a
+        # seed sequence (hand-built bit generators) skip the cache.
+        seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+        if seed_seq is not None:
+            rng_key = (getattr(seed_seq, "entropy", None),
+                       tuple(getattr(seed_seq, "spawn_key", ()) or ()))
+        else:
+            rng_key = object()  # unique: never matches a cached key
+        cache_key = (rng_key, baseline_sessions_per_hour,
+                     baseline_storage_ops_per_hour,
+                     max_sessions, max_storage_ops)
+        cached = self._draws if self._draws_key == cache_key else None
+        if cached is None:
+            n_sessions, n_storage_ops = self.planned_size(
+                baseline_sessions_per_hour, baseline_storage_ops_per_hour,
+                max_sessions=max_sessions, max_storage_ops=max_storage_ops)
+            ops_per_session = max(1, n_storage_ops // n_sessions)
+            starts = np.sort(rng.uniform(self.start, self.end, size=n_sessions))
+            # Vectorised draws: session lengths, per-session op counts, and
+            # the inter-op gaps / upload rolls for all sessions at once.
+            # The distributions are identical to the historical per-event
+            # scalar draws; only the RNG stream consumption order changes.
+            lengths = np.minimum(rng.exponential(300.0, size=n_sessions) + 1.0,
+                                 self.end - starts)
+            op_counts = np.maximum(rng.poisson(ops_per_session,
+                                               size=n_sessions), 1)
+            total_ops = int(op_counts.sum())
+            gaps = rng.exponential(5.0, size=total_ops)
+            uploads = rng.random(total_ops) >= 0.95
+            offsets = np.concatenate(([0], np.cumsum(op_counts)))
+            # Per-session timelines and end-of-session truncation, computed
+            # as arrays for the whole episode: a segmented cumulative sum of
+            # the gap block, one comparison against the repeated session
+            # ends, and — times being increasing within a session — a
+            # per-session valid-prefix count instead of a per-event break.
+            seg_first = offsets[:-1]
+            cum = np.cumsum(gaps)
+            base = cum[seg_first] - gaps[seg_first]
+            times = np.repeat(starts, op_counts) + cum \
+                - np.repeat(base, op_counts)
+            session_ends = starts + lengths
+            valid = times < np.repeat(session_ends, op_counts)
+            n_valid = np.add.reduceat(valid, seg_first).tolist()
+            cached = (n_sessions, starts, session_ends, seg_first, n_valid,
+                      times.tolist(), uploads.tolist())
+            self._draws_key = cache_key
+            self._draws = cached
+        (n_sessions, starts, session_ends, seg_first, n_valid,
+         times_list, uploads_list) = cached
         lo, hi = session_range if session_range is not None else (0, n_sessions)
-
-        starts = np.sort(rng.uniform(self.start, self.end, size=n_sessions))
-        # Vectorised draws: session lengths, per-session op counts, and the
-        # inter-op gaps / upload rolls for all sessions at once.  The
-        # distributions are identical to the historical per-event scalar
-        # draws; only the order the RNG stream is consumed in changes.
-        lengths = np.minimum(rng.exponential(300.0, size=n_sessions) + 1.0,
-                             self.end - starts)
-        op_counts = np.maximum(rng.poisson(ops_per_session, size=n_sessions), 1)
-        total_ops = int(op_counts.sum())
-        gaps = rng.exponential(5.0, size=total_ops)
-        uploads = rng.random(total_ops) >= 0.95
-        offsets = np.concatenate(([0], np.cumsum(op_counts)))
-        for i in range(lo, min(hi, n_sessions)):
+        hi = min(hi, n_sessions)
+        attacker = self.attacker_user_id
+        node_id = self.shared_node_id
+        volume_id = self.shared_volume_id
+        file_size = self.config.shared_file_size
+        content_hash = self.content_hash
+        upload_op = ApiOperation.UPLOAD
+        download_op = ApiOperation.DOWNLOAD
+        shared = VolumeType.SHARED
+        file_kind = NodeKind.FILE
+        for i in range(lo, hi):
             session_id = session_id_start + i + 1
-            session_start = float(starts[i])
-            session_end = session_start + float(lengths[i])
             script = SessionScript(
-                user_id=self.attacker_user_id,
+                user_id=attacker,
                 session_id=session_id,
-                start=session_start,
-                end=session_end,
+                start=float(starts[i]),
+                end=float(session_ends[i]),
                 caused_by_attack=True,
                 member_planned_ops=member_planned_ops,
             )
-            n_ops = int(op_counts[i])
-            cursor = int(offsets[i])
-            times = session_start + np.cumsum(gaps[cursor:cursor + n_ops])
-            is_upload = uploads[cursor:cursor + n_ops]
-            events = script.events
-            for t, upload in zip(times.tolist(), is_upload.tolist()):
-                if t >= session_end:
-                    break
-                # The attack is content distribution: overwhelmingly reads of
-                # the same shared file, with occasional re-uploads.
-                events.append(ClientEvent(
-                    t, self.attacker_user_id, session_id,
-                    ApiOperation.UPLOAD if upload else ApiOperation.DOWNLOAD,
-                    self.shared_node_id, self.shared_volume_id,
-                    VolumeType.SHARED, NodeKind.FILE,
-                    self.config.shared_file_size, self.content_hash, "avi",
-                    upload, True,
-                ))
+            cursor = int(seg_first[i])
+            stop = cursor + int(n_valid[i])
+            # The attack is content distribution: overwhelmingly reads of
+            # the same shared file, with occasional re-uploads.
+            script.events = [
+                ClientEvent(t, attacker, session_id,
+                            upload_op if upload else download_op,
+                            node_id, volume_id, shared, file_kind,
+                            file_size, content_hash, "avi", upload, True)
+                for t, upload in zip(times_list[cursor:stop],
+                                     uploads_list[cursor:stop])
+            ]
             yield script
 
 

@@ -118,3 +118,15 @@ class DiurnalProfile:
             frac = (hour - 6.0) / 9.0
             return 1.5 - 0.7 * frac
         return 1.0
+
+    def download_bias_array(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`download_bias` over an array of timestamps.
+
+        The vectorised materializer pre-computes every operation's bias from
+        the pre-drawn timeline in one call instead of one scalar call per
+        chain transition.
+        """
+        ts = np.asarray(timestamps, dtype=np.float64)
+        hour = (ts % DAY) / HOUR
+        bias = 1.5 - 0.7 * ((hour - 6.0) / 9.0)
+        return np.where((hour >= 6.0) & (hour <= 15.0), bias, 1.0)

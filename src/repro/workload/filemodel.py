@@ -126,11 +126,23 @@ def category_of_extension(extension: str) -> str:
 
 
 #: Memoised derived tables per profile sequence: (profiles list, normalised
-#: probabilities, cumulative popularity floats, small-song profiles).
+#: probabilities, cumulative popularity floats, small-song profiles, plus the
+#: array mirrors the block sampler uses: cumulative ndarray, lognormal mu and
+#: sigma per profile, extension strings per profile).
 _PROFILE_TABLES: dict[tuple, tuple] = {}
+
+#: One-element cache holding the derived tables of the *default* profile
+#: sequence (see the identity fast path in :func:`_profile_tables`).
+_DEFAULT_TABLES: list[tuple] = []
 
 
 def _profile_tables(profiles: tuple) -> tuple:
+    # Identity fast path: hashing the key tuple means hashing every frozen
+    # ExtensionProfile in it, which at one FileModel per user adds up.
+    # ``tuple(EXTENSION_PROFILES) is EXTENSION_PROFILES``, so the default
+    # table — by far the common case — hits this without any hashing.
+    if profiles is EXTENSION_PROFILES and _DEFAULT_TABLES:
+        return _DEFAULT_TABLES[0]
     tables = _PROFILE_TABLES.get(profiles)
     if tables is None:
         profile_list = list(profiles)
@@ -139,8 +151,16 @@ def _profile_tables(profiles: tuple) -> tuple:
         cumulative = np.cumsum(probabilities).tolist()
         small_songs = [p for p in profile_list
                        if p.category == "Audio/Video" and p.median_size <= 16 * MB]
+        cumulative_arr = np.asarray(cumulative)
+        mu = np.log([p.median_size for p in profile_list])
+        sigma = np.asarray([p.sigma for p in profile_list])
+        extensions = [p.extension for p in profile_list]
         tables = _PROFILE_TABLES[profiles] = (profile_list, probabilities,
-                                              cumulative, small_songs)
+                                              cumulative, small_songs,
+                                              cumulative_arr, mu, sigma,
+                                              extensions)
+        if profiles is EXTENSION_PROFILES:
+            _DEFAULT_TABLES.append(tables)
     return tables
 
 
@@ -158,13 +178,14 @@ class PopularContentPool:
     long tail of contents that gain only a couple of copies.
     """
 
-    __slots__ = ("entries", "_cumulative")
+    __slots__ = ("entries", "_cumulative", "_cumulative_arr")
 
     def __init__(self, entries: Sequence[tuple[str, int, str]],
                  zipf_exponent: float = 1.3):
         self.entries = list(entries)
         weights = np.arange(1, len(self.entries) + 1, dtype=float) ** (-zipf_exponent)
-        self._cumulative = np.cumsum(weights).tolist()
+        self._cumulative_arr = np.cumsum(weights)
+        self._cumulative = self._cumulative_arr.tolist()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -183,6 +204,19 @@ class PopularContentPool:
         if index >= len(self.entries):
             index = len(self.entries) - 1
         return self.entries[index]
+
+    def sample_many(self, u: np.ndarray) -> list[tuple[str, int, str]]:
+        """Vectorised :meth:`sample` over a block of uniforms.
+
+        One ``searchsorted`` resolves every pre-drawn uniform at once; each
+        uniform maps to exactly the entry the scalar path would pick.
+        """
+        cumulative = self._cumulative_arr
+        index = np.searchsorted(cumulative, np.asarray(u) * cumulative[-1],
+                                side="right")
+        np.clip(index, 0, len(self.entries) - 1, out=index)
+        entries = self.entries
+        return [entries[i] for i in index.tolist()]
 
 
 class FileModel:
@@ -238,8 +272,9 @@ class FileModel:
         # sequence; memoising them makes per-user model construction (one
         # FileModel per user in the sharded generator) allocation-free.
         tables = _profile_tables(tuple(profiles))
-        self._profiles, self._probabilities, self._cumulative, \
-            self._small_songs = tables
+        (self._profiles, self._probabilities, self._cumulative,
+         self._small_songs, self._cumulative_arr, self._mu_arr,
+         self._sigma_arr, self._extensions) = tables
         self._duplicate_fraction = duplicate_fraction
         self._zipf_exponent = duplicate_zipf_exponent
         # Pool of "popular" contents that attract duplicates.  The pool grows
@@ -318,6 +353,43 @@ class FileModel:
             return self._sample_popular_content()
         profile = self.sample_profile()
         return self._new_content_hash(), self.sample_size(profile), profile.extension
+
+    def sample_new_files(self, n: int) -> list[tuple[str, int, str]]:
+        """Block-sample ``n`` new files with vectorised draws.
+
+        Same per-file distribution as ``n`` calls to :meth:`sample_new_file`
+        — duplicate rolls, profile picks, lognormal sizes and popular-pool
+        picks are drawn as arrays instead of scalars.  Requires a shared
+        popular pool (the lazy-growth pool is inherently sequential); the
+        plan/materialize generator always hands one to the per-user models.
+        """
+        if n <= 0:
+            return []
+        if self._shared_pool is None:
+            return [self.sample_new_file() for _ in range(n)]
+        rng = self._rng
+        duplicate = rng.random(n) < self._duplicate_fraction
+        n_dup = int(duplicate.sum())
+        results: list[tuple[str, int, str] | None] = [None] * n
+        if n_dup:
+            entries = self._shared_pool.sample_many(rng.random(n_dup))
+            for slot, entry in zip(np.flatnonzero(duplicate).tolist(), entries):
+                results[slot] = entry
+        n_fresh = n - n_dup
+        if n_fresh:
+            index = np.searchsorted(self._cumulative_arr, rng.random(n_fresh),
+                                    side="right")
+            np.clip(index, 0, len(self._profiles) - 1, out=index)
+            sizes = np.exp(self._mu_arr[index]
+                           + self._sigma_arr[index] * rng.standard_normal(n_fresh))
+            sizes = np.clip(sizes, 1, self._max_size_bytes).astype(np.int64)
+            extensions = self._extensions
+            fresh_iter = zip(index.tolist(), sizes.tolist())
+            for slot in np.flatnonzero(~duplicate).tolist():
+                profile_index, size = next(fresh_iter)
+                results[slot] = (self._new_content_hash(), size,
+                                 extensions[profile_index])
+        return results
 
     def sample_updated_content(self, extension: str, old_size: int) -> tuple[str, int]:
         """Sample ``(content_hash, size)`` for an update of an existing file.

@@ -29,6 +29,23 @@ structurally consistent: downloads read files that exist, updates rewrite
 files that were uploaded before, unlinks delete live nodes, and the per-file
 operation dependencies (Fig. 3) emerge from the same
 editing/synchronisation behaviour the paper describes.
+
+Since PR 5 each session's *stochastic structure* is drawn as arrays up
+front instead of event by event: the inter-operation gaps come from one
+``BurstGapSampler.sample_many`` block (the timeline and its truncation at
+the session end are one cumulative sum), the per-step download biases are
+one vectorised diurnal evaluation, the whole operation sequence is an
+inverse-CDF walk over per-user-class compiled transition tables
+(:func:`repro.workload.opmodel.compiled_chain`) driven by one uniform
+block, and the operand randomness — update/download rolls, target
+selectors, new-file contents — is pre-drawn in per-session typed blocks.
+Only the truly state-dependent residue (file-table weight lookups, volume
+bookkeeping, pending-upload coupling) stays in the per-event loop,
+consuming the pre-drawn arrays.  Users whose plans hold only cold or
+auth-failing sessions skip the file/gap models and the pre-existing-file
+draws entirely.  All of it preserves the PR 3 invariant: the realised
+workload remains a pure function of ``(config, plan member)``, bit
+identical across any member partition and any ``--jobs``.
 """
 
 from __future__ import annotations
@@ -54,7 +71,12 @@ from repro.workload.config import WorkloadConfig
 from repro.workload.diurnal import DiurnalProfile
 from repro.workload.events import ClientEvent, SessionScript
 from repro.workload.filemodel import FileModel, PopularContentPool
-from repro.workload.opmodel import BurstGapSampler, OperationChain
+from repro.workload.opmodel import (
+    CHAIN_OP_INDEX,
+    CHAIN_OPS,
+    BurstGapSampler,
+    compiled_chain,
+)
 from repro.workload.plan import AttackPlan, SessionSpec, UserPlan, WorkloadPlan
 from repro.workload.population import User, UserClass, build_population
 from repro.workload.sessionmodel import SessionModel
@@ -85,6 +107,56 @@ _ID_BITS = 24
 #: enough that re-running the episode's whole-episode vectorised draws per
 #: slice stays negligible next to building the slice's events.
 _ATTACK_SLICE_SESSIONS = 256
+
+#: Live-file counts up to which the weighted operand choices run as plain
+#: Python loops.  A tiny NumPy weight computation costs ~10 us in call
+#: overhead alone; below this size the scalar scan over the same columns is
+#: several times cheaper, above it the vectorised path wins.  The cutover
+#: only selects between two evaluations of the same weights, so the chosen
+#: operand is the same either way.
+_SMALL_TABLE = 48
+
+#: Update-targeting editing burst (see ``_FileTable.pick_update``): extra
+#: weight on files written within the window, so consecutive saves of the
+#: same document chain into WAW dependencies the way Fig. 3a observes
+#: ("WAW is the most common dependency", 80 % of WAW gaps under an hour).
+_UPDATE_BURST_WINDOW = 15 * 60.0
+_UPDATE_BURST_BONUS = 8.0
+
+#: Multiplier on ``config.update_fraction`` for update *attempts* (misses
+#: fall back to fresh uploads, so the realised update share lands near the
+#: paper's ~10-15 %).  Raised from the historical 1.3 as part of the WAW
+#: recalibration: same-file re-uploads were under-produced by a factor
+#: that left the Fig. 3a WAW share near-vacuous.
+_UPDATE_ATTEMPT_BOOST = 2.0
+
+#: Download-target mix (WAW recalibration).  U1 is a backup-flavoured
+#: service: most uploads are never read back, downloads are dominated by
+#: repeated reads of popular content (RAR) and newly appearing remote
+#: content, and only a modest share synchronises just-written files (RAW).
+#: rolls < _DL_SYNC pick an unsynced file; rolls < _DL_KNOWN re-read known
+#: content; the rest sync fresh remote content into the namespace.
+_DL_SYNC_SHARE = 0.30
+_DL_KNOWN_SHARE = 0.80
+
+def _update_base_weight(size_bytes: float) -> float:
+    """Size-derived update-pick weight: ``0.4 + min(size / 1 MB, 1.5)``."""
+    boost = size_bytes / (1024 * 1024)
+    return 0.4 + (boost if boost < 1.5 else 1.5)
+
+
+#: Chain-state indices the per-event dispatch switches on.  ``CHAIN_OPS``
+#: orders the maintenance operations (no operand, no namespace state)
+#: first, so one integer compare against ``_FIRST_STATEFUL`` routes them
+#: past the whole dispatch ladder.
+_FIRST_STATEFUL = CHAIN_OP_INDEX[ApiOperation.MAKE]
+_OP_MAKE = CHAIN_OP_INDEX[ApiOperation.MAKE]
+_OP_UPLOAD = CHAIN_OP_INDEX[ApiOperation.UPLOAD]
+_OP_DOWNLOAD = CHAIN_OP_INDEX[ApiOperation.DOWNLOAD]
+_OP_UNLINK = CHAIN_OP_INDEX[ApiOperation.UNLINK]
+_OP_MOVE = CHAIN_OP_INDEX[ApiOperation.MOVE]
+_OP_CREATE_UDF = CHAIN_OP_INDEX[ApiOperation.CREATE_UDF]
+_OP_DELETE_VOLUME = CHAIN_OP_INDEX[ApiOperation.DELETE_VOLUME]
 
 
 # ---------------------------------------------------------------------------
@@ -168,7 +240,7 @@ class _FileTable:
     """
 
     __slots__ = ("node_ids", "created", "last_write", "last_read", "reads",
-                 "size_bytes", "slot", "n")
+                 "size_bytes", "upd_base", "slot", "n", "scratch", "unsynced")
 
     def __init__(self, capacity: int = 16):
         self.node_ids = np.zeros(capacity, dtype=np.int64)
@@ -177,16 +249,27 @@ class _FileTable:
         self.last_read = np.zeros(capacity)
         self.reads = np.zeros(capacity)
         self.size_bytes = np.zeros(capacity)
+        # Size-derived update-pick base weight (0.4 + min(size/1MB, 1.5)),
+        # maintained incrementally so pick_update never recomputes it.
+        self.upd_base = np.zeros(capacity)
+        # Node ids with ``last_read < last_write`` (pending synchronisation),
+        # maintained incrementally: O(1) membership churn per touch instead
+        # of an O(n_files) scan per sync-download pick.
+        self.unsynced: set[int] = set()
+        # Reused weight buffer of the vectorised picks (never holds state
+        # across calls); sized with the columns.
+        self.scratch = np.empty(capacity)
         self.slot: dict[int, int] = {}
         self.n = 0
 
     def _grow(self) -> None:
         for name in ("node_ids", "created", "last_write", "last_read",
-                     "reads", "size_bytes"):
+                     "reads", "size_bytes", "upd_base"):
             old = getattr(self, name)
             new = np.zeros(len(old) * 2, dtype=old.dtype)
             new[:len(old)] = old
             setattr(self, name, new)
+        self.scratch = np.empty(len(self.node_ids))
 
     # -------------------------------------------------------------- updates
     def add(self, node_id: int, created: float, size_bytes: int,
@@ -200,17 +283,45 @@ class _FileTable:
         self.last_read[i] = last_read
         self.reads[i] = 0
         self.size_bytes[i] = size_bytes
+        self.upd_base[i] = _update_base_weight(size_bytes)
         self.slot[node_id] = i
+        if last_read < created:
+            self.unsynced.add(node_id)
         self.n += 1
+
+    def add_block(self, node_ids: list[int], created: float,
+                  sizes: list[int]) -> None:
+        """Bulk-register files created at the same instant (initial state)."""
+        k = len(node_ids)
+        while self.n + k > len(self.node_ids):
+            self._grow()
+        i = self.n
+        stop = i + k
+        self.node_ids[i:stop] = node_ids
+        self.created[i:stop] = created
+        self.last_write[i:stop] = created
+        self.last_read[i:stop] = -1.0
+        self.reads[i:stop] = 0
+        self.size_bytes[i:stop] = sizes
+        base = self.upd_base[i:stop]
+        np.multiply(self.size_bytes[i:stop], 1.0 / (1024 * 1024), out=base)
+        np.minimum(base, 1.5, out=base)
+        base += 0.4
+        slot = self.slot
+        for offset, node_id in enumerate(node_ids):
+            slot[node_id] = i + offset
+        self.unsynced.update(node_ids)
+        self.n = stop
 
     def remove(self, node_id: int) -> None:
         i = self.slot.pop(node_id, None)
         if i is None:
             return
+        self.unsynced.discard(node_id)
         last = self.n - 1
         if i != last:
             for name in ("node_ids", "created", "last_write", "last_read",
-                         "reads", "size_bytes"):
+                         "reads", "size_bytes", "upd_base"):
                 column = getattr(self, name)
                 column[i] = column[last]
             self.slot[int(self.node_ids[i])] = i
@@ -222,18 +333,43 @@ class _FileTable:
         self.last_write[i] = when
         if size_bytes is not None:
             self.size_bytes[i] = size_bytes
+            self.upd_base[i] = _update_base_weight(size_bytes)
+        if self.last_read[i] < when:
+            self.unsynced.add(node_id)
+        else:
+            self.unsynced.discard(node_id)
 
     def touch_read(self, node_id: int, when: float) -> None:
         i = self.slot[node_id]
         self.last_read[i] = when
         self.reads[i] += 1
+        if when < self.last_write[i]:
+            self.unsynced.add(node_id)
+        else:
+            self.unsynced.discard(node_id)
 
     # -------------------------------------------------------------- choices
+    #
+    # Every flavour has two evaluations of the same weights: a plain-Python
+    # scan for small tables (where NumPy call overhead dominates) and the
+    # vectorised computation above ``_SMALL_TABLE`` files.  The uniform ``u``
+    # comes pre-drawn from the caller's per-session blocks.
+
     def _pick(self, weights: np.ndarray, u: float) -> int:
-        cumulative = np.cumsum(weights)
-        index = int(np.searchsorted(cumulative, u * cumulative[-1], side="right"))
+        cumulative = np.cumsum(weights, out=weights)
+        index = int(cumulative.searchsorted(u * cumulative[-1], side="right"))
         if index >= self.n:
             index = self.n - 1
+        return int(self.node_ids[index])
+
+    def _pick_small(self, weights: list[float], u: float) -> int:
+        x = u * sum(weights)
+        acc = 0.0
+        index = 0
+        for index, weight in enumerate(weights):
+            acc += weight
+            if x < acc:
+                break
         return int(self.node_ids[index])
 
     def pick_weighted(self, now: float, u: float, favour_recent_writes: bool,
@@ -242,7 +378,27 @@ class _FileTable:
         n = self.n
         if n == 0:
             return None
-        weights = np.ones(n)
+        if n <= _SMALL_TABLE:
+            last_write = self.last_write[:n].tolist()
+            weights = [1.0] * n
+            if favour_recent_writes:
+                for i, written in enumerate(last_write):
+                    if now - written < HOUR:
+                        weights[i] += 4.0
+            if favour_popular:
+                for i, reads in enumerate(self.reads[:n].tolist()):
+                    weights[i] += (reads if reads < 10.0 else 10.0) * 0.5
+            if favour_large:
+                for i, size in enumerate(self.size_bytes[:n].tolist()):
+                    boost = size / (4 * 1024 * 1024)
+                    weights[i] += boost if boost < 3.0 else 3.0
+            if penalise_already_synced:
+                for i, read in enumerate(self.last_read[:n].tolist()):
+                    if read > last_write[i]:
+                        weights[i] *= 0.15
+            return self._pick_small(weights, u)
+        weights = self.scratch[:n]
+        weights[:] = 1.0
         if favour_recent_writes:
             weights[now - self.last_write[:n] < HOUR] += 4.0
         if favour_popular:
@@ -254,19 +410,76 @@ class _FileTable:
         return self._pick(weights, u)
 
     def pick_update(self, now: float, u: float) -> int | None:
+        """The file an update rewrites: size-, recency- and burst-weighted.
+
+        The ``_UPDATE_BURST_*`` term models editing bursts — a user saving
+        the same document over and over — which is what makes WAW the most
+        common same-file dependency in the paper (Fig. 3a): a file written
+        in the last few minutes is overwhelmingly the next update target.
+        """
         n = self.n
         if n == 0:
             return None
-        weights = 0.4 + np.minimum(self.size_bytes[:n] / (1024 * 1024), 1.5)
-        weights[now - self.last_write[:n] < HOUR] += 2.0
+        if n <= _SMALL_TABLE:
+            weights = []
+            last_write = self.last_write[:n].tolist()
+            for i, weight in enumerate(self.upd_base[:n].tolist()):
+                gap = now - last_write[i]
+                if gap < HOUR:
+                    weight += 2.0
+                    if gap < _UPDATE_BURST_WINDOW:
+                        weight += _UPDATE_BURST_BONUS
+                weights.append(weight)
+            return self._pick_small(weights, u)
+        gaps = now - self.last_write[:n]
+        weights = self.scratch[:n]
+        np.copyto(weights, self.upd_base[:n])
+        weights[gaps < HOUR] += 2.0
+        weights[gaps < _UPDATE_BURST_WINDOW] += _UPDATE_BURST_BONUS
+        return self._pick(weights, u)
+
+    def pick_reread(self, u: float) -> int | None:
+        """A re-download target, weighted by read popularity (RAR, Fig. 3b).
+
+        Already-read files dominate; never-read files keep a small base
+        weight so fresh remote content can enter the popular set.
+        """
+        n = self.n
+        if n == 0:
+            return None
+        if n <= _SMALL_TABLE:
+            weights = [0.15 + (reads if reads < 10.0 else 10.0)
+                       for reads in self.reads[:n].tolist()]
+            return self._pick_small(weights, u)
+        weights = self.scratch[:n]
+        np.minimum(self.reads[:n], 10.0, out=weights)
+        weights += 0.15
         return self._pick(weights, u)
 
     def pick_unsynced(self, now: float, u: float) -> int | None:
         """A file with ``last_read < last_write`` (pending synchronisation)."""
+        members = self.unsynced
+        k = len(members)
+        if k == 0:
+            return None
+        if k <= 2 * _SMALL_TABLE:
+            slot = self.slot
+            last_write = self.last_write
+            node_list = list(members)
+            weights = []
+            for node_id in node_list:
+                written = last_write[slot[node_id]]
+                weights.append(4.0 if now - written < HOUR else 1.0)
+            x = u * sum(weights)
+            acc = 0.0
+            index = 0
+            for index, weight in enumerate(weights):
+                acc += weight
+                if x < acc:
+                    break
+            return node_list[index]
         n = self.n
         unsynced = np.flatnonzero(self.last_read[:n] < self.last_write[:n])
-        if unsynced.size == 0:
-            return None
         weights = np.ones(unsynced.size)
         weights[now - self.last_write[unsynced] < HOUR] += 3.0
         cumulative = np.cumsum(weights)
@@ -275,13 +488,18 @@ class _FileTable:
             index = unsynced.size - 1
         return int(self.node_ids[unsynced[index]])
 
-    def has_unsynced(self) -> bool:
-        n = self.n
-        return bool(np.any(self.last_read[:n] < self.last_write[:n]))
-
     def pick_recent_created(self, now: float, window: float, u: float) -> int | None:
         """A uniformly chosen file created less than ``window`` seconds ago."""
         n = self.n
+        if n <= _SMALL_TABLE:
+            recent = [i for i, created in enumerate(self.created[:n].tolist())
+                      if now - created < window]
+            if not recent:
+                return None
+            index = int(u * len(recent))
+            if index >= len(recent):
+                index = len(recent) - 1
+            return int(self.node_ids[recent[index]])
         recent = np.flatnonzero(now - self.created[:n] < window)
         if recent.size == 0:
             return None
@@ -297,10 +515,15 @@ class _UserState:
     volumes: dict[int, _VolumeState] = field(default_factory=dict)
     files: dict[int, _FileState] = field(default_factory=dict)
     pending_uploads: _PendingUploads = field(default_factory=_PendingUploads)
-    table: _FileTable = field(default_factory=_FileTable)
+    #: Live-file columns; only users with active sessions get one (cold
+    #: and auth-failing sessions never choose a file operand).
+    table: _FileTable | None = None
     # Volume choice cache: (volume list, cumulative weights); rebuilt only
     # when the volume set changes (UDF creation/deletion is rare).
     volume_cache: tuple[list[_VolumeState], list[float]] | None = None
+    #: The root volume id, cached for the per-event hot path (the root
+    #: volume is created first and never deleted).
+    root_id: int = 0
 
     def live_file_ids(self) -> list[int]:
         return list(self.files.keys())
@@ -354,21 +577,45 @@ class UserMaterializer:
         self._rng = rng
         self._pool = pool
         self._diurnal = diurnal
-        self._file_model = FileModel(
-            pool,
-            duplicate_fraction=config.duplicate_fraction,
-            duplicate_zipf_exponent=config.duplicate_zipf_exponent,
-            max_size_bytes=config.max_file_bytes,
-            shared_pool=popular_pool,
-            hash_namespace=f"u{user.user_id:x}-",
-        )
-        self._chain = OperationChain(pool)
-        self._gaps = BurstGapSampler(pool, alpha=config.burst_alpha,
-                                     theta=config.burst_theta,
-                                     cap=config.burst_cap)
+        self._popular_pool = popular_pool
+        # The file and gap models are built on demand (_ensure_models):
+        # most users plan cold/auth-failing sessions only, which touch no
+        # files and draw no operation gaps — their materialization skips
+        # the model setup and the pre-existing-file draws entirely (both
+        # are unobservable without an active session, and the skip depends
+        # only on the plan, so determinism is unaffected).
+        self._file_model: FileModel | None = None
+        self._gaps: BurstGapSampler | None = None
         self._id_base = user.user_id << _ID_BITS
         self._next_local_node = 0
         self._next_local_volume = 0
+        self._update_attempt = min(config.update_fraction
+                                   * _UPDATE_ATTEMPT_BOOST, 0.95)
+        # Per-session pre-drawn operand streams (see _build_active): one
+        # block per operation type, consumed positionally by the dispatch.
+        self._up_rolls = iter(())
+        self._up_pick_u = iter(())
+        self._dl_rolls = iter(())
+        self._dl_pick_u = iter(())
+        self._mk_rolls = iter(())
+        self._file_feed = iter(())
+
+    def _ensure_models(self) -> None:
+        """Build the per-user file/gap models (first active session)."""
+        if self._file_model is not None:
+            return
+        config = self.config
+        self._file_model = FileModel(
+            self._pool,
+            duplicate_fraction=config.duplicate_fraction,
+            duplicate_zipf_exponent=config.duplicate_zipf_exponent,
+            max_size_bytes=config.max_file_bytes,
+            shared_pool=self._popular_pool,
+            hash_namespace=f"u{self.user.user_id:x}-",
+        )
+        self._gaps = BurstGapSampler(self._pool, alpha=config.burst_alpha,
+                                     theta=config.burst_theta,
+                                     cap=config.burst_cap)
 
     # ------------------------------------------------------------------ ids
     def _new_node_id(self) -> int:
@@ -380,12 +627,13 @@ class UserMaterializer:
         return self._id_base + self._next_local_volume
 
     # -------------------------------------------------------- initial state
-    def _init_user_state(self) -> _UserState:
+    def _init_user_state(self, with_files: bool = True) -> _UserState:
         user = self.user
         state = _UserState(user=user)
         root = _VolumeState(volume_id=self._new_volume_id(),
                             volume_type=VolumeType.ROOT)
         state.volumes[root.volume_id] = root
+        state.root_id = root.volume_id
         user.volume_ids.append(root.volume_id)
         for _ in range(user.udf_volumes):
             udf = _VolumeState(volume_id=self._new_volume_id(),
@@ -400,17 +648,46 @@ class UserMaterializer:
 
         # Pre-existing files (uploaded before the measurement window) so that
         # download-only users have something to read and RAR dependencies are
-        # possible without a preceding in-trace write.
+        # possible without a preceding in-trace write.  Drawn as one block:
+        # contents/sizes/extensions from the file model's vectorised sampler,
+        # volume assignments from one cumulative-weight search.  Skipped for
+        # users without active sessions (``with_files=False``): cold and
+        # auth-failing sessions never reference a file.
+        if not with_files:
+            return state
+        state.table = _FileTable()
         if user.user_class is not UserClass.OCCASIONAL:
             expected = 4.0 * (1.0 + min(user.activity_weight, 20.0))
             n_files = int(self._rng.poisson(expected))
         else:
             n_files = int(self._rng.poisson(0.5))
-        for _ in range(n_files):
-            self._create_file(state, created=self.config.start_time - 1.0)
+        if n_files:
+            created = self.config.start_time - 1.0
+            entries = self._file_model.sample_new_files(n_files)
+            volumes, cumulative = self._volume_tables(state)
+            picks = np.searchsorted(
+                np.asarray(cumulative),
+                self._rng.random(n_files) * cumulative[-1], side="right")
+            np.clip(picks, 0, len(volumes) - 1, out=picks)
+            node_ids: list[int] = []
+            sizes: list[int] = []
+            files = state.files
+            for volume_index, (content_hash, size, extension) in zip(
+                    picks.tolist(), entries):
+                volume = volumes[volume_index]
+                node_id = self._new_node_id()
+                files[node_id] = _FileState(
+                    node_id=node_id, volume_id=volume.volume_id,
+                    volume_type=volume.volume_type, size_bytes=size,
+                    content_hash=content_hash, extension=extension,
+                    created=created, last_write=created)
+                volume.file_ids.add(node_id)
+                node_ids.append(node_id)
+                sizes.append(size)
+            state.table.add_block(node_ids, created, sizes)
         return state
 
-    def _pick_volume(self, state: _UserState) -> _VolumeState:
+    def _volume_tables(self, state: _UserState) -> tuple[list[_VolumeState], list[float]]:
         cache = state.volume_cache
         if cache is None:
             volumes = list(state.volumes.values())
@@ -421,7 +698,12 @@ class UserMaterializer:
                 cumulative.append(total)
             cache = (volumes, cumulative)
             state.volume_cache = cache
-        volumes, cumulative = cache
+        return cache
+
+    def _pick_volume(self, state: _UserState) -> _VolumeState:
+        volumes, cumulative = self._volume_tables(state)
+        if len(volumes) == 1:
+            return volumes[0]
         u = self._pool.random() * cumulative[-1]
         for volume, bound in zip(volumes, cumulative):
             if u < bound:
@@ -430,7 +712,13 @@ class UserMaterializer:
 
     def _create_file(self, state: _UserState, created: float) -> _FileState:
         volume = self._pick_volume(state)
-        content_hash, size, extension = self._file_model.sample_new_file()
+        # In-session creates consume the session's pre-drawn file-entry
+        # feed (upper-bounded by the ops that can create files); the
+        # fallback only fires for callers outside a session build.
+        entry = next(self._file_feed, None)
+        if entry is None:
+            entry = self._file_model.sample_new_file()
+        content_hash, size, extension = entry
         file_state = _FileState(
             node_id=self._new_node_id(),
             volume_id=volume.volume_id,
@@ -467,64 +755,69 @@ class UserMaterializer:
     def _pick_update_target(self, state: _UserState, now: float) -> _FileState | None:
         """Choose the file an update rewrites.
 
-        Updates disproportionately hit larger, frequently edited files
-        (tagged media, documents under revision), which is why they account
-        for ~18.5 % of upload bytes while being only ~10 % of uploads.
+        Updates disproportionately hit larger, recently and frequently
+        edited files (documents under revision, tagged media) — the editing
+        bursts that chain into the WAW dependencies of Fig. 3a; they also
+        account for ~18.5 % of upload bytes while being only ~10 % of
+        uploads.
         """
-        node_id = state.table.pick_update(now, self._pool.random())
+        node_id = state.table.pick_update(now, next(self._up_pick_u))
         return None if node_id is None else state.files[node_id]
 
     def _pick_download_target(self, state: _UserState, now: float) -> _FileState | None:
         """Choose the file a download reads.
 
-        Desktop clients download content they do not have yet: files written
-        since the last synchronisation (RAW dependencies), content that just
-        appeared from another device or a shared folder, and — much more
-        rarely — a re-download of an already synchronised popular file (RAR
-        dependencies, e.g. a fresh device).  Without the re-download penalty
-        a handful of large files would be fetched over and over and the R/W
-        ratio would explode, which is not what the paper observes.
+        U1 is backup-flavoured: most uploads are never read back, and the
+        downloads that do happen are dominated by repeated reads of popular
+        content (the RAR dependencies and the per-file download tail of
+        Fig. 3b) and by new content appearing from other devices or shares.
+        Only a modest share synchronises just-written files — which is what
+        keeps WAW, not RAW, the most common same-file dependency (Fig. 3a).
         """
-        roll = self._pool.random()
-        if roll < 0.75:
-            node_id = state.table.pick_unsynced(now, self._pool.random())
+        roll = next(self._dl_rolls)
+        if roll < _DL_SYNC_SHARE:
+            node_id = state.table.pick_unsynced(now, next(self._dl_pick_u))
             if node_id is not None:
                 return state.files[node_id]
-        if state.files and roll < 0.85:
-            return self._weighted_file_choice(state, now, favour_recent_writes=True,
-                                              favour_popular=True, favour_large=False,
-                                              penalise_already_synced=True)
+        if state.files and roll < _DL_KNOWN_SHARE:
+            node_id = state.table.pick_reread(next(self._dl_pick_u))
+            if node_id is not None:
+                return state.files[node_id]
         # New remote content (another device or a share) appears and is synced.
         return self._create_file(state, created=now)
 
-    def _materialize(self, state: _UserState, operation: ApiOperation,
+    def _materialize(self, state: _UserState, op: int,
                      t: float, session_id: int) -> ClientEvent | None:
-        """Turn an abstract operation into a concrete event, updating state."""
+        """Turn one chain-state index into a concrete event, updating state.
+
+        Dispatches on the small-integer chain state (most frequent branches
+        first); every stochastic choice consumes the session's pre-drawn
+        operand blocks, while the table/pending-upload/volume bookkeeping —
+        the truly state-dependent residue — stays scalar.
+        """
         user = state.user
-        root_volume = state.root_volume_id()
+        user_id = user.user_id
 
-        if operation is ApiOperation.MAKE:
-            if self._pool.random() < 0.30:
-                volume = self._pick_volume(state)
-                volume.directory_count += 1
-                return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                                   operation=operation, node_id=self._new_node_id(),
-                                   volume_id=volume.volume_id,
-                                   volume_type=volume.volume_type,
-                                   node_kind=NodeKind.DIRECTORY)
-            file_state = self._create_file(state, created=t)
-            state.pending_uploads.append(file_state.node_id)
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, node_id=file_state.node_id,
-                               volume_id=file_state.volume_id,
-                               volume_type=file_state.volume_type,
-                               node_kind=NodeKind.FILE)
+        if op == _OP_DOWNLOAD:
+            target = self._pick_download_target(state, t)
+            if target is None:
+                return ClientEvent(t, user_id, session_id,
+                                   ApiOperation.GET_DELTA, 0, state.root_id)
+            target.last_read = t
+            target.reads += 1
+            state.table.touch_read(target.node_id, t)
+            return ClientEvent(t, user_id, session_id, ApiOperation.DOWNLOAD,
+                               target.node_id, target.volume_id,
+                               target.volume_type, NodeKind.FILE,
+                               target.size_bytes, target.content_hash,
+                               target.extension)
 
-        if operation is ApiOperation.UPLOAD:
+        if op == _OP_UPLOAD:
             update_target = None
-            if state.files and self._pool.random() < self.config.update_fraction * 1.3:
+            if state.files and next(self._up_rolls) < self._update_attempt:
                 update_target = self._pick_update_target(state, t)
-            if update_target is not None and update_target.node_id not in state.pending_uploads:
+            if update_target is not None \
+                    and update_target.node_id not in state.pending_uploads:
                 new_hash, new_size = self._file_model.sample_updated_content(
                     update_target.extension, update_target.size_bytes)
                 update_target.content_hash = new_hash
@@ -532,15 +825,12 @@ class UserMaterializer:
                 update_target.last_write = t
                 update_target.writes += 1
                 state.table.touch_write(update_target.node_id, t, new_size)
-                return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                                   operation=operation, node_id=update_target.node_id,
-                                   volume_id=update_target.volume_id,
-                                   volume_type=update_target.volume_type,
-                                   node_kind=NodeKind.FILE,
-                                   size_bytes=update_target.size_bytes,
-                                   content_hash=new_hash,
-                                   extension=update_target.extension,
-                                   is_update=True)
+                return ClientEvent(t, user_id, session_id, ApiOperation.UPLOAD,
+                                   update_target.node_id,
+                                   update_target.volume_id,
+                                   update_target.volume_type, NodeKind.FILE,
+                                   new_size, new_hash,
+                                   update_target.extension, True)
             if state.pending_uploads:
                 node_id = state.pending_uploads.popleft()
                 file_state = state.files.get(node_id)
@@ -550,35 +840,26 @@ class UserMaterializer:
                 state.table.touch_write(node_id, t)
             else:
                 file_state = self._create_file(state, created=t)
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, node_id=file_state.node_id,
-                               volume_id=file_state.volume_id,
-                               volume_type=file_state.volume_type,
-                               node_kind=NodeKind.FILE,
-                               size_bytes=file_state.size_bytes,
-                               content_hash=file_state.content_hash,
-                               extension=file_state.extension,
-                               is_update=False)
+            return ClientEvent(t, user_id, session_id, ApiOperation.UPLOAD,
+                               file_state.node_id, file_state.volume_id,
+                               file_state.volume_type, NodeKind.FILE,
+                               file_state.size_bytes, file_state.content_hash,
+                               file_state.extension, False)
 
-        if operation is ApiOperation.DOWNLOAD:
-            target = self._pick_download_target(state, t)
-            if target is None:
-                return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                                   operation=ApiOperation.GET_DELTA,
-                                   volume_id=root_volume)
-            target.last_read = t
-            target.reads += 1
-            state.table.touch_read(target.node_id, t)
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, node_id=target.node_id,
-                               volume_id=target.volume_id,
-                               volume_type=target.volume_type,
-                               node_kind=NodeKind.FILE,
-                               size_bytes=target.size_bytes,
-                               content_hash=target.content_hash,
-                               extension=target.extension)
+        if op == _OP_MAKE:
+            if next(self._mk_rolls) < 0.30:
+                volume = self._pick_volume(state)
+                volume.directory_count += 1
+                return ClientEvent(t, user_id, session_id, ApiOperation.MAKE,
+                                   self._new_node_id(), volume.volume_id,
+                                   volume.volume_type, NodeKind.DIRECTORY)
+            file_state = self._create_file(state, created=t)
+            state.pending_uploads.append(file_state.node_id)
+            return ClientEvent(t, user_id, session_id, ApiOperation.MAKE,
+                               file_state.node_id, file_state.volume_id,
+                               file_state.volume_type, NodeKind.FILE)
 
-        if operation is ApiOperation.UNLINK:
+        if op == _OP_UNLINK:
             if not state.files:
                 return None
             target = None
@@ -596,37 +877,32 @@ class UserMaterializer:
             volume = state.volumes.get(target.volume_id)
             if volume is not None:
                 volume.file_ids.discard(target.node_id)
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, node_id=target.node_id,
-                               volume_id=target.volume_id,
-                               volume_type=target.volume_type,
-                               node_kind=NodeKind.FILE,
-                               extension=target.extension)
+            return ClientEvent(t, user_id, session_id, ApiOperation.UNLINK,
+                               target.node_id, target.volume_id,
+                               target.volume_type, NodeKind.FILE,
+                               0, "", target.extension)
 
-        if operation is ApiOperation.MOVE:
+        if op == _OP_MOVE:
             target = self._weighted_file_choice(state, t, favour_recent_writes=False,
                                                 favour_popular=False, favour_large=False)
             if target is None:
                 return None
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, node_id=target.node_id,
-                               volume_id=target.volume_id,
-                               volume_type=target.volume_type,
-                               node_kind=NodeKind.FILE,
-                               extension=target.extension)
+            return ClientEvent(t, user_id, session_id, ApiOperation.MOVE,
+                               target.node_id, target.volume_id,
+                               target.volume_type, NodeKind.FILE,
+                               0, "", target.extension)
 
-        if operation is ApiOperation.CREATE_UDF:
+        if op == _OP_CREATE_UDF:
             udf = _VolumeState(volume_id=self._new_volume_id(),
                                volume_type=VolumeType.UDF)
             state.volumes[udf.volume_id] = udf
             state.volume_cache = None
             user.volume_ids.append(udf.volume_id)
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, volume_id=udf.volume_id,
-                               volume_type=VolumeType.UDF,
-                               node_kind=NodeKind.DIRECTORY)
+            return ClientEvent(t, user_id, session_id, ApiOperation.CREATE_UDF,
+                               0, udf.volume_id, VolumeType.UDF,
+                               NodeKind.DIRECTORY)
 
-        if operation is ApiOperation.DELETE_VOLUME:
+        if op == _OP_DELETE_VOLUME:
             udf_ids = state.udf_volume_ids()
             if not udf_ids:
                 return None
@@ -635,14 +911,13 @@ class UserMaterializer:
             state.volume_cache = None
             for node_id in volume.file_ids:
                 self._drop_file(state, node_id)
-            return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                               operation=operation, volume_id=volume_id,
-                               volume_type=VolumeType.UDF,
-                               node_kind=NodeKind.DIRECTORY)
+            return ClientEvent(t, user_id, session_id,
+                               ApiOperation.DELETE_VOLUME, 0, volume_id,
+                               VolumeType.UDF, NodeKind.DIRECTORY)
 
         # Maintenance operations carry no operand beyond the root volume.
-        return ClientEvent(time=t, user_id=user.user_id, session_id=session_id,
-                           operation=operation, volume_id=root_volume)
+        return ClientEvent(t, user_id, session_id, CHAIN_OPS[op],
+                           0, state.root_id)
 
     # ------------------------------------------------------------- sessions
     def _build_session(self, state: _UserState, spec: SessionSpec) -> SessionScript:
@@ -654,40 +929,115 @@ class UserMaterializer:
             # kept (it still hits the auth service) but carries no events.
             script.auth_failed = True
             return script
-
-        if not spec.active:
-            # Cold session: occasional maintenance interactions so that long
-            # idle sessions still register as "online" activity.
-            t = spec.start + 1.0
-            while t < spec.end:
-                operation = (ApiOperation.GET_DELTA if self._pool.random() < 0.6
-                             else ApiOperation.QUERY_SET_CAPS)
-                event = self._materialize(state, operation, t, spec.session_id)
-                if event is not None:
-                    script.events.append(event)
-                t += self._pool.uniform(4 * HOUR, 10 * HOUR)
-            return script
-
-        t = spec.start + self._pool.uniform(0.2, 3.0)
-        operation = self._chain.initial_operation()
-        allow_volume_ops = state.user.udf_volumes > 0 or self._pool.random() < 0.3
-        for _ in range(spec.n_ops):
-            if t >= spec.end:
-                break
-            event = self._materialize(state, operation, t, spec.session_id)
-            if event is not None:
-                script.events.append(event)
-            t += self._gaps.sample()
-            operation = self._chain.next_operation(
-                operation, state.user,
-                download_bias=self._diurnal.download_bias(t),
-                allow_volume_ops=allow_volume_ops)
+        if spec.active:
+            self._build_active(state, spec, script)
+        else:
+            self._build_cold(state, spec, script)
         return script
+
+    def _build_cold(self, state: _UserState, spec: SessionSpec,
+                    script: SessionScript) -> None:
+        """Cold session: occasional maintenance polls so that long idle
+        sessions still register as "online" activity."""
+        pool = self._pool
+        user_id = self.user.user_id
+        session_id = spec.session_id
+        root = state.root_id
+        end = spec.end
+        events = script.events
+        t = spec.start + 1.0
+        while t < end:
+            operation = (ApiOperation.GET_DELTA if pool.random() < 0.6
+                         else ApiOperation.QUERY_SET_CAPS)
+            events.append(ClientEvent(t, user_id, session_id, operation,
+                                      0, root))
+            t += 4 * HOUR + 6 * HOUR * pool.random()
+
+    def _build_active(self, state: _UserState, spec: SessionSpec,
+                      script: SessionScript) -> None:
+        """Materialize an active session from array-drawn structure.
+
+        The session's stochastic skeleton is drawn up front instead of
+        event by event: every inter-operation gap comes from one
+        ``sample_many`` block, the whole timeline (and its truncation at
+        the session end) is one cumulative sum, the per-step download
+        biases are one vectorised diurnal evaluation, and the operation
+        sequence is an inverse-CDF walk over the user class's compiled
+        transition tables driven by one pre-drawn uniform block.  The
+        remaining per-event work — operand choice against the live file
+        table, volume bookkeeping, pending-upload coupling — consumes
+        per-type pre-drawn operand blocks inside the dispatch loop.
+        """
+        pool = self._pool
+        rng = self._rng
+        end = spec.end
+        t0 = spec.start + 0.2 + 2.8 * pool.random()
+        n = spec.n_ops
+        if n > 1:
+            times = np.empty(n)
+            times[0] = 0.0
+            np.cumsum(self._gaps.sample_many(n - 1), out=times[1:])
+            times += t0
+            k = int(np.searchsorted(times, end))
+        else:
+            times = np.full(1, t0)
+            k = 1 if t0 < end else 0
+        if k == 0:
+            return
+        if k < n:
+            times = times[:k]
+        user = self.user
+        allow_volume_ops = user.udf_volumes > 0 or pool.random() < 0.3
+        chain = compiled_chain(user.user_class, allow_volume_ops)
+        ops = chain.walk(pool.random(), rng.random(k - 1),
+                         self._diurnal.download_bias_array(times[1:]))
+        counts = np.bincount(ops, minlength=len(CHAIN_OPS)).tolist()
+        n_uploads = counts[_OP_UPLOAD]
+        n_downloads = counts[_OP_DOWNLOAD]
+        n_makes = counts[_OP_MAKE]
+        # One uniform block covers every typed operand stream of the
+        # session: update rolls + pick selectors per upload, target rolls +
+        # two pick selectors per download, directory rolls per make.
+        block = rng.random(2 * n_uploads + 3 * n_downloads + n_makes).tolist()
+        stop_up = 2 * n_uploads
+        stop_dl = stop_up + 3 * n_downloads
+        self._up_rolls = iter(block[:n_uploads])
+        self._up_pick_u = iter(block[n_uploads:stop_up])
+        self._dl_rolls = iter(block[stop_up:stop_up + n_downloads])
+        self._dl_pick_u = iter(block[stop_up + n_downloads:stop_dl])
+        self._mk_rolls = iter(block[stop_dl:])
+        # Pre-drawn file entries for the session's creates, sized to the
+        # *expected* creation mix (file-makes ~70 % of makes, fresh remote
+        # content ~2/5 of downloads) plus slack; the draws are i.i.d., so
+        # consuming a prefix — or falling back to scalar draws once the
+        # feed runs dry — leaves the per-file distribution unchanged.
+        n_creates = n_makes + (2 * n_downloads) // 5 + 8
+        self._file_feed = iter(self._file_model.sample_new_files(n_creates))
+        session_id = spec.session_id
+        user_id = user.user_id
+        root = state.root_id
+        chain_ops = CHAIN_OPS
+        events = script.events
+        append = events.append
+        materialize = self._materialize
+        for t, op in zip(times.tolist(), ops):
+            if op < _FIRST_STATEFUL:
+                # Maintenance operations touch no operand state at all;
+                # build their events inline instead of paying the dispatch.
+                append(ClientEvent(t, user_id, session_id, chain_ops[op],
+                                   0, root))
+                continue
+            event = materialize(state, op, t, session_id)
+            if event is not None:
+                append(event)
 
     # ------------------------------------------------------------------ API
     def materialize(self, plan: UserPlan) -> list[SessionScript]:
         """All of this user's session scripts, in chronological order."""
-        state = self._init_user_state()
+        has_active = any(spec.active for spec in plan.sessions)
+        if has_active:
+            self._ensure_models()
+        state = self._init_user_state(with_files=has_active)
         scripts = []
         for spec in plan.sessions:
             script = self._build_session(state, spec)
@@ -815,15 +1165,16 @@ class SyntheticTraceGenerator:
         session_id = 0
         planned_storage_ops = 0.0
         # Expected inter-operation gap E[min(pareto(alpha, theta), cap)]:
-        # sessions stop materializing operations when the timeline passes
-        # their end, so the *expected realized* operation count of an active
-        # session is min(n_ops, 1 + length / E[gap]) — using the raw drawn
-        # n_ops would overweight long heavy-tail draws that a short session
-        # truncates, inflating both the attack-rate baseline and the LPT
-        # weights.
-        alpha, theta, cap = config.burst_alpha, config.burst_theta, config.burst_cap
-        mean_gap = theta * (1.0 + (1.0 - (theta / cap) ** (alpha - 1.0))
-                            / (alpha - 1.0))
+        # sessions stop materializing operations when the pre-drawn timeline
+        # passes their end, so the *expected realized* operation count of an
+        # active session is min(n_ops, 1 + length / E[gap]) — using the raw
+        # drawn n_ops would overweight long heavy-tail draws that a short
+        # session truncates, inflating both the attack-rate baseline and the
+        # LPT weights.  The formula matches the block-drawn gap stream
+        # (sample_many) exactly: truncation by cumulative-sum cutoff realises
+        # the same per-gap distribution as the historical scalar loop.
+        mean_gap = BurstGapSampler.mean_truncated_gap(
+            config.burst_alpha, config.burst_theta, config.burst_cap)
         for user in self._population:
             specs: list[SessionSpec] = []
             weight = 0.0

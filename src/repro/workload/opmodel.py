@@ -13,6 +13,14 @@ bursts of many operations with long idle periods (non-Poisson behaviour).
 
 :class:`OperationChain` implements the transition structure;
 :class:`BurstGapSampler` the Pareto gaps.
+
+Since PR 5 the chain is *compiled* per ``(user class, volume-ops flag)``
+into :class:`CompiledChain` inverse-CDF tables (cumulative weight rows with
+the time-varying ``Download`` entry kept last), so a whole session's
+operation sequence can be drawn from one pre-drawn uniform block — either
+step by step in O(row) scalar work, or via :meth:`CompiledChain.walk`,
+which resolves every ``(state, step)`` pair with a handful of vectorised
+array operations and then walks the chain with O(1) lookups per step.
 """
 
 from __future__ import annotations
@@ -25,7 +33,16 @@ from repro.trace.records import ApiOperation
 from repro.util.rngpool import RngPool
 from repro.workload.population import User, UserClass
 
-__all__ = ["OperationChain", "BurstGapSampler", "TRANSITION_TABLE", "INITIAL_OPERATIONS"]
+__all__ = [
+    "OperationChain",
+    "BurstGapSampler",
+    "CompiledChain",
+    "CHAIN_OPS",
+    "CHAIN_OP_INDEX",
+    "compiled_chain",
+    "TRANSITION_TABLE",
+    "INITIAL_OPERATIONS",
+]
 
 
 #: Operations a session starts with, right after authentication (Fig. 8 shows
@@ -144,34 +161,196 @@ _CLASS_BIAS = {
 }
 
 
-#: Per-entry tags used by the precompiled transition rows.
-_KIND_PLAIN, _KIND_UPLOAD, _KIND_DOWNLOAD, _KIND_VOLUME = 0, 1, 2, 3
+#: Canonical index space of the chain states (every operation appearing in
+#: the transition structure).  The compiled tables, the vectorised walks and
+#: the generator's per-operation dispatch all speak these small integers;
+#: ``CHAIN_OPS[index]`` recovers the enum member.
+CHAIN_OPS: tuple[ApiOperation, ...] = (
+    ApiOperation.LIST_VOLUMES,
+    ApiOperation.LIST_SHARES,
+    ApiOperation.QUERY_SET_CAPS,
+    ApiOperation.RESCAN_FROM_SCRATCH,
+    ApiOperation.GET_DELTA,
+    ApiOperation.MAKE,
+    ApiOperation.UPLOAD,
+    ApiOperation.DOWNLOAD,
+    ApiOperation.UNLINK,
+    ApiOperation.MOVE,
+    ApiOperation.CREATE_UDF,
+    ApiOperation.DELETE_VOLUME,
+)
 
+CHAIN_OP_INDEX: dict[ApiOperation, int] = {op: i for i, op in enumerate(CHAIN_OPS)}
 
-def _compile_row(entries: tuple[tuple[ApiOperation, float], ...]):
-    row = []
-    for op, weight in entries:
-        if op is ApiOperation.UPLOAD:
-            kind = _KIND_UPLOAD
-        elif op is ApiOperation.DOWNLOAD:
-            kind = _KIND_DOWNLOAD
-        elif op in (ApiOperation.CREATE_UDF, ApiOperation.DELETE_VOLUME):
-            kind = _KIND_VOLUME
-        else:
-            kind = _KIND_PLAIN
-        row.append((op, weight, kind))
-    return tuple(row)
+_DOWNLOAD_INDEX = CHAIN_OP_INDEX[ApiOperation.DOWNLOAD]
+_VOLUME_INDICES = (CHAIN_OP_INDEX[ApiOperation.CREATE_UDF],
+                   CHAIN_OP_INDEX[ApiOperation.DELETE_VOLUME])
 
+#: Floor applied to the class upload multiplier on the ``Make`` row only.
+#: ``Make -> Upload`` is a *structural* coupling (the client creates the
+#: metadata entry and then uploads the content, Fig. 8), not a preference:
+#: even download-leaning profiles that create a file follow up with its
+#: upload, so the 0.02 class dampening that is right for steady-state
+#: transfer choices must not sever the pair.
+_MAKE_UPLOAD_BIAS_FLOOR = 1.0
 
-#: TRANSITION_TABLE precompiled into (op, weight, kind) rows so that the
-#: per-step sampling only applies class/diurnal multipliers and a cumulative
-#: scan — no list rebuilding, no ``np.random.choice`` probability validation.
-_COMPILED_TABLE = {current: _compile_row(entries)
-                   for current, entries in TRANSITION_TABLE.items()}
+_MAKE_INDEX = CHAIN_OP_INDEX[ApiOperation.MAKE]
 
 _INITIAL_OPS = tuple(op for op, _ in INITIAL_OPERATIONS)
+_INITIAL_INDICES = tuple(CHAIN_OP_INDEX[op] for op in _INITIAL_OPS)
 _INITIAL_CUMULATIVE = tuple(
     float(c) for c in np.cumsum([w for _, w in INITIAL_OPERATIONS]))
+_INITIAL_TOTAL = _INITIAL_CUMULATIVE[-1]
+
+
+def _initial_index(u: float) -> int:
+    """Resolve one uniform into an initial-operation index (inverse CDF)."""
+    x = u * _INITIAL_TOTAL
+    for index, cumulative in zip(_INITIAL_INDICES, _INITIAL_CUMULATIVE):
+        if x < cumulative:
+            return index
+    return _INITIAL_INDICES[-1]
+
+
+class CompiledChain:
+    """The transition structure compiled for one ``(class bias, volume flag)``.
+
+    Every row is rearranged so the diurnally re-weighted ``Download`` entry
+    comes *last*: the fixed (class-biased) weights form a static cumulative
+    prefix and the download weight only stretches the total.  Resolving a
+    uniform ``u`` with bias ``b`` is then ``x = u * (fixed_total + wd * b)``
+    followed by *one* threshold scan — and, crucially, the scan vectorises:
+    ``x >= fixed_total`` means Download, anything else is a searchsorted
+    over the static prefix.  Scalar steps and block walks share these exact
+    tables, so they resolve identical uniforms to identical operations.
+    """
+
+    __slots__ = ("cum_rows", "target_rows", "totals", "dl_weights",
+                 "_cum3", "_targets2", "_totals_col", "_dl_col")
+
+    def __init__(self, upload_mult: float, download_mult: float,
+                 allow_volume_ops: bool):
+        n_states = len(CHAIN_OPS)
+        cum_rows: list[tuple[float, ...]] = []
+        target_rows: list[tuple[int, ...]] = []
+        totals: list[float] = []
+        dl_weights: list[float] = []
+        for op in CHAIN_OPS:
+            fixed: list[tuple[int, float]] = []
+            dl_weight = 0.0
+            up_mult = upload_mult
+            if op is ApiOperation.MAKE:
+                up_mult = max(upload_mult, _MAKE_UPLOAD_BIAS_FLOOR)
+            for target, weight in TRANSITION_TABLE[op]:
+                index = CHAIN_OP_INDEX[target]
+                if index == _DOWNLOAD_INDEX:
+                    dl_weight = weight * download_mult
+                    continue
+                if index in _VOLUME_INDICES and not allow_volume_ops:
+                    continue
+                if target is ApiOperation.UPLOAD:
+                    weight *= up_mult
+                fixed.append((index, weight))
+            acc = 0.0
+            cum: list[float] = []
+            targets: list[int] = []
+            for index, weight in fixed:
+                acc += weight
+                cum.append(acc)
+                targets.append(index)
+            # The sentinel entry resolved when ``x >= fixed_total``: the
+            # download target when the row has one, otherwise the last fixed
+            # entry (only reachable through float round-off at ``u -> 1``).
+            targets.append(_DOWNLOAD_INDEX if dl_weight > 0.0 else targets[-1])
+            cum_rows.append(tuple(cum))
+            target_rows.append(tuple(targets))
+            totals.append(acc)
+            dl_weights.append(dl_weight)
+        self.cum_rows = tuple(cum_rows)
+        self.target_rows = tuple(target_rows)
+        self.totals = tuple(totals)
+        self.dl_weights = tuple(dl_weights)
+        # Padded array mirrors of the same tables for the block walk.
+        width = max(len(row) for row in cum_rows)
+        cum2 = np.full((n_states, width), np.inf)
+        targets2 = np.zeros((n_states, width + 1), dtype=np.intp)
+        for s, (cum, targets) in enumerate(zip(cum_rows, target_rows)):
+            cum2[s, :len(cum)] = cum
+            targets2[s, :len(targets)] = targets
+            targets2[s, len(targets):] = targets[-1]
+        self._cum3 = cum2[:, :, None]
+        self._targets2 = targets2
+        self._totals_col = np.asarray(totals)[:, None]
+        self._dl_col = np.asarray(dl_weights)[:, None]
+
+    # ------------------------------------------------------------- sampling
+    def step(self, state: int, u: float, bias: float) -> int:
+        """One scalar transition: the inverse CDF of row ``state`` at ``u``."""
+        fixed_total = self.totals[state]
+        x = u * (fixed_total + self.dl_weights[state] * bias)
+        targets = self.target_rows[state]
+        if x < fixed_total:
+            for j, c in enumerate(self.cum_rows[state]):
+                if x < c:
+                    return targets[j]
+        return targets[-1]
+
+    def next_matrix(self, u: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """Resolve ``(state, step)`` for *every* state over a uniform block.
+
+        Returns an ``(n_states, n_steps)`` matrix ``m`` with ``m[s, i]`` the
+        state following ``s`` under uniform ``u[i]`` and download bias
+        ``bias[i]`` — the whole chain structure drawn as arrays; an actual
+        walk is then one O(1) lookup per step.
+        """
+        x = u[None, :] * (self._totals_col + self._dl_col * bias[None, :])
+        index = (self._cum3 <= x[:, None, :]).sum(axis=1)
+        return np.take_along_axis(self._targets2, index, axis=1)
+
+    def walk(self, initial_u: float, u: np.ndarray, bias: np.ndarray,
+             block_threshold: int = 96) -> list[int]:
+        """Draw a whole operation sequence from pre-drawn uniforms.
+
+        ``u``/``bias`` drive the ``len(u)`` transitions after the initial
+        operation (resolved from ``initial_u``).  Long blocks resolve every
+        (state, step) pair vectorised first; short ones take the scalar
+        steps — both paths produce bit-identical sequences for the same
+        uniforms, so the cutover is purely a constant-factor choice.
+        """
+        state = _initial_index(initial_u)
+        ops = [state]
+        n = len(u)
+        if n >= block_threshold:
+            matrix = self.next_matrix(u, bias)
+            item = matrix.item
+            for i in range(n):
+                state = item(state, i)
+                ops.append(state)
+        else:
+            u_list = u.tolist() if isinstance(u, np.ndarray) else u
+            bias_list = bias.tolist() if isinstance(bias, np.ndarray) else bias
+            step = self.step
+            for ui, bi in zip(u_list, bias_list):
+                state = step(state, ui, bi)
+                ops.append(state)
+        return ops
+
+
+#: Compiled-chain cache: one instance per (user class, volume flag); the
+#: tables are pure functions of the static weights, so they are shared by
+#: every materializer in the process.
+_COMPILED_CHAINS: dict[tuple[UserClass, bool], CompiledChain] = {}
+
+
+def compiled_chain(user_class: UserClass, allow_volume_ops: bool) -> CompiledChain:
+    """The compiled transition tables for one user class."""
+    key = (user_class, allow_volume_ops)
+    chain = _COMPILED_CHAINS.get(key)
+    if chain is None:
+        bias = _CLASS_BIAS[user_class]
+        chain = _COMPILED_CHAINS[key] = CompiledChain(
+            bias.upload, bias.download, allow_volume_ops)
+    return chain
 
 
 class OperationChain:
@@ -181,9 +360,9 @@ class OperationChain:
     (upload-only users rarely download and vice versa) and per time of day
     (the download bias from the diurnal model nudges the R/W ratio).
 
-    Sampling is a cumulative-weight scan over the precompiled transition row
-    driven by one pooled uniform — the tables never change at run time, only
-    the upload/download multipliers do.
+    Scalar sampling resolves one pooled uniform against the
+    :class:`CompiledChain` tables; block sampling (the vectorised
+    materializer) uses :meth:`CompiledChain.walk` on the same tables.
     """
 
     def __init__(self, rng: np.random.Generator | RngPool):
@@ -196,48 +375,17 @@ class OperationChain:
 
     def initial_operation(self) -> ApiOperation:
         """First operation of a session after authentication."""
-        u = self._pool.random() * _INITIAL_CUMULATIVE[-1]
-        for op, cumulative in zip(_INITIAL_OPS, _INITIAL_CUMULATIVE):
-            if u < cumulative:
-                return op
-        return _INITIAL_OPS[-1]
+        return CHAIN_OPS[_initial_index(self._pool.random())]
 
     def next_operation(self, current: ApiOperation, user: User,
                        download_bias: float = 1.0,
                        allow_volume_ops: bool = True) -> ApiOperation:
         """Sample the operation following ``current`` for ``user``."""
-        row = _COMPILED_TABLE.get(current)
-        if row is None:
+        state = CHAIN_OP_INDEX.get(current)
+        if state is None:
             return self.initial_operation()
-        bias = _CLASS_BIAS[user.user_class]
-        upload_mult = bias.upload
-        download_mult = bias.download * download_bias
-        total = 0.0
-        for op, weight, kind in row:
-            if kind == _KIND_UPLOAD:
-                weight *= upload_mult
-            elif kind == _KIND_DOWNLOAD:
-                weight *= download_mult
-            elif kind == _KIND_VOLUME and not allow_volume_ops:
-                continue
-            total += weight
-        if total <= 0:
-            return self.initial_operation()
-        u = self._pool.random() * total
-        acc = 0.0
-        chosen = None
-        for op, weight, kind in row:
-            if kind == _KIND_UPLOAD:
-                weight *= upload_mult
-            elif kind == _KIND_DOWNLOAD:
-                weight *= download_mult
-            elif kind == _KIND_VOLUME and not allow_volume_ops:
-                continue
-            acc += weight
-            chosen = op
-            if u < acc:
-                return op
-        return chosen if chosen is not None else self.initial_operation()
+        chain = compiled_chain(user.user_class, allow_volume_ops)
+        return CHAIN_OPS[chain.step(state, self._pool.random(), download_bias)]
 
 
 class BurstGapSampler:
@@ -276,3 +424,19 @@ class BurstGapSampler:
         u = self._rng.random(n)
         gaps = self._theta * (1.0 - u) ** (-1.0 / self._alpha)
         return np.minimum(gaps, self._cap)
+
+    @staticmethod
+    def mean_truncated_gap(alpha: float, theta: float, cap: float) -> float:
+        """Closed-form ``E[min(Pareto(alpha, theta), cap)]``.
+
+        The planning pass uses this to convert a session's drawn operation
+        count into the *expected realised* count ``min(n_ops, 1 + length /
+        E[gap])``: sessions stop materializing once the pre-drawn timeline
+        passes their end, so long heavy-tail draws that a short session
+        truncates must not inflate the attack-rate baseline or the LPT
+        shard weights.  The formula holds for both the scalar and the
+        block-drawn (``sample_many``) gap streams — they share the same
+        truncated-Pareto distribution.
+        """
+        return theta * (1.0 + (1.0 - (theta / cap) ** (alpha - 1.0))
+                        / (alpha - 1.0))

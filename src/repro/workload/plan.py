@@ -20,7 +20,11 @@ generator unsharded, for any shard count and any worker count.
 
 The plan also carries the per-member weights (planned operation counts)
 that the replay engine's deterministic longest-processing-time shard
-assignment is keyed on.
+assignment is keyed on.  The weights use the truncated-Pareto expected gap
+(:meth:`~repro.workload.opmodel.BurstGapSampler.mean_truncated_gap`) to
+convert drawn operation counts into expected *realised* counts — the same
+truncation the vectorised materializer applies when it cuts a session's
+pre-drawn timeline at the session end.
 """
 
 from __future__ import annotations

@@ -93,27 +93,7 @@ class SessionModel:
         accepted = self._rng.random(n_candidates) < accept_prob
         return candidates[accepted]
 
-    # ---------------------------------------------------------------- lengths
-    def _sample_length(self) -> float:
-        """Session length from the short/body mixture."""
-        config = self._config
-        if self._rng.random() < config.short_session_fraction:
-            return float(self._rng.uniform(0.05, 1.0))
-        mu = np.log(config.session_length_median)
-        length = float(self._rng.lognormal(mean=mu, sigma=config.session_length_sigma))
-        return min(length, config.session_length_cap)
-
     # ----------------------------------------------------------------- active
-    def _is_active(self, user: User, length: float) -> bool:
-        """Whether the session performs data-management operations.
-
-        Sub-second sessions never are (the client barely connects); longer
-        sessions are active with a class- and weight-dependent probability.
-        """
-        if length < 1.0:
-            return False
-        return bool(self._rng.random() < self._active_probability(user))
-
     def _active_probability(self, user: User) -> float:
         """Probability that a non-sub-second session is active for ``user``."""
         base = self._config.active_session_fraction
@@ -136,8 +116,9 @@ class SessionModel:
         if n == 0:
             return []
         rng = self._rng
-        # Short/body length mixture, vectorised (same mixture as
-        # _sample_length, drawn as arrays).
+        # Short/body length mixture, drawn as arrays: 32 % of sessions are
+        # sub-second NAT/firewall closures (Fig. 16), the body is a capped
+        # lognormal.
         short = rng.random(n) < config.short_session_fraction
         mu = np.log(config.session_length_median)
         lengths = np.where(

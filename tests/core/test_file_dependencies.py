@@ -75,14 +75,18 @@ class TestDependencies:
 
     def test_simulated_dataset_shape(self, simulated_dataset):
         analysis = file_dependencies(simulated_dataset)
-        # Fig. 3a: WAW dependencies are present, and most WAW gaps are short.
-        # The WAW *share* of after-write pairs swings by an order of
-        # magnitude between equally likely seeds (a handful of heavy-tailed
-        # sessions decide how many reads interleave consecutive writes), so
-        # the bound only catches updates collapsing entirely.
+        # Fig. 3a: WAW dependencies are a substantial share of the
+        # after-write pairs (the editing-burst update targeting makes
+        # consecutive same-file re-uploads common — "WAW is the most common
+        # dependency"), and most WAW gaps are short (paper: 80 % < 1 h).
+        # The share still swings with the realised upload/download mix of
+        # the seed (download-heavy realisations convert would-be WAW chains
+        # into RAW via sync reads): re-calibrated seeds realise 0.14-0.44 at
+        # this scale, so the bound sits below that band while still
+        # catching any regression back to the pre-recalibration ~0.05.
         assert analysis.count(Dependency.WAW) > 0
-        assert analysis.share_after_write(Dependency.WAW) > 0.02
-        assert analysis.fraction_within(Dependency.WAW, HOUR) > 0.5
+        assert analysis.share_after_write(Dependency.WAW) > 0.10
+        assert analysis.fraction_within(Dependency.WAW, HOUR) > 0.7
         # X-after-read is dominated by repeated reads rather than rewrites.
         assert analysis.share_after_read(Dependency.RAR) > \
             analysis.share_after_read(Dependency.WAR)
