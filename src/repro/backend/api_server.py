@@ -113,7 +113,8 @@ class ApiServerProcess:
                  sink: TraceSink, rng: np.random.Generator,
                  dedup_enabled: bool = True, delta_updates_enabled: bool = False,
                  delta_update_factor: float = 0.05,
-                 interrupted_upload_fraction: float = 0.0):
+                 interrupted_upload_fraction: float = 0.0,
+                 faults=None):
         self.address = address
         self._rpc = rpc_worker
         self._store = rpc_worker.store
@@ -134,6 +135,15 @@ class ApiServerProcess:
         self._delta_update_factor = delta_update_factor
         self._interrupted_upload_fraction = interrupted_upload_fraction
         self._stable_routing = getattr(rpc_worker.store, "stable_routing", False)
+        # Fault injection (repro.faults): requests inside the compiled
+        # schedule's envelope are checked against the fault windows; outside
+        # it — and in particular with no faults configured at all — the only
+        # added work on the request path is one float comparison.
+        self._faults = faults
+        if faults is not None and faults.schedule.active:
+            self._fault_lo, self._fault_hi = faults.schedule.envelope
+        else:
+            self._fault_lo, self._fault_hi = float("inf"), float("-inf")
         # Bound row emitters; bind_raw_sink() swaps in the sink's raw
         # appenders for the sharded replay hot path.
         self._storage_row = sink.storage_row
@@ -226,17 +236,33 @@ class ApiServerProcess:
                              api_operation=ApiOperation.AUTHENTICATE,
                              caused_by_attack=caused_by_attack,
                              shard_id=shard_id)
+        # An AuthOutage window denies every open in it — the old
+        # ``force_auth_failure`` special case, folded into the fault
+        # framework.  Denials short-circuit validate() before its RNG draw,
+        # so the zero-fault draw sequence is untouched either way.
+        faults = self._faults
+        outage = (faults is not None
+                  and self._fault_lo <= timestamp < self._fault_hi
+                  and faults.schedule.auth_denied(timestamp))
+        denied = force_auth_failure or outage
         try:
             cached = self._token_cache.get(token.token)
             if cached is None:
                 self._rpc.execute(
                     RpcName.GET_USER_ID_FROM_TOKEN, context,
                     lambda: self._auth.validate(token.token, timestamp,
-                                                force_failure=force_auth_failure))
+                                                force_failure=denied))
                 self._token_cache.put(token.token, user_id)
-            elif force_auth_failure:
-                raise AuthenticationError("forced authentication failure")
+            elif denied:
+                raise AuthenticationError(
+                    "authentication outage" if outage
+                    else "forced authentication failure")
         except AuthenticationError:
+            if outage:
+                # Counted for any failure inside the window (forced and
+                # fraction-drawn ones included): the offline simulator
+                # counts AUTH_FAIL rows in outage windows, which must match.
+                faults.accounting.auth_outage_failures += 1
             session_row((timestamp, server, process, user_id, session_id,
                          _AUTH_FAIL, caused_by_attack, -1.0, 0))
             return None
@@ -342,8 +368,12 @@ class ApiServerProcess:
             handle.storage_operations += 1
 
         timestamp = request.timestamp
+        # The fast path must not dodge fault checks or a degraded worker's
+        # inflation, so it is disabled inside the fault envelope (one float
+        # comparison; never taken when no faults are configured).
         if (operation is _DOWNLOAD_OPERATION and handle is not None
-                and self._stable_routing and not self._tiered):
+                and self._stable_routing and not self._tiered
+                and not self._fault_lo <= timestamp < self._fault_hi):
             routed = handle.shard_cache
             if routed is None:
                 routed = handle.shard_cache = self._store.shard_and_id(
@@ -394,7 +424,7 @@ class ApiServerProcess:
                     session_id, operation, node_id, request.volume_id,
                     request.volume_type, request.node_kind, size_bytes,
                     content_hash, request.extension, request.is_update,
-                    shard_id, attack))
+                    shard_id, attack, "", 0))
                 return response
         if handle is not None and self._stable_routing:
             # A session's shard never changes under user-id routing, and the
@@ -412,6 +442,40 @@ class ApiServerProcess:
             # shard than the session open did, and sessionless requests may
             # hit a shard that has never seen the user.
             shard.ensure_user(request.user_id, -request.user_id, timestamp)
+
+        # Fault disposition (post-routing — the read-only check needs the
+        # shard id).  A fault-hit request fails *before* its handler runs:
+        # no metadata/store side effects, no RPC rows — which is what lets
+        # the offline mitigation simulator recompute every decision exactly
+        # from the baseline trace.
+        fault_retries = 0
+        faults = self._faults
+        if faults is not None and self._fault_lo <= timestamp < self._fault_hi:
+            error_kind, fault_retries, failover = faults.check_request(
+                timestamp, request.user_id, request.session_id,
+                operation in self._MUTATING_OPERATIONS,
+                request.content_hash if operation.is_transfer else "",
+                shard_id)
+            if error_kind:
+                if error_kind == "shard_read_only":
+                    shard.write_rejections += 1
+                self._storage_row((
+                    timestamp, self._server, self._process,
+                    request.user_id, request.session_id, operation,
+                    request.node_id, request.volume_id, request.volume_type,
+                    request.node_kind, request.size_bytes,
+                    request.content_hash, request.extension,
+                    request.is_update, shard_id, request.caused_by_attack,
+                    error_kind, fault_retries))
+                return ApiResponse(operation, False,
+                                   f"fault injected: {error_kind}")
+            if failover:
+                # A surviving replica serves the transfer; the handler runs
+                # normally, the accounting records the failover.
+                accounting = self._objects.accounting
+                accounting.failover_reads += 1
+                accounting.failover_bytes += request.size_bytes
+
         context = self._request_context
         context.timestamp = timestamp
         context.user_id = request.user_id
@@ -440,7 +504,7 @@ class ApiServerProcess:
             request.node_id, request.volume_id, request.volume_type,
             request.node_kind, request.size_bytes, request.content_hash,
             request.extension, request.is_update,
-            shard_id, request.caused_by_attack))
+            shard_id, request.caused_by_attack, "", fault_retries))
         return response
 
     # ----------------------------------------------------------- op handlers

@@ -28,6 +28,10 @@ from repro.backend.notifications import NotificationBus
 from repro.backend.protocol.operations import UPLOAD_CHUNK_BYTES
 from repro.backend.rpc_server import RpcWorker
 from repro.backend.tracing import TraceSink
+from repro.faults.accounting import FaultAccounting
+from repro.faults.mitigation import LIVE_KINDS, MitigationPolicy
+from repro.faults.runtime import FaultInjector, compile_plan
+from repro.faults.spec import FaultPlan
 from repro.trace.dataset import TraceDataset
 from repro.util.units import DAY
 from repro.whatif.costs import StorageCostModel
@@ -95,6 +99,17 @@ class ClusterConfig:
     #: Storage cost model used for bill estimates (the historical hardcoded
     #: ``$0.03/GB-month`` hot rate lives here now).
     cost_model: StorageCostModel = field(default_factory=StorageCostModel)
+    #: Declarative infrastructure-fault timeline (see :mod:`repro.faults`);
+    #: ``None`` replays a healthy cluster.  The plan is compiled once, in the
+    #: planning pass, so fault exposure is a pure function of
+    #: ``(plan, config)`` and the trace stays bit-identical at any
+    #: ``n_jobs``.
+    faults: FaultPlan | None = None
+    #: Mitigation applied by the live request path when a fault fires.  Only
+    #: the ``none`` and ``retry`` kinds run live (they are the ones the
+    #: offline fault sweep pins counter-for-counter); the speculative kinds
+    #: (hedge/drain/disable) exist only as offline what-ifs.
+    mitigation: MitigationPolicy = field(default_factory=MitigationPolicy)
 
     def machine_names(self) -> list[str]:
         """Names of the API machines."""
@@ -133,6 +148,16 @@ class ClusterConfig:
         if self.tiering is not None:
             self.tiering.validate()
         self.cost_model.validate()
+        if self.faults is not None:
+            self.faults.validate(
+                n_processes=self.api_machines * self.processes_per_machine,
+                n_shards=self.metadata_shards)
+        self.mitigation.validate()
+        if self.mitigation.kind not in LIVE_KINDS:
+            raise ValueError(
+                f"mitigation kind {self.mitigation.kind!r} is offline-only; "
+                f"live replay supports {LIVE_KINDS} "
+                "(evaluate the others with `repro faultsweep`)")
 
 
 class U1Cluster:
@@ -156,11 +181,27 @@ class U1Cluster:
         self.latency = ServiceTimeModel(self._rng, parameters=self.config.latency,
                                         n_shards=self.config.metadata_shards)
 
+        #: Compiled fault timeline (``None`` on a healthy cluster); compiled
+        #: once here — the planning pass — and shared verbatim with every
+        #: replay shard so fault exposure is independent of ``n_jobs``.
+        self.fault_schedule = (
+            compile_plan(self.config.faults,
+                         n_processes=len(self.config.process_addresses()),
+                         n_shards=self.config.metadata_shards)
+            if self.config.faults is not None else None)
+        #: Fleet-wide fault-exposure counters, merged from the replay shards
+        #: after every replay (and updated directly by the interactive path).
+        self.fault_accounting = FaultAccounting()
+        faults = (FaultInjector(self.fault_schedule, self.config.mitigation,
+                                accounting=self.fault_accounting)
+                  if self.fault_schedule is not None else None)
+
         self.processes: list[ApiServerProcess] = []
         addresses = self.config.process_addresses()
         for worker_id, address in enumerate(addresses):
             worker = RpcWorker(worker_id=worker_id, store=self.metadata_store,
-                               latency=self.latency, sink=self.sink)
+                               latency=self.latency, sink=self.sink,
+                               faults=faults)
             process = ApiServerProcess(
                 address=address, rpc_worker=worker,
                 object_store=self.object_store, auth=self.auth,
@@ -169,7 +210,8 @@ class U1Cluster:
                 dedup_enabled=self.config.dedup_enabled,
                 delta_updates_enabled=self.config.delta_updates_enabled,
                 delta_update_factor=self.config.delta_update_factor,
-                interrupted_upload_fraction=self.config.interrupted_upload_fraction)
+                interrupted_upload_fraction=self.config.interrupted_upload_fraction,
+                faults=faults)
             self.processes.append(process)
         self.gateway = LoadBalancer(addresses, rng=self._rng)
         self._process_by_address = {p.address: p for p in self.processes}
@@ -206,7 +248,7 @@ class U1Cluster:
         _, assignments = self._shard_assignments(n_shards)
         outcomes, jobs_used = run_shards(
             self.config, assignments, self.latency.shard_factors,
-            workloads, n_jobs=n_jobs)
+            workloads, n_jobs=n_jobs, fault_schedule=self.fault_schedule)
 
         merge_started = _time.perf_counter()
         dataset = TraceDataset.from_sorted_blocks(
@@ -227,6 +269,14 @@ class U1Cluster:
             self.metadata_store.absorb_summary(outcome.store_summary)
             self.object_store.absorb_summary(outcome.object_count,
                                              outcome.accounting)
+
+        # Fault-exposure counters: merged per replay (this replay's view
+        # goes in ``last_replay_stats``) and accumulated fleet-wide.
+        replay_faults = FaultAccounting()
+        for outcome in outcomes:
+            if outcome.faults is not None:
+                replay_faults.merge(outcome.faults)
+        self.fault_accounting.merge(replay_faults)
 
         totals = [outcome.total_seconds for outcome in outcomes]
         mean_total = sum(totals) / max(len(totals), 1)
@@ -252,6 +302,17 @@ class U1Cluster:
             #: wanting to match them) measure idle time against.
             "timeline_end": max((outcome.timeline_end for outcome in outcomes),
                                 default=0.0),
+            #: Fault-exposure counters of *this* replay (merged across the
+            #: replay shards; empty dict values on a healthy cluster), the
+            #: per-replay-shard breakdown, and the mutations each metadata
+            #: shard rejected while read-only — surfaced here the same way
+            #: the tier counters are, so callers never reach into shards.
+            "fault_counters": replay_faults.as_dict(),
+            "shard_fault_counters": [
+                outcome.faults.as_dict() if outcome.faults is not None else {}
+                for outcome in outcomes],
+            "metadata_shard_errors":
+                self.metadata_store.write_rejections_per_shard(),
         }
         return dataset
 

@@ -90,6 +90,12 @@ class StorageAccounting:
     migrated_hot_bytes: int = 0
     #: Number of tier migrations (both directions).
     migrations: int = 0
+    # -------------------------------------------- fault injection (faults)
+    #: Transfers served by a surviving replica while the content's primary
+    #: storage node was down (``StorageNodeOutage`` with failover on).
+    failover_reads: int = 0
+    #: Bytes those failover transfers moved.
+    failover_bytes: int = 0
 
     @property
     def dedup_saved_bytes(self) -> int:
@@ -140,6 +146,8 @@ class StorageAccounting:
         self.migrated_cold_bytes += other.migrated_cold_bytes
         self.migrated_hot_bytes += other.migrated_hot_bytes
         self.migrations += other.migrations
+        self.failover_reads += other.failover_reads
+        self.failover_bytes += other.failover_bytes
 
 
 class ObjectStore:

@@ -76,6 +76,8 @@ from repro.backend.metadata_store import (
 from repro.backend.notifications import NotificationBus
 from repro.backend.rpc_server import RpcContext, RpcWorker
 from repro.backend.tracing import TraceSink
+from repro.faults.accounting import FaultAccounting
+from repro.faults.runtime import FaultInjector
 from repro.trace.dataset import ColumnBlock
 from repro.trace.records import RpcName
 from repro.util.gctools import cyclic_gc_paused
@@ -328,6 +330,9 @@ class ShardOutcome:
     store_summary: list = field(default_factory=list)
     object_count: int = 0
     accounting: StorageAccounting = field(default_factory=StorageAccounting)
+    #: Fault-exposure counters of this shard (None when the replay ran
+    #: without a fault schedule).
+    faults: FaultAccounting | None = None
     gc_sweeps: int = 0
     #: Last timeline timestamp of the shard (the per-shard tier-finalize
     #: instant; 0.0 for an empty shard).
@@ -349,7 +354,7 @@ class ReplayShard:
 
     def __init__(self, config, shard_id: int,
                  addresses: list[tuple[int, ProcessAddress]],
-                 shard_factors: list[float]):
+                 shard_factors: list[float], fault_schedule=None):
         if not addresses:
             raise ValueError(f"replay shard {shard_id} owns no API processes")
         self.shard_id = shard_id
@@ -374,10 +379,16 @@ class ReplayShard:
         self.latency = ServiceTimeModel(rng, parameters=config.latency,
                                         n_shards=config.metadata_shards,
                                         shard_factors=shard_factors)
+        # One injector per shard: the compiled schedule is shared and
+        # immutable, the accounting is this shard's own (merged by the
+        # parent alongside the storage counters).
+        self.faults = FaultInjector(fault_schedule, config.mitigation) \
+            if fault_schedule is not None else None
         self.processes: list[ApiServerProcess] = []
         for index, address in addresses:
             worker = RpcWorker(worker_id=index, store=self.store,
-                               latency=self.latency, sink=self.sink)
+                               latency=self.latency, sink=self.sink,
+                               faults=self.faults)
             self.processes.append(ApiServerProcess(
                 address=address, rpc_worker=worker,
                 object_store=self.objects, auth=self.auth,
@@ -386,7 +397,8 @@ class ReplayShard:
                 dedup_enabled=config.dedup_enabled,
                 delta_updates_enabled=config.delta_updates_enabled,
                 delta_update_factor=config.delta_update_factor,
-                interrupted_upload_fraction=config.interrupted_upload_fraction))
+                interrupted_upload_fraction=config.interrupted_upload_fraction,
+                faults=self.faults))
             # A shard's sink lives exactly one run, so the raw appender
             # bindings can never go stale here.
             self.processes[-1].bind_raw_sink()
@@ -499,6 +511,7 @@ class ReplayShard:
             store_summary=self.store.summary(),
             object_count=len(self.objects),
             accounting=self.objects.accounting,
+            faults=self.faults.accounting if self.faults is not None else None,
             gc_sweeps=self.collector.sweeps,
             timeline_end=timeline_end)
 
@@ -508,34 +521,35 @@ class ReplayShard:
 # ---------------------------------------------------------------------------
 
 #: Fork-inherited task state: (config, assignments, shard_factors,
-#: workloads).  Set in the parent immediately before the pool forks;
-#: workers receive only shard ids through the pipe.
+#: workloads, fault_schedule).  Set in the parent immediately before the
+#: pool forks; workers receive only shard ids through the pipe.
 _FORK_STATE: tuple | None = None
 
 
 def _run_one_shard(config, assignments, shard_factors, workloads,
-                   shard_id: int) -> ShardOutcome:
+                   shard_id: int, fault_schedule=None) -> ShardOutcome:
     generate_started = time.perf_counter()
     scripts = workloads[shard_id].scripts()
     generate_seconds = time.perf_counter() - generate_started
     shard = ReplayShard(config, shard_id, assignments[shard_id],
-                        shard_factors)
+                        shard_factors, fault_schedule=fault_schedule)
     outcome = shard.run(scripts)
     outcome.generate_seconds = generate_seconds
     return outcome
 
 
 def _run_shard_task(shard_id: int) -> ShardOutcome:
-    config, assignments, shard_factors, workloads = _FORK_STATE
+    config, assignments, shard_factors, workloads, fault_schedule = _FORK_STATE
     with cyclic_gc_paused():
         return _run_one_shard(config, assignments, shard_factors, workloads,
-                              shard_id)
+                              shard_id, fault_schedule=fault_schedule)
 
 
 def run_shards(config, assignments: list[list[tuple[int, ProcessAddress]]],
                shard_factors: list[float],
                workloads: list,
-               n_jobs: int = 1) -> tuple[list[ShardOutcome], int]:
+               n_jobs: int = 1,
+               fault_schedule=None) -> tuple[list[ShardOutcome], int]:
     """Run every replay shard and return ``(outcomes, jobs_used)``.
 
     ``assignments[k]`` is shard ``k``'s slice of process addresses and
@@ -561,11 +575,13 @@ def run_shards(config, assignments: list[list[tuple[int, ProcessAddress]]],
             for shard_id in range(n_shards):
                 outcomes.append(_run_one_shard(config, assignments,
                                                shard_factors, workloads,
-                                               shard_id))
+                                               shard_id,
+                                               fault_schedule=fault_schedule))
         return outcomes, 1
 
     global _FORK_STATE
-    _FORK_STATE = (config, assignments, shard_factors, workloads)
+    _FORK_STATE = (config, assignments, shard_factors, workloads,
+                   fault_schedule)
     try:
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=jobs) as pool:

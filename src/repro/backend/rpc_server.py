@@ -63,7 +63,7 @@ class RpcWorker:
     """Executes DAL calls against the metadata store and traces them."""
 
     def __init__(self, worker_id: int, store: ShardedMetadataStore,
-                 latency: ServiceTimeModel, sink: TraceSink):
+                 latency: ServiceTimeModel, sink: TraceSink, faults=None):
         self.worker_id = worker_id
         self._store = store
         self._latency = latency
@@ -75,6 +75,24 @@ class RpcWorker:
         self.calls_executed = 0
         #: Total simulated time spent servicing RPCs (seconds).
         self.busy_time = 0.0
+        # Degradation windows of this worker (fault injection): inflation
+        # multiplies the already-drawn service time, so the pooled factor
+        # stream — and with it the zero-fault trace — is untouched.
+        self._degraded = faults.schedule.degraded_windows(worker_id) or None \
+            if faults is not None else None
+        self._fault_accounting = faults.accounting if faults is not None \
+            else None
+
+    def _inflate(self, timestamp: float, service_time: float) -> float:
+        """Apply this worker's degradation window, if one covers the call."""
+        for start, end, inflation in self._degraded:
+            if start <= timestamp < end:
+                extra = service_time * (inflation - 1.0)
+                accounting = self._fault_accounting
+                accounting.degraded_rpcs += 1
+                accounting.degraded_extra_seconds += extra
+                return service_time + extra
+        return service_time
 
     @property
     def store(self) -> ShardedMetadataStore:
@@ -123,6 +141,8 @@ class RpcWorker:
         model._factor_index = i + 1
         service_time = (model._base_by_rpc[rpc][shard_id % model._n_shards]
                         * factors[i])
+        if self._degraded is not None:
+            service_time = self._inflate(context.timestamp, service_time)
         result = operation(*args)
         self.calls_executed += 1
         self.busy_time += service_time
@@ -155,6 +175,8 @@ class RpcWorker:
         model._factor_index = i + 1
         service_time = (model._base_by_rpc[rpc][shard_id % model._n_shards]
                         * factors[i])
+        if self._degraded is not None:
+            service_time = self._inflate(context.timestamp, service_time)
         result = operation(arg)
         self.calls_executed += 1
         self.busy_time += service_time
@@ -183,6 +205,9 @@ class RpcWorker:
         if shard_id is None:
             shard_id = self._store.shard_id_of(context.user_id)
         times = self._latency.sample_block(rpc, shard_id, n)
+        if self._degraded is not None:
+            times = [self._inflate(context.timestamp, service_time)
+                     for service_time in times]
         results = [operation(*args) for args in args_list]
         self.calls_executed += n
         self.busy_time += sum(times)

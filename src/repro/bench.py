@@ -86,6 +86,10 @@ class BenchResult:
     #: tier/retrieval metrics, ``whatif_sweep_seconds``) — run once after
     #: the timed phases, so it never perturbs them.
     whatif: dict | None = None
+    #: Fault-injection figures (ISSUE 6): zero-fault machinery overhead,
+    #: one faulted replay, and the offline mitigation sweep over it —
+    #: measured after the timed phases, best-of-``repeats`` like them.
+    faults: dict | None = None
 
     @property
     def total(self) -> float:
@@ -129,6 +133,16 @@ class BenchResult:
         }
         if self.whatif is not None:
             payload["whatif"] = self.whatif
+        if self.faults is not None:
+            payload["faults"] = self.faults
+            # The two headline keys the CI smoke asserts on, hoisted to the
+            # top level: replaying with the (empty) fault machinery engaged
+            # must stay within a few percent of a plain replay, and one
+            # offline policy evaluation must stay far below one replay.
+            payload["fault_replay_overhead"] = \
+                self.faults["fault_replay_overhead"]
+            payload["faultsweep_per_policy_seconds"] = \
+                self.faults["faultsweep_per_policy_seconds"]
         if baseline_total > 0:
             units = {"generate": self.events_generated,
                      "replay": self.records_replayed,
@@ -224,12 +238,73 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
                               end_time=cluster.last_replay_stats["timeline_end"])
         if sweep is None or candidate.seconds < sweep.seconds:
             sweep = candidate
+
+    faults = _run_fault_benchmark(config, seed=seed, days=days,
+                                  repeats=repeats, n_jobs=n_jobs,
+                                  plain_replay_seconds=best["replay"])
     return BenchResult(users=users, days=days, seed=seed, repeats=repeats,
                        phases=best, events_generated=events_generated,
                        records_replayed=records_replayed,
                        analysis_records=analysis_records,
                        n_jobs=n_jobs, replay_stats=replay_stats,
-                       whatif=sweep.to_json())
+                       whatif=sweep.to_json(), faults=faults)
+
+
+def _run_fault_benchmark(config, seed: int, days: float, repeats: int,
+                         n_jobs: int, plain_replay_seconds: float) -> dict:
+    """The three fault-injection measurements, best-of-``repeats`` each.
+
+    (a) Replay with an *empty* fault plan attached: the injector is
+    constructed and every request pays the envelope gate, but no window is
+    ever active — divided by the best plain replay, this is the zero-fault
+    overhead of the machinery (CI bounds it at 5%).  (b) One faulted
+    replay with the default fault plan.  (c) The offline mitigation sweep
+    over the faulted trace, whose per-policy cost must stay far below one
+    replay.
+    """
+    from repro.faults.spec import FaultPlan, default_fault_plan
+    from repro.faults.sweep import run_fault_sweep
+    from repro.util.units import DAY
+
+    empty_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        plan = SyntheticTraceGenerator(config).plan()
+        cluster = U1Cluster(ClusterConfig(seed=seed, faults=FaultPlan()))
+        t0 = time.perf_counter()
+        cluster.replay_plan(plan, n_jobs=n_jobs)
+        empty_seconds = min(empty_seconds, time.perf_counter() - t0)
+
+    fault_plan = default_fault_plan(config.start_time, days * DAY, seed=seed)
+    faulted_seconds = float("inf")
+    faulted_cluster = None
+    faulted_dataset = None
+    for _ in range(max(1, repeats)):
+        plan = SyntheticTraceGenerator(config).plan()
+        cluster = U1Cluster(ClusterConfig(seed=seed, faults=fault_plan))
+        t0 = time.perf_counter()
+        dataset = cluster.replay_plan(plan, n_jobs=n_jobs)
+        seconds = time.perf_counter() - t0
+        if seconds < faulted_seconds:
+            faulted_seconds = seconds
+            faulted_cluster = cluster
+            faulted_dataset = dataset
+
+    sweep = None
+    for _ in range(max(1, repeats)):
+        candidate = run_fault_sweep(faulted_dataset,
+                                    faulted_cluster.fault_schedule,
+                                    config=faulted_cluster.config)
+        if sweep is None or candidate.seconds < sweep.seconds:
+            sweep = candidate
+
+    payload = sweep.to_json()
+    payload["empty_fault_replay_seconds"] = empty_seconds
+    payload["fault_replay_seconds"] = faulted_seconds
+    payload["fault_replay_overhead"] = \
+        empty_seconds / max(plain_replay_seconds, 1e-12)
+    payload["fault_counters"] = \
+        faulted_cluster.last_replay_stats["fault_counters"]
+    return payload
 
 
 def run_profile(users: int = 300, days: float = 3.0, seed: int = 2014,
@@ -308,6 +383,11 @@ def format_summary(result: BenchResult) -> str:
     if whatif:
         line += (f" | whatif {whatif['n_policies']} policies "
                  f"{whatif['whatif_sweep_seconds']:.3f}s")
+    faults = payload.get("faults")
+    if faults:
+        line += (f" | faults overhead {faults['fault_replay_overhead']:.3f}x, "
+                 f"sweep {faults['n_policies']} policies "
+                 f"{faults['faultsweep_seconds']:.3f}s")
     if "speedup_vs_seed" in payload:
         line += f" | {payload['speedup_vs_seed']:.2f}x vs seed"
     return line

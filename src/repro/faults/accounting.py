@@ -1,0 +1,62 @@
+"""Fault counters, in the :class:`~repro.backend.datastore.StorageAccounting`
+mold: one plain dataclass per replay shard, merged field by field into the
+cluster-level total, surfaced in ``U1Cluster.last_replay_stats`` and pinned
+counter-for-counter by the offline mitigation simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["FaultAccounting"]
+
+
+@dataclass
+class FaultAccounting:
+    """Counters of one replay's (or one offline pass's) fault exposure."""
+
+    #: Requests whose *first* attempt hit an injected fault.
+    requests_faulted: int = 0
+    #: Faulted requests that ultimately failed (user-visible errors).
+    requests_failed: int = 0
+    #: Faulted requests a mitigation (retry escape, replica failover)
+    #: ultimately served.
+    requests_recovered: int = 0
+    #: Retry attempts issued by the retry mitigation.
+    retries: int = 0
+    #: Client-perceived backoff the retry mitigation spent (never shifts
+    #: the replay clock — the replay is open-loop).
+    backoff_seconds: float = 0.0
+
+    # Final user-visible errors by kind (matches the trace ``error_kind``
+    # column values).
+    service_unavailable: int = 0
+    shard_read_only: int = 0
+    storage_node_down: int = 0
+    #: Session opens rejected while an AuthOutage window was active.
+    auth_outage_failures: int = 0
+
+    #: Transfer requests served by a surviving replica of a down node.
+    failover_requests: int = 0
+
+    #: RPCs executed by a degraded process inside its window, and the extra
+    #: service seconds the degradation added on top of the healthy draw.
+    degraded_rpcs: int = 0
+    degraded_extra_seconds: float = 0.0
+
+    def merge(self, other: "FaultAccounting") -> None:
+        """Fold another shard's counters into this one (all additive)."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for ``last_replay_stats`` / JSON payloads."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @property
+    def user_visible_errors(self) -> int:
+        """Failed requests plus rejected session opens."""
+        return self.requests_failed + self.auth_outage_failures
+
+    def __bool__(self) -> bool:
+        return any(getattr(self, spec.name) for spec in fields(self))

@@ -1,0 +1,91 @@
+"""Mitigation policies: what the operator (or client library) does about
+injected faults.
+
+A :class:`MitigationPolicy` is declarative and frozen, like the storage
+:class:`~repro.whatif.simulator.PolicySpec`.  Live replays support the
+``none`` and ``retry`` kinds (the client-side mitigations the API server
+can apply per request); the operator-side kinds (``hedge``,
+``drain-and-repair``, ``disable-and-continue``) are evaluated offline only,
+by :func:`repro.faults.simulator.simulate_mitigation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LIVE_KINDS", "MitigationPolicy", "default_mitigations"]
+
+#: Policy kinds a live replay can apply (``ClusterConfig.validate`` rejects
+#: the offline-only ones).
+LIVE_KINDS = ("none", "retry")
+
+_ALL_KINDS = ("none", "retry", "hedge", "drain", "disable")
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """One mitigation configuration of a fault sweep."""
+
+    name: str = "do-nothing"
+    #: "none" | "retry" | "hedge" | "drain" | "disable".
+    kind: str = "none"
+    #: Retry budget: additional attempts after the first (``retry`` only).
+    max_retries: int = 0
+    #: Exponential backoff: attempt ``k`` (0-based) waits
+    #: ``backoff_base * backoff_factor ** k`` seconds before retrying.
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    #: Seconds until the operator-side kinds detect a fault window and act
+    #: (``drain``/``disable`` only).
+    detection_seconds: float = 60.0
+    description: str = ""
+
+    def validate(self) -> None:
+        if self.kind not in _ALL_KINDS:
+            raise ValueError(f"unknown mitigation kind: {self.kind!r}")
+        if self.kind == "retry" and self.max_retries < 1:
+            raise ValueError("retry mitigation needs max_retries >= 1")
+        if self.backoff_base < 0.0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_factor "
+                             ">= 1")
+        if self.detection_seconds < 0.0:
+            raise ValueError("detection_seconds must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), in seconds."""
+        return self.backoff_base * self.backoff_factor ** attempt
+
+    def total_backoff(self, retries: int) -> float:
+        """Backoff accumulated over ``retries`` attempts, in seconds."""
+        return sum(self.backoff(k) for k in range(retries))
+
+
+def default_mitigations(detection_seconds: float = 60.0) \
+        -> list[MitigationPolicy]:
+    """The standard six-policy sweep set (do-nothing first).
+
+    Mirrors linkguardian's sweep shape: a do-nothing baseline, client-side
+    retry budgets and hedging, then the two operator responses — drain the
+    ailing component onto healthy capacity versus disable it and accept
+    the degraded mode.
+    """
+    return [
+        MitigationPolicy("do-nothing", "none",
+                         description="faults hit users unmitigated"),
+        MitigationPolicy("retry-1", "retry", max_retries=1,
+                         backoff_base=1.0,
+                         description="one retry after 1s backoff"),
+        MitigationPolicy("retry-3", "retry", max_retries=3,
+                         backoff_base=1.0, backoff_factor=2.0,
+                         description="3 retries, exponential 1s/2s/4s"),
+        MitigationPolicy("hedge", "hedge",
+                         description="duplicate hedged attempt per request"),
+        MitigationPolicy("drain-repair", "drain",
+                         detection_seconds=detection_seconds,
+                         description="drain faulty component after "
+                                     "detection, repair offline"),
+        MitigationPolicy("disable", "disable",
+                         detection_seconds=detection_seconds,
+                         description="disable faulty component after "
+                                     "detection, fail fast / use replicas"),
+    ]

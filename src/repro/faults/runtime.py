@@ -1,0 +1,273 @@
+"""Compiled fault schedules and the per-shard injector.
+
+The planning pass compiles a :class:`~repro.faults.spec.FaultPlan` once
+(:func:`compile_plan`) into an immutable, picklable :class:`FaultSchedule`
+keyed on the *global* trace clock; every replay shard receives the same
+schedule, so sharded and fused replays see bit-identical fault exposure.
+
+Determinism is hash-based, never RNG-stream-based: the per-attempt failure
+decision of a lossy link is a splitmix-style hash of ``(plan seed, request
+identity, attempt index)``, and content-to-storage-node placement is
+``crc32(content_hash) % n_nodes``.  Both are pure functions of trace-visible
+fields, which is what lets the offline mitigation simulator
+(:mod:`repro.faults.simulator`) recompute every live decision exactly from
+the baseline trace columns.
+
+:func:`request_disposition` is that shared decision procedure — the live
+API server and the offline simulator call the same function, so the
+retry-mitigation counters pin counter-for-counter.  Retry attempt ``k`` is
+re-evaluated at ``timestamp + cumulative_backoff`` (backoff can escape a
+fault window); the replay itself stays open-loop — backoff is accounted,
+never added to the replay clock.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.backend.errors import is_retryable_kind
+from repro.faults.accounting import FaultAccounting
+from repro.faults.mitigation import MitigationPolicy
+from repro.faults.spec import (
+    AuthOutage,
+    DegradedProcess,
+    FaultPlan,
+    LossyLink,
+    ReadOnlyShard,
+    StorageNodeOutage,
+)
+
+__all__ = ["FAILOVER", "FaultInjector", "FaultSchedule", "HEDGE_ATTEMPT",
+           "compile_plan", "content_node", "request_disposition"]
+
+#: Sentinel outcome: the request hit a down storage node but a surviving
+#: replica served it (counted, not failed).
+FAILOVER = "failover"
+
+#: Attempt-index offset of a hedged duplicate (offline ``hedge`` policy):
+#: far above any retry budget, so hedge draws never collide with retry draws.
+HEDGE_ATTEMPT = 1 << 20
+
+_MASK64 = (1 << 64) - 1
+_LOSSY_TAG = 0xA1
+_PACK_DOUBLE = struct.Struct("<d").pack
+
+
+def _mix64(*values: int) -> int:
+    """Splitmix64-style avalanche over a tuple of integers."""
+    h = 0x9E3779B97F4A7C15
+    for v in values:
+        h = ((h ^ (v & _MASK64)) * 0xBF58476D1CE4E5B9) & _MASK64
+        h ^= h >> 27
+        h = (h * 0x94D049BB133111EB) & _MASK64
+        h ^= h >> 31
+    return h
+
+
+def _float_bits(ts: float) -> int:
+    """The IEEE-754 bits of a timestamp (exact, unlike any rounding)."""
+    return int.from_bytes(_PACK_DOUBLE(ts), "little")
+
+
+def content_node(content_hash: str, n_nodes: int) -> int:
+    """Deterministic content-to-storage-node placement.
+
+    ``crc32`` rather than ``hash()``: Python string hashing is salted per
+    process, which would break both cross-process shard determinism and
+    offline recomputation.
+    """
+    return zlib.crc32(content_hash.encode()) % n_nodes
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A compiled, immutable fault timeline (shared by every shard).
+
+    All window tuples carry absolute ``[start, end)`` bounds.
+    ``envelope`` is the ``(min start, max end)`` over every window — one
+    float comparison outside it short-circuits all fault work, which is
+    what keeps the zero-fault replay overhead within the CI bound.
+    """
+
+    seed: int = 0
+    #: worker index -> ((start, end, inflation), ...).
+    degraded: dict = field(default_factory=dict)
+    #: ((start, end, failure_rate), ...).
+    lossy: tuple = ()
+    #: ((start, end, shard_id), ...).
+    read_only: tuple = ()
+    #: ((start, end, node_index, n_nodes, failover), ...).
+    storage_down: tuple = ()
+    #: ((start, end), ...).
+    auth: tuple = ()
+    envelope: tuple = (float("inf"), float("-inf"))
+
+    @property
+    def active(self) -> bool:
+        """Whether the schedule contains any fault window at all."""
+        return self.envelope[0] < self.envelope[1]
+
+    def degraded_windows(self, worker_id: int) -> tuple:
+        """The degradation windows of one fleet-wide worker index."""
+        return self.degraded.get(worker_id, ())
+
+    def auth_denied(self, timestamp: float) -> bool:
+        """Whether an auth outage covers ``timestamp``."""
+        for start, end in self.auth:
+            if start <= timestamp < end:
+                return True
+        return False
+
+    def attempt_outcome(self, effective_ts: float, ts_bits: int,
+                        user_id: int, session_id: int, mutating: bool,
+                        transfer_hash: str, shard_id: int,
+                        attempt: int) -> str | None:
+        """The fate of one request attempt: ``None`` (clean), an
+        ``error_kind`` string, or :data:`FAILOVER`.
+
+        Precedence per attempt: lossy link, then shard read-only, then
+        storage-node outage.  ``effective_ts`` is the attempt's (possibly
+        backoff-shifted) instant; ``ts_bits``/``attempt`` salt the lossy
+        hash so the request identity stays that of the original request.
+        """
+        for i, (start, end, rate) in enumerate(self.lossy):
+            if start <= effective_ts < end and _mix64(
+                    self.seed, _LOSSY_TAG + i, user_id, session_id,
+                    ts_bits, attempt) < rate * 2.0 ** 64:
+                return "service_unavailable"
+        if mutating:
+            for start, end, ro_shard in self.read_only:
+                if ro_shard == shard_id and start <= effective_ts < end:
+                    return "shard_read_only"
+        if transfer_hash:
+            for start, end, node, n_nodes, failover in self.storage_down:
+                if start <= effective_ts < end and \
+                        content_node(transfer_hash, n_nodes) == node:
+                    return FAILOVER if failover else "storage_node_down"
+        return None
+
+
+def compile_plan(plan: FaultPlan, n_processes: int | None = None,
+                 n_shards: int | None = None) -> FaultSchedule:
+    """Compile a declarative plan into the flat schedule the shards consume.
+
+    Runs once, in the planning pass, against the global clock; validation
+    happens here so a bad plan fails before any worker forks.
+    """
+    plan.validate(n_processes=n_processes, n_shards=n_shards)
+    degraded: dict[int, list] = {}
+    lossy, read_only, storage_down, auth = [], [], [], []
+    lo, hi = float("inf"), float("-inf")
+    for fault in plan.faults:
+        lo = min(lo, fault.start)
+        hi = max(hi, fault.end)
+        if isinstance(fault, DegradedProcess):
+            degraded.setdefault(fault.process_index, []).append(
+                (fault.start, fault.end, fault.inflation))
+        elif isinstance(fault, LossyLink):
+            lossy.append((fault.start, fault.end, fault.failure_rate))
+        elif isinstance(fault, ReadOnlyShard):
+            read_only.append((fault.start, fault.end, fault.shard_id))
+        elif isinstance(fault, StorageNodeOutage):
+            storage_down.append((fault.start, fault.end, fault.node_index,
+                                 fault.n_nodes, fault.failover))
+        else:  # AuthOutage (validate() rejected everything else)
+            auth.append((fault.start, fault.end))
+    return FaultSchedule(
+        seed=plan.seed,
+        degraded={worker: tuple(sorted(windows))
+                  for worker, windows in degraded.items()},
+        lossy=tuple(sorted(lossy)),
+        read_only=tuple(sorted(read_only)),
+        storage_down=tuple(sorted(storage_down)),
+        auth=tuple(sorted(auth)),
+        envelope=(lo, hi))
+
+
+def request_disposition(schedule: FaultSchedule,
+                        policy: MitigationPolicy | None,
+                        ts: float, user_id: int, session_id: int,
+                        mutating: bool, transfer_hash: str,
+                        shard_id: int) -> tuple[str, int, float, bool]:
+    """Resolve one request under a (possibly retrying) mitigation.
+
+    Returns ``(error_kind, retries, backoff_seconds, failover)`` —
+    ``error_kind`` is "" when the request is ultimately served.  This is
+    the single decision procedure shared by the live API server and the
+    offline simulator; keep it free of any state beyond its arguments.
+    """
+    ts_bits = _float_bits(ts)
+    outcome = schedule.attempt_outcome(ts, ts_bits, user_id, session_id,
+                                       mutating, transfer_hash, shard_id, 0)
+    if outcome is None:
+        return "", 0, 0.0, False
+    if outcome == FAILOVER:
+        return "", 0, 0.0, True
+    retries = 0
+    backoff = 0.0
+    if policy is not None and policy.kind == "retry":
+        while retries < policy.max_retries and is_retryable_kind(outcome):
+            backoff += policy.backoff(retries)
+            retries += 1
+            outcome = schedule.attempt_outcome(
+                ts + backoff, ts_bits, user_id, session_id, mutating,
+                transfer_hash, shard_id, retries)
+            if outcome is None:
+                return "", retries, backoff, False
+            if outcome == FAILOVER:
+                return "", retries, backoff, True
+    return outcome, retries, backoff, False
+
+
+class FaultInjector:
+    """Per-shard runtime face of a schedule: decisions plus counters.
+
+    The schedule is shared and immutable; the accounting is this shard's
+    own (or, for the interactive cluster processes, the cluster-level
+    instance passed in).
+    """
+
+    __slots__ = ("schedule", "policy", "accounting")
+
+    def __init__(self, schedule: FaultSchedule,
+                 policy: MitigationPolicy | None = None,
+                 accounting: FaultAccounting | None = None):
+        self.schedule = schedule
+        self.policy = policy
+        self.accounting = accounting if accounting is not None \
+            else FaultAccounting()
+
+    def check_request(self, ts: float, user_id: int, session_id: int,
+                      mutating: bool, transfer_hash: str,
+                      shard_id: int) -> tuple[str, int, bool]:
+        """Resolve one API request and update the counters.
+
+        Returns ``(error_kind, retries, failover)``; an empty
+        ``error_kind`` means the request proceeds to its handler.
+        """
+        error_kind, retries, backoff, failover = request_disposition(
+            self.schedule, self.policy, ts, user_id, session_id, mutating,
+            transfer_hash, shard_id)
+        acc = self.accounting
+        if retries:
+            acc.retries += retries
+            acc.backoff_seconds += backoff
+        if error_kind:
+            acc.requests_faulted += 1
+            acc.requests_failed += 1
+            if error_kind == "service_unavailable":
+                acc.service_unavailable += 1
+            elif error_kind == "shard_read_only":
+                acc.shard_read_only += 1
+            else:
+                acc.storage_node_down += 1
+        elif retries or failover:
+            # The first attempt hit a fault; a retry escape or a replica
+            # ultimately served the request.
+            acc.requests_faulted += 1
+            acc.requests_recovered += 1
+        if failover:
+            acc.failover_requests += 1
+        return error_kind, retries, failover

@@ -1,0 +1,480 @@
+"""Offline mitigation simulator: fault policies replayed over trace columns.
+
+The live replay makes every fault decision through
+:func:`repro.faults.runtime.request_disposition`, a pure function of
+trace-visible request identity (timestamp bits, user, session, operation
+class, content hash, shard).  This module exploits that purity: a
+:class:`FaultTrace` decodes the faulted baseline trace's NumPy columns once,
+and :func:`simulate_mitigation` re-resolves every in-envelope request under
+a different :class:`~repro.faults.mitigation.MitigationPolicy` — no backend,
+no RPC sampling, no trace sink.  A six-policy sweep therefore costs one
+replay plus cheap columnar passes (see :mod:`repro.faults.sweep`).
+
+Equivalence contract (pinned by ``tests/faults/test_simulator.py``): for the
+policy kinds the live request path supports (``none`` and ``retry``), the
+offline :class:`~repro.faults.accounting.FaultAccounting` matches the live
+replay's counter-for-counter, because both sides call the same decision
+procedure over the same request identities — the offline pass literally
+drives a :class:`~repro.faults.runtime.FaultInjector`.  Two caveats the
+caller controls:
+
+* the trace must be the **mitigation-free** (``kind="none"``) replay of the
+  same fault plan: a fault-hit request fails before dispatch and leaves
+  exactly one storage row, so the baseline row set is the complete request
+  log whatever policy is re-evaluated offline;
+* the ``degraded_*`` counters are exact against the baseline replay (the
+  inflation is inverted from the recorded service times), but under a live
+  *retry* policy recovered requests execute RPCs the baseline trace never
+  saw — pin retry counters with a degraded-free plan, or accept the
+  documented drift on the two degraded counters.
+
+The speculative policy kinds (``hedge``, ``drain``, ``disable``) have no
+live counterpart by design; their outcome figures are what-if *estimates*
+built from the same deterministic machinery (hedge duplicates draw with a
+disjoint attempt salt; drain/disable model an operator reacting
+``detection_seconds`` after each fault window opens).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.accounting import FaultAccounting
+from repro.faults.mitigation import MitigationPolicy
+from repro.faults.runtime import (
+    FAILOVER,
+    HEDGE_ATTEMPT,
+    FaultInjector,
+    FaultSchedule,
+    _float_bits,
+    content_node,
+)
+from repro.trace.dataset import (
+    OPERATION_CODE,
+    SESSION_EVENT_CODE,
+    TraceDataset,
+)
+from repro.trace.records import ApiOperation, SessionEvent
+
+__all__ = ["FaultTrace", "MitigationOutcome", "simulate_mitigation"]
+
+#: Mirrors ``ApiServerProcess._MUTATING_OPERATIONS`` — the offline pass must
+#: classify operations exactly as the live request path does.
+_MUTATING = frozenset({
+    ApiOperation.UPLOAD, ApiOperation.UNLINK, ApiOperation.MAKE,
+    ApiOperation.MOVE, ApiOperation.CREATE_UDF, ApiOperation.DELETE_VOLUME,
+})
+
+_AUTH_REQUEST = SESSION_EVENT_CODE[SessionEvent.AUTH_REQUEST]
+_AUTH_FAIL = SESSION_EVENT_CODE[SessionEvent.AUTH_FAIL]
+
+
+@dataclass
+class MitigationOutcome:
+    """What one mitigation policy would have made of the faulted timeline."""
+
+    policy: MitigationPolicy
+    accounting: FaultAccounting
+    #: Storage requests plus authentication attempts.
+    n_requests: int
+    #: User-visible errors (final request failures + auth-outage denials)
+    #: over ``n_requests``.
+    error_rate: float
+    #: Request-latency percentiles under the policy (sum of a request's RPC
+    #: service times; failed attempts cost the client timeout).
+    p50_latency: float
+    p99_latency: float
+    p999_latency: float
+    #: Percentile over the same percentile of the fault-free latency
+    #: baseline (degradation inverted, faults ignored); 1.0 = no inflation.
+    p99_inflation: float
+    p999_inflation: float
+    #: Extra backend attempts (retries, hedge arms) per request.
+    ops_overhead: float
+    #: linkguardian-style scalar: errors dominate, then tail inflation,
+    #: then the cost of extra attempts.
+    penalty: float
+    seconds: float = 0.0
+
+    def to_json(self) -> dict:
+        data = {
+            "policy": self.policy.name,
+            "kind": self.policy.kind,
+            "description": self.policy.description,
+            "n_requests": self.n_requests,
+            "error_rate": self.error_rate,
+            "p50_latency": self.p50_latency,
+            "p99_latency": self.p99_latency,
+            "p999_latency": self.p999_latency,
+            "p99_inflation": self.p99_inflation,
+            "p999_inflation": self.p999_inflation,
+            "ops_overhead": self.ops_overhead,
+            "penalty": self.penalty,
+            "seconds": self.seconds,
+        }
+        data["fault_counters"] = self.accounting.as_dict()
+        return data
+
+
+class FaultTrace:
+    """The faulted trace decoded once into flat request identities.
+
+    Holds per-storage-request identity columns (everything
+    :func:`~repro.faults.runtime.request_disposition` needs), the
+    as-traced request latencies (RPC service-time sums grouped by
+    ``(session, timestamp)``), and the session stream's authentication
+    events.  Schedule-dependent derivations (degraded-RPC inversion,
+    auth-outage counts) are memoised per schedule so a sweep pays them
+    once, not once per policy.
+    """
+
+    __slots__ = ("ts", "users", "sessions", "shards", "mutating", "hashes",
+                 "latency", "auth_requests", "auth_fail_ts", "n_requests",
+                 "_rpc_ts", "_rpc_workers", "_rpc_service", "_rpc_request",
+                 "_schedule_stats")
+
+    def __init__(self, ts, users, sessions, shards, mutating, hashes,
+                 latency, auth_requests, auth_fail_ts,
+                 rpc_ts, rpc_workers, rpc_service, rpc_request):
+        self.ts = ts
+        self.users = users
+        self.sessions = sessions
+        self.shards = shards
+        self.mutating = mutating
+        self.hashes = hashes
+        self.latency = latency
+        self.auth_requests = auth_requests
+        self.auth_fail_ts = auth_fail_ts
+        self.n_requests = len(ts)
+        self._rpc_ts = rpc_ts
+        self._rpc_workers = rpc_workers
+        self._rpc_service = rpc_service
+        self._rpc_request = rpc_request
+        self._schedule_stats: dict[int, _ScheduleStats] = {}
+
+    @classmethod
+    def from_dataset(cls, dataset: TraceDataset,
+                     processes_per_machine: int | None = None,
+                     machine_names: list[str] | None = None) -> "FaultTrace":
+        """Decode the columns one mitigation sweep needs.
+
+        ``processes_per_machine``/``machine_names`` (from the replaying
+        cluster's config) map each RPC row's ``(server, process)`` back to
+        the fleet-wide worker index the degraded-process windows are keyed
+        on; leave them ``None`` for plans without degraded faults.
+        """
+        ts = dataset.storage_column("timestamp")
+        users = dataset.storage_column("user_id")
+        sessions = dataset.storage_column("session_id")
+        shards = dataset.storage_column("shard_id")
+        ops = dataset.storage_column("operation")
+
+        operations = list(ApiOperation)
+        mutating_by_code = np.zeros(len(operations), dtype=bool)
+        transfer_by_code = np.zeros(len(operations), dtype=bool)
+        for op in operations:
+            mutating_by_code[OPERATION_CODE[op]] = op in _MUTATING
+            transfer_by_code[OPERATION_CODE[op]] = op.is_transfer
+        mutating = mutating_by_code[ops]
+
+        # Transfer hashes as strings ("" off the transfer path), decoded via
+        # the factorised codes so each unique hash is materialized once.
+        codes, categories = dataset.storage_codes("content_hash")
+        hashes = np.asarray(categories, dtype=object)[codes]
+        hashes[~transfer_by_code[ops]] = ""
+
+        # Request latency: every RPC row carries its request's dispatch
+        # timestamp and session, so grouping by (session, timestamp)
+        # reassembles per-request service-time sums without any record
+        # materialization.
+        rpc_ts = dataset.rpc_column("timestamp")
+        rpc_sessions = dataset.rpc_column("session_id")
+        rpc_service = dataset.rpc_column("service_time")
+        request_index = {}
+        ts_list = ts.tolist()
+        for i, key_session in enumerate(sessions.tolist()):
+            request_index.setdefault((key_session, ts_list[i]), i)
+        latency = np.zeros(len(ts), dtype=np.float64)
+        rpc_request = np.full(len(rpc_ts), -1, dtype=np.int64)
+        rpc_ts_list = rpc_ts.tolist()
+        rpc_service_list = rpc_service.tolist()
+        for j, rpc_session in enumerate(rpc_sessions.tolist()):
+            row = request_index.get((rpc_session, rpc_ts_list[j]), -1)
+            rpc_request[j] = row
+            if row >= 0:
+                latency[row] += rpc_service_list[j]
+
+        rpc_workers = None
+        if processes_per_machine is not None and machine_names is not None:
+            machine_index = {name: i for i, name in enumerate(machine_names)}
+            server_codes, server_cats = dataset.rpc_codes("server")
+            cat_to_machine = np.array(
+                [machine_index.get(name, -1) for name in server_cats],
+                dtype=np.int64)
+            rpc_workers = (cat_to_machine[server_codes] * processes_per_machine
+                           + dataset.rpc_column("process"))
+
+        event = dataset.session_column("event")
+        session_ts = dataset.session_column("timestamp")
+        return cls(
+            ts=ts, users=users, sessions=sessions, shards=shards,
+            mutating=mutating, hashes=hashes, latency=latency,
+            auth_requests=int(np.count_nonzero(event == _AUTH_REQUEST)),
+            auth_fail_ts=session_ts[event == _AUTH_FAIL],
+            rpc_ts=rpc_ts, rpc_workers=rpc_workers,
+            rpc_service=rpc_service, rpc_request=rpc_request)
+
+    def schedule_stats(self, schedule: FaultSchedule) -> "_ScheduleStats":
+        """Schedule-dependent derivations, computed once per schedule."""
+        stats = self._schedule_stats.get(id(schedule))
+        if stats is None:
+            stats = _ScheduleStats(self, schedule)
+            self._schedule_stats[id(schedule)] = stats
+        return stats
+
+
+class _ScheduleStats:
+    """Per-(trace, schedule) derivations shared across a sweep's policies."""
+
+    __slots__ = ("auth_outage_failures", "degraded_rpcs",
+                 "degraded_extra_seconds", "degraded_hits", "fault_rows",
+                 "healthy_latency", "clean_fill")
+
+    def __init__(self, trace: FaultTrace, schedule: FaultSchedule):
+        self.auth_outage_failures = sum(
+            int(np.count_nonzero((trace.auth_fail_ts >= start)
+                                 & (trace.auth_fail_ts < end)))
+            for start, end in schedule.auth)
+
+        # Invert degraded-process inflation from the recorded service times:
+        # the live worker multiplied the drawn time by ``inflation``, so the
+        # healthy draw is ``recorded / inflation`` and the counted extra is
+        # their difference — the same quantity, up to float re-association,
+        # that the live ``degraded_extra_seconds`` accumulated.
+        self.degraded_rpcs = 0
+        self.degraded_extra_seconds = 0.0
+        #: ``(request row, extra seconds, rpc timestamp, window start)`` per
+        #: degraded RPC — what the drain policy needs to lift inflation
+        #: ``detection_seconds`` after each window opens.
+        self.degraded_hits: list[tuple[int, float, float, float]] = []
+        healthy = trace.latency.copy()
+        if schedule.degraded:
+            if trace._rpc_workers is None:
+                raise ValueError(
+                    "schedule has degraded-process windows; decode the trace "
+                    "with the cluster's processes_per_machine/machine_names "
+                    "so RPC rows can be mapped back to workers")
+            for worker, windows in schedule.degraded.items():
+                on_worker = trace._rpc_workers == worker
+                for start, end, inflation in windows:
+                    mask = (on_worker & (trace._rpc_ts >= start)
+                            & (trace._rpc_ts < end))
+                    hits = np.flatnonzero(mask)
+                    if not len(hits):
+                        continue
+                    service = trace._rpc_service[hits]
+                    extra = service * (1.0 - 1.0 / inflation)
+                    self.degraded_rpcs += len(hits)
+                    self.degraded_extra_seconds += float(extra.sum())
+                    rows = trace._rpc_request[hits]
+                    for k in range(len(hits)):
+                        row = int(rows[k])
+                        if row >= 0:
+                            healthy[row] -= extra[k]
+                            self.degraded_hits.append(
+                                (row, float(extra[k]),
+                                 float(trace._rpc_ts[hits[k]]), start))
+
+        # The fault-free latency baseline: degradation inverted, and rows
+        # the baseline replay failed (they carry no RPCs, hence zero
+        # latency) backfilled with the clean median so the percentile floor
+        # is a served request, not a fault artifact.
+        lo, hi = schedule.envelope
+        self.fault_rows = np.flatnonzero((trace.ts >= lo) & (trace.ts < hi))
+        served = healthy[healthy > 0.0]
+        self.clean_fill = float(np.median(served)) if len(served) else 0.0
+        healthy[healthy <= 0.0] = self.clean_fill
+        self.healthy_latency = healthy
+
+
+def _window_open(schedule: FaultSchedule, error_kind: str, ts: float,
+                 shard_id: int, transfer_hash: str) -> float:
+    """Start of the fault window behind ``error_kind`` at ``ts``.
+
+    The drain/disable policies model an operator reacting a detection
+    delay after the *window opens*, so they need the opening instant of
+    whichever window actually produced the error.
+    """
+    if error_kind == "service_unavailable":
+        for start, end, _rate in schedule.lossy:
+            if start <= ts < end:
+                return start
+    elif error_kind == "shard_read_only":
+        for start, end, ro_shard in schedule.read_only:
+            if ro_shard == shard_id and start <= ts < end:
+                return start
+    else:
+        for start, end, node, n_nodes, _failover in schedule.storage_down:
+            if start <= ts < end and content_node(transfer_hash,
+                                                  n_nodes) == node:
+                return start
+    return ts
+
+
+def simulate_mitigation(trace: FaultTrace, schedule: FaultSchedule,
+                        policy: MitigationPolicy,
+                        timeout_seconds: float = 0.5) -> MitigationOutcome:
+    """Re-resolve every faulted request under ``policy``, offline.
+
+    ``timeout_seconds`` is the client-visible cost of one failed attempt
+    (the latency model's stand-in for the request timeout).
+    """
+    started = time.perf_counter()
+    policy.validate()
+    stats = trace.schedule_stats(schedule)
+    injector = FaultInjector(schedule, policy)
+    acc = injector.accounting
+    acc.auth_outage_failures = stats.auth_outage_failures
+    acc.degraded_rpcs = stats.degraded_rpcs
+    acc.degraded_extra_seconds = stats.degraded_extra_seconds
+
+    latency = trace.latency.copy()
+    kind = policy.kind
+    detection = policy.detection_seconds
+    clean = stats.clean_fill
+    hedges = 0
+
+    if kind in ("drain", "disable"):
+        # The operator reaction also lifts (drain) the degraded-process
+        # inflation once the degradation is detected.
+        if kind == "drain":
+            for row, extra, rpc_ts, win_start in stats.degraded_hits:
+                if rpc_ts >= win_start + detection:
+                    latency[row] -= extra
+
+    ts = trace.ts
+    users = trace.users
+    sessions = trace.sessions
+    shards = trace.shards
+    mutating = trace.mutating
+    hashes = trace.hashes
+    for i in stats.fault_rows.tolist():
+        row_ts = float(ts[i])
+        if kind in ("none", "retry"):
+            # Exactly the live request path: same injector, same identity,
+            # same counter updates — this is the pinned configuration.
+            error_kind, retries, _failover = injector.check_request(
+                row_ts, int(users[i]), int(sessions[i]), bool(mutating[i]),
+                hashes[i], int(shards[i]))
+            if error_kind:
+                latency[i] = (retries + 1) * timeout_seconds \
+                    + policy.total_backoff(retries)
+            elif retries:
+                latency[i] = retries * timeout_seconds \
+                    + policy.total_backoff(retries) + clean
+            continue
+
+        # Speculative kinds: resolve the unmitigated first attempt, then
+        # model the policy's reaction.
+        error_kind, _retries, _failover = FaultInjector.check_request(
+            _Probe(injector), row_ts, int(users[i]), int(sessions[i]),
+            bool(mutating[i]), hashes[i], int(shards[i]))
+        if not error_kind:
+            continue
+        acc.requests_failed -= 1  # re-decided below
+        _uncount_kind(acc, error_kind)
+        if kind == "hedge":
+            hedges += 1
+            second = schedule.attempt_outcome(
+                row_ts, _float_bits(row_ts), int(users[i]), int(sessions[i]),
+                bool(mutating[i]), hashes[i], int(shards[i]), HEDGE_ATTEMPT)
+            if second is None or second == FAILOVER:
+                if second == FAILOVER:
+                    acc.failover_requests += 1
+                acc.requests_recovered += 1
+                latency[i] = clean
+            else:
+                acc.requests_failed += 1
+                _count_kind(acc, error_kind)
+                latency[i] = timeout_seconds
+        else:
+            opened = _window_open(schedule, error_kind, row_ts,
+                                  int(shards[i]), hashes[i])
+            detected = row_ts >= opened + detection
+            if not detected:
+                acc.requests_failed += 1
+                _count_kind(acc, error_kind)
+                latency[i] = timeout_seconds
+            elif kind == "drain":
+                # Drained to healthy capacity: the request is served.
+                acc.requests_recovered += 1
+                latency[i] = clean
+            elif error_kind == "storage_node_down":
+                # Disable-and-continue: the dead node is dropped from the
+                # placement and a surviving replica serves the read.
+                acc.requests_recovered += 1
+                acc.failover_requests += 1
+                latency[i] = clean
+            else:
+                # Disabled component: fail fast — still an error, but the
+                # client is told immediately instead of timing out.
+                acc.requests_failed += 1
+                _count_kind(acc, error_kind)
+                latency[i] = 0.0
+
+    n_requests = trace.n_requests + trace.auth_requests
+    errors = acc.user_visible_errors
+    error_rate = errors / n_requests if n_requests else 0.0
+    p50, p99, p999 = (_pct(latency, 50), _pct(latency, 99),
+                      _pct(latency, 99.9))
+    hp99, hp999 = (_pct(stats.healthy_latency, 99),
+                   _pct(stats.healthy_latency, 99.9))
+    p99_inflation = p99 / hp99 if hp99 > 0 else 1.0
+    p999_inflation = p999 / hp999 if hp999 > 0 else 1.0
+    ops_overhead = ((acc.retries + hedges) / trace.n_requests
+                    if trace.n_requests else 0.0)
+    penalty = (1000.0 * error_rate
+               + 10.0 * max(0.0, p999_inflation - 1.0)
+               + ops_overhead)
+    return MitigationOutcome(
+        policy=policy, accounting=acc, n_requests=n_requests,
+        error_rate=error_rate, p50_latency=p50, p99_latency=p99,
+        p999_latency=p999, p99_inflation=p99_inflation,
+        p999_inflation=p999_inflation, ops_overhead=ops_overhead,
+        penalty=penalty, seconds=time.perf_counter() - started)
+
+
+class _Probe:
+    """A policy-free view of an injector (first-attempt resolution only)."""
+
+    __slots__ = ("schedule", "policy", "accounting")
+
+    def __init__(self, injector: FaultInjector):
+        self.schedule = injector.schedule
+        self.policy = None
+        self.accounting = injector.accounting
+
+
+def _count_kind(acc: FaultAccounting, error_kind: str) -> None:
+    if error_kind == "service_unavailable":
+        acc.service_unavailable += 1
+    elif error_kind == "shard_read_only":
+        acc.shard_read_only += 1
+    else:
+        acc.storage_node_down += 1
+
+
+def _uncount_kind(acc: FaultAccounting, error_kind: str) -> None:
+    if error_kind == "service_unavailable":
+        acc.service_unavailable -= 1
+    elif error_kind == "shard_read_only":
+        acc.shard_read_only -= 1
+    else:
+        acc.storage_node_down -= 1
+
+
+def _pct(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if len(values) else 0.0

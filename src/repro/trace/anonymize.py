@@ -92,6 +92,8 @@ class Anonymizer:
             is_update=record.is_update,
             shard_id=record.shard_id,
             caused_by_attack=record.caused_by_attack,
+            error_kind=record.error_kind,
+            retries=record.retries,
         )
 
     def anonymize_rpc(self, record: RpcRecord) -> RpcRecord:

@@ -102,13 +102,15 @@ _STORAGE_SPEC = _StreamSpec(
     StorageRecord,
     ("timestamp", "server", "process", "user_id", "session_id", "operation",
      "node_id", "volume_id", "volume_type", "node_kind", "size_bytes",
-     "content_hash", "extension", "is_update", "shard_id", "caused_by_attack"),
+     "content_hash", "extension", "is_update", "shard_id", "caused_by_attack",
+     "error_kind", "retries"),
     kinds={"timestamp": np.float64, "server": object, "process": np.int64,
            "user_id": np.int64, "session_id": np.int64, "operation": "enum",
            "node_id": np.int64, "volume_id": np.int64, "volume_type": "enum",
            "node_kind": "enum", "size_bytes": np.int64, "content_hash": object,
            "extension": object, "is_update": np.bool_, "shard_id": np.int64,
-           "caused_by_attack": np.bool_},
+           "caused_by_attack": np.bool_, "error_kind": object,
+           "retries": np.int64},
     codes={"operation": OPERATION_CODE, "volume_type": VOLUME_TYPE_CODE,
            "node_kind": NODE_KIND_CODE},
 )

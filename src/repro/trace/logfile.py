@@ -116,7 +116,7 @@ def _storage_to_row(r: StorageRecord) -> list[str]:
         str(r.volume_id), r.volume_type.value, r.node_kind.value,
         str(r.size_bytes), r.content_hash, r.extension,
         "1" if r.is_update else "0", str(r.shard_id),
-        "1" if r.caused_by_attack else "0",
+        "1" if r.caused_by_attack else "0", r.error_kind, str(r.retries),
     ]
 
 
@@ -154,6 +154,10 @@ def _row_to_record(row: list[str]) -> StorageRecord | RpcRecord | SessionRecord:
                 content_hash=row[12], extension=row[13],
                 is_update=row[14] == "1", shard_id=int(row[15]),
                 caused_by_attack=row[16] == "1",
+                # Outcome columns postdate the original layout; rows written
+                # before fault injection landed simply lack them.
+                error_kind=row[17] if len(row) > 17 else "",
+                retries=int(row[18]) if len(row) > 18 else 0,
             )
         if kind == _RPC_KIND:
             return RpcRecord(

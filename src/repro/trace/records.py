@@ -231,6 +231,17 @@ class StorageRecord:
     is_update: bool = False
     shard_id: int = -1
     caused_by_attack: bool = False
+    #: Outcome of the request: "" for success, else the injected-fault kind
+    #: ("service_unavailable", "shard_read_only", "storage_node_down"; see
+    #: :mod:`repro.backend.errors`).
+    error_kind: str = ""
+    #: Retry attempts the API server's mitigation made before this outcome.
+    retries: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """True when the request ended in a user-visible error."""
+        return bool(self.error_kind)
 
     @property
     def is_upload(self) -> bool:

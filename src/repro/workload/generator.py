@@ -1304,7 +1304,7 @@ class SyntheticTraceGenerator:
                             event.volume_id, event.volume_type, event.node_kind,
                             event.size_bytes, event.content_hash,
                             event.extension, event.is_update, shard_id,
-                            event.caused_by_attack)
+                            event.caused_by_attack, "", 0)
             session_row(script.end, server, process, user_id, session_id,
                         SessionEvent.DISCONNECT, attack, script.length,
                         script.storage_operation_count)

@@ -1,0 +1,243 @@
+"""Unit tests of the fault spec/compile/decision machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.errors import (
+    BackendError,
+    FaultError,
+    ServiceUnavailable,
+    ShardReadOnly,
+    StorageNodeDown,
+    is_retryable_kind,
+)
+from repro.faults.mitigation import (
+    LIVE_KINDS,
+    MitigationPolicy,
+    default_mitigations,
+)
+from repro.faults.runtime import (
+    FAILOVER,
+    compile_plan,
+    content_node,
+    request_disposition,
+)
+from repro.faults.spec import (
+    AuthOutage,
+    DegradedProcess,
+    FaultPlan,
+    LossyLink,
+    ReadOnlyShard,
+    StorageNodeOutage,
+    default_fault_plan,
+    flapping,
+)
+
+
+class TestErrorTaxonomy:
+    def test_retryable_split(self):
+        assert ServiceUnavailable.retryable
+        assert StorageNodeDown.retryable
+        assert not ShardReadOnly.retryable
+
+    def test_error_kinds(self):
+        assert is_retryable_kind("service_unavailable")
+        assert is_retryable_kind("storage_node_down")
+        assert not is_retryable_kind("shard_read_only")
+        assert not is_retryable_kind("")
+        assert not is_retryable_kind("anything_else")
+
+    def test_fault_errors_are_backend_errors(self):
+        for cls in (ServiceUnavailable, ShardReadOnly, StorageNodeDown):
+            assert issubclass(cls, FaultError)
+            assert issubclass(cls, BackendError)
+
+
+class TestSpecValidation:
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            LossyLink(start=10.0, end=10.0).validate()
+
+    def test_inflation_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            DegradedProcess(start=0.0, end=1.0, inflation=1.0).validate()
+
+    def test_failure_rate_bounds(self):
+        with pytest.raises(ValueError):
+            LossyLink(start=0.0, end=1.0, failure_rate=0.0).validate()
+
+    def test_outage_needs_replicas(self):
+        with pytest.raises(ValueError):
+            StorageNodeOutage(start=0.0, end=1.0, n_nodes=1).validate()
+
+    def test_plan_rejects_unknown_kinds(self):
+        with pytest.raises(TypeError):
+            FaultPlan(faults=("not a fault",)).validate()
+
+    def test_plan_checks_hardware_ranges(self):
+        plan = FaultPlan(faults=(
+            DegradedProcess(start=0.0, end=1.0, process_index=99),))
+        plan.validate()  # fine without a fleet size
+        with pytest.raises(ValueError):
+            plan.validate(n_processes=24)
+        plan = FaultPlan(faults=(
+            ReadOnlyShard(start=0.0, end=1.0, shard_id=10),))
+        with pytest.raises(ValueError):
+            plan.validate(n_shards=10)
+
+    def test_empty_plan_is_falsy_and_inactive(self):
+        plan = FaultPlan()
+        assert not plan
+        schedule = compile_plan(plan)
+        assert not schedule.active
+        lo, hi = schedule.envelope
+        assert lo > hi  # nothing is ever inside the envelope
+
+    def test_flapping_expands_to_duty_cycles(self):
+        windows = flapping(0.0, 100.0, period=40.0, duty=0.25,
+                           process_index=3, inflation=2.0)
+        assert [(w.start, w.end) for w in windows] == \
+            [(0.0, 10.0), (40.0, 50.0), (80.0, 90.0)]
+        assert all(w.process_index == 3 and w.inflation == 2.0
+                   for w in windows)
+
+
+class TestCompileAndDecide:
+    def test_compile_buckets_by_kind(self):
+        plan = default_fault_plan(1000.0, 4000.0, seed=5)
+        schedule = compile_plan(plan, n_processes=24, n_shards=10)
+        assert schedule.seed == 5
+        assert schedule.active
+        assert 0 in schedule.degraded
+        assert schedule.lossy and schedule.read_only
+        assert schedule.storage_down and schedule.auth
+        lo, hi = schedule.envelope
+        assert lo == min(f.start for f in plan.faults)
+        assert hi == max(f.end for f in plan.faults)
+
+    def test_content_node_is_process_independent(self):
+        # crc32, not hash(): the same content maps to the same node in
+        # every process, every run.
+        assert content_node("abc123", 4) == content_node("abc123", 4)
+        assert 0 <= content_node("anything", 3) < 3
+
+    def test_lossy_decision_is_deterministic_and_rate_shaped(self):
+        schedule = compile_plan(FaultPlan(
+            faults=(LossyLink(0.0, 1e6, failure_rate=0.3),), seed=9))
+        outcomes = [
+            schedule.attempt_outcome(float(t), t, 1, 2, False, "", 0, 0)
+            for t in range(4000)
+        ]
+        repeat = [
+            schedule.attempt_outcome(float(t), t, 1, 2, False, "", 0, 0)
+            for t in range(4000)
+        ]
+        assert outcomes == repeat
+        rate = sum(o == "service_unavailable" for o in outcomes) / 4000
+        assert 0.25 < rate < 0.35
+
+    def test_read_only_hits_mutations_on_its_shard_only(self):
+        schedule = compile_plan(FaultPlan(
+            faults=(ReadOnlyShard(0.0, 100.0, shard_id=3),)))
+        hit = schedule.attempt_outcome(50.0, 0, 1, 2, True, "", 3, 0)
+        assert hit == "shard_read_only"
+        assert schedule.attempt_outcome(50.0, 0, 1, 2, True, "", 4, 0) is None
+        assert schedule.attempt_outcome(50.0, 0, 1, 2, False, "", 3, 0) is None
+        assert schedule.attempt_outcome(150.0, 0, 1, 2, True, "", 3, 0) is None
+
+    def test_storage_outage_hits_placed_transfers(self):
+        n_nodes = 3
+        schedule = compile_plan(FaultPlan(faults=(
+            StorageNodeOutage(0.0, 100.0, node_index=1, n_nodes=n_nodes),)))
+        on_node = next(h for h in (f"hash{i}" for i in range(50))
+                       if content_node(h, n_nodes) == 1)
+        off_node = next(h for h in (f"hash{i}" for i in range(50))
+                        if content_node(h, n_nodes) != 1)
+        assert schedule.attempt_outcome(
+            50.0, 0, 1, 2, False, on_node, 0, 0) == "storage_node_down"
+        assert schedule.attempt_outcome(
+            50.0, 0, 1, 2, False, off_node, 0, 0) is None
+        # Non-transfers carry no hash and never hit storage outages.
+        assert schedule.attempt_outcome(50.0, 0, 1, 2, False, "", 0, 0) is None
+
+    def test_failover_outage_reports_failover(self):
+        schedule = compile_plan(FaultPlan(faults=(
+            StorageNodeOutage(0.0, 100.0, node_index=0, n_nodes=2,
+                              failover=True),)))
+        on_node = next(h for h in (f"h{i}" for i in range(50))
+                       if content_node(h, 2) == 0)
+        assert schedule.attempt_outcome(
+            50.0, 0, 1, 2, False, on_node, 0, 0) == FAILOVER
+
+    def test_auth_denied_window(self):
+        schedule = compile_plan(FaultPlan(
+            faults=(AuthOutage(10.0, 20.0),)))
+        assert schedule.auth_denied(10.0)
+        assert schedule.auth_denied(19.9)
+        assert not schedule.auth_denied(20.0)
+        assert not schedule.auth_denied(9.9)
+
+
+class TestDisposition:
+    def test_retry_escapes_a_bounded_window(self):
+        # The fault window closes before the retry backoff lands, so the
+        # retried attempt is re-evaluated outside the window and succeeds.
+        schedule = compile_plan(FaultPlan(
+            faults=(LossyLink(0.0, 100.0, failure_rate=1.0),)))
+        policy = MitigationPolicy("retry", "retry", max_retries=1,
+                                  backoff_base=10.0)
+        error_kind, retries, backoff, failover = request_disposition(
+            schedule, policy, 99.0, 1, 2, False, "", 0)
+        assert (error_kind, retries, backoff, failover) == ("", 1, 10.0, False)
+
+    def test_retry_gives_up_inside_a_long_window(self):
+        schedule = compile_plan(FaultPlan(
+            faults=(LossyLink(0.0, 1e9, failure_rate=1.0),)))
+        policy = MitigationPolicy("retry", "retry", max_retries=3,
+                                  backoff_base=1.0, backoff_factor=2.0)
+        error_kind, retries, backoff, _ = request_disposition(
+            schedule, policy, 50.0, 1, 2, False, "", 0)
+        assert error_kind == "service_unavailable"
+        assert retries == 3
+        assert backoff == 1.0 + 2.0 + 4.0
+
+    def test_terminal_kinds_are_never_retried(self):
+        schedule = compile_plan(FaultPlan(
+            faults=(ReadOnlyShard(0.0, 10.0, shard_id=0),)))
+        policy = MitigationPolicy("retry", "retry", max_retries=3,
+                                  backoff_base=100.0)
+        error_kind, retries, backoff, _ = request_disposition(
+            schedule, policy, 5.0, 1, 2, True, "", 0)
+        # ShardReadOnly is terminal: retrying an operator-action fault
+        # would just burn the budget, so the loop never starts.
+        assert (error_kind, retries, backoff) == ("shard_read_only", 0, 0.0)
+
+
+class TestMitigationPolicies:
+    def test_default_set_shape(self):
+        policies = default_mitigations()
+        assert len(policies) >= 4
+        assert policies[0].kind == "none"
+        kinds = {p.kind for p in policies}
+        assert kinds >= {"none", "retry", "hedge", "drain", "disable"}
+        for policy in policies:
+            policy.validate()
+
+    def test_retry_needs_budget(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy("r", "retry", max_retries=0).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy("x", "fix-it-all").validate()
+
+    def test_backoff_accumulation(self):
+        policy = MitigationPolicy("r", "retry", max_retries=3,
+                                  backoff_base=1.0, backoff_factor=2.0)
+        assert policy.backoff(0) == 1.0
+        assert policy.backoff(2) == 4.0
+        assert policy.total_backoff(3) == 7.0
+
+    def test_live_kinds_subset(self):
+        assert set(LIVE_KINDS) == {"none", "retry"}

@@ -1,0 +1,228 @@
+"""Offline mitigation simulator vs the live faulted replay: the pins.
+
+The offline pass re-resolves every in-envelope request of the unmitigated
+faulted trace through the same ``request_disposition`` the live API server
+used.  For the live-supported policy kinds (``none``/``retry``) the fault
+accounting must therefore match counter-for-counter — integer counters
+exactly; under degraded-process windows the two accumulated-seconds floats
+match to rounding (the offline pass inverts the recorded inflation, so the
+sums associate differently).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.faults.mitigation import MitigationPolicy, default_mitigations
+from repro.faults.simulator import FaultTrace, simulate_mitigation
+from repro.faults.spec import (
+    AuthOutage,
+    FaultPlan,
+    LossyLink,
+    ReadOnlyShard,
+    StorageNodeOutage,
+    flapping,
+)
+from repro.faults.sweep import run_fault_sweep
+from repro.util.units import DAY
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+SEED = 17
+
+
+def _workload_config():
+    return WorkloadConfig.scaled(users=60, days=1.0, seed=SEED)
+
+
+def _fault_plan(degraded: bool = False) -> FaultPlan:
+    start = _workload_config().start_time
+    q = DAY / 4.0
+    faults = [
+        LossyLink(start + 0.5 * q, start + 2.5 * q, failure_rate=0.15),
+        # Shard 2 is where this workload's mutating users hash to.
+        ReadOnlyShard(start + 1.0 * q, start + 2.0 * q, shard_id=2),
+        StorageNodeOutage(start + 1.5 * q, start + 3.0 * q, node_index=1,
+                          n_nodes=3),
+        AuthOutage(start + 3.0 * q, start + 3.3 * q),
+    ]
+    if degraded:
+        faults = list(flapping(start + 0.25 * q, start + 2.0 * q,
+                               period=q / 4.0, process_index=0,
+                               inflation=4.0)) + faults
+    return FaultPlan(faults=tuple(faults), seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def scripts():
+    return SyntheticTraceGenerator(_workload_config()).client_events()
+
+
+def live_replay(scripts, plan, mitigation=None):
+    """A live faulted replay under the equivalence conditions."""
+    overrides = {} if mitigation is None else {"mitigation": mitigation}
+    cluster = U1Cluster(ClusterConfig(seed=SEED, replay_shards=1,
+                                      interrupted_upload_fraction=0.0,
+                                      auth_failure_fraction=0.0,
+                                      faults=plan, **overrides))
+    dataset = cluster.replay(scripts)
+    return cluster, dataset
+
+
+@pytest.fixture(scope="module")
+def baseline(scripts):
+    """Unmitigated faulted replay of the degraded-free plan."""
+    cluster, dataset = live_replay(scripts, _fault_plan())
+    return cluster, dataset, FaultTrace.from_dataset(dataset)
+
+
+@pytest.fixture(scope="module")
+def degraded_baseline(scripts):
+    """Unmitigated faulted replay of the plan with a flapping process."""
+    cluster, dataset = live_replay(scripts, _fault_plan(degraded=True))
+    trace = FaultTrace.from_dataset(
+        dataset,
+        processes_per_machine=cluster.config.processes_per_machine,
+        machine_names=cluster.config.machine_names())
+    return cluster, dataset, trace
+
+
+def _retry_policy() -> MitigationPolicy:
+    policy = next(p for p in default_mitigations() if p.name == "retry-3")
+    assert policy.kind == "retry"
+    return policy
+
+
+class TestOfflineMatchesLive:
+    def test_do_nothing_pins_live_counters(self, baseline):
+        """ISSUE 6 acceptance: the offline baseline pass reproduces the
+        live unmitigated fault counters counter-for-counter."""
+        cluster, _, trace = baseline
+        outcome = simulate_mitigation(trace, cluster.fault_schedule,
+                                      MitigationPolicy("do-nothing", "none"))
+        live = cluster.fault_accounting.as_dict()
+        assert live["requests_faulted"] > 0
+        assert outcome.accounting.as_dict() == live
+
+    def test_retry_policy_pins_live_mitigated_replay(self, scripts, baseline):
+        """ISSUE 6 acceptance: offline retry accounting equals a live
+        replay that actually retried, counter for counter."""
+        cluster, _, trace = baseline
+        policy = _retry_policy()
+        live_cluster, _ = live_replay(scripts, _fault_plan(),
+                                      mitigation=policy)
+        outcome = simulate_mitigation(trace, cluster.fault_schedule, policy)
+        live = live_cluster.fault_accounting.as_dict()
+        assert live["retries"] > 0
+        assert live["requests_recovered"] > 0
+        assert outcome.accounting.as_dict() == live
+
+    def test_degraded_counters_pin_to_rounding(self, degraded_baseline):
+        """With degraded-process windows the integer counters still pin
+        exactly; the two accumulated-seconds floats pin to rounding."""
+        cluster, _, trace = degraded_baseline
+        outcome = simulate_mitigation(trace, cluster.fault_schedule,
+                                      MitigationPolicy("do-nothing", "none"))
+        live = cluster.fault_accounting.as_dict()
+        offline = outcome.accounting.as_dict()
+        assert live["degraded_rpcs"] > 0
+        assert set(offline) == set(live)
+        for key, value in live.items():
+            if isinstance(value, float):
+                assert offline[key] == pytest.approx(value, rel=1e-9), key
+            else:
+                assert offline[key] == value, key
+
+    def test_degraded_plan_requires_worker_mapping(self, degraded_baseline):
+        cluster, dataset, _ = degraded_baseline
+        bare = FaultTrace.from_dataset(dataset)
+        with pytest.raises(ValueError, match="degraded-process"):
+            simulate_mitigation(bare, cluster.fault_schedule,
+                                MitigationPolicy("do-nothing", "none"))
+
+    def test_auth_outage_failures_match_session_stream(self, baseline):
+        cluster, dataset, trace = baseline
+        stats = trace.schedule_stats(cluster.fault_schedule)
+        assert stats.auth_outage_failures \
+            == cluster.fault_accounting.auth_outage_failures
+        assert stats.auth_outage_failures > 0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, baseline):
+        cluster, dataset, _ = baseline
+        return run_fault_sweep(dataset, cluster.fault_schedule,
+                               config=cluster.config)
+
+    def test_default_sweep_covers_required_policies(self, sweep):
+        names = [o.policy.name for o in sweep.outcomes]
+        assert len(names) >= 4
+        assert names[0] == "do-nothing"
+        assert {"do-nothing", "retry-1", "retry-3", "hedge", "drain-repair",
+                "disable"} <= set(names)
+        assert sweep.seconds > 0.0
+
+    def test_mitigations_beat_doing_nothing(self, sweep):
+        base = sweep.baseline
+        assert base.policy.kind == "none"
+        assert base.error_rate > 0.0
+        retry = sweep.outcome("retry-3")
+        assert retry.accounting.user_visible_errors \
+            <= base.accounting.user_visible_errors
+        assert retry.accounting.requests_recovered > 0
+        assert retry.ops_overhead > 0.0
+        # The best policy is at least as good as doing nothing.
+        assert sweep.best.penalty <= base.penalty
+
+    def test_outcome_lookup_and_json_payload(self, sweep):
+        import json
+
+        with pytest.raises(KeyError):
+            sweep.outcome("no-such-policy")
+        payload = sweep.to_json()
+        assert payload["n_policies"] == len(payload["policies"])
+        assert payload["faultsweep_seconds"] > 0.0
+        assert payload["faultsweep_per_policy_seconds"] == pytest.approx(
+            payload["faultsweep_seconds"] / payload["n_policies"])
+        assert set(payload["faultsweep_policy_seconds"]) \
+            == {o.policy.name for o in sweep.outcomes}
+        assert payload["best_policy"] in payload["faultsweep_policy_seconds"]
+        json.dumps(payload)  # must be JSON-serialisable
+
+    def test_format_table_lists_every_policy(self, sweep):
+        table = sweep.format_table()
+        for outcome in sweep.outcomes:
+            assert outcome.policy.name in table
+
+    def test_sweep_accepts_raw_plan_and_rejects_empty_policies(self,
+                                                               baseline):
+        _, dataset, _ = baseline
+        sweep = run_fault_sweep(dataset, _fault_plan(),
+                                policies=default_mitigations()[:2])
+        assert [o.policy.name for o in sweep.outcomes] \
+            == ["do-nothing", "retry-1"]
+        with pytest.raises(ValueError):
+            run_fault_sweep(dataset, _fault_plan(), policies=[])
+
+
+class TestLiveConfigGuards:
+    def test_offline_only_mitigation_rejected_live(self):
+        config = ClusterConfig(
+            faults=_fault_plan(),
+            mitigation=MitigationPolicy("hedge", "hedge"))
+        with pytest.raises(ValueError, match="faultsweep"):
+            config.validate()
+
+    def test_live_retry_mitigation_accepted(self):
+        ClusterConfig(faults=_fault_plan(),
+                      mitigation=_retry_policy()).validate()
+
+    def test_empty_plan_compiles_inactive(self):
+        cluster = U1Cluster(ClusterConfig(seed=SEED, faults=FaultPlan()))
+        assert cluster.fault_schedule is not None
+        assert not cluster.fault_schedule.active
+
+    def test_healthy_cluster_has_no_schedule(self):
+        assert U1Cluster(ClusterConfig(seed=SEED)).fault_schedule is None

@@ -80,3 +80,22 @@ class TestCommands:
         assert payload["n_policies"] >= 4
         assert payload["replay_seconds"] > 0.0
         assert payload["whatif_sweep_seconds"] > 0.0
+
+    def test_faultsweep_evaluates_mitigations(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        json_path = tmp_path / "faultsweep.json"
+        code = main(["faultsweep", "--users", "40", "--days", "1",
+                     "--seed", "6", "--json", str(json_path)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name in ("do-nothing", "retry-1", "retry-3", "hedge",
+                     "drain-repair", "disable"):
+            assert name in text
+        payload = json.loads(json_path.read_text())
+        assert payload["n_policies"] >= 4
+        assert payload["replay_seconds"] > 0.0
+        assert payload["faultsweep_seconds"] > 0.0
+        assert payload["best_policy"] in {p["policy"]
+                                          for p in payload["policies"]}

@@ -203,7 +203,7 @@ class TestIngestionModes:
                 record.node_id, record.volume_id, record.volume_type,
                 record.node_kind, record.size_bytes, record.content_hash,
                 record.extension, record.is_update, record.shard_id,
-                record.caused_by_attack)
+                record.caused_by_attack, record.error_kind, record.retries)
         assert by_record == by_row
         assert np.array_equal(by_record.storage_column("size_bytes"),
                               by_row.storage_column("size_bytes"))
