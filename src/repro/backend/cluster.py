@@ -239,16 +239,34 @@ class U1Cluster:
         ]
 
     def _run_sharded(self, workloads, n_shards: int, n_jobs: int,
-                     addresses) -> TraceDataset:
-        """Run shard workloads, merge columnar outcomes, absorb counters."""
-        from repro.backend.replay_shard import run_shards
+                     addresses, *, supervise: bool = True, policy=None,
+                     chaos=None, checkpoint_dir=None,
+                     resume: bool = False) -> TraceDataset:
+        """Run shard workloads, merge columnar outcomes, absorb counters.
+
+        ``supervise`` selects the crash-tolerant pool (the default) over the
+        bare historical dispatch; ``checkpoint_dir`` spills each completed
+        shard as an atomic ``.npz`` under a run directory keyed by
+        ``(config, workloads)``, and ``resume`` loads those checkpoints
+        instead of re-executing finished shards.  None of these change the
+        realised trace — quarantined shards (persistent failures) are the
+        only way a merged dataset can be partial, and they are reported in
+        ``last_replay_stats`` rather than raised.
+        """
+        from repro.backend.replay_shard import run_shards_supervised
+        from repro.util.checkpoint import CheckpointStore, run_key
         import time as _time
 
         started = _time.perf_counter()
         _, assignments = self._shard_assignments(n_shards)
-        outcomes, jobs_used = run_shards(
+        checkpoint = (CheckpointStore(checkpoint_dir,
+                                      run_key(self.config, workloads))
+                      if checkpoint_dir is not None else None)
+        outcomes, jobs_used, report = run_shards_supervised(
             self.config, assignments, self.latency.shard_factors,
-            workloads, n_jobs=n_jobs, fault_schedule=self.fault_schedule)
+            workloads, n_jobs=n_jobs, fault_schedule=self.fault_schedule,
+            supervise=supervise, policy=policy, chaos=chaos,
+            checkpoint=checkpoint, resume=resume)
 
         merge_started = _time.perf_counter()
         dataset = TraceDataset.from_sorted_blocks(
@@ -313,11 +331,18 @@ class U1Cluster:
                 for outcome in outcomes],
             "metadata_shard_errors":
                 self.metadata_store.write_rejections_per_shard(),
+            #: Where the shard checkpoints live (``None`` when disabled).
+            "checkpoint_dir": (str(checkpoint.run_dir)
+                               if checkpoint is not None else None),
         }
+        #: Supervision accounting: completion order, per-shard retry counts,
+        #: failure records, quarantined shard ids, resumed/checkpointed
+        #: shard ids (see ``SupervisionReport.as_stats``).
+        self.last_replay_stats.update(report.as_stats())
         return dataset
 
     def replay(self, scripts: Iterable[SessionScript],
-               n_jobs: int = 1) -> TraceDataset:
+               n_jobs: int = 1, **run_kwargs) -> TraceDataset:
         """Replay a workload (session scripts) through the back-end.
 
         The replay is *sharded* (see :mod:`repro.backend.replay_shard`):
@@ -359,9 +384,10 @@ class U1Cluster:
         workloads = [PrebuiltShardWorkload(part)
                      for part in partition_scripts(scripts, n_shards,
                                                    shard_of=shard_of)]
-        return self._run_sharded(workloads, n_shards, n_jobs, addresses)
+        return self._run_sharded(workloads, n_shards, n_jobs, addresses,
+                                 **run_kwargs)
 
-    def replay_plan(self, plan, n_jobs: int = 1) -> TraceDataset:
+    def replay_plan(self, plan, n_jobs: int = 1, **run_kwargs) -> TraceDataset:
         """The fused pipeline: materialize *and* replay a workload plan.
 
         ``plan`` is a :class:`~repro.workload.plan.WorkloadPlan` (from
@@ -384,14 +410,16 @@ class U1Cluster:
         addresses, _ = self._shard_assignments(n_shards)
         workloads = [PlannedShardWorkload(plan, members)
                      for members in partition_members(plan, n_shards)]
-        return self._run_sharded(workloads, n_shards, n_jobs, addresses)
+        return self._run_sharded(workloads, n_shards, n_jobs, addresses,
+                                 **run_kwargs)
 
-    def run_workload(self, workload_config, n_jobs: int = 1) -> TraceDataset:
+    def run_workload(self, workload_config, n_jobs: int = 1,
+                     **run_kwargs) -> TraceDataset:
         """Convenience: plan a workload and run the fused generate→replay."""
         from repro.workload.generator import SyntheticTraceGenerator
 
         generator = SyntheticTraceGenerator(workload_config)
-        return self.replay_plan(generator.plan(), n_jobs=n_jobs)
+        return self.replay_plan(generator.plan(), n_jobs=n_jobs, **run_kwargs)
 
     # ------------------------------------------------------------ statistics
     def load_per_machine(self) -> dict[str, int]:

@@ -119,11 +119,21 @@ class StorageNodeDown(FaultError):
     error_kind = "storage_node_down"
 
 
+def _error_classes(base: type = BackendError):
+    """Every class in the taxonomy, depth-first (``base`` included)."""
+    yield base
+    for sub in base.__subclasses__():
+        yield from _error_classes(sub)
+
+
 #: ``error_kind`` string -> retryable flag, for code that has only the trace
-#: column value in hand (the offline mitigation simulator).
+#: column value in hand (the offline mitigation simulator).  Derived from
+#: the class tree, not hand-listed, so a newly added error class with an
+#: ``error_kind`` can never silently drift to "unknown kind -> not
+#: retryable" in :func:`is_retryable_kind`.
 ERROR_KINDS: dict[str, bool] = {
     cls.error_kind: cls.retryable
-    for cls in (ServiceUnavailable, ShardReadOnly, StorageNodeDown)
+    for cls in _error_classes() if cls.error_kind
 }
 
 

@@ -95,8 +95,10 @@ __all__ = [
     "partition_members",
     "partition_scripts",
     "run_shards",
+    "run_shards_supervised",
     "script_weights",
     "usable_cpus",
+    "workload_planned_ops",
 ]
 
 
@@ -517,12 +519,15 @@ class ReplayShard:
 
 
 # ---------------------------------------------------------------------------
-# Orchestration: sequential fallback and forked worker pool
+# Orchestration: supervised pool, unsupervised baseline, sequential fallback
 # ---------------------------------------------------------------------------
 
 #: Fork-inherited task state: (config, assignments, shard_factors,
-#: workloads, fault_schedule).  Set in the parent immediately before the
-#: pool forks; workers receive only shard ids through the pipe.
+#: workloads, fault_schedule).  Set in the parent immediately before any
+#: worker forks; workers receive only shard ids (plus attempt/chaos
+#: metadata in supervised mode) through the pipe.  Because the compiled
+#: fault schedule travels here, a *respawned* worker re-derives exactly
+#: the same fault exposure as the one that crashed.
 _FORK_STATE: tuple | None = None
 
 
@@ -545,47 +550,122 @@ def _run_shard_task(shard_id: int) -> ShardOutcome:
                               shard_id, fault_schedule=fault_schedule)
 
 
+def workload_planned_ops(workload) -> float:
+    """Planned operation count of one shard workload (the timeout basis)."""
+    prebuilt = getattr(workload, "prebuilt", None)
+    if prebuilt is not None:
+        return sum(1.0 + len(script.events) for script in prebuilt)
+    weights = dict(workload.plan.member_weights())
+    return sum(weights[member] for member in workload.members)
+
+
 def run_shards(config, assignments: list[list[tuple[int, ProcessAddress]]],
                shard_factors: list[float],
                workloads: list,
                n_jobs: int = 1,
-               fault_schedule=None) -> tuple[list[ShardOutcome], int]:
+               fault_schedule=None, **kwargs) -> tuple[list[ShardOutcome], int]:
     """Run every replay shard and return ``(outcomes, jobs_used)``.
+
+    Thin compatibility wrapper over :func:`run_shards_supervised` (which
+    additionally returns the supervision report).  Keyword arguments are
+    forwarded verbatim.
+    """
+    outcomes, jobs_used, _ = run_shards_supervised(
+        config, assignments, shard_factors, workloads, n_jobs=n_jobs,
+        fault_schedule=fault_schedule, **kwargs)
+    return outcomes, jobs_used
+
+
+def run_shards_supervised(config,
+                          assignments: list[list[tuple[int, ProcessAddress]]],
+                          shard_factors: list[float],
+                          workloads: list,
+                          n_jobs: int = 1,
+                          fault_schedule=None, *,
+                          supervise: bool = True,
+                          policy=None,
+                          chaos=None,
+                          checkpoint=None,
+                          resume: bool = False):
+    """Run every replay shard; return ``(outcomes, jobs_used, report)``.
 
     ``assignments[k]`` is shard ``k``'s slice of process addresses and
     ``workloads[k]`` its workload — either a :class:`PrebuiltShardWorkload`
     (scripts materialized in the parent) or a :class:`PlannedShardWorkload`
     (a plan slice the worker materializes itself, fusing generation into
-    the parallel phase).  With ``n_jobs > 1`` on a platform with ``fork``,
-    shards run in a worker pool (task state is fork-inherited, so only
-    shard ids and columnar outcomes cross the process boundary); otherwise
-    the shards run sequentially in-process — producing bit-identical
-    outcomes either way.  ``n_jobs`` is a ceiling, not a demand: it is
+    the parallel phase).  ``n_jobs`` is a ceiling, not a demand: it is
     additionally capped at the shard count and at the machine's usable CPUs
     (forking workers a single core must time-slice only adds overhead, and
     changes nothing about the result).
+
+    With ``supervise`` (the default) shards run under the crash-tolerant
+    pool of :mod:`repro.backend.supervisor`: per-shard forked workers
+    (completion-ordered, chunk size one by construction), dead/hung-worker
+    detection, capped-backoff retries, quarantine, optional chaos
+    injection and checkpoint/resume.  ``supervise=False`` is the
+    *unsupervised baseline*: the historical pool dispatch (kept for the
+    overhead gate in CI), now submitting shards individually
+    (``chunksize=1`` via ``imap_unordered``) so the LPT balance can never
+    be silently re-skewed by ``Pool.map``'s default chunking.
+
+    Either way the outcome list is ordered by shard id and the replayed
+    trace is a pure function of ``(config, workloads)`` — supervision,
+    retries, resumes and the worker count never change what is computed.
     """
+    from repro.backend.supervisor import SupervisorPolicy, supervise_shards
+
     n_shards = len(assignments)
     jobs = max(1, min(int(n_jobs), n_shards, usable_cpus()))
     if jobs > 1 and not fork_available():
         jobs = 1
-    if jobs == 1:
-        outcomes = []
-        with cyclic_gc_paused():
-            for shard_id in range(n_shards):
-                outcomes.append(_run_one_shard(config, assignments,
-                                               shard_factors, workloads,
-                                               shard_id,
-                                               fault_schedule=fault_schedule))
-        return outcomes, 1
 
     global _FORK_STATE
     _FORK_STATE = (config, assignments, shard_factors, workloads,
                    fault_schedule)
     try:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=jobs) as pool:
-            outcomes = pool.map(_run_shard_task, range(n_shards))
+        if not supervise:
+            outcomes, report = _run_unsupervised(n_shards, jobs)
+            return outcomes, jobs, report
+
+        policy = policy or SupervisorPolicy()
+        timeouts = {shard_id:
+                    policy.shard_timeout(workload_planned_ops(workload))
+                    for shard_id, workload in enumerate(workloads)}
+        # Chaos wants a real worker process to kill, so it forces the
+        # forked path even at one job; without fork it degrades to the
+        # in-process driver (retry/quarantine/resume still apply).
+        use_fork = fork_available() and (jobs > 1 or chaos is not None)
+        # One GC pause across the whole run, exactly like the sequential
+        # baseline: in-process shards would otherwise re-enable the cyclic
+        # collector between shards and pay a collection per boundary (forked
+        # workers inherit the pause, which the per-shard task already holds).
+        with cyclic_gc_paused():
+            outcome_map, report = supervise_shards(
+                _run_shard_task, range(n_shards), jobs, policy=policy,
+                timeouts=timeouts, chaos=chaos, checkpoint=checkpoint,
+                resume=resume, use_fork=use_fork)
+        report.jobs = jobs
+        outcomes = [outcome_map[shard_id] for shard_id in sorted(outcome_map)]
+        return outcomes, jobs, report
     finally:
         _FORK_STATE = None
-    return outcomes, jobs
+
+
+def _run_unsupervised(n_shards: int, jobs: int):
+    """The pre-supervision dispatch, kept as the overhead baseline."""
+    from repro.backend.supervisor import SupervisionReport
+
+    report = SupervisionReport(jobs=jobs, supervised=False)
+    if jobs == 1:
+        outcomes = []
+        with cyclic_gc_paused():
+            for shard_id in range(n_shards):
+                outcomes.append(_run_shard_task(shard_id))
+                report.completion_order.append(shard_id)
+        return outcomes, report
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=jobs) as pool:
+        completed = list(pool.imap_unordered(_run_shard_task,
+                                             range(n_shards), chunksize=1))
+    report.completion_order = [outcome.shard_id for outcome in completed]
+    return sorted(completed, key=lambda o: o.shard_id), report

@@ -1,0 +1,566 @@
+"""Supervised shard execution: crash-tolerant workers, retries, quarantine.
+
+This module replaces the blind ``Pool.map`` the sharded replay used to run
+on.  A multi-hour replay must not die because one worker was OOM-killed or
+wedged, and — because every replay shard is a pure function of
+``(config, plan member)`` — it does not have to: a crashed shard can simply
+be re-executed, bit-identically.
+
+The supervisor forks a pool of **persistent workers** (one fork per job,
+like the bare pool it replaces, so healthy-run overhead stays at the noise
+level) and feeds them shards **one at a time** over duplex pipes —
+per-shard submission, completion-ordered, so no chunking can batch two
+LPT-balanced shards onto one worker.  Each worker is watched through three
+channels:
+
+* its *result pipe* — the worker answers every assignment with exactly one
+  ``("ok", shard_id, outcome)`` or ``("error", shard_id, message,
+  traceback)``;
+* its *process sentinel* — if the sentinel fires with no message pending,
+  the worker died (SIGKILL, OOM, segfault): its shard is rescheduled and a
+  fresh worker is forked in its place;
+* a *per-shard deadline* derived from the shard's planned operation count —
+  a wedged worker is SIGKILLed and treated exactly like a crashed one.
+
+Failed shards retry with capped exponential backoff up to
+``SupervisorPolicy.max_attempts`` total attempts; a shard that fails
+persistently is **quarantined** and the run finishes in graceful
+degradation: the merged trace covers the surviving shards and
+``last_replay_stats`` carries explicit per-shard failure accounting
+(``shard_failures``, ``quarantined_shards``, retry counts) instead of an
+opaque traceback.  Only when *every* shard is quarantined does the run
+raise :class:`ShardExecutionError`.
+
+Retries are sound because workers are respawned by forking the parent
+*after* the planning pass: the respawned worker inherits the same
+``_FORK_STATE`` — config, plan slice and the compiled
+:class:`~repro.faults.runtime.FaultSchedule` — so the fault timeline and
+every other input is re-derived identically on every attempt.
+
+Checkpoints (:mod:`repro.util.checkpoint`) plug into the same loop: each
+completed outcome is spilled as an atomic ``.npz`` and a resumed run loads
+finished shards instead of executing them — the first concrete step toward
+the spill-to-disk merge of ROADMAP item 1.
+
+:class:`ChaosPlan` is the test/CI face of all this: it makes selected
+worker attempts SIGKILL themselves mid-run (or hang until the deadline),
+so the recovery paths are exercised deterministically and the recovered
+trace can be asserted bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+
+__all__ = [
+    "ChaosPlan",
+    "ShardExecutionError",
+    "ShardFailure",
+    "SupervisionReport",
+    "SupervisorPolicy",
+    "supervise_shards",
+]
+
+
+class ShardExecutionError(RuntimeError):
+    """Raised when every shard of a replay was quarantined.
+
+    Partial failures never raise — they degrade gracefully into a partial
+    result with per-shard accounting; this error means the run produced
+    nothing at all.
+    """
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Retry, backoff and hang-detection knobs of the supervised pool."""
+
+    #: Total attempts per shard (first run + retries) before quarantine.
+    max_attempts: int = 3
+    #: Backoff before retry ``k`` (0-based): ``base * factor**k``, capped.
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    #: Per-shard timeout = ``timeout_base + timeout_per_op * planned_ops``
+    #: (``timeout`` overrides the derivation when set).  The per-op rate is
+    #: ~3 orders of magnitude above the measured per-op replay cost, so a
+    #: timeout only ever fires on a genuinely wedged worker.
+    timeout_base: float = 120.0
+    timeout_per_op: float = 0.005
+    timeout: float | None = None
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("SupervisorPolicy.max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("SupervisorPolicy backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("SupervisorPolicy.backoff_factor must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("SupervisorPolicy.timeout must be positive")
+        if self.timeout_base <= 0 or self.timeout_per_op < 0:
+            raise ValueError("SupervisorPolicy timeout derivation must be "
+                             "positive")
+
+    def backoff(self, retry_index: int) -> float:
+        """Seconds to wait before retry ``retry_index`` (0-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** retry_index)
+
+    def shard_timeout(self, planned_ops: float) -> float:
+        """Deadline for one shard attempt, derived from its planned ops."""
+        if self.timeout is not None:
+            return self.timeout
+        return self.timeout_base + self.timeout_per_op * max(planned_ops, 0.0)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic worker-kill injection for the chaos harness.
+
+    ``kill_shards`` SIGKILL themselves on their first ``kill_attempts``
+    attempts: immediately when ``kill_after <= 0`` (a worker that dies the
+    moment it picks up the shard), otherwise via a real ``SIGALRM`` timer
+    that fires *mid-execution* after ``kill_after`` seconds.
+    ``hang_shards`` sleep forever instead of working, exercising the
+    deadline/SIGKILL path.  Chaos only ever runs inside forked workers —
+    the supervisor forces the forked path when a plan is present, so the
+    parent process is never at risk.
+    """
+
+    kill_shards: tuple = ()
+    hang_shards: tuple = ()
+    #: Seconds into the attempt at which the kill fires (<= 0: immediately).
+    kill_after: float = 0.0
+    #: Attempts (0-based) below this index are killed; later retries run
+    #: clean, so the run always recovers.
+    kill_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kill_shards", tuple(self.kill_shards))
+        object.__setattr__(self, "hang_shards", tuple(self.hang_shards))
+        if self.kill_attempts < 1:
+            raise ValueError("ChaosPlan.kill_attempts must be >= 1")
+
+    def wants_kill(self, shard_id: int, attempt: int) -> bool:
+        return shard_id in self.kill_shards and attempt < self.kill_attempts
+
+    def wants_hang(self, shard_id: int, attempt: int) -> bool:
+        return shard_id in self.hang_shards and attempt < self.kill_attempts
+
+    def __bool__(self) -> bool:
+        return bool(self.kill_shards or self.hang_shards)
+
+
+@dataclass
+class ShardFailure:
+    """One failed shard attempt (exception, crash or timeout)."""
+
+    shard_id: int
+    attempt: int
+    #: "exception" | "worker-died" | "timeout"
+    reason: str
+    detail: str = ""
+    exitcode: int | None = None
+
+    def as_dict(self) -> dict:
+        return {"shard_id": self.shard_id, "attempt": self.attempt,
+                "reason": self.reason, "detail": self.detail,
+                "exitcode": self.exitcode}
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor did: the accounting face of a replay."""
+
+    jobs: int = 1
+    supervised: bool = True
+    #: Shard ids in the order their executions completed (resumed shards
+    #: are listed in ``resumed`` instead — they never executed).
+    completion_order: list = field(default_factory=list)
+    #: shard id -> retries that were *scheduled* (failed attempts that got
+    #: another chance; a quarantined shard's last failure is not a retry).
+    retries: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    quarantined: list = field(default_factory=list)
+    resumed: list = field(default_factory=list)
+    checkpointed: list = field(default_factory=list)
+
+    @property
+    def total_failures(self) -> int:
+        return len(self.failures)
+
+    def as_stats(self) -> dict:
+        """JSON-able summary merged into ``last_replay_stats``."""
+        return {
+            "supervised": self.supervised,
+            "completion_order": list(self.completion_order),
+            "shard_retries": dict(self.retries),
+            "shard_failures": [f.as_dict() for f in self.failures],
+            "quarantined_shards": list(self.quarantined),
+            "shards_resumed": list(self.resumed),
+            "shards_checkpointed": list(self.checkpointed),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _chaos_arm(chaos: ChaosPlan | None, shard_id: int, attempt: int) -> None:
+    """Apply chaos inside a forked worker, before/around the shard task."""
+    if chaos is None:
+        return
+    if chaos.wants_hang(shard_id, attempt):
+        while True:  # wedged worker: only the supervisor's SIGKILL ends this
+            time.sleep(3600.0)
+    if chaos.wants_kill(shard_id, attempt):
+        if chaos.kill_after <= 0.0:
+            os.kill(os.getpid(), signal.SIGKILL)
+        else:
+            # A real mid-execution death: SIGALRM fires while the shard is
+            # replaying and the handler SIGKILLs the process outright.
+            signal.signal(signal.SIGALRM,
+                          lambda *_: os.kill(os.getpid(), signal.SIGKILL))
+            signal.setitimer(signal.ITIMER_REAL, chaos.kill_after)
+
+
+def _chaos_disarm(chaos: ChaosPlan | None, shard_id: int,
+                  attempt: int) -> None:
+    if (chaos is not None and chaos.kill_after > 0.0
+            and chaos.wants_kill(shard_id, attempt)):
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+def _worker_loop(task, chaos: ChaosPlan | None, conn) -> None:
+    """Entry point of one persistent forked worker.
+
+    Receives ``(shard_id, attempt)`` assignments one at a time (per-shard
+    submission — the supervisor never batches shards), answers each with
+    exactly one ``("ok", shard_id, outcome)`` or ``("error", shard_id,
+    message, traceback)`` and waits for the next; ``None`` or a closed pipe
+    ends the loop.  Exits via ``os._exit`` so the forked copy of the
+    parent's stack never unwinds and inherited stdio buffers never flush
+    twice.
+    """
+    try:
+        while True:
+            try:
+                assignment = conn.recv()
+            except (EOFError, OSError):
+                break
+            if assignment is None:
+                break
+            shard_id, attempt = assignment
+            try:
+                _chaos_arm(chaos, shard_id, attempt)
+                outcome = task(shard_id)
+                _chaos_disarm(chaos, shard_id, attempt)
+                conn.send(("ok", shard_id, outcome))
+            except BaseException as exc:  # noqa: BLE001 - pipe IS the report
+                # A failed task does not end the worker: shards are pure,
+                # so no state of this attempt can leak into the next one.
+                try:
+                    conn.send(("error", shard_id,
+                               f"{type(exc).__name__}: {exc}",
+                               traceback.format_exc()))
+                except BaseException:
+                    os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        os._exit(0)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Worker:
+    process: object
+    conn: object
+    #: ``(shard_id, attempt)`` while busy, ``None`` while idle.
+    current: tuple | None = None
+    deadline: float = 0.0
+
+
+def supervise_shards(task, shard_ids, jobs: int, *,
+                     policy: SupervisorPolicy | None = None,
+                     timeouts: dict[int, float] | None = None,
+                     chaos: ChaosPlan | None = None,
+                     checkpoint=None, resume: bool = False,
+                     use_fork: bool = True):
+    """Run ``task(shard_id)`` for every shard under supervision.
+
+    Returns ``(outcomes, report)`` where ``outcomes`` maps shard id to the
+    task's result for every shard that completed (executed, retried or
+    loaded from checkpoint) — quarantined shards are absent.  ``use_fork``
+    selects the forked worker pool; without it shards run in-process
+    (retry/quarantine/checkpoint still apply, crash isolation and chaos do
+    not).  Raises :class:`ShardExecutionError` only when nothing completed.
+    """
+    policy = policy or SupervisorPolicy()
+    policy.validate()
+    shard_ids = list(shard_ids)
+    report = SupervisionReport(jobs=jobs)
+    outcomes: dict[int, object] = {}
+
+    if checkpoint is not None and resume:
+        for shard_id in shard_ids:
+            loaded = checkpoint.load(shard_id)
+            if loaded is not None:
+                outcomes[shard_id] = loaded
+                report.resumed.append(shard_id)
+
+    todo = [s for s in shard_ids if s not in outcomes]
+    if todo:
+        if use_fork:
+            _run_forked(task, todo, jobs, policy, timeouts or {}, chaos,
+                        checkpoint, outcomes, report)
+        else:
+            _run_inprocess(task, todo, policy, checkpoint, outcomes, report)
+
+    if shard_ids and not outcomes:
+        summary = "; ".join(
+            f"shard {f.shard_id} attempt {f.attempt}: {f.reason}"
+            f" ({f.detail.splitlines()[-1] if f.detail else ''})"
+            for f in report.failures[-len(shard_ids):])
+        raise ShardExecutionError(
+            f"all {len(shard_ids)} shards quarantined after "
+            f"{len(report.failures)} failed attempts: {summary}")
+    return outcomes, report
+
+
+def _record_success(shard_id, outcome, checkpoint, outcomes, report) -> None:
+    outcomes[shard_id] = outcome
+    report.completion_order.append(shard_id)
+    if checkpoint is not None:
+        checkpoint.save(outcome)
+        report.checkpointed.append(shard_id)
+
+
+def _record_failure(failure: ShardFailure, attempts: dict, policy,
+                    report) -> bool:
+    """Account one failed attempt; True when the shard may retry."""
+    report.failures.append(failure)
+    attempts[failure.shard_id] += 1
+    if attempts[failure.shard_id] >= policy.max_attempts:
+        report.quarantined.append(failure.shard_id)
+        return False
+    report.retries[failure.shard_id] = \
+        report.retries.get(failure.shard_id, 0) + 1
+    return True
+
+
+def _run_inprocess(task, todo, policy, checkpoint, outcomes, report) -> None:
+    """Sequential supervised execution (no fork: ``--jobs 1`` fast path).
+
+    Retries run back-to-back without sleeping: an in-process failure is
+    deterministic (there is no crashed-worker state to let settle), so
+    backoff would only delay the inevitable outcome either way.
+    """
+    attempts = {shard_id: 0 for shard_id in todo}
+    for shard_id in todo:
+        while True:
+            try:
+                outcome = task(shard_id)
+            except Exception as exc:  # noqa: BLE001 - quarantine accounting
+                retryable = _record_failure(
+                    ShardFailure(shard_id=shard_id,
+                                 attempt=attempts[shard_id],
+                                 reason="exception",
+                                 detail=f"{type(exc).__name__}: {exc}"),
+                    attempts, policy, report)
+                if not retryable:
+                    break
+            else:
+                _record_success(shard_id, outcome, checkpoint, outcomes,
+                                report)
+                break
+
+
+def _spawn_worker(task, chaos) -> _Worker:
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(target=_worker_loop, args=(task, chaos, child_conn),
+                          daemon=True)
+    process.start()
+    child_conn.close()
+    return _Worker(process=process, conn=parent_conn)
+
+
+def _stop_worker(worker: _Worker, kill: bool = False) -> None:
+    """Shut one worker down (graceful ``None`` or SIGKILL) and join it.
+
+    The Process object is left unclosed on purpose: the failure accounting
+    reads ``exitcode`` after the stop, and the handle is reclaimed with the
+    worker record anyway.
+    """
+    if kill:
+        worker.process.kill()
+    else:
+        try:
+            worker.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    worker.process.join(timeout=5.0)
+    if worker.process.is_alive():  # pragma: no cover - defensive
+        worker.process.kill()
+        worker.process.join()
+    try:
+        worker.conn.close()
+    except OSError:
+        pass
+
+
+def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
+                outcomes, report) -> None:
+    """The supervised fork pool: persistent workers, sentinels, deadlines.
+
+    ``jobs`` workers are forked once (like the bare pool, so healthy-run
+    overhead stays at the noise level) and fed shards one at a time over a
+    duplex pipe — per-shard submission, so no chunking can batch two
+    LPT-balanced shards onto one worker.  A worker that dies (crash, OOM,
+    chaos SIGKILL) or blows its per-shard deadline is detected through its
+    sentinel/deadline, its shard is rescheduled with backoff, and a fresh
+    worker is forked in its place on the next dispatch round.
+    """
+    attempts = {shard_id: 0 for shard_id in todo}
+    pending = deque(todo)
+    delayed: list[tuple[float, int]] = []  # (ready time, shard id) heap
+    workers: list[_Worker] = []
+
+    def fail(shard_id: int, attempt: int, reason: str, detail: str = "",
+             exitcode: int | None = None) -> None:
+        retryable = _record_failure(
+            ShardFailure(shard_id=shard_id, attempt=attempt, reason=reason,
+                         detail=detail, exitcode=exitcode),
+            attempts, policy, report)
+        if retryable:
+            ready = time.monotonic() + policy.backoff(attempt)
+            heapq.heappush(delayed, (ready, shard_id))
+
+    def assign(worker: _Worker, shard_id: int) -> bool:
+        attempt = attempts[shard_id]
+        try:
+            worker.conn.send((shard_id, attempt))
+        except (BrokenPipeError, OSError):
+            return False  # worker died while idle; caller retires it
+        worker.current = (shard_id, attempt)
+        worker.deadline = time.monotonic() + timeouts.get(
+            shard_id, policy.shard_timeout(0.0))
+        return True
+
+    def retire(worker: _Worker, kill: bool = False) -> None:
+        workers.remove(worker)
+        _stop_worker(worker, kill=kill)
+
+    try:
+        while pending or delayed or any(w.current for w in workers):
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                pending.append(heapq.heappop(delayed)[1])
+
+            # Dispatch: feed idle workers first, then grow the pool (initial
+            # spawn and crash replacement both land here) up to ``jobs``.
+            idle = [w for w in workers if w.current is None]
+            while pending and idle:
+                worker = idle.pop()
+                if assign(worker, pending[0]):
+                    pending.popleft()
+                else:
+                    retire(worker)
+            while pending and len(workers) < jobs:
+                worker = _spawn_worker(task, chaos)
+                workers.append(worker)
+                if assign(worker, pending[0]):
+                    pending.popleft()
+
+            busy = [w for w in workers if w.current is not None]
+            if not busy:
+                # Only backoff waits remain: sleep until the nearest one.
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+
+            wait_until = min(w.deadline for w in busy)
+            if delayed:
+                wait_until = min(wait_until, delayed[0][0])
+            handles = []
+            by_handle = {}
+            for worker in busy:
+                handles.append(worker.conn)
+                by_handle[worker.conn] = worker
+                handles.append(worker.process.sentinel)
+                by_handle[worker.process.sentinel] = worker
+            ready = _connection_wait(
+                handles, timeout=max(0.0, wait_until - time.monotonic()))
+
+            seen: set[int] = set()
+            for handle in ready:
+                worker = by_handle[handle]
+                if (id(worker) in seen or worker not in workers
+                        or worker.current is None):
+                    continue
+                seen.add(id(worker))
+                shard_id, attempt = worker.current
+                message = None
+                if worker.conn.poll():
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        message = None  # died mid-send: treat as a crash
+                if message is None:
+                    if worker.process.is_alive():
+                        continue  # spurious wake: no message, not dead
+                    exitcode = worker.process.exitcode
+                    retire(worker)
+                    fail(shard_id, attempt, "worker-died",
+                         detail=f"exitcode {exitcode}", exitcode=exitcode)
+                elif message[0] == "ok":
+                    worker.current = None
+                    _record_success(shard_id, message[2], checkpoint,
+                                    outcomes, report)
+                else:
+                    worker.current = None
+                    fail(shard_id, attempt, "exception",
+                         detail=f"{message[2]}\n{message[3]}")
+
+            now = time.monotonic()
+            for worker in [w for w in workers
+                           if w.current is not None and w.deadline <= now]:
+                shard_id, attempt = worker.current
+                # One last poll: a result just under the wire still wins.
+                if worker.conn.poll():
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    if message is not None:
+                        worker.current = None
+                        if message[0] == "ok":
+                            _record_success(shard_id, message[2], checkpoint,
+                                            outcomes, report)
+                        else:
+                            fail(shard_id, attempt, "exception",
+                                 detail=f"{message[2]}\n{message[3]}")
+                        continue
+                retire(worker, kill=True)
+                fail(shard_id, attempt, "timeout",
+                     detail="no result within "
+                            f"{timeouts.get(shard_id, 0.0):.1f}s")
+    finally:
+        for worker in list(workers):
+            retire(worker)

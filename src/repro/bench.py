@@ -23,7 +23,6 @@ per-event pure-Python engine) with this same harness at the default scale of
 
 from __future__ import annotations
 
-import json
 import platform
 import time
 from dataclasses import dataclass
@@ -35,8 +34,8 @@ from repro.trace.dataset import TraceDataset
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTraceGenerator
 
-__all__ = ["BenchResult", "run_benchmark", "run_profile", "analysis_pass",
-           "SEED_BASELINE"]
+__all__ = ["BenchResult", "run_benchmark", "run_chaos_benchmark",
+           "run_profile", "analysis_pass", "SEED_BASELINE"]
 
 
 #: Phase timings (seconds) of the seed engine at 300 users / 3 days, measured
@@ -90,6 +89,11 @@ class BenchResult:
     #: one faulted replay, and the offline mitigation sweep over it —
     #: measured after the timed phases, best-of-``repeats`` like them.
     faults: dict | None = None
+    #: Chaos-harness figures (ISSUE 7, ``--chaos``): supervised-pool
+    #: overhead versus the unsupervised baseline, and the trace digest of a
+    #: replay whose worker was SIGKILLed mid-run versus the undisturbed
+    #: digest — measured after the timed phases.
+    chaos: dict | None = None
 
     @property
     def total(self) -> float:
@@ -107,6 +111,10 @@ class BenchResult:
             "replay_shard_seconds": stats.get("shard_seconds"),
             "replay_shard_generate_seconds": stats.get("shard_generate_seconds"),
             "replay_merge_seconds": stats.get("merge_seconds"),
+            # Which shard finished first/last under per-shard submission
+            # (satellite of ISSUE 7): outcome order stays shard-id sorted,
+            # only the dispatch is completion-ordered.
+            "replay_completion_order": stats.get("completion_order"),
             "shard_imbalance": stats.get("shard_imbalance"),
             "ipc_block_bytes": stats.get("ipc_block_bytes"),
             # In-worker workload materialization cost per realised event
@@ -143,6 +151,8 @@ class BenchResult:
                 self.faults["fault_replay_overhead"]
             payload["faultsweep_per_policy_seconds"] = \
                 self.faults["faultsweep_per_policy_seconds"]
+        if self.chaos is not None:
+            payload["chaos"] = self.chaos
         if baseline_total > 0:
             units = {"generate": self.events_generated,
                      "replay": self.records_replayed,
@@ -184,13 +194,15 @@ def analysis_pass(dataset: TraceDataset) -> int:
 
 
 def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
-                  repeats: int = 5, n_jobs: int = 1) -> BenchResult:
+                  repeats: int = 5, n_jobs: int = 1,
+                  chaos: bool = False) -> BenchResult:
     """Run the fused plan + (materialize+replay) + analysis pipeline.
 
     Best-of-``repeats`` per phase.  ``n_jobs`` is forwarded to the sharded
     replay; the produced dataset (and therefore the analysis work) is
     bit-identical for any value, so the timings stay comparable across job
-    counts.
+    counts.  ``chaos`` additionally runs the crash-tolerance harness
+    (:func:`run_chaos_benchmark`) after the timed phases.
     """
     config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
     best: dict[str, float] = {}
@@ -242,12 +254,18 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
     faults = _run_fault_benchmark(config, seed=seed, days=days,
                                   repeats=repeats, n_jobs=n_jobs,
                                   plain_replay_seconds=best["replay"])
+    chaos_payload = None
+    if chaos:
+        chaos_payload = run_chaos_benchmark(
+            config, seed=seed, repeats=repeats, n_jobs=n_jobs,
+            undisturbed_digest=dataset.content_digest())
     return BenchResult(users=users, days=days, seed=seed, repeats=repeats,
                        phases=best, events_generated=events_generated,
                        records_replayed=records_replayed,
                        analysis_records=analysis_records,
                        n_jobs=n_jobs, replay_stats=replay_stats,
-                       whatif=sweep.to_json(), faults=faults)
+                       whatif=sweep.to_json(), faults=faults,
+                       chaos=chaos_payload)
 
 
 def _run_fault_benchmark(config, seed: int, days: float, repeats: int,
@@ -307,6 +325,67 @@ def _run_fault_benchmark(config, seed: int, days: float, repeats: int,
     return payload
 
 
+def run_chaos_benchmark(config, seed: int, repeats: int, n_jobs: int,
+                        undisturbed_digest: str) -> dict:
+    """The crash-tolerance measurements behind ``repro bench --chaos``.
+
+    Two questions, answered against the same workload plan:
+
+    1. *What does supervision cost when nothing goes wrong?*  Healthy
+       supervised replays and unsupervised baselines (the historical bare
+       pool dispatch, ``supervise=False``) are timed *interleaved*,
+       best-of-``repeats`` each, so both see the same cache/allocator
+       state — ``supervised_overhead`` is the ratio of the bests, which
+       CI bounds at 1.05x.  (Reusing the timed phases' replay seconds
+       instead would compare measurements taken minutes apart in a
+       differently-warmed process and mostly measure drift.)
+    2. *Does a killed worker change the trace?*  One replay runs with a
+       chaos plan that SIGKILLs the shard-0 worker on its first attempt;
+       the supervisor respawns it and the merged dataset's
+       ``content_digest`` must equal the undisturbed run's
+       (``digests_match``), with the kill visible in ``worker_kills``.
+    """
+    from repro.backend.supervisor import ChaosPlan
+
+    supervised_seconds = float("inf")
+    unsupervised_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        for supervise in (True, False):
+            plan = SyntheticTraceGenerator(config).plan()
+            cluster = U1Cluster(ClusterConfig(seed=seed))
+            t0 = time.perf_counter()
+            cluster.replay_plan(plan, n_jobs=n_jobs, supervise=supervise)
+            elapsed = time.perf_counter() - t0
+            if supervise:
+                supervised_seconds = min(supervised_seconds, elapsed)
+            else:
+                unsupervised_seconds = min(unsupervised_seconds, elapsed)
+
+    chaos_plan = ChaosPlan(kill_shards=(0,), kill_after=0.0, kill_attempts=1)
+    plan = SyntheticTraceGenerator(config).plan()
+    cluster = U1Cluster(ClusterConfig(seed=seed))
+    t0 = time.perf_counter()
+    chaos_dataset = cluster.replay_plan(plan, n_jobs=n_jobs, chaos=chaos_plan)
+    chaos_seconds = time.perf_counter() - t0
+    stats = cluster.last_replay_stats
+    chaos_digest = chaos_dataset.content_digest()
+    return {
+        "jobs": stats["n_jobs"],
+        "supervised_seconds": supervised_seconds,
+        "unsupervised_seconds": unsupervised_seconds,
+        "supervised_overhead":
+            supervised_seconds / max(unsupervised_seconds, 1e-12),
+        "chaos_replay_seconds": chaos_seconds,
+        "undisturbed_digest": undisturbed_digest,
+        "chaos_digest": chaos_digest,
+        "digests_match": chaos_digest == undisturbed_digest,
+        "worker_kills": len(stats["shard_failures"]),
+        "shard_retries": stats["shard_retries"],
+        "quarantined_shards": stats["quarantined_shards"],
+        "chaos_completion_order": stats["completion_order"],
+    }
+
+
 def run_profile(users: int = 300, days: float = 3.0, seed: int = 2014,
                 n_jobs: int = 1, out=None, top: int = 20) -> None:
     """Profile one pipeline run and print per-phase cProfile tables.
@@ -352,10 +431,10 @@ def run_profile(users: int = 300, days: float = 3.0, seed: int = 2014,
 
 
 def write_report(result: BenchResult, out_path: Path) -> Path:
-    """Write the benchmark JSON report."""
-    out_path = Path(out_path)
-    out_path.write_text(json.dumps(result.to_json(), indent=2) + "\n")
-    return out_path
+    """Atomically write the benchmark JSON report (raises OSError)."""
+    from repro.util.atomicio import atomic_write_json
+
+    return atomic_write_json(Path(out_path), result.to_json())
 
 
 def format_summary(result: BenchResult) -> str:
@@ -388,6 +467,11 @@ def format_summary(result: BenchResult) -> str:
         line += (f" | faults overhead {faults['fault_replay_overhead']:.3f}x, "
                  f"sweep {faults['n_policies']} policies "
                  f"{faults['faultsweep_seconds']:.3f}s")
+    chaos = payload.get("chaos")
+    if chaos:
+        line += (f" | chaos kills {chaos['worker_kills']}, digest "
+                 f"{'ok' if chaos['digests_match'] else 'MISMATCH'}, "
+                 f"supervision {chaos['supervised_overhead']:.3f}x")
     if "speedup_vs_seed" in payload:
         line += f" | {payload['speedup_vs_seed']:.2f}x vs seed"
     return line

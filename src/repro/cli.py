@@ -72,6 +72,19 @@ def _add_workload_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-backend", action="store_true",
                         help="emit client-side records only (skip the back-end "
                              "simulation; no RPC records will be available)")
+    _add_resume_options(parser)
+
+
+def _add_resume_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="spill each completed replay shard as an atomic "
+                             ".npz checkpoint under this directory (keyed by "
+                             "config + workload, so unrelated runs never "
+                             "collide)")
+    parser.add_argument("--resume", action="store_true",
+                        help="load finished shards from --checkpoint-dir "
+                             "instead of re-executing them; the merged trace "
+                             "is bit-identical to an undisturbed run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "top-20 functions by cumulative time per phase "
                             "(use --jobs 1 to capture the shard workers "
                             "inline) instead of timing repeats")
+    bench.add_argument("--chaos", action="store_true",
+                       help="additionally run the chaos harness: SIGKILL a "
+                            "shard worker mid-replay, verify the recovered "
+                            "trace digest matches an undisturbed run, and "
+                            "measure supervised-pool overhead against the "
+                            "unsupervised baseline (recorded under the "
+                            "'chaos' key of the JSON report)")
 
     whatif = subparsers.add_parser(
         "whatif", help="replay once, then sweep storage policies offline "
@@ -145,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "tier (default: 1)")
     whatif.add_argument("--json", type=Path, default=None,
                         help="also write the sweep result as JSON")
+    _add_resume_options(whatif)
 
     faultsweep = subparsers.add_parser(
         "faultsweep", help="replay once through a faulted cluster, then "
@@ -164,7 +185,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  "disable policies (default: 60)")
     faultsweep.add_argument("--json", type=Path, default=None,
                             help="also write the sweep result as JSON")
+    _add_resume_options(faultsweep)
     return parser
+
+
+def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
+    """Replay passthrough kwargs from the --checkpoint-dir/--resume flags."""
+    return {"checkpoint_dir": getattr(args, "checkpoint_dir", None),
+            "resume": getattr(args, "resume", False)}
+
+
+def _write_json_artifact(path: Path, payload, out) -> int:
+    """Atomically write a JSON artifact; report failure as exit code 2."""
+    from repro.util.atomicio import atomic_write_json
+
+    try:
+        atomic_write_json(path, payload)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return 2
+    print(f"Wrote {path}", file=out)
+    return 0
 
 
 def _build_dataset(args: argparse.Namespace) -> TraceDataset:
@@ -175,7 +216,8 @@ def _build_dataset(args: argparse.Namespace) -> TraceDataset:
     cluster = U1Cluster(ClusterConfig(seed=args.seed))
     # Fused pipeline: plan globally, materialize inside the replay workers.
     return cluster.replay_plan(generator.plan(),
-                               n_jobs=getattr(args, "jobs", 1))
+                               n_jobs=getattr(args, "jobs", 1),
+                               **_checkpoint_kwargs(args))
 
 
 def _command_generate(args: argparse.Namespace, out) -> int:
@@ -221,15 +263,19 @@ def _command_bench(args: argparse.Namespace, out) -> int:
                     n_jobs=args.jobs, out=out)
         return 0
     result = run_benchmark(users=args.users, days=args.days, seed=args.seed,
-                           repeats=args.repeats, n_jobs=args.jobs)
-    path = write_report(result, args.out)
+                           repeats=args.repeats, n_jobs=args.jobs,
+                           chaos=args.chaos)
     print(format_summary(result), file=out)
+    try:
+        path = write_report(result, args.out)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
     print(f"Wrote {path}", file=out)
     return 0
 
 
 def _command_whatif(args: argparse.Namespace, out) -> int:
-    import json
     import time
 
     from repro.util.units import DAY
@@ -240,7 +286,8 @@ def _command_whatif(args: argparse.Namespace, out) -> int:
     cluster = U1Cluster(ClusterConfig(seed=args.seed))
     started = time.perf_counter()
     dataset = cluster.replay_plan(SyntheticTraceGenerator(config).plan(),
-                                  n_jobs=args.jobs)
+                                  n_jobs=args.jobs,
+                                  **_checkpoint_kwargs(args))
     replay_seconds = time.perf_counter() - started
 
     # The dataset goes in un-decoded: the sweep timing then covers the
@@ -265,13 +312,11 @@ def _command_whatif(args: argparse.Namespace, out) -> int:
         payload["replay_seconds"] = replay_seconds
         payload["config"] = {"users": args.users, "days": args.days,
                              "seed": args.seed, "jobs": args.jobs}
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"Wrote {args.json}", file=out)
+        return _write_json_artifact(args.json, payload, out)
     return 0
 
 
 def _command_faultsweep(args: argparse.Namespace, out) -> int:
-    import json
     import time
 
     from repro.faults.spec import default_fault_plan
@@ -285,7 +330,8 @@ def _command_faultsweep(args: argparse.Namespace, out) -> int:
     cluster = U1Cluster(ClusterConfig(seed=args.seed, faults=plan))
     started = time.perf_counter()
     dataset = cluster.replay_plan(SyntheticTraceGenerator(config).plan(),
-                                  n_jobs=args.jobs)
+                                  n_jobs=args.jobs,
+                                  **_checkpoint_kwargs(args))
     replay_seconds = time.perf_counter() - started
 
     # The dataset goes in un-decoded: the sweep timing then covers the
@@ -306,8 +352,7 @@ def _command_faultsweep(args: argparse.Namespace, out) -> int:
         payload["replay_seconds"] = replay_seconds
         payload["config"] = {"users": args.users, "days": args.days,
                              "seed": args.seed, "jobs": args.jobs}
-        args.json.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"Wrote {args.json}", file=out)
+        return _write_json_artifact(args.json, payload, out)
     return 0
 
 
@@ -327,6 +372,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and \
+            getattr(args, "checkpoint_dir", None) is None:
+        parser.error("--resume requires --checkpoint-dir")
     handler = _COMMANDS[args.command]
     return handler(args, out)
 

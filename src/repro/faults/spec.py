@@ -41,10 +41,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class _Window:
-    """Base of every fault: a half-open ``[start, end)`` absolute interval."""
+    """Base of every fault: a half-open ``[start, end)`` absolute interval.
+
+    Every window validates **at construction** (``__post_init__`` calls the
+    subclass ``validate``), so a negative rate, an inverted or zero-length
+    window or a nonsense target index raises a precise :class:`ValueError`
+    where the bad literal was written — never deep inside plan compilation.
+    Fleet-relative checks (does the targeted process/shard exist?) need the
+    cluster's dimensions and stay in :meth:`FaultPlan.validate`.
+    """
 
     start: float
     end: float
+
+    def __post_init__(self) -> None:
+        self.validate()
 
     def validate(self) -> None:
         if not self.end > self.start:
@@ -145,17 +156,21 @@ class FaultPlan:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        # Accept any iterable, store a hashable/picklable tuple.
+        # Accept any iterable, store a hashable/picklable tuple — and
+        # reject unknown/invalid members immediately, so a bad plan can
+        # never exist long enough to reach compilation.
         object.__setattr__(self, "faults", tuple(self.faults))
-
-    def validate(self, n_processes: int | None = None,
-                 n_shards: int | None = None) -> None:
-        """Check window sanity and that every fault targets real hardware."""
         known = (DegradedProcess, LossyLink, ReadOnlyShard,
                  StorageNodeOutage, AuthOutage)
         for fault in self.faults:
             if not isinstance(fault, known):
                 raise TypeError(f"unknown fault kind: {fault!r}")
+            fault.validate()
+
+    def validate(self, n_processes: int | None = None,
+                 n_shards: int | None = None) -> None:
+        """Check window sanity and that every fault targets real hardware."""
+        for fault in self.faults:
             fault.validate()
             if (isinstance(fault, DegradedProcess) and n_processes is not None
                     and fault.process_index >= n_processes):

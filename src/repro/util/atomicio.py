@@ -1,0 +1,52 @@
+"""Atomic artifact writes: no reader ever sees a truncated file.
+
+Every JSON report and checkpoint this project writes is the kind of
+artifact a crashed or interrupted run must not corrupt: ``BENCH_pipeline.json``
+feeds the CI gates, the ``--json`` sweep outputs feed downstream analysis,
+and the shard checkpoints feed ``--resume``.  All of them are written here
+the same way: to a temporary file *in the destination directory* (so the
+rename never crosses a filesystem boundary) followed by :func:`os.replace`,
+which POSIX guarantees to be atomic.  An interrupt therefore leaves either
+the old complete file or the new complete file — never a prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: Path | str, payload: bytes) -> Path:
+    """Atomically replace ``path`` with ``payload``.
+
+    Raises :class:`OSError` when the destination is unwritable; the
+    temporary file is cleaned up on any failure.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Atomically replace ``path`` with UTF-8 encoded ``text``."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: Path | str, payload) -> Path:
+    """Atomically replace ``path`` with ``payload`` serialised as JSON."""
+    return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

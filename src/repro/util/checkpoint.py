@@ -1,0 +1,201 @@
+"""Deterministic shard checkpoints: spill completed ``ShardOutcome``\\ s to disk.
+
+Because every replay shard is a pure function of ``(config, plan member)``
+(PR 3), a completed shard's outcome can be persisted and later substituted
+for re-execution **bit-identically** — which is what makes ``--resume``
+sound: a killed run re-executes only the shards that never finished, and
+the merged trace is indistinguishable from an undisturbed run.
+
+Layout: one ``.npz`` file per shard under a run directory keyed by a hash
+of the *work* (cluster configuration + the per-shard workload
+fingerprints)::
+
+    <checkpoint_root>/<run_key>/shard-0003.npz
+
+The run key deliberately covers everything that determines a shard's
+output: the frozen ``ClusterConfig`` (seed, shard layout, tiering, fault
+plan, ...) and the workload handed to each shard (plan member indices and
+planned-op weights for the fused pipeline, per-script identities for
+pre-materialized workloads).  Two runs share checkpoints only when they
+would compute identical outcomes; anything else hashes to a different
+directory and never collides.
+
+The file format is columnar: the three trace streams' NumPy columns are
+stored as native npz arrays (the bulk of the payload, loaded without
+pickle), and the small counter summaries travel as one pickled metadata
+blob.  Writes are atomic (temp file + ``os.replace``), so a worker killed
+mid-spill leaves no truncated checkpoint — and a corrupt or foreign file
+is treated as *absent* (the shard simply re-executes) rather than an
+error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.dataset import ColumnBlock
+from repro.util.atomicio import atomic_write_bytes
+
+__all__ = ["CheckpointStore", "run_key"]
+
+#: Bump when the checkpoint layout changes: old files then silently miss.
+_FORMAT = 1
+
+_STREAMS = ("storage", "rpc", "sessions")
+
+
+def run_key(config, workloads) -> str:
+    """Stable hex digest identifying one (config, workload) replay.
+
+    A pure function of the cluster configuration and the per-shard
+    workloads — never of the worker count, attempt number or wall clock —
+    so retries, resumes and different ``--jobs`` all map to the same run
+    directory.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"format:{_FORMAT};".encode())
+    digest.update(repr(config).encode())
+    digest.update(f";shards:{len(workloads)};".encode())
+    for shard_id, workload in enumerate(workloads):
+        digest.update(f"shard:{shard_id}:".encode())
+        prebuilt = getattr(workload, "prebuilt", None)
+        if prebuilt is not None:
+            digest.update(f"scripts:{len(prebuilt)}:".encode())
+            for script in prebuilt:
+                digest.update(
+                    f"{script.user_id},{script.session_id},{script.start!r},"
+                    f"{script.end!r},{len(script.events)};".encode())
+        else:
+            digest.update(f"members:{workload.members!r};".encode())
+            digest.update(repr(workload.plan.member_weights()).encode())
+    return digest.hexdigest()
+
+
+def _pack_outcome(outcome) -> bytes:
+    """Serialise a ``ShardOutcome`` as columnar npz bytes."""
+    arrays: dict[str, np.ndarray] = {}
+    categories: dict[str, dict[str, list]] = {}
+    counts: dict[str, int] = {}
+    for stream in _STREAMS:
+        block: ColumnBlock = getattr(outcome, stream)
+        counts[stream] = block.n
+        for name, arr in block.cols.items():
+            arrays[f"{stream}.col.{name}"] = arr
+        categories[stream] = {}
+        for name, (codes, cats) in block.codes.items():
+            arrays[f"{stream}.code.{name}"] = codes
+            categories[stream][name] = cats
+    meta = {
+        "format": _FORMAT,
+        "shard_id": outcome.shard_id,
+        "seconds": outcome.seconds,
+        "generate_seconds": outcome.generate_seconds,
+        "n_events": outcome.n_events,
+        "ipc_bytes": outcome.ipc_bytes,
+        "process_counters": outcome.process_counters,
+        "gateway_totals": outcome.gateway_totals,
+        "store_summary": outcome.store_summary,
+        "object_count": outcome.object_count,
+        "accounting": outcome.accounting,
+        "faults": outcome.faults,
+        "gc_sweeps": outcome.gc_sweeps,
+        "timeline_end": outcome.timeline_end,
+        "counts": counts,
+        "categories": categories,
+    }
+    arrays["meta"] = np.frombuffer(
+        pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _unpack_outcome(payload: bytes):
+    """Rebuild a ``ShardOutcome`` from checkpoint bytes (raises on mismatch)."""
+    from repro.backend.replay_shard import ShardOutcome
+
+    with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta = pickle.loads(arrays.pop("meta").tobytes())
+    if meta["format"] != _FORMAT:
+        raise ValueError(f"checkpoint format {meta['format']} != {_FORMAT}")
+    blocks: dict[str, ColumnBlock] = {}
+    for stream in _STREAMS:
+        cols = {name[len(stream) + 5:]: arr for name, arr in arrays.items()
+                if name.startswith(f"{stream}.col.")}
+        codes = {name[len(stream) + 6:]:
+                 (arr, meta["categories"][stream][name[len(stream) + 6:]])
+                 for name, arr in arrays.items()
+                 if name.startswith(f"{stream}.code.")}
+        blocks[stream] = ColumnBlock(meta["counts"][stream], cols, codes)
+    return ShardOutcome(
+        shard_id=meta["shard_id"],
+        seconds=meta["seconds"],
+        generate_seconds=meta["generate_seconds"],
+        storage=blocks["storage"],
+        rpc=blocks["rpc"],
+        sessions=blocks["sessions"],
+        n_events=meta["n_events"],
+        ipc_bytes=meta["ipc_bytes"],
+        process_counters=meta["process_counters"],
+        gateway_totals=meta["gateway_totals"],
+        store_summary=meta["store_summary"],
+        object_count=meta["object_count"],
+        accounting=meta["accounting"],
+        faults=meta["faults"],
+        gc_sweeps=meta["gc_sweeps"],
+        timeline_end=meta["timeline_end"])
+
+
+class CheckpointStore:
+    """Per-run checkpoint directory: one atomic ``.npz`` per completed shard."""
+
+    def __init__(self, root: Path | str, key: str):
+        self.root = Path(root)
+        self.key = key
+        self.run_dir = self.root / key
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+
+    def path(self, shard_id: int) -> Path:
+        """Checkpoint path of one shard."""
+        return self.run_dir / f"shard-{shard_id:04d}.npz"
+
+    def save(self, outcome) -> Path:
+        """Atomically spill one completed shard outcome."""
+        return atomic_write_bytes(self.path(outcome.shard_id),
+                                  _pack_outcome(outcome))
+
+    def load(self, shard_id: int):
+        """The checkpointed outcome of ``shard_id``, or ``None``.
+
+        Missing, truncated, foreign or version-mismatched files all read as
+        "not checkpointed" — the caller re-executes the shard, which is
+        always correct (just slower).
+        """
+        path = self.path(shard_id)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            outcome = _unpack_outcome(payload)
+        except Exception:
+            return None
+        if outcome.shard_id != shard_id:
+            return None
+        return outcome
+
+    def completed(self) -> list[int]:
+        """Shard ids with a checkpoint file present (not validated)."""
+        ids = []
+        for path in sorted(self.run_dir.glob("shard-*.npz")):
+            try:
+                ids.append(int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return ids

@@ -1,0 +1,43 @@
+"""Error-taxonomy tests: no `error_kind` can drift out of ERROR_KINDS."""
+
+from __future__ import annotations
+
+from repro.backend import errors
+from repro.backend.errors import ERROR_KINDS, BackendError, is_retryable_kind
+
+
+def _all_error_classes(base=BackendError):
+    yield base
+    for sub in base.__subclasses__():
+        yield from _all_error_classes(sub)
+
+
+class TestErrorKinds:
+    def test_every_emitted_kind_round_trips(self):
+        """Each class with an error_kind is in ERROR_KINDS, flag intact.
+
+        This is the anti-drift guarantee: a new error class with an
+        ``error_kind`` can never silently fall through
+        ``is_retryable_kind``'s "unknown kind -> not retryable" default.
+        """
+        kinds = [cls for cls in _all_error_classes() if cls.error_kind]
+        assert kinds, "taxonomy lost its error kinds?"
+        for cls in kinds:
+            assert cls.error_kind in ERROR_KINDS
+            assert ERROR_KINDS[cls.error_kind] == cls.retryable
+            assert is_retryable_kind(cls.error_kind) == cls.retryable
+
+    def test_known_kind_flags(self):
+        assert is_retryable_kind("service_unavailable") is True
+        assert is_retryable_kind("storage_node_down") is True
+        assert is_retryable_kind("shard_read_only") is False
+        assert is_retryable_kind("auth_failed") is False
+
+    def test_unknown_and_empty_kinds_are_not_retryable(self):
+        assert is_retryable_kind("no_such_kind") is False
+        assert is_retryable_kind("") is False
+        assert "" not in ERROR_KINDS
+
+    def test_every_class_exported(self):
+        for cls in _all_error_classes():
+            assert cls.__name__ in errors.__all__

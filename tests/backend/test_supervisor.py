@@ -1,0 +1,255 @@
+"""Chaos harness for the supervised shard pool: crashes, hangs, resume.
+
+The headline assertions mirror the ISSUE-7 acceptance criteria: a worker
+SIGKILLed mid-run (and a whole run killed and resumed from checkpoints)
+must yield a trace bit-identical to an undisturbed run at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from unittest import mock
+
+from repro.backend import replay_shard
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.backend.supervisor import (
+    ChaosPlan,
+    ShardExecutionError,
+    SupervisorPolicy,
+    supervise_shards,
+)
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+def _plan(seed: int = 11, users: int = 50, days: float = 0.5):
+    config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
+    return SyntheticTraceGenerator(config).plan()
+
+
+def _replay_plan(plan, n_jobs: int, seed: int = 11, **kwargs):
+    cluster = U1Cluster(ClusterConfig(seed=seed))
+    with mock.patch.object(replay_shard, "usable_cpus", return_value=8):
+        dataset = cluster.replay_plan(plan, n_jobs=n_jobs, **kwargs)
+    return cluster, dataset
+
+
+_FAST = SupervisorPolicy(backoff_base=0.0)
+
+
+# ---------------------------------------------------------------------------
+# supervise_shards unit behaviour (no replay engine involved)
+# ---------------------------------------------------------------------------
+
+class TestSupervisePrimitives:
+    def test_all_outcomes_and_completion_order(self):
+        outcomes, report = supervise_shards(
+            lambda s: s * 2, range(4), jobs=2, use_fork=False)
+        assert outcomes == {0: 0, 1: 2, 2: 4, 3: 6}
+        assert sorted(report.completion_order) == [0, 1, 2, 3]
+        assert report.failures == [] and report.quarantined == []
+
+    def test_retry_then_success_in_process(self):
+        calls = {"n": 0}
+
+        def flaky(shard_id):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return shard_id
+
+        outcomes, report = supervise_shards(
+            flaky, [7], jobs=1, policy=_FAST, use_fork=False)
+        assert outcomes == {7: 7}
+        assert report.retries == {7: 1}
+        assert [f.reason for f in report.failures] == ["exception"]
+
+    def test_quarantine_keeps_partial_results(self):
+        def task(shard_id):
+            if shard_id == 1:
+                raise RuntimeError("persistent")
+            return shard_id
+
+        outcomes, report = supervise_shards(
+            task, [0, 1, 2], jobs=1, policy=_FAST, use_fork=False)
+        assert outcomes == {0: 0, 2: 2}
+        assert report.quarantined == [1]
+        # max_attempts failures, the last of which is not granted a retry.
+        assert len(report.failures) == _FAST.max_attempts
+        assert report.retries == {1: _FAST.max_attempts - 1}
+
+    def test_all_quarantined_raises(self):
+        def task(shard_id):
+            raise RuntimeError("dead on arrival")
+
+        with pytest.raises(ShardExecutionError, match="all 2 shards"):
+            supervise_shards(task, [0, 1], jobs=1, policy=_FAST,
+                             use_fork=False)
+
+    def test_forked_worker_exception_is_reported(self):
+        def task(shard_id):
+            raise ValueError("inside the fork")
+
+        with pytest.raises(ShardExecutionError) as excinfo:
+            supervise_shards(task, [0], jobs=1, policy=_FAST, use_fork=True)
+        assert "inside the fork" in str(excinfo.value)
+
+    def test_forked_sigkill_recovers(self):
+        chaos = ChaosPlan(kill_shards=(0,), kill_after=0.0, kill_attempts=1)
+        outcomes, report = supervise_shards(
+            lambda s: s + 100, [0, 1], jobs=2, policy=_FAST, chaos=chaos,
+            use_fork=True)
+        assert outcomes == {0: 100, 1: 101}
+        assert report.retries == {0: 1}
+        assert [f.reason for f in report.failures] == ["worker-died"]
+
+    def test_forked_hang_hits_timeout_then_recovers(self):
+        chaos = ChaosPlan(hang_shards=(0,), kill_attempts=1)
+        outcomes, report = supervise_shards(
+            lambda s: s, [0], jobs=1, policy=_FAST, chaos=chaos,
+            timeouts={0: 0.5}, use_fork=True)
+        assert outcomes == {0: 0}
+        assert [f.reason for f in report.failures] == ["timeout"]
+        assert report.retries == {0: 1}
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_attempts=0).validate()
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_factor=0.5).validate()
+        with pytest.raises(ValueError):
+            SupervisorPolicy(timeout=-1.0).validate()
+        with pytest.raises(ValueError):
+            ChaosPlan(kill_shards=(0,), kill_attempts=0)
+
+
+class _ExplodingWorkload:
+    """A shard workload whose materialization always raises."""
+
+    prebuilt = ()
+
+    def scripts(self):
+        raise RuntimeError("boom")
+
+
+class TestForkStateHygiene:
+    def _run(self, n_jobs: int):
+        config = ClusterConfig(seed=3)
+        addresses = config.process_addresses()
+        assignments = [[(0, addresses[0])], [(1, addresses[1])]]
+        with mock.patch.object(replay_shard, "usable_cpus", return_value=8):
+            replay_shard.run_shards_supervised(
+                config, assignments, [1.0, 1.0],
+                [_ExplodingWorkload(), _ExplodingWorkload()],
+                n_jobs=n_jobs, policy=_FAST)
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_fork_state_cleared_when_workers_raise(self, n_jobs):
+        with pytest.raises(ShardExecutionError):
+            self._run(n_jobs)
+        assert replay_shard._FORK_STATE is None
+
+
+# ---------------------------------------------------------------------------
+# Full-replay chaos: bit-identity of the recovered trace
+# ---------------------------------------------------------------------------
+
+class TestChaosRecovery:
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_sigkilled_worker_yields_bit_identical_trace(self, n_jobs):
+        plan = _plan()
+        _, undisturbed = _replay_plan(plan, n_jobs=n_jobs)
+        chaos = ChaosPlan(kill_shards=(0,), kill_after=0.0, kill_attempts=1)
+        cluster, recovered = _replay_plan(plan, n_jobs=n_jobs, chaos=chaos,
+                                          policy=_FAST)
+        assert recovered.content_digest() == undisturbed.content_digest()
+        assert recovered == undisturbed
+        stats = cluster.last_replay_stats
+        assert stats["supervised"] is True
+        assert stats["shard_retries"] == {0: 1}
+        assert [f["reason"] for f in stats["shard_failures"]] == \
+            ["worker-died"]
+        assert stats["quarantined_shards"] == []
+        assert len(stats["shard_seconds"]) == stats["n_shards"]
+
+    def test_healthy_supervised_run_records_completion_order(self):
+        plan = _plan()
+        cluster, _ = _replay_plan(plan, n_jobs=2)
+        stats = cluster.last_replay_stats
+        assert sorted(stats["completion_order"]) == \
+            list(range(stats["n_shards"]))
+        assert stats["shard_failures"] == []
+
+    def test_unsupervised_baseline_matches_supervised(self):
+        plan = _plan()
+        _, supervised = _replay_plan(plan, n_jobs=2)
+        cluster, baseline = _replay_plan(plan, n_jobs=2, supervise=False)
+        assert baseline.content_digest() == supervised.content_digest()
+        stats = cluster.last_replay_stats
+        assert stats["supervised"] is False
+        assert sorted(stats["completion_order"]) == \
+            list(range(stats["n_shards"]))
+
+
+class TestCheckpointResume:
+    def test_resume_skips_finished_shards(self, tmp_path):
+        plan = _plan()
+        _, undisturbed = _replay_plan(plan, n_jobs=2)
+        cluster, first = _replay_plan(plan, n_jobs=2,
+                                      checkpoint_dir=tmp_path)
+        n_shards = cluster.last_replay_stats["n_shards"]
+        assert sorted(cluster.last_replay_stats["shards_checkpointed"]) == \
+            list(range(n_shards))
+        assert cluster.last_replay_stats["checkpoint_dir"] is not None
+
+        # "Kill the whole process and rerun": a fresh cluster resumes from
+        # the spilled outcomes without executing anything.
+        resumed_cluster, resumed = _replay_plan(plan, n_jobs=2,
+                                                checkpoint_dir=tmp_path,
+                                                resume=True)
+        stats = resumed_cluster.last_replay_stats
+        assert sorted(stats["shards_resumed"]) == list(range(n_shards))
+        assert stats["completion_order"] == []
+        assert resumed.content_digest() == undisturbed.content_digest()
+        assert resumed == first
+
+    def test_partial_checkpoints_reexecute_only_missing(self, tmp_path):
+        plan = _plan()
+        cluster, undisturbed = _replay_plan(plan, n_jobs=1,
+                                            checkpoint_dir=tmp_path)
+        n_shards = cluster.last_replay_stats["n_shards"]
+        run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+        # Simulate a run killed partway: shards 0 and 2 never checkpointed.
+        (run_dir / "shard-0000.npz").unlink()
+        (run_dir / "shard-0002.npz").unlink()
+
+        resumed_cluster, resumed = _replay_plan(plan, n_jobs=4,
+                                                checkpoint_dir=tmp_path,
+                                                resume=True)
+        stats = resumed_cluster.last_replay_stats
+        assert sorted(stats["completion_order"]) == [0, 2]
+        assert sorted(stats["shards_resumed"]) == \
+            [s for s in range(n_shards) if s not in (0, 2)]
+        assert resumed.content_digest() == undisturbed.content_digest()
+
+    def test_corrupt_checkpoint_reexecutes(self, tmp_path):
+        plan = _plan()
+        _, undisturbed = _replay_plan(plan, n_jobs=1,
+                                      checkpoint_dir=tmp_path)
+        run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+        (run_dir / "shard-0001.npz").write_bytes(b"not an npz file")
+
+        resumed_cluster, resumed = _replay_plan(plan, n_jobs=1,
+                                                checkpoint_dir=tmp_path,
+                                                resume=True)
+        stats = resumed_cluster.last_replay_stats
+        assert stats["completion_order"] == [1]
+        assert resumed.content_digest() == undisturbed.content_digest()
+
+    def test_different_config_never_shares_checkpoints(self, tmp_path):
+        plan = _plan()
+        _replay_plan(plan, n_jobs=1, checkpoint_dir=tmp_path)
+        _replay_plan(plan, n_jobs=1, seed=12, checkpoint_dir=tmp_path)
+        run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(run_dirs) == 2

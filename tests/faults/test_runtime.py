@@ -54,6 +54,39 @@ class TestErrorTaxonomy:
             assert issubclass(cls, BackendError)
 
 
+class TestConstructionTimeValidation:
+    """Bad specs die where the literal was written, never inside compile."""
+
+    def test_inverted_or_empty_windows_raise_at_construction(self):
+        with pytest.raises(ValueError, match="end"):
+            LossyLink(start=10.0, end=5.0)
+        with pytest.raises(ValueError, match="end"):
+            ReadOnlyShard(start=0.0, end=0.0)
+        with pytest.raises(ValueError, match="end"):
+            AuthOutage(start=3.0, end=2.0)
+
+    def test_bad_rates_and_targets_raise_at_construction(self):
+        with pytest.raises(ValueError, match="failure_rate"):
+            LossyLink(start=0.0, end=1.0, failure_rate=-0.1)
+        with pytest.raises(ValueError, match="inflation"):
+            DegradedProcess(start=0.0, end=1.0, inflation=0.5)
+        with pytest.raises(ValueError, match="process_index"):
+            DegradedProcess(start=0.0, end=1.0, process_index=-1)
+        with pytest.raises(ValueError, match="shard_id"):
+            ReadOnlyShard(start=0.0, end=1.0, shard_id=-1)
+        with pytest.raises(ValueError, match="node_index"):
+            StorageNodeOutage(start=0.0, end=1.0, node_index=5, n_nodes=4)
+
+    def test_plan_rejects_unknown_kind_at_construction(self):
+        with pytest.raises(TypeError, match="unknown fault kind"):
+            FaultPlan(faults=("not a fault",))
+
+    def test_valid_specs_construct_fine(self):
+        plan = FaultPlan(faults=(LossyLink(start=0.0, end=1.0),
+                                 AuthOutage(start=1.0, end=2.0)))
+        assert plan
+
+
 class TestSpecValidation:
     def test_window_must_be_ordered(self):
         with pytest.raises(ValueError):

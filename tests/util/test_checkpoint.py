@@ -1,0 +1,115 @@
+"""Checkpoint store and atomic-write tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.backend.cluster import ClusterConfig, U1Cluster
+from repro.backend.replay_shard import (
+    PlannedShardWorkload,
+    partition_members,
+    run_shards_supervised,
+)
+from repro.util.atomicio import atomic_write_bytes, atomic_write_json
+from repro.util.checkpoint import CheckpointStore, run_key
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTraceGenerator
+
+
+def _outcomes(seed: int = 5, users: int = 30, days: float = 0.5):
+    """A couple of real ShardOutcomes via the supervised runner."""
+    plan = SyntheticTraceGenerator(
+        WorkloadConfig.scaled(users=users, days=days, seed=seed)).plan()
+    cluster = U1Cluster(ClusterConfig(seed=seed))
+    n_shards = cluster.config.effective_replay_shards()
+    workloads = [PlannedShardWorkload(plan, members)
+                 for members in partition_members(plan, n_shards)]
+    _, assignments = cluster._shard_assignments(n_shards)  # noqa: SLF001
+    outcomes, _, _ = run_shards_supervised(
+        cluster.config, assignments, cluster.latency.shard_factors,
+        workloads, n_jobs=1)
+    return cluster.config, workloads, outcomes
+
+
+class TestRunKey:
+    def test_stable_and_distinct(self):
+        config, workloads, _ = _outcomes()
+        key = run_key(config, workloads)
+        assert key == run_key(config, workloads)
+        other = ClusterConfig(seed=6)
+        assert run_key(other, workloads) != key
+        assert run_key(config, workloads[:-1]) != key
+
+    def test_key_is_path_safe(self):
+        config, workloads, _ = _outcomes()
+        key = run_key(config, workloads)
+        assert key == "".join(c for c in key if c in "0123456789abcdef")
+
+
+class TestCheckpointStore:
+    def test_round_trip_preserves_outcome(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads))
+        original = outcomes[0]
+        store.save(original)
+        loaded = store.load(original.shard_id)
+        assert loaded is not None
+        assert loaded.shard_id == original.shard_id
+        assert loaded.n_events == original.n_events
+        assert loaded.process_counters == original.process_counters
+        assert loaded.gateway_totals == original.gateway_totals
+        assert loaded.object_count == original.object_count
+        assert loaded.timeline_end == original.timeline_end
+        for stream in ("storage", "rpc", "sessions"):
+            a, b = getattr(loaded, stream), getattr(original, stream)
+            assert a.n == b.n
+            assert set(a.cols) == set(b.cols)
+            for name in a.cols:
+                assert (a.cols[name] == b.cols[name]).all()
+            assert set(a.codes) == set(b.codes)
+            for name in a.codes:
+                assert (a.codes[name][0] == b.codes[name][0]).all()
+                assert a.codes[name][1] == b.codes[name][1]
+
+    def test_missing_and_corrupt_reads_as_absent(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads))
+        assert store.load(0) is None
+        store.save(outcomes[0])
+        path = store.path(outcomes[0].shard_id)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.load(outcomes[0].shard_id) is None
+        path.write_bytes(b"garbage")
+        assert store.load(outcomes[0].shard_id) is None
+
+    def test_wrong_slot_reads_as_absent(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads))
+        store.save(outcomes[1])
+        # A file whose embedded shard id disagrees with its slot is foreign.
+        os.replace(store.path(outcomes[1].shard_id), store.path(0))
+        assert store.load(0) is None
+
+    def test_completed_lists_present_shards(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads))
+        for outcome in outcomes[:3]:
+            store.save(outcome)
+        assert store.completed() == sorted(o.shard_id for o in outcomes[:3])
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old")
+        atomic_write_json(target, {"fresh": True})
+        assert target.read_text().startswith("{")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unwritable_destination_raises_and_cleans_up(self, tmp_path):
+        missing_dir = tmp_path / "nope" / "artifact.json"
+        with pytest.raises(OSError):
+            atomic_write_bytes(missing_dir, b"payload")
+        assert not list(tmp_path.glob("**/*.tmp"))
