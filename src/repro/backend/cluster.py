@@ -241,32 +241,39 @@ class U1Cluster:
     def _run_sharded(self, workloads, n_shards: int, n_jobs: int,
                      addresses, *, supervise: bool = True, policy=None,
                      chaos=None, checkpoint_dir=None,
-                     resume: bool = False) -> TraceDataset:
+                     resume: bool = False, shutdown=None) -> TraceDataset:
         """Run shard workloads, merge columnar outcomes, absorb counters.
 
         ``supervise`` selects the crash-tolerant pool (the default) over the
         bare historical dispatch; ``checkpoint_dir`` spills each completed
         shard as an atomic ``.npz`` under a run directory keyed by
-        ``(config, workloads)``, and ``resume`` loads those checkpoints
-        instead of re-executing finished shards.  None of these change the
+        ``(config, workloads)`` with a write-ahead ``MANIFEST.json``, and
+        ``resume`` loads those checkpoints instead of re-executing finished
+        shards.  ``shutdown`` threads a
+        :class:`~repro.util.lifecycle.ShutdownController` into the
+        supervisor for graceful interruption.  None of these change the
         realised trace — quarantined shards (persistent failures) are the
         only way a merged dataset can be partial, and they are reported in
         ``last_replay_stats`` rather than raised.
         """
         from repro.backend.replay_shard import run_shards_supervised
-        from repro.util.checkpoint import CheckpointStore, run_key
+        from repro.util.checkpoint import (CheckpointStore,
+                                           run_inputs_summary, run_key)
         import time as _time
 
         started = _time.perf_counter()
         _, assignments = self._shard_assignments(n_shards)
         checkpoint = (CheckpointStore(checkpoint_dir,
-                                      run_key(self.config, workloads))
+                                      run_key(self.config, workloads),
+                                      n_shards=n_shards,
+                                      inputs=run_inputs_summary(
+                                          self.config, workloads))
                       if checkpoint_dir is not None else None)
         outcomes, jobs_used, report = run_shards_supervised(
             self.config, assignments, self.latency.shard_factors,
             workloads, n_jobs=n_jobs, fault_schedule=self.fault_schedule,
             supervise=supervise, policy=policy, chaos=chaos,
-            checkpoint=checkpoint, resume=resume)
+            checkpoint=checkpoint, resume=resume, shutdown=shutdown)
 
         merge_started = _time.perf_counter()
         dataset = TraceDataset.from_sorted_blocks(
@@ -334,6 +341,10 @@ class U1Cluster:
             #: Where the shard checkpoints live (``None`` when disabled).
             "checkpoint_dir": (str(checkpoint.run_dir)
                                if checkpoint is not None else None),
+            #: Why checkpointing degraded to in-memory mid-run (``None``
+            #: while healthy — see the ENOSPC guard in the store).
+            "checkpoint_disabled": (checkpoint.disabled_reason
+                                    if checkpoint is not None else None),
         }
         #: Supervision accounting: completion order, per-shard retry counts,
         #: failure records, quarantined shard ids, resumed/checkpointed

@@ -586,7 +586,8 @@ def run_shards_supervised(config,
                           policy=None,
                           chaos=None,
                           checkpoint=None,
-                          resume: bool = False):
+                          resume: bool = False,
+                          shutdown=None):
     """Run every replay shard; return ``(outcomes, jobs_used, report)``.
 
     ``assignments[k]`` is shard ``k``'s slice of process addresses and
@@ -643,7 +644,7 @@ def run_shards_supervised(config,
             outcome_map, report = supervise_shards(
                 _run_shard_task, range(n_shards), jobs, policy=policy,
                 timeouts=timeouts, chaos=chaos, checkpoint=checkpoint,
-                resume=resume, use_fork=use_fork)
+                resume=resume, use_fork=use_fork, shutdown=shutdown)
         report.jobs = jobs
         outcomes = [outcome_map[shard_id] for shard_id in sorted(outcome_map)]
         return outcomes, jobs, report

@@ -42,6 +42,18 @@ completed outcome is spilled as an atomic ``.npz`` and a resumed run loads
 finished shards instead of executing them — the first concrete step toward
 the spill-to-disk merge of ROADMAP item 1.
 
+Graceful shutdown (PR 8): pass a
+:class:`~repro.util.lifecycle.ShutdownController` and the dispatch loop
+polls it between waits.  On the first request (SIGINT/SIGTERM relayed by
+the CLI, or the opt-in RSS watchdog) the supervisor stops dispatching new
+shards, *drains* in-flight workers up to ``SupervisorPolicy.
+shutdown_grace`` seconds (their results are recorded and checkpointed
+normally), SIGKILLs whatever is still running past the deadline, finalizes
+the run manifest as ``interrupted`` and raises
+:class:`~repro.util.lifecycle.RunInterrupted`.  Because completed shards
+were spilled, a subsequent ``--resume`` re-executes only the missing ones
+and the merged trace is bit-identical to an undisturbed run.
+
 :class:`ChaosPlan` is the test/CI face of all this: it makes selected
 worker attempts SIGKILL themselves mid-run (or hang until the deadline),
 so the recovery paths are exercised deterministically and the recovered
@@ -58,6 +70,13 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
+
+from repro.util.lifecycle import RunInterrupted
+
+#: How often the dispatch loop re-checks the shutdown flag while a
+#: controller is attached (signal handlers only set a flag; PEP 475 makes
+#: the pipe waits otherwise sleep through it until the next deadline).
+_SHUTDOWN_POLL_SECONDS = 0.25
 
 __all__ = [
     "ChaosPlan",
@@ -95,6 +114,9 @@ class SupervisorPolicy:
     timeout_base: float = 120.0
     timeout_per_op: float = 0.005
     timeout: float | None = None
+    #: Seconds a graceful shutdown waits for in-flight shards to finish
+    #: (and be checkpointed) before SIGKILLing their workers.
+    shutdown_grace: float = 5.0
 
     def validate(self) -> None:
         if self.max_attempts < 1:
@@ -108,6 +130,8 @@ class SupervisorPolicy:
         if self.timeout_base <= 0 or self.timeout_per_op < 0:
             raise ValueError("SupervisorPolicy timeout derivation must be "
                              "positive")
+        if self.shutdown_grace < 0:
+            raise ValueError("SupervisorPolicy.shutdown_grace must be >= 0")
 
     def backoff(self, retry_index: int) -> float:
         """Seconds to wait before retry ``retry_index`` (0-based)."""
@@ -165,7 +189,7 @@ class ShardFailure:
 
     shard_id: int
     attempt: int
-    #: "exception" | "worker-died" | "timeout"
+    #: "exception" | "worker-died" | "timeout" | "interrupted"
     reason: str
     detail: str = ""
     exitcode: int | None = None
@@ -192,6 +216,9 @@ class SupervisionReport:
     quarantined: list = field(default_factory=list)
     resumed: list = field(default_factory=list)
     checkpointed: list = field(default_factory=list)
+    #: Shard ids left unexecuted by a graceful shutdown (also available on
+    #: the raised :class:`~repro.util.lifecycle.RunInterrupted`).
+    interrupted: list = field(default_factory=list)
 
     @property
     def total_failures(self) -> int:
@@ -207,6 +234,7 @@ class SupervisionReport:
             "quarantined_shards": list(self.quarantined),
             "shards_resumed": list(self.resumed),
             "shards_checkpointed": list(self.checkpointed),
+            "shards_interrupted": list(self.interrupted),
         }
 
 
@@ -299,7 +327,7 @@ def supervise_shards(task, shard_ids, jobs: int, *,
                      timeouts: dict[int, float] | None = None,
                      chaos: ChaosPlan | None = None,
                      checkpoint=None, resume: bool = False,
-                     use_fork: bool = True):
+                     use_fork: bool = True, shutdown=None):
     """Run ``task(shard_id)`` for every shard under supervision.
 
     Returns ``(outcomes, report)`` where ``outcomes`` maps shard id to the
@@ -308,6 +336,13 @@ def supervise_shards(task, shard_ids, jobs: int, *,
     selects the forked worker pool; without it shards run in-process
     (retry/quarantine/checkpoint still apply, crash isolation and chaos do
     not).  Raises :class:`ShardExecutionError` only when nothing completed.
+
+    ``shutdown`` accepts a :class:`~repro.util.lifecycle.ShutdownController`;
+    once it reports a request the loop stops dispatching, drains in-flight
+    workers up to ``policy.shutdown_grace`` seconds (results checkpointed
+    normally), finalizes the manifest as ``interrupted`` and raises
+    :class:`~repro.util.lifecycle.RunInterrupted` carrying the
+    completed/remaining accounting.
     """
     policy = policy or SupervisorPolicy()
     policy.validate()
@@ -323,12 +358,27 @@ def supervise_shards(task, shard_ids, jobs: int, *,
                 report.resumed.append(shard_id)
 
     todo = [s for s in shard_ids if s not in outcomes]
-    if todo:
-        if use_fork:
-            _run_forked(task, todo, jobs, policy, timeouts or {}, chaos,
-                        checkpoint, outcomes, report)
-        else:
-            _run_inprocess(task, todo, policy, checkpoint, outcomes, report)
+    try:
+        if todo:
+            if use_fork:
+                _run_forked(task, todo, jobs, policy, timeouts or {}, chaos,
+                            checkpoint, outcomes, report, shutdown)
+            else:
+                _run_inprocess(task, todo, policy, checkpoint, outcomes,
+                               report, shutdown)
+    except RunInterrupted as exc:
+        remaining = [s for s in shard_ids if s not in outcomes]
+        report.interrupted = remaining
+        exc.completed = len(outcomes)
+        exc.remaining = len(remaining)
+        exc.report = report
+        if checkpoint is not None:
+            checkpoint.finalize("interrupted")
+        raise
+
+    if checkpoint is not None:
+        done = len(outcomes) == len(shard_ids)
+        checkpoint.finalize("complete" if done else "partial")
 
     if shard_ids and not outcomes:
         summary = "; ".join(
@@ -362,7 +412,8 @@ def _record_failure(failure: ShardFailure, attempts: dict, policy,
     return True
 
 
-def _run_inprocess(task, todo, policy, checkpoint, outcomes, report) -> None:
+def _run_inprocess(task, todo, policy, checkpoint, outcomes, report,
+                   shutdown=None) -> None:
     """Sequential supervised execution (no fork: ``--jobs 1`` fast path).
 
     Retries run back-to-back without sleeping: an in-process failure is
@@ -372,6 +423,11 @@ def _run_inprocess(task, todo, policy, checkpoint, outcomes, report) -> None:
     attempts = {shard_id: 0 for shard_id in todo}
     for shard_id in todo:
         while True:
+            if shutdown is not None and shutdown.poll():
+                raise RunInterrupted(
+                    f"run interrupted ({shutdown.describe()})",
+                    signum=shutdown.signum,
+                    reason=shutdown.reason or "signal")
             try:
                 outcome = task(shard_id)
             except Exception as exc:  # noqa: BLE001 - quarantine accounting
@@ -426,7 +482,7 @@ def _stop_worker(worker: _Worker, kill: bool = False) -> None:
 
 
 def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
-                outcomes, report) -> None:
+                outcomes, report, shutdown=None) -> None:
     """The supervised fork pool: persistent workers, sentinels, deadlines.
 
     ``jobs`` workers are forked once (like the bare pool, so healthy-run
@@ -467,8 +523,75 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
         workers.remove(worker)
         _stop_worker(worker, kill=kill)
 
+    def drain_for_shutdown() -> None:
+        """Graceful-shutdown drain: let in-flight shards finish under the
+        grace deadline (their results are recorded and checkpointed
+        normally), then SIGKILL whatever is still running."""
+        deadline = time.monotonic() + policy.shutdown_grace
+        while any(w.current is not None for w in workers):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            busy = [w for w in workers if w.current is not None]
+            handles = []
+            by_handle = {}
+            for worker in busy:
+                handles.append(worker.conn)
+                by_handle[worker.conn] = worker
+                handles.append(worker.process.sentinel)
+                by_handle[worker.process.sentinel] = worker
+            ready = _connection_wait(
+                handles, timeout=min(remaining, _SHUTDOWN_POLL_SECONDS))
+            seen: set[int] = set()
+            for handle in ready:
+                worker = by_handle[handle]
+                if (id(worker) in seen or worker not in workers
+                        or worker.current is None):
+                    continue
+                seen.add(id(worker))
+                shard_id, attempt = worker.current
+                message = None
+                if worker.conn.poll():
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                if message is None:
+                    if worker.process.is_alive():
+                        continue
+                    exitcode = worker.process.exitcode
+                    retire(worker)
+                    # No retry scheduling during shutdown: the shard stays
+                    # unexecuted and a later --resume re-runs it.
+                    report.failures.append(ShardFailure(
+                        shard_id=shard_id, attempt=attempt,
+                        reason="worker-died",
+                        detail=f"exitcode {exitcode}", exitcode=exitcode))
+                elif message[0] == "ok":
+                    worker.current = None
+                    _record_success(shard_id, message[2], checkpoint,
+                                    outcomes, report)
+                else:
+                    worker.current = None
+                    report.failures.append(ShardFailure(
+                        shard_id=shard_id, attempt=attempt,
+                        reason="exception",
+                        detail=f"{message[2]}\n{message[3]}"))
+        for worker in [w for w in workers if w.current is not None]:
+            shard_id, attempt = worker.current
+            report.failures.append(ShardFailure(
+                shard_id=shard_id, attempt=attempt, reason="interrupted",
+                detail="killed at the graceful-shutdown deadline"))
+            retire(worker, kill=True)
+
     try:
         while pending or delayed or any(w.current for w in workers):
+            if shutdown is not None and shutdown.poll():
+                drain_for_shutdown()
+                raise RunInterrupted(
+                    f"run interrupted ({shutdown.describe()})",
+                    signum=shutdown.signum,
+                    reason=shutdown.reason or "signal")
             now = time.monotonic()
             while delayed and delayed[0][0] <= now:
                 pending.append(heapq.heappop(delayed)[1])
@@ -492,7 +615,10 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
             if not busy:
                 # Only backoff waits remain: sleep until the nearest one.
                 if delayed:
-                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    sleep_for = max(0.0, delayed[0][0] - time.monotonic())
+                    if shutdown is not None:
+                        sleep_for = min(sleep_for, _SHUTDOWN_POLL_SECONDS)
+                    time.sleep(sleep_for)
                 continue
 
             wait_until = min(w.deadline for w in busy)
@@ -505,8 +631,10 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
                 by_handle[worker.conn] = worker
                 handles.append(worker.process.sentinel)
                 by_handle[worker.process.sentinel] = worker
-            ready = _connection_wait(
-                handles, timeout=max(0.0, wait_until - time.monotonic()))
+            wait_for = max(0.0, wait_until - time.monotonic())
+            if shutdown is not None:
+                wait_for = min(wait_for, _SHUTDOWN_POLL_SECONDS)
+            ready = _connection_wait(handles, timeout=wait_for)
 
             seen: set[int] = set()
             for handle in ready:

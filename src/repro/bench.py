@@ -344,8 +344,12 @@ def run_chaos_benchmark(config, seed: int, repeats: int, n_jobs: int,
        the supervisor respawns it and the merged dataset's
        ``content_digest`` must equal the undisturbed run's
        (``digests_match``), with the kill visible in ``worker_kills``.
+       The recovered trace additionally runs the full invariant
+       validation (:func:`repro.trace.validate.validate_dataset`) —
+       ``trace_violations`` must stay empty.
     """
     from repro.backend.supervisor import ChaosPlan
+    from repro.trace.validate import validate_dataset
 
     supervised_seconds = float("inf")
     unsupervised_seconds = float("inf")
@@ -383,6 +387,7 @@ def run_chaos_benchmark(config, seed: int, repeats: int, n_jobs: int,
         "shard_retries": stats["shard_retries"],
         "quarantined_shards": stats["quarantined_shards"],
         "chaos_completion_order": stats["completion_order"],
+        "trace_violations": validate_dataset(chaos_dataset),
     }
 
 

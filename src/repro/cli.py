@@ -35,6 +35,20 @@ Four sub-commands cover the full pipeline::
         disable-and-continue) *offline* over the faulted trace and print
         the error-rate / tail-latency / penalty comparison.
 
+    python -m repro verify checkpoint_dir
+        Offline integrity audit (fsck) of checkpoint run directories:
+        manifest consistency, per-shard checksums, orphan/foreign/
+        truncated files — findings classified repairable vs fatal.
+
+The replaying commands (generate/report/whatif/faultsweep) install
+SIGINT/SIGTERM handlers: the first signal checkpoints completed shards
+(with ``--checkpoint-dir``), finalizes the run manifest and exits with
+code 3; a second signal aborts immediately with ``128+signum``.
+
+Exit codes (see :mod:`repro.util.lifecycle`): 0 success, 1 empty input,
+2 artifact write failure, 3 interrupted (graceful, resumable),
+4 corruption (verify findings or ``--validate`` violations).
+
 The CLI is intentionally a thin veneer over the library: everything it does
 can be done programmatically through :mod:`repro.workload`,
 :mod:`repro.backend` and :mod:`repro.core`.
@@ -52,10 +66,22 @@ from repro.core.summary import format_table3
 from repro.trace.anonymize import Anonymizer
 from repro.trace.dataset import TraceDataset
 from repro.trace.logfile import read_trace_directory, write_trace_directory
+from repro.util.lifecycle import (
+    EXIT_CORRUPTION,
+    EXIT_EMPTY,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    RunInterrupted,
+    graceful_shutdown,
+)
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTraceGenerator
 
 __all__ = ["build_parser", "main"]
+
+#: Commands that replay shards: they get signal handlers, the RSS
+#: watchdog and the interrupted exit code.
+_REPLAY_COMMANDS = frozenset({"generate", "report", "whatif", "faultsweep"})
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +98,11 @@ def _add_workload_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-backend", action="store_true",
                         help="emit client-side records only (skip the back-end "
                              "simulation; no RPC records will be available)")
+    parser.add_argument("--validate", action="store_true",
+                        help="check the trace invariants (monotonic "
+                             "timelines, schema, session referential "
+                             "integrity, fault columns) after the replay; "
+                             "violations exit with code 4")
     _add_resume_options(parser)
 
 
@@ -85,6 +116,11 @@ def _add_resume_options(parser: argparse.ArgumentParser) -> None:
                         help="load finished shards from --checkpoint-dir "
                              "instead of re-executing them; the merged trace "
                              "is bit-identical to an undisturbed run")
+    parser.add_argument("--max-rss-mb", type=int, default=None,
+                        help="opt-in RSS watchdog: when the driver's "
+                             "resident set exceeds this many MiB, the run "
+                             "checkpoints completed shards and exits with "
+                             "code 3 instead of being OOM-killed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,13 +222,27 @@ def build_parser() -> argparse.ArgumentParser:
     faultsweep.add_argument("--json", type=Path, default=None,
                             help="also write the sweep result as JSON")
     _add_resume_options(faultsweep)
+
+    verify = subparsers.add_parser(
+        "verify", help="audit checkpoint run directories: manifest "
+                       "consistency, per-shard checksums, orphan/foreign/"
+                       "truncated files (exit code 4 on findings)")
+    verify.add_argument("dir", type=Path,
+                        help="a checkpoint root (as passed to "
+                             "--checkpoint-dir) or one run directory")
+    verify.add_argument("--json", action="store_true",
+                        help="print the findings as JSON instead of text")
+    verify.add_argument("--shallow", action="store_true",
+                        help="skip reconstructing checksum-clean payloads "
+                             "(checksum/manifest checks only)")
     return parser
 
 
 def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
     """Replay passthrough kwargs from the --checkpoint-dir/--resume flags."""
     return {"checkpoint_dir": getattr(args, "checkpoint_dir", None),
-            "resume": getattr(args, "resume", False)}
+            "resume": getattr(args, "resume", False),
+            "shutdown": getattr(args, "shutdown_controller", None)}
 
 
 def _write_json_artifact(path: Path, payload, out) -> int:
@@ -208,20 +258,47 @@ def _write_json_artifact(path: Path, payload, out) -> int:
     return 0
 
 
-def _build_dataset(args: argparse.Namespace) -> TraceDataset:
+def _build_dataset(args: argparse.Namespace, out=None) -> TraceDataset:
     config = WorkloadConfig.scaled(users=args.users, days=args.days, seed=args.seed)
     generator = SyntheticTraceGenerator(config)
     if args.no_backend:
         return generator.generate()
     cluster = U1Cluster(ClusterConfig(seed=args.seed))
     # Fused pipeline: plan globally, materialize inside the replay workers.
-    return cluster.replay_plan(generator.plan(),
-                               n_jobs=getattr(args, "jobs", 1),
-                               **_checkpoint_kwargs(args))
+    dataset = cluster.replay_plan(generator.plan(),
+                                  n_jobs=getattr(args, "jobs", 1),
+                                  **_checkpoint_kwargs(args))
+    if out is not None and getattr(args, "checkpoint_dir", None) is not None:
+        stats = cluster.last_replay_stats or {}
+        print(f"checkpoint: resumed {len(stats.get('shards_resumed', []))} "
+              f"shard(s), executed {len(stats.get('completion_order', []))} "
+              f"({stats.get('checkpoint_dir')})", file=out)
+        if stats.get("checkpoint_disabled"):
+            print("checkpoint: degraded to in-memory "
+                  f"({stats['checkpoint_disabled']})", file=out)
+    return dataset
+
+
+def _maybe_validate(dataset: TraceDataset, args: argparse.Namespace) -> int:
+    """Run the --validate invariant checks; 0 when clean (or not asked)."""
+    if not getattr(args, "validate", False):
+        return EXIT_OK
+    from repro.trace.validate import validate_dataset
+
+    violations = validate_dataset(dataset)
+    if violations:
+        print("error: trace invariant validation failed:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return EXIT_CORRUPTION
+    return EXIT_OK
 
 
 def _command_generate(args: argparse.Namespace, out) -> int:
-    dataset = _build_dataset(args)
+    dataset = _build_dataset(args, out)
+    status = _maybe_validate(dataset, args)
+    if status:
+        return status  # do not write a trace that failed validation
     if args.anonymize:
         dataset = Anonymizer().anonymize(dataset)
     paths = write_trace_directory(args.out, dataset)
@@ -250,7 +327,10 @@ def _command_summarize(args: argparse.Namespace, out) -> int:
 
 
 def _command_report(args: argparse.Namespace, out) -> int:
-    dataset = _build_dataset(args)
+    dataset = _build_dataset(args, out)
+    status = _maybe_validate(dataset, args)
+    if status:
+        return status
     print(format_report(dataset), file=out)
     return 0
 
@@ -356,6 +436,39 @@ def _command_faultsweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.util.verify import verify_tree
+
+    results = verify_tree(args.dir, deep=not args.shallow)
+    if not results:
+        print(f"No run directories found under {args.dir}", file=out)
+        return EXIT_EMPTY
+    total = sum(len(findings) for findings in results.values())
+    fatal = sum(1 for findings in results.values()
+                for finding in findings if finding.severity == "fatal")
+    if args.json:
+        print(json.dumps({
+            "root": str(args.dir),
+            "runs": {run: [finding.as_dict() for finding in findings]
+                     for run, findings in results.items()},
+            "findings": total,
+            "fatal": fatal,
+            "repairable": total - fatal,
+            "clean": total == 0,
+        }, indent=2), file=out)
+    else:
+        for run, findings in results.items():
+            print(f"{run}: " + ("clean" if not findings
+                                else f"{len(findings)} finding(s)"), file=out)
+            for finding in findings:
+                print(f"  {finding}", file=out)
+        print(f"verify: {len(results)} run(s), {total} finding(s) "
+              f"({fatal} fatal, {total - fatal} repairable)", file=out)
+    return EXIT_CORRUPTION if total else EXIT_OK
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "analyze": _command_analyze,
@@ -364,6 +477,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "whatif": _command_whatif,
     "faultsweep": _command_faultsweep,
+    "verify": _command_verify,
 }
 
 
@@ -376,7 +490,23 @@ def main(argv: list[str] | None = None, out=None) -> int:
             getattr(args, "checkpoint_dir", None) is None:
         parser.error("--resume requires --checkpoint-dir")
     handler = _COMMANDS[args.command]
-    return handler(args, out)
+    if args.command not in _REPLAY_COMMANDS:
+        return handler(args, out)
+    max_rss_mb = getattr(args, "max_rss_mb", None)
+    with graceful_shutdown(max_rss_mb * 1024 * 1024
+                           if max_rss_mb else None) as controller:
+        args.shutdown_controller = controller
+        try:
+            return handler(args, out)
+        except RunInterrupted as exc:
+            resumable = getattr(args, "checkpoint_dir", None) is not None
+            hint = ("re-run with --resume to continue" if resumable
+                    else "completed work was not checkpointed "
+                         "(use --checkpoint-dir)")
+            print(f"interrupted: {exc} — {exc.completed} shard(s) "
+                  f"completed, {exc.remaining} remaining; {hint}",
+                  file=sys.stderr)
+            return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -8,6 +8,14 @@ the same way: to a temporary file *in the destination directory* (so the
 rename never crosses a filesystem boundary) followed by :func:`os.replace`,
 which POSIX guarantees to be atomic.  An interrupt therefore leaves either
 the old complete file or the new complete file — never a prefix.
+
+Atomic is not the same as *durable*: ``os.replace`` orders the rename
+against other renames, but a power loss can still lose the file *contents*
+(data not yet flushed) or the rename itself (directory entry not yet
+flushed).  Checkpoints and run manifests are exactly the artifacts that
+must survive a power loss — they are what ``--resume`` trusts — so the
+write path also ``fsync``\\ s the temporary file before the rename and the
+parent directory after it.
 """
 
 from __future__ import annotations
@@ -32,7 +40,13 @@ def atomic_write_bytes(path: Path | str, payload: bytes) -> Path:
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(payload)
+            handle.flush()
+            # Contents must be on stable storage *before* the rename makes
+            # them reachable, or a power loss can leave a complete-looking
+            # name pointing at lost data.
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -40,6 +54,25 @@ def atomic_write_bytes(path: Path | str, payload: bytes) -> Path:
             pass
         raise
     return path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage.
+
+    Best-effort: some filesystems refuse to fsync a directory handle; the
+    write stays atomic either way, only power-loss durability of the rename
+    is affected.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_text(path: Path | str, text: str) -> Path:

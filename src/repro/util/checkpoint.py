@@ -8,8 +8,9 @@ the merged trace is indistinguishable from an undisturbed run.
 
 Layout: one ``.npz`` file per shard under a run directory keyed by a hash
 of the *work* (cluster configuration + the per-shard workload
-fingerprints)::
+fingerprints), plus a write-ahead run manifest::
 
+    <checkpoint_root>/<run_key>/MANIFEST.json
     <checkpoint_root>/<run_key>/shard-0003.npz
 
 The run key deliberately covers everything that determines a shard's
@@ -20,31 +21,77 @@ pre-materialized workloads).  Two runs share checkpoints only when they
 would compute identical outcomes; anything else hashes to a different
 directory and never collides.
 
-The file format is columnar: the three trace streams' NumPy columns are
-stored as native npz arrays (the bulk of the payload, loaded without
-pickle), and the small counter summaries travel as one pickled metadata
-blob.  Writes are atomic (temp file + ``os.replace``), so a worker killed
-mid-spill leaves no truncated checkpoint — and a corrupt or foreign file
-is treated as *absent* (the shard simply re-executes) rather than an
-error.
+``MANIFEST.json`` is the run directory's source of truth (PR 8): format
+versions, run-key inputs summary, shard count, per-shard sha256 + byte
+size + timings, and the run status (``in-progress`` / ``interrupted`` /
+``partial`` / ``complete``).  It is rewritten atomically after every
+spill, so a resume validates checksums against the manifest instead of
+blind-trusting npz parsing, and ``repro verify`` can audit the directory
+offline.
+
+The file format is columnar and **pickle-free**: the three trace streams'
+NumPy columns are stored as native npz arrays (the bulk of the payload)
+and the small counter summaries travel as a JSON metadata blob with typed
+reconstruction — a corrupt or foreign checkpoint can therefore never
+execute code on load.  Writes are atomic and fsync-durable
+(:mod:`repro.util.atomicio`), so a worker killed mid-spill leaves no
+truncated checkpoint — and anything that fails validation is treated as
+*absent* (the shard simply re-executes) rather than an error.
+
+Resource guard: the spill path is ENOSPC-aware.  When the free space on
+the checkpoint filesystem would drop below ``min_free_bytes`` (or a write
+actually hits ``ENOSPC``), checkpointing degrades to in-memory with a
+:class:`RuntimeWarning` instead of crashing the run — completed outcomes
+still merge normally, they just stop spilling.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import io
-import pickle
+import json
+import os
+import re
+import time
+import warnings
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 
 import numpy as np
 
 from repro.trace.dataset import ColumnBlock
-from repro.util.atomicio import atomic_write_bytes
+from repro.util.atomicio import atomic_write_bytes, atomic_write_json
 
-__all__ = ["CheckpointStore", "run_key"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "SHARD_FILE_PATTERN",
+    "CheckpointStore",
+    "run_inputs_summary",
+    "run_key",
+]
 
-#: Bump when the checkpoint layout changes: old files then silently miss.
-_FORMAT = 1
+#: Bump when the checkpoint layout changes: old files then silently miss
+#: (the format also feeds :func:`run_key`, so old *directories* are never
+#: even visited).  2 = JSON metadata blob + write-ahead manifest (PR 8).
+CHECKPOINT_FORMAT = 2
+_FORMAT = CHECKPOINT_FORMAT
+
+#: Version of the ``MANIFEST.json`` schema itself.
+MANIFEST_FORMAT = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Exact shard checkpoint file names: ``shard-NNNN.npz`` (zero-padded to at
+#: least four digits, nothing else).  Anything that merely *contains* a
+#: shard-like prefix (``shard-3-extra.npz``) is foreign and never matches.
+SHARD_FILE_PATTERN = re.compile(r"shard-(\d{4,})\.npz")
+
+#: Stop spilling when the checkpoint filesystem's free space would drop
+#: below this (the run itself still needs headroom for its own artifacts).
+DEFAULT_MIN_FREE_BYTES = 64 * 1024 * 1024
 
 _STREAMS = ("storage", "rpc", "sessions")
 
@@ -76,52 +123,101 @@ def run_key(config, workloads) -> str:
     return digest.hexdigest()
 
 
+def run_inputs_summary(config, workloads) -> dict:
+    """Human-auditable summary of what :func:`run_key` hashed.
+
+    Stored in the manifest so ``repro verify`` (and a human reading the
+    run directory) can see what a key stands for without re-deriving it.
+    """
+    return {
+        "config_sha256": hashlib.sha256(repr(config).encode()).hexdigest(),
+        "n_shards": len(workloads),
+        "workload_kinds": sorted({type(w).__name__ for w in workloads}),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Outcome (de)serialisation — columnar npz + JSON metadata, no pickle
+# ---------------------------------------------------------------------------
+
+def _accounting_to_json(value) -> dict:
+    """A counter dataclass as a JSON object of plain ints/floats."""
+    payload = {}
+    for spec in dataclass_fields(value):
+        field_value = getattr(value, spec.name)
+        payload[spec.name] = (float(field_value)
+                              if isinstance(spec.default, float)
+                              else int(field_value))
+    return payload
+
+
+def _accounting_from_json(cls, payload: dict):
+    """Typed reconstruction of a counter dataclass (strict field match)."""
+    known = {spec.name for spec in dataclass_fields(cls)}
+    if set(payload) != known:
+        raise ValueError(f"{cls.__name__} fields do not match checkpoint")
+    return cls(**payload)
+
+
 def _pack_outcome(outcome) -> bytes:
-    """Serialise a ``ShardOutcome`` as columnar npz bytes."""
+    """Serialise a ``ShardOutcome`` as columnar npz bytes (pickle-free)."""
     arrays: dict[str, np.ndarray] = {}
     categories: dict[str, dict[str, list]] = {}
     counts: dict[str, int] = {}
     for stream in _STREAMS:
         block: ColumnBlock = getattr(outcome, stream)
-        counts[stream] = block.n
+        counts[stream] = int(block.n)
         for name, arr in block.cols.items():
             arrays[f"{stream}.col.{name}"] = arr
         categories[stream] = {}
         for name, (codes, cats) in block.codes.items():
             arrays[f"{stream}.code.{name}"] = codes
-            categories[stream][name] = cats
+            categories[stream][name] = list(cats)
     meta = {
         "format": _FORMAT,
-        "shard_id": outcome.shard_id,
-        "seconds": outcome.seconds,
-        "generate_seconds": outcome.generate_seconds,
-        "n_events": outcome.n_events,
-        "ipc_bytes": outcome.ipc_bytes,
-        "process_counters": outcome.process_counters,
-        "gateway_totals": outcome.gateway_totals,
-        "store_summary": outcome.store_summary,
-        "object_count": outcome.object_count,
-        "accounting": outcome.accounting,
-        "faults": outcome.faults,
-        "gc_sweeps": outcome.gc_sweeps,
-        "timeline_end": outcome.timeline_end,
+        "shard_id": int(outcome.shard_id),
+        "seconds": float(outcome.seconds),
+        "generate_seconds": float(outcome.generate_seconds),
+        "n_events": int(outcome.n_events),
+        "ipc_bytes": int(outcome.ipc_bytes),
+        "process_counters": {
+            int(index): [int(handled), int(pushed), int(calls), float(busy)]
+            for index, (handled, pushed, calls, busy)
+            in outcome.process_counters.items()},
+        "gateway_totals": {int(index): int(count)
+                           for index, count in outcome.gateway_totals.items()},
+        "store_summary": [[int(value) for value in row]
+                          for row in outcome.store_summary],
+        "object_count": int(outcome.object_count),
+        "accounting": _accounting_to_json(outcome.accounting),
+        "faults": (_accounting_to_json(outcome.faults)
+                   if outcome.faults is not None else None),
+        "gc_sweeps": int(outcome.gc_sweeps),
+        "timeline_end": float(outcome.timeline_end),
         "counts": counts,
         "categories": categories,
     }
-    arrays["meta"] = np.frombuffer(
-        pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8)
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"),
+                                   dtype=np.uint8)
     buffer = io.BytesIO()
     np.savez(buffer, **arrays)
     return buffer.getvalue()
 
 
 def _unpack_outcome(payload: bytes):
-    """Rebuild a ``ShardOutcome`` from checkpoint bytes (raises on mismatch)."""
+    """Rebuild a ``ShardOutcome`` from checkpoint bytes (raises on mismatch).
+
+    The metadata blob is JSON with *typed reconstruction* — no pickle is
+    involved anywhere (the arrays load with ``allow_pickle=False``), so
+    untrusted checkpoint bytes can fail to parse but never execute code.
+    """
+    from repro.backend.datastore import StorageAccounting
     from repro.backend.replay_shard import ShardOutcome
+    from repro.faults.accounting import FaultAccounting
 
     with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
         arrays = {name: archive[name] for name in archive.files}
-    meta = pickle.loads(arrays.pop("meta").tobytes())
+    meta = json.loads(arrays.pop("meta").tobytes().decode("utf-8"))
     if meta["format"] != _FORMAT:
         raise ValueError(f"checkpoint format {meta['format']} != {_FORMAT}")
     blocks: dict[str, ColumnBlock] = {}
@@ -142,45 +238,190 @@ def _unpack_outcome(payload: bytes):
         sessions=blocks["sessions"],
         n_events=meta["n_events"],
         ipc_bytes=meta["ipc_bytes"],
-        process_counters=meta["process_counters"],
-        gateway_totals=meta["gateway_totals"],
-        store_summary=meta["store_summary"],
+        process_counters={
+            int(index): (int(row[0]), int(row[1]), int(row[2]),
+                         float(row[3]))
+            for index, row in meta["process_counters"].items()},
+        gateway_totals={int(index): int(count)
+                        for index, count in meta["gateway_totals"].items()},
+        store_summary=[tuple(int(value) for value in row)
+                       for row in meta["store_summary"]],
         object_count=meta["object_count"],
-        accounting=meta["accounting"],
-        faults=meta["faults"],
+        accounting=_accounting_from_json(StorageAccounting,
+                                         meta["accounting"]),
+        faults=(_accounting_from_json(FaultAccounting, meta["faults"])
+                if meta["faults"] is not None else None),
         gc_sweeps=meta["gc_sweeps"],
         timeline_end=meta["timeline_end"])
 
 
-class CheckpointStore:
-    """Per-run checkpoint directory: one atomic ``.npz`` per completed shard."""
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
 
-    def __init__(self, root: Path | str, key: str):
+class CheckpointStore:
+    """Per-run checkpoint directory: atomic ``.npz`` spills + run manifest.
+
+    The manifest is write-ahead in the fsck sense: it is (re)written
+    atomically at construction (status ``in-progress``), after *every*
+    shard spill (the new entry's checksum lands before anyone could trust
+    the file) and at :meth:`finalize` — so the directory is auditable at
+    any instant, including after a SIGKILL.
+    """
+
+    def __init__(self, root: Path | str, key: str, *,
+                 n_shards: int | None = None,
+                 inputs: dict | None = None,
+                 min_free_bytes: int = DEFAULT_MIN_FREE_BYTES):
         self.root = Path(root)
         self.key = key
         self.run_dir = self.root / key
         self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.min_free_bytes = min_free_bytes
+        #: Why spilling stopped (``None`` while spilling is healthy).
+        self.disabled_reason: str | None = None
+        self._manifest = self._load_manifest()
+        if self._manifest is None:
+            self._manifest = {
+                "manifest_format": MANIFEST_FORMAT,
+                "checkpoint_format": _FORMAT,
+                "run_key": key,
+                "status": "in-progress",
+                "n_shards": n_shards,
+                "inputs": inputs,
+                "created_at": time.time(),
+                "updated_at": time.time(),
+                "shards": {},
+            }
+        else:
+            # A fresh run over an existing directory (resume or retry):
+            # the key matched, so the inputs are the same work by
+            # construction — just mark it live again.
+            self._manifest["status"] = "in-progress"
+            if n_shards is not None:
+                self._manifest["n_shards"] = n_shards
+            if inputs is not None:
+                self._manifest["inputs"] = inputs
+        self._write_manifest()
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def disabled(self) -> bool:
+        """True once spilling degraded to in-memory (ENOSPC guard)."""
+        return self.disabled_reason is not None
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / MANIFEST_NAME
+
+    def manifest(self) -> dict:
+        """The current manifest (the in-memory copy; do not mutate)."""
+        return self._manifest
 
     def path(self, shard_id: int) -> Path:
         """Checkpoint path of one shard."""
         return self.run_dir / f"shard-{shard_id:04d}.npz"
 
-    def save(self, outcome) -> Path:
-        """Atomically spill one completed shard outcome."""
-        return atomic_write_bytes(self.path(outcome.shard_id),
-                                  _pack_outcome(outcome))
+    def _load_manifest(self) -> dict | None:
+        """The on-disk manifest, or ``None`` when absent/foreign/invalid."""
+        try:
+            data = json.loads(self.manifest_path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("manifest_format") != MANIFEST_FORMAT:
+            return None
+        if data.get("checkpoint_format") != _FORMAT:
+            return None
+        if data.get("run_key") != self.key:
+            return None
+        if not isinstance(data.get("shards"), dict):
+            return None
+        return data
+
+    def _write_manifest(self) -> None:
+        if self.disabled:
+            return
+        self._manifest["updated_at"] = time.time()
+        try:
+            self._guard_free_space(0)
+            atomic_write_json(self.manifest_path, self._manifest)
+        except OSError as exc:
+            self._degrade(exc)
+
+    def _guard_free_space(self, payload_bytes: int) -> None:
+        """Raise ``ENOSPC`` before a write that would exhaust the disk."""
+        try:
+            stats = os.statvfs(self.run_dir)
+        except (OSError, AttributeError):  # pragma: no cover - exotic FS
+            return
+        free = stats.f_bavail * stats.f_frsize
+        if free < payload_bytes + self.min_free_bytes:
+            raise OSError(errno.ENOSPC, "checkpoint filesystem below "
+                          f"min_free_bytes ({free} free)")
+
+    def _degrade(self, exc: OSError) -> None:
+        """Stop spilling (in-memory degradation) instead of failing the run."""
+        self.disabled_reason = f"{exc}"
+        warnings.warn(
+            f"checkpointing disabled for {self.run_dir}: {exc}; the run "
+            "continues in-memory (completed shards will not be resumable)",
+            RuntimeWarning, stacklevel=3)
+
+    # ------------------------------------------------------------ save/load
+    def save(self, outcome) -> Path | None:
+        """Atomically spill one completed shard outcome + manifest entry.
+
+        Returns the checkpoint path, or ``None`` once spilling has
+        degraded to in-memory (disk full) — the caller's outcome is still
+        merged normally either way.
+        """
+        if self.disabled:
+            return None
+        payload = _pack_outcome(outcome)
+        path = self.path(outcome.shard_id)
+        try:
+            self._guard_free_space(len(payload))
+            atomic_write_bytes(path, payload)
+        except OSError as exc:
+            if exc.errno == errno.ENOSPC:
+                self._degrade(exc)
+                return None
+            raise
+        self._manifest["shards"][str(int(outcome.shard_id))] = {
+            "file": path.name,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "bytes": len(payload),
+            "status": "complete",
+            "seconds": float(outcome.seconds),
+            "generate_seconds": float(outcome.generate_seconds),
+            "n_events": int(outcome.n_events),
+            "saved_at": time.time(),
+        }
+        self._write_manifest()
+        return path
 
     def load(self, shard_id: int):
         """The checkpointed outcome of ``shard_id``, or ``None``.
 
-        Missing, truncated, foreign or version-mismatched files all read as
-        "not checkpointed" — the caller re-executes the shard, which is
-        always correct (just slower).
+        Trust flows through the manifest: a shard without a manifest entry,
+        whose file is missing/truncated, or whose bytes do not hash to the
+        recorded sha256 reads as "not checkpointed" — the caller re-executes
+        the shard, which is always correct (just slower).  Parsing only
+        happens after the checksum matched.
         """
+        entry = self._manifest["shards"].get(str(shard_id))
         path = self.path(shard_id)
+        if entry is None or entry.get("file") != path.name:
+            return None
         try:
             payload = path.read_bytes()
         except OSError:
+            return None
+        if len(payload) != entry.get("bytes"):
+            return None
+        if hashlib.sha256(payload).hexdigest() != entry.get("sha256"):
             return None
         try:
             outcome = _unpack_outcome(payload)
@@ -191,11 +432,24 @@ class CheckpointStore:
         return outcome
 
     def completed(self) -> list[int]:
-        """Shard ids with a checkpoint file present (not validated)."""
+        """Shard ids with a manifest entry and a present checkpoint file.
+
+        Only exact ``shard-NNNN.npz`` names count — foreign files like
+        ``shard-3-extra.npz`` never match (their checksums are not in the
+        manifest either).
+        """
         ids = []
-        for path in sorted(self.run_dir.glob("shard-*.npz")):
-            try:
-                ids.append(int(path.stem.split("-")[1]))
-            except (IndexError, ValueError):
+        for shard_key, entry in self._manifest["shards"].items():
+            match = SHARD_FILE_PATTERN.fullmatch(entry.get("file", ""))
+            if match is None or int(match.group(1)) != int(shard_key):
                 continue
-        return ids
+            if (self.run_dir / entry["file"]).is_file():
+                ids.append(int(shard_key))
+        return sorted(ids)
+
+    # ------------------------------------------------------------- lifecycle
+    def finalize(self, status: str) -> None:
+        """Record the run's final status (``complete``/``partial``/
+        ``interrupted``) in the manifest."""
+        self._manifest["status"] = status
+        self._write_manifest()

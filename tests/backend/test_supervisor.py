@@ -7,6 +7,9 @@ must yield a trace bit-identical to an undisturbed run at any ``--jobs``.
 
 from __future__ import annotations
 
+import json
+import signal
+
 import pytest
 
 from unittest import mock
@@ -19,6 +22,8 @@ from repro.backend.supervisor import (
     SupervisorPolicy,
     supervise_shards,
 )
+from repro.util.checkpoint import CheckpointStore
+from repro.util.lifecycle import RunInterrupted, ShutdownController
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTraceGenerator
 
@@ -253,3 +258,101 @@ class TestCheckpointResume:
         _replay_plan(plan, n_jobs=1, seed=12, checkpoint_dir=tmp_path)
         run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
         assert len(run_dirs) == 2
+
+    def test_completed_run_finalizes_manifest(self, tmp_path):
+        plan = _plan()
+        _replay_plan(plan, n_jobs=2, checkpoint_dir=tmp_path)
+        run_dir = next(p for p in tmp_path.iterdir() if p.is_dir())
+        manifest = json.loads((run_dir / "MANIFEST.json").read_text())
+        assert manifest["status"] == "complete"
+        assert len(manifest["shards"]) == manifest["n_shards"]
+        assert manifest["inputs"]["n_shards"] == manifest["n_shards"]
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown: drain, flush, interrupted manifest, resumable
+# ---------------------------------------------------------------------------
+
+def _manifest(checkpoint_root):
+    run_dir = next(p for p in checkpoint_root.iterdir() if p.is_dir())
+    return json.loads((run_dir / "MANIFEST.json").read_text())
+
+
+class TestGracefulShutdown:
+    def test_inprocess_interrupt_stops_dispatch(self):
+        controller = ShutdownController()
+        executed = []
+
+        def task(shard_id):
+            executed.append(shard_id)
+            if shard_id == 1:
+                controller.request(signal.SIGTERM)
+            return shard_id
+
+        with pytest.raises(RunInterrupted) as excinfo:
+            supervise_shards(task, range(4), jobs=1, use_fork=False,
+                             shutdown=controller)
+        assert executed == [0, 1]
+        assert excinfo.value.completed == 2
+        assert excinfo.value.remaining == 2
+        assert excinfo.value.signum == signal.SIGTERM
+        assert excinfo.value.report.interrupted == [2, 3]
+
+    def test_rss_watchdog_interrupts(self):
+        controller = ShutdownController(max_rss_bytes=1)
+        with pytest.raises(RunInterrupted, match="rss limit"):
+            supervise_shards(lambda s: s, range(3), jobs=1, use_fork=False,
+                             shutdown=controller)
+
+    def test_forked_drain_records_in_flight_results(self):
+        # Shutdown is requested while both workers hold a shard: the drain
+        # must still record their results instead of discarding them.
+        controller = ShutdownController()
+        policy = SupervisorPolicy(backoff_base=0.0, shutdown_grace=30.0)
+
+        def task(shard_id):
+            import time as _time
+            _time.sleep(0.3)
+            return shard_id * 10
+
+        import threading
+        threading.Timer(0.1, controller.request, args=(signal.SIGTERM,)) \
+            .start()
+        with pytest.raises(RunInterrupted) as excinfo:
+            supervise_shards(task, range(8), jobs=2, policy=policy,
+                             use_fork=True, shutdown=controller)
+        # The two in-flight shards drained; the rest never dispatched.
+        assert excinfo.value.completed >= 2
+        assert excinfo.value.remaining == 8 - excinfo.value.completed
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_interrupted_run_resumes_bit_identical(self, n_jobs, tmp_path):
+        plan = _plan()
+        _, undisturbed = _replay_plan(plan, n_jobs=n_jobs)
+
+        controller = ShutdownController()
+        real_save = CheckpointStore.save
+
+        def save_then_request(store, outcome):
+            path = real_save(store, outcome)
+            controller.request(signal.SIGTERM)
+            return path
+
+        with mock.patch.object(CheckpointStore, "save", save_then_request):
+            with pytest.raises(RunInterrupted) as excinfo:
+                _replay_plan(plan, n_jobs=n_jobs, checkpoint_dir=tmp_path,
+                             shutdown=controller)
+        assert excinfo.value.completed >= 1
+        assert excinfo.value.remaining >= 1
+        manifest = _manifest(tmp_path)
+        assert manifest["status"] == "interrupted"
+        assert len(manifest["shards"]) == excinfo.value.completed
+
+        cluster, resumed = _replay_plan(plan, n_jobs=n_jobs,
+                                        checkpoint_dir=tmp_path, resume=True)
+        stats = cluster.last_replay_stats
+        assert len(stats["shards_resumed"]) == excinfo.value.completed
+        assert len(stats["completion_order"]) == excinfo.value.remaining
+        assert resumed.content_digest() == undisturbed.content_digest()
+        assert resumed == undisturbed
+        assert _manifest(tmp_path)["status"] == "complete"

@@ -3,6 +3,12 @@
 from __future__ import annotations
 
 import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -99,3 +105,91 @@ class TestCommands:
         assert payload["faultsweep_seconds"] > 0.0
         assert payload["best_policy"] in {p["policy"]
                                           for p in payload["policies"]}
+
+
+class TestVerifyCommand:
+    @pytest.fixture
+    def checkpointed_run(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        out = io.StringIO()
+        code = main(["report", "--users", "40", "--days", "1", "--seed", "5",
+                     "--validate", "--checkpoint-dir", str(ckpt)], out=out)
+        assert code == 0
+        assert "checkpoint:" in out.getvalue()
+        return ckpt
+
+    def test_clean_run_exits_zero(self, checkpointed_run):
+        out = io.StringIO()
+        assert main(["verify", str(checkpointed_run)], out=out) == 0
+        assert "0 finding(s)" in out.getvalue()
+
+    def test_corruption_exits_four_and_names_the_shard(self,
+                                                       checkpointed_run):
+        run_dir = next(p for p in checkpointed_run.iterdir() if p.is_dir())
+        shards = sorted(run_dir.glob("shard-*.npz"))
+        payload = bytearray(shards[0].read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        shards[0].write_bytes(bytes(payload))
+
+        out = io.StringIO()
+        assert main(["verify", str(checkpointed_run), "--json"], out=out) == 4
+        report = json.loads(out.getvalue())
+        assert report["findings"] == 1
+        assert report["fatal"] == 0
+        assert report["repairable"] == 1
+        assert not report["clean"]
+        (findings,) = report["runs"].values()
+        assert findings[0]["code"] == "checksum-mismatch"
+        assert findings[0]["path"].endswith(shards[0].name)
+
+    def test_resume_repairs_flagged_shard(self, checkpointed_run):
+        run_dir = next(p for p in checkpointed_run.iterdir() if p.is_dir())
+        shards = sorted(run_dir.glob("shard-*.npz"))
+        shards[0].write_bytes(b"garbage")
+        out = io.StringIO()
+        code = main(["report", "--users", "40", "--days", "1", "--seed", "5",
+                     "--checkpoint-dir", str(checkpointed_run), "--resume"],
+                    out=out)
+        assert code == 0
+        assert f"resumed {len(shards) - 1} shard(s), executed 1" \
+            in out.getvalue()
+        assert main(["verify", str(checkpointed_run)], out=io.StringIO()) == 0
+
+    def test_empty_dir_exits_one(self, tmp_path):
+        out = io.StringIO()
+        assert main(["verify", str(tmp_path)], out=out) == 1
+        assert "No run directories" in out.getvalue()
+
+
+class TestGracefulInterruption:
+    def test_sigterm_midrun_exits_three_then_resumes(self, tmp_path):
+        # A workload big enough that 1.5 s of wall clock lands mid-replay.
+        ckpt = tmp_path / "ckpt"
+        argv = [sys.executable, "-m", "repro", "report",
+                "--users", "1500", "--days", "6", "--seed", "7",
+                "--jobs", "2", "--checkpoint-dir", str(ckpt)]
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(argv, cwd="/root/repo", env=env,
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True)
+        time.sleep(1.5)
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=120)
+        if proc.returncode == 0:
+            pytest.skip("run finished before the signal landed")
+        assert proc.returncode == 3, stderr
+        assert "interrupted" in stderr
+
+        run_dir = next(p for p in ckpt.iterdir() if p.is_dir())
+        manifest = json.loads((run_dir / "MANIFEST.json").read_text())
+        assert manifest["status"] == "interrupted"
+
+        out = io.StringIO()
+        code = main(["report", "--users", "1500", "--days", "6", "--seed", "7",
+                     "--jobs", "2", "--checkpoint-dir", str(ckpt),
+                     "--resume"], out=out)
+        assert code == 0
+        assert "checkpoint: resumed" in out.getvalue()
+        manifest = json.loads((run_dir / "MANIFEST.json").read_text())
+        assert manifest["status"] == "complete"
+        assert main(["verify", str(ckpt)], out=io.StringIO()) == 0

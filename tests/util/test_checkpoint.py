@@ -1,9 +1,13 @@
-"""Checkpoint store and atomic-write tests."""
+"""Checkpoint store, run-manifest, resource-guard and atomic-write tests."""
 
 from __future__ import annotations
 
+import hashlib
+import io
+import json
 import os
 
+import numpy as np
 import pytest
 
 from repro.backend.cluster import ClusterConfig, U1Cluster
@@ -13,7 +17,14 @@ from repro.backend.replay_shard import (
     run_shards_supervised,
 )
 from repro.util.atomicio import atomic_write_bytes, atomic_write_json
-from repro.util.checkpoint import CheckpointStore, run_key
+from repro.util.checkpoint import (
+    CHECKPOINT_FORMAT,
+    MANIFEST_FORMAT,
+    CheckpointStore,
+    _unpack_outcome,
+    run_inputs_summary,
+    run_key,
+)
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTraceGenerator
 
@@ -98,6 +109,148 @@ class TestCheckpointStore:
         for outcome in outcomes[:3]:
             store.save(outcome)
         assert store.completed() == sorted(o.shard_id for o in outcomes[:3])
+
+    def test_completed_ignores_foreign_files(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        key = run_key(config, workloads)
+        store = CheckpointStore(tmp_path, key)
+        store.save(outcomes[0])
+        # Foreign names that merely contain a shard-like prefix, and shard
+        # files without a manifest entry, must never count as completed.
+        (store.run_dir / "shard-0000-extra.npz").write_bytes(b"x")
+        (store.run_dir / "shard-9999.npz").write_bytes(b"x")
+        assert store.completed() == [outcomes[0].shard_id]
+        fresh = CheckpointStore(tmp_path, key)
+        assert fresh.completed() == [outcomes[0].shard_id]
+
+
+class TestManifest:
+    def test_written_ahead_and_updated_per_spill(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads),
+                                n_shards=len(workloads),
+                                inputs=run_inputs_summary(config, workloads))
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["status"] == "in-progress"
+        assert manifest["manifest_format"] == MANIFEST_FORMAT
+        assert manifest["checkpoint_format"] == CHECKPOINT_FORMAT
+        assert manifest["run_key"] == store.key
+        assert manifest["n_shards"] == len(workloads)
+        assert manifest["inputs"]["n_shards"] == len(workloads)
+        assert manifest["shards"] == {}
+
+        store.save(outcomes[0])
+        manifest = json.loads(store.manifest_path.read_text())
+        entry = manifest["shards"][str(outcomes[0].shard_id)]
+        payload = store.path(outcomes[0].shard_id).read_bytes()
+        assert entry["file"] == store.path(outcomes[0].shard_id).name
+        assert entry["bytes"] == len(payload)
+        assert entry["sha256"] == hashlib.sha256(payload).hexdigest()
+        assert entry["status"] == "complete"
+        assert entry["n_events"] == outcomes[0].n_events
+
+        store.finalize("complete")
+        assert json.loads(store.manifest_path.read_text())["status"] == \
+            "complete"
+
+    def test_reopen_keeps_entries_and_marks_in_progress(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        key = run_key(config, workloads)
+        store = CheckpointStore(tmp_path, key)
+        store.save(outcomes[0])
+        store.finalize("interrupted")
+        fresh = CheckpointStore(tmp_path, key)
+        assert fresh.manifest()["status"] == "in-progress"
+        assert fresh.completed() == [outcomes[0].shard_id]
+        assert fresh.load(outcomes[0].shard_id) is not None
+
+    def test_load_trusts_manifest_not_the_file(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        key = run_key(config, workloads)
+        store = CheckpointStore(tmp_path, key)
+        store.save(outcomes[0])
+        # Erase the manifest entry; the intact file alone earns no trust.
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["shards"] = {}
+        store.manifest_path.write_text(json.dumps(manifest))
+        fresh = CheckpointStore(tmp_path, key)
+        assert fresh.load(outcomes[0].shard_id) is None
+        assert fresh.completed() == []
+
+    def test_foreign_manifest_is_replaced(self, tmp_path):
+        config, workloads, _ = _outcomes()
+        key = run_key(config, workloads)
+        run_dir = tmp_path / key
+        run_dir.mkdir(parents=True)
+        (run_dir / "MANIFEST.json").write_text("{not json")
+        store = CheckpointStore(tmp_path, key)
+        assert store.manifest()["shards"] == {}
+        assert json.loads(store.manifest_path.read_text())["run_key"] == key
+
+
+class TestUntrustedCheckpoints:
+    def test_pickled_payload_is_rejected_not_executed(self, tmp_path):
+        config, workloads, outcomes = _outcomes()
+        key = run_key(config, workloads)
+        store = CheckpointStore(tmp_path, key)
+        store.save(outcomes[0])
+        # A hostile checkpoint whose "meta" entry is a pickled object array:
+        # np.load(allow_pickle=False) must refuse it even when the manifest
+        # checksum has been fixed up to match.
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=np.array([{"format": CHECKPOINT_FORMAT}],
+                                       dtype=object))
+        payload = buffer.getvalue()
+        shard_id = outcomes[0].shard_id
+        store.path(shard_id).write_bytes(payload)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["shards"][str(shard_id)]["sha256"] = \
+            hashlib.sha256(payload).hexdigest()
+        manifest["shards"][str(shard_id)]["bytes"] = len(payload)
+        store.manifest_path.write_text(json.dumps(manifest))
+        fresh = CheckpointStore(tmp_path, key)
+        assert fresh.load(shard_id) is None
+        with pytest.raises(Exception):
+            _unpack_outcome(payload)
+
+    def test_format_mismatch_is_rejected(self):
+        meta = {"format": CHECKPOINT_FORMAT + 1}
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=np.frombuffer(json.dumps(meta).encode("utf-8"),
+                                            dtype=np.uint8))
+        with pytest.raises(ValueError, match="checkpoint format"):
+            _unpack_outcome(buffer.getvalue())
+
+
+class TestEnospcGuard:
+    class _TinyDisk:
+        f_bavail = 16
+        f_frsize = 512
+
+    def test_save_degrades_to_in_memory_with_warning(self, tmp_path,
+                                                     monkeypatch):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads))
+        monkeypatch.setattr(os, "statvfs", lambda path: self._TinyDisk())
+        with pytest.warns(RuntimeWarning, match="checkpointing disabled"):
+            assert store.save(outcomes[0]) is None
+        assert store.disabled
+        assert "min_free_bytes" in store.disabled_reason
+        # Subsequent saves are silent no-ops; nothing was spilled.
+        assert store.save(outcomes[1]) is None
+        assert store.load(outcomes[0].shard_id) is None
+        assert store.completed() == []
+
+    def test_headroom_respects_min_free_bytes(self, tmp_path, monkeypatch):
+        config, workloads, outcomes = _outcomes()
+        store = CheckpointStore(tmp_path, run_key(config, workloads),
+                                min_free_bytes=0)
+        monkeypatch.setattr(
+            os, "statvfs",
+            lambda path: type("S", (), {"f_bavail": 1 << 40,
+                                        "f_frsize": 512})())
+        assert store.save(outcomes[0]) is not None
+        assert not store.disabled
 
 
 class TestAtomicWrites:

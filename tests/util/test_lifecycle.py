@@ -1,0 +1,96 @@
+"""Run-lifecycle tests: shutdown controller, signal handlers, RSS guard."""
+
+from __future__ import annotations
+
+import signal
+
+from repro.util.lifecycle import (
+    EXIT_ARTIFACT_WRITE,
+    EXIT_CORRUPTION,
+    EXIT_EMPTY,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    RunInterrupted,
+    ShutdownController,
+    graceful_shutdown,
+    rss_bytes,
+)
+
+
+class TestExitCodes:
+    def test_documented_values_are_stable(self):
+        # The ROADMAP documents these; changing one is a breaking change.
+        assert (EXIT_OK, EXIT_EMPTY, EXIT_ARTIFACT_WRITE,
+                EXIT_INTERRUPTED, EXIT_CORRUPTION) == (0, 1, 2, 3, 4)
+
+
+class TestShutdownController:
+    def test_request_is_idempotent_first_wins(self):
+        controller = ShutdownController()
+        assert not controller.poll()
+        controller.request(signal.SIGTERM)
+        controller.request(signal.SIGINT)
+        assert controller.poll()
+        assert controller.signum == signal.SIGTERM
+        assert controller.describe() == "signal SIGTERM"
+
+    def test_programmatic_request_without_signal(self):
+        controller = ShutdownController()
+        controller.request(reason="rss")
+        assert controller.poll()
+        assert controller.describe() == "rss limit exceeded"
+
+    def test_rss_watchdog_trips_poll(self):
+        # Any live process exceeds a 1-byte budget.
+        controller = ShutdownController(max_rss_bytes=1)
+        assert controller.poll()
+        assert controller.reason == "rss"
+
+    def test_rss_watchdog_quiet_below_budget(self):
+        controller = ShutdownController(max_rss_bytes=1 << 50)
+        assert not controller.poll()
+
+    def test_first_signal_requests_not_exits(self):
+        controller = ShutdownController()
+        controller._on_signal(signal.SIGTERM, None)
+        assert controller.requested
+        assert controller.signum == signal.SIGTERM
+
+
+class TestGracefulShutdownContext:
+    def test_handlers_installed_and_restored(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with graceful_shutdown() as controller:
+            assert signal.getsignal(signal.SIGTERM) == controller._on_signal
+            assert signal.getsignal(signal.SIGINT) == controller._on_signal
+        assert signal.getsignal(signal.SIGINT) == before_int
+        assert signal.getsignal(signal.SIGTERM) == before_term
+
+    def test_delivered_signal_sets_the_flag(self):
+        import os
+
+        with graceful_shutdown() as controller:
+            os.kill(os.getpid(), signal.SIGTERM)
+            # CPython runs the handler on the next bytecode boundary.
+            assert controller.poll()
+            assert controller.signum == signal.SIGTERM
+
+
+class TestRunInterrupted:
+    def test_carries_accounting(self):
+        exc = RunInterrupted("stopped", signum=15, reason="signal",
+                             completed=3, remaining=5)
+        assert isinstance(exc, RuntimeError)
+        assert (exc.signum, exc.reason) == (15, "signal")
+        assert (exc.completed, exc.remaining) == (3, 5)
+
+
+class TestRssBytes:
+    def test_reports_a_positive_size(self):
+        rss = rss_bytes()
+        assert rss is None or rss > 0
+        # On Linux /proc/self/statm is available and the value is real.
+        import sys
+        if sys.platform.startswith("linux"):
+            assert rss > 1024 * 1024
