@@ -241,7 +241,8 @@ class U1Cluster:
     def _run_sharded(self, workloads, n_shards: int, n_jobs: int,
                      addresses, *, supervise: bool = True, policy=None,
                      chaos=None, checkpoint_dir=None,
-                     resume: bool = False, shutdown=None) -> TraceDataset:
+                     resume: bool = False, shutdown=None,
+                     events_dir=None, progress=None) -> TraceDataset:
         """Run shard workloads, merge columnar outcomes, absorb counters.
 
         ``supervise`` selects the crash-tolerant pool (the default) over the
@@ -251,34 +252,72 @@ class U1Cluster:
         ``resume`` loads those checkpoints instead of re-executing finished
         shards.  ``shutdown`` threads a
         :class:`~repro.util.lifecycle.ShutdownController` into the
-        supervisor for graceful interruption.  None of these change the
+        supervisor for graceful interruption.  ``events_dir`` forces the
+        run-event log into a directory even without checkpointing (with a
+        checkpoint the log lives in the run directory); ``progress`` is the
+        supervisor's live-progress callback.  None of these change the
         realised trace — quarantined shards (persistent failures) are the
         only way a merged dataset can be partial, and they are reported in
         ``last_replay_stats`` rather than raised.
         """
+        from pathlib import Path
+
         from repro.backend.replay_shard import run_shards_supervised
+        from repro.util import telemetry
         from repro.util.checkpoint import (CheckpointStore,
                                            run_inputs_summary, run_key)
         import time as _time
 
         started = _time.perf_counter()
         _, assignments = self._shard_assignments(n_shards)
-        checkpoint = (CheckpointStore(checkpoint_dir,
-                                      run_key(self.config, workloads),
+        key = run_key(self.config, workloads)
+        checkpoint = (CheckpointStore(checkpoint_dir, key,
                                       n_shards=n_shards,
                                       inputs=run_inputs_summary(
                                           self.config, workloads))
                       if checkpoint_dir is not None else None)
-        outcomes, jobs_used, report = run_shards_supervised(
-            self.config, assignments, self.latency.shard_factors,
-            workloads, n_jobs=n_jobs, fault_schedule=self.fault_schedule,
-            supervise=supervise, policy=policy, chaos=chaos,
-            checkpoint=checkpoint, resume=resume, shutdown=shutdown)
+        events_path = None
+        if checkpoint is not None and not checkpoint.disabled:
+            events_path = checkpoint.run_dir / telemetry.EVENTS_NAME
+        elif events_dir is not None:
+            directory = Path(events_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            events_path = directory / telemetry.EVENTS_NAME
+        events = telemetry.EventLog(events_path)
+        try:
+            events.emit("run-start", run_key=key, n_shards=n_shards,
+                        jobs=int(n_jobs), supervised=bool(supervise))
+            if self.fault_schedule is not None:
+                for kind, win_start, win_end, detail in \
+                        self.fault_schedule.iter_windows():
+                    events.emit("fault-window", kind=kind,
+                                start=win_start, end=win_end, **detail)
+            with telemetry.span("replay", events=events, n_shards=n_shards):
+                outcomes, jobs_used, report = run_shards_supervised(
+                    self.config, assignments, self.latency.shard_factors,
+                    workloads, n_jobs=n_jobs,
+                    fault_schedule=self.fault_schedule,
+                    supervise=supervise, policy=policy, chaos=chaos,
+                    checkpoint=checkpoint, resume=resume, shutdown=shutdown,
+                    events=events, progress=progress)
 
-        merge_started = _time.perf_counter()
-        dataset = TraceDataset.from_sorted_blocks(
-            [(o.storage, o.rpc, o.sessions) for o in outcomes])
-        merge_seconds = _time.perf_counter() - merge_started
+            merge_started = _time.perf_counter()
+            with telemetry.span("merge", events=events):
+                dataset = TraceDataset.from_sorted_blocks(
+                    [(o.storage, o.rpc, o.sessions) for o in outcomes])
+            merge_seconds = _time.perf_counter() - merge_started
+        finally:
+            events.close()
+
+        # Per-op service-time histogram: computed vectorised from the merged
+        # rpc column, off the replay hot path (and deterministic: the column
+        # is bit-identical for any jobs/telemetry setting).
+        registry = telemetry.get_registry()
+        if registry.enabled and len(dataset.rpc):
+            registry.observe_array(
+                "rpc.service_time_ms",
+                dataset.rpc_column("service_time") * 1e3,
+                edges=telemetry.SERVICE_TIME_MS_EDGES)
 
         for outcome in outcomes:
             for index, (handled, pushed, calls, busy) in \
@@ -345,6 +384,10 @@ class U1Cluster:
             #: while healthy — see the ENOSPC guard in the store).
             "checkpoint_disabled": (checkpoint.disabled_reason
                                     if checkpoint is not None else None),
+            #: Where the run-event log was written (``None`` when no
+            #: checkpoint run dir and no explicit ``events_dir``).
+            "events_path": str(events_path) if events_path is not None
+                           else None,
         }
         #: Supervision accounting: completion order, per-shard retry counts,
         #: failure records, quarantined shard ids, resumed/checkpointed

@@ -80,6 +80,7 @@ from repro.faults.accounting import FaultAccounting
 from repro.faults.runtime import FaultInjector
 from repro.trace.dataset import ColumnBlock
 from repro.trace.records import RpcName
+from repro.util import telemetry
 from repro.util.gctools import cyclic_gc_paused
 from repro.util.rngpool import RngPool
 from repro.workload.events import SessionScript
@@ -441,7 +442,16 @@ class ReplayShard:
         gateway = self.gateway
         collector = self.collector
         next_gc = float("-inf")
+        # Heartbeat progress: a plain attribute store bumped every 256
+        # timeline records — one int add and one bitwise test per record,
+        # read asynchronously by the supervisor's heartbeat thread.
+        progress = telemetry.shard_progress()
+        progress.begin(len(timeline), "replay")
+        records_seen = 0
         for timestamp, kind, _, payload in timeline:
+            records_seen += 1
+            if not records_seen & 0xFF:
+                progress.done = records_seen
             if timestamp >= next_gc:
                 next_gc = collector.observe(timestamp)
             if kind == _EVENT:
@@ -484,6 +494,7 @@ class ReplayShard:
         # caveat; replay_shards=1 gives the global instant.
         timeline_end = timeline[-1][0] if timeline else 0.0
         self.objects.finalize_tiers(timeline_end)
+        progress.done = records_seen
 
         # The timeline is processed in timestamp order, so every stream was
         # appended sorted; skip the per-stream re-check.  Column packing
@@ -534,6 +545,7 @@ _FORK_STATE: tuple | None = None
 def _run_one_shard(config, assignments, shard_factors, workloads,
                    shard_id: int, fault_schedule=None) -> ShardOutcome:
     generate_started = time.perf_counter()
+    telemetry.shard_progress().begin(0, "materialize")
     scripts = workloads[shard_id].scripts()
     generate_seconds = time.perf_counter() - generate_started
     shard = ReplayShard(config, shard_id, assignments[shard_id],
@@ -587,7 +599,9 @@ def run_shards_supervised(config,
                           chaos=None,
                           checkpoint=None,
                           resume: bool = False,
-                          shutdown=None):
+                          shutdown=None,
+                          events=None,
+                          progress=None):
     """Run every replay shard; return ``(outcomes, jobs_used, report)``.
 
     ``assignments[k]`` is shard ``k``'s slice of process addresses and
@@ -629,9 +643,10 @@ def run_shards_supervised(config,
             return outcomes, jobs, report
 
         policy = policy or SupervisorPolicy()
-        timeouts = {shard_id:
-                    policy.shard_timeout(workload_planned_ops(workload))
-                    for shard_id, workload in enumerate(workloads)}
+        planned = {shard_id: workload_planned_ops(workload)
+                   for shard_id, workload in enumerate(workloads)}
+        timeouts = {shard_id: policy.shard_timeout(ops)
+                    for shard_id, ops in planned.items()}
         # Chaos wants a real worker process to kill, so it forces the
         # forked path even at one job; without fork it degrades to the
         # in-process driver (retry/quarantine/resume still apply).
@@ -644,7 +659,8 @@ def run_shards_supervised(config,
             outcome_map, report = supervise_shards(
                 _run_shard_task, range(n_shards), jobs, policy=policy,
                 timeouts=timeouts, chaos=chaos, checkpoint=checkpoint,
-                resume=resume, use_fork=use_fork, shutdown=shutdown)
+                resume=resume, use_fork=use_fork, shutdown=shutdown,
+                events=events, progress=progress, planned_ops=planned)
         report.jobs = jobs
         outcomes = [outcome_map[shard_id] for shard_id in sorted(outcome_map)]
         return outcomes, jobs, report

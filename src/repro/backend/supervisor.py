@@ -58,6 +58,21 @@ and the merged trace is bit-identical to an undisturbed run.
 worker attempts SIGKILL themselves mid-run (or hang until the deadline),
 so the recovery paths are exercised deterministically and the recovered
 trace can be asserted bit-identical to an undisturbed run.
+
+Telemetry (PR 9): forked workers piggyback periodic **heartbeats** on the
+duplex pipe — ``("heartbeat", shard_id, attempt, {records done/total, rss,
+phase})`` every ``SupervisorPolicy.heartbeat_interval`` seconds, sent by a
+daemon thread under the same lock as the result message.  The supervisor
+absorbs them in its dispatch loop, feeds the optional ``progress``
+callback an aggregated live snapshot (records/s, per-shard fractions,
+ETA, retries/quarantines) and uses heartbeat **staleness**
+(``heartbeat_grace``) as a second hung-worker signal alongside the
+planned-ops deadline: a wedged worker goes silent long before its
+deadline would fire.  Chaos arms *before* the heartbeat thread starts, so
+a chaos-hung worker is heartbeat-silent by construction.  Every
+supervision decision (dispatch, retry, quarantine, checkpoint spill,
+resume, shutdown) is additionally appended to the run's
+:class:`~repro.util.telemetry.EventLog`.
 """
 
 from __future__ import annotations
@@ -65,12 +80,14 @@ from __future__ import annotations
 import heapq
 import os
 import signal
+import threading
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 
+from repro.util import telemetry
 from repro.util.lifecycle import RunInterrupted
 
 #: How often the dispatch loop re-checks the shutdown flag while a
@@ -117,6 +134,13 @@ class SupervisorPolicy:
     #: Seconds a graceful shutdown waits for in-flight shards to finish
     #: (and be checkpointed) before SIGKILLing their workers.
     shutdown_grace: float = 5.0
+    #: Seconds between worker heartbeats (forked pool only; 0 disables).
+    heartbeat_interval: float = 1.0
+    #: A busy forked worker silent for this long is treated as hung
+    #: (second hung signal next to the planned-ops deadline).  Must be
+    #: generously above ``heartbeat_interval``: the beat thread only
+    #: starves when the worker is genuinely wedged.
+    heartbeat_grace: float = 30.0
 
     def validate(self) -> None:
         if self.max_attempts < 1:
@@ -132,6 +156,11 @@ class SupervisorPolicy:
                              "positive")
         if self.shutdown_grace < 0:
             raise ValueError("SupervisorPolicy.shutdown_grace must be >= 0")
+        if self.heartbeat_interval < 0:
+            raise ValueError(
+                "SupervisorPolicy.heartbeat_interval must be >= 0")
+        if self.heartbeat_grace <= 0:
+            raise ValueError("SupervisorPolicy.heartbeat_grace must be > 0")
 
     def backoff(self, retry_index: int) -> float:
         """Seconds to wait before retry ``retry_index`` (0-based)."""
@@ -189,7 +218,8 @@ class ShardFailure:
 
     shard_id: int
     attempt: int
-    #: "exception" | "worker-died" | "timeout" | "interrupted"
+    #: "exception" | "worker-died" | "timeout" | "heartbeat-stale"
+    #: | "interrupted"
     reason: str
     detail: str = ""
     exitcode: int | None = None
@@ -219,6 +249,12 @@ class SupervisionReport:
     #: Shard ids left unexecuted by a graceful shutdown (also available on
     #: the raised :class:`~repro.util.lifecycle.RunInterrupted`).
     interrupted: list = field(default_factory=list)
+    #: shard id -> wall-clock seconds from dispatch to completion of the
+    #: *successful* attempt (retries make completion order alone useless
+    #: for timing; this is the per-shard latency as the supervisor saw it).
+    wall_seconds: dict = field(default_factory=dict)
+    #: shard id -> heartbeats received across all of its attempts.
+    heartbeats: dict = field(default_factory=dict)
 
     @property
     def total_failures(self) -> int:
@@ -235,6 +271,8 @@ class SupervisionReport:
             "shards_resumed": list(self.resumed),
             "shards_checkpointed": list(self.checkpointed),
             "shards_interrupted": list(self.interrupted),
+            "shard_wall_seconds": dict(self.wall_seconds),
+            "shard_heartbeats": dict(self.heartbeats),
         }
 
 
@@ -267,17 +305,59 @@ def _chaos_disarm(chaos: ChaosPlan | None, shard_id: int,
         signal.setitimer(signal.ITIMER_REAL, 0.0)
 
 
-def _worker_loop(task, chaos: ChaosPlan | None, conn) -> None:
+def _start_heartbeat(conn, send_lock: threading.Lock, shard_id: int,
+                     attempt: int, interval: float) -> threading.Event:
+    """Start the per-assignment heartbeat daemon thread; returns its stop
+    flag.
+
+    Each beat snapshots the worker's :class:`~repro.util.telemetry.
+    ShardProgress` (maintained by the replay loop) and the worker RSS, and
+    sends ``("heartbeat", shard_id, attempt, payload)`` under the shared
+    send lock so a beat can never interleave with the result message.  The
+    thread reads, it never mutates — heartbeats are diagnostics and cannot
+    affect what the shard computes.
+    """
+    from repro.util.lifecycle import rss_bytes
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        progress = telemetry.shard_progress()
+        while not stop.wait(interval):
+            done, total, phase = progress.snapshot()
+            rss = rss_bytes()
+            payload = {"records_done": done, "records_total": total,
+                       "phase": phase,
+                       "rss_mb": rss / 2**20 if rss is not None else None}
+            try:
+                with send_lock:
+                    if stop.is_set():
+                        break
+                    conn.send(("heartbeat", shard_id, attempt, payload))
+            except (BrokenPipeError, OSError):
+                break
+
+    thread = threading.Thread(target=beat, name="shard-heartbeat",
+                              daemon=True)
+    thread.start()
+    return stop
+
+
+def _worker_loop(task, chaos: ChaosPlan | None, conn,
+                 heartbeat_interval: float = 0.0) -> None:
     """Entry point of one persistent forked worker.
 
     Receives ``(shard_id, attempt)`` assignments one at a time (per-shard
     submission — the supervisor never batches shards), answers each with
     exactly one ``("ok", shard_id, outcome)`` or ``("error", shard_id,
     message, traceback)`` and waits for the next; ``None`` or a closed pipe
-    ends the loop.  Exits via ``os._exit`` so the forked copy of the
-    parent's stack never unwinds and inherited stdio buffers never flush
-    twice.
+    ends the loop.  While an assignment runs, a daemon thread sends
+    periodic heartbeats on the same pipe (never interleaved with the
+    result: both hold ``send_lock``).  Exits via ``os._exit`` so the
+    forked copy of the parent's stack never unwinds and inherited stdio
+    buffers never flush twice.
     """
+    send_lock = threading.Lock()
     try:
         while True:
             try:
@@ -287,18 +367,31 @@ def _worker_loop(task, chaos: ChaosPlan | None, conn) -> None:
             if assignment is None:
                 break
             shard_id, attempt = assignment
+            heartbeat_stop = None
             try:
+                # Chaos arms first: a chaos-hung worker never starts its
+                # heartbeat thread, so staleness detection sees it silent.
                 _chaos_arm(chaos, shard_id, attempt)
+                if heartbeat_interval > 0:
+                    heartbeat_stop = _start_heartbeat(
+                        conn, send_lock, shard_id, attempt,
+                        heartbeat_interval)
                 outcome = task(shard_id)
                 _chaos_disarm(chaos, shard_id, attempt)
-                conn.send(("ok", shard_id, outcome))
+                if heartbeat_stop is not None:
+                    heartbeat_stop.set()
+                with send_lock:
+                    conn.send(("ok", shard_id, outcome))
             except BaseException as exc:  # noqa: BLE001 - pipe IS the report
                 # A failed task does not end the worker: shards are pure,
                 # so no state of this attempt can leak into the next one.
+                if heartbeat_stop is not None:
+                    heartbeat_stop.set()
                 try:
-                    conn.send(("error", shard_id,
-                               f"{type(exc).__name__}: {exc}",
-                               traceback.format_exc()))
+                    with send_lock:
+                        conn.send(("error", shard_id,
+                                   f"{type(exc).__name__}: {exc}",
+                                   traceback.format_exc()))
                 except BaseException:
                     os._exit(1)
     finally:
@@ -320,6 +413,13 @@ class _Worker:
     #: ``(shard_id, attempt)`` while busy, ``None`` while idle.
     current: tuple | None = None
     deadline: float = 0.0
+    #: ``time.monotonic()`` of the current assignment's dispatch.
+    dispatched_at: float = 0.0
+    #: ``time.monotonic()`` of the last heartbeat (staleness baseline is
+    #: ``max(dispatched_at, last_heartbeat)``).
+    last_heartbeat: float = 0.0
+    #: Latest heartbeat payload of the current assignment.
+    heartbeat: dict | None = None
 
 
 def supervise_shards(task, shard_ids, jobs: int, *,
@@ -327,7 +427,8 @@ def supervise_shards(task, shard_ids, jobs: int, *,
                      timeouts: dict[int, float] | None = None,
                      chaos: ChaosPlan | None = None,
                      checkpoint=None, resume: bool = False,
-                     use_fork: bool = True, shutdown=None):
+                     use_fork: bool = True, shutdown=None,
+                     events=None, progress=None, planned_ops=None):
     """Run ``task(shard_id)`` for every shard under supervision.
 
     Returns ``(outcomes, report)`` where ``outcomes`` maps shard id to the
@@ -343,12 +444,21 @@ def supervise_shards(task, shard_ids, jobs: int, *,
     normally), finalizes the manifest as ``interrupted`` and raises
     :class:`~repro.util.lifecycle.RunInterrupted` carrying the
     completed/remaining accounting.
+
+    ``events`` accepts an :class:`~repro.util.telemetry.EventLog` the
+    supervision decisions are appended to; ``progress`` a callable fed
+    aggregated live snapshots (built from heartbeats and completions,
+    throttled to ~2/s); ``planned_ops`` the per-shard planned operation
+    counts the progress fractions and ETA are weighted by.  All three are
+    diagnostics: none of them can change what a shard computes.
     """
     policy = policy or SupervisorPolicy()
     policy.validate()
     shard_ids = list(shard_ids)
     report = SupervisionReport(jobs=jobs)
     outcomes: dict[int, object] = {}
+    if events is None:
+        events = telemetry.EventLog(None)
 
     if checkpoint is not None and resume:
         for shard_id in shard_ids:
@@ -356,29 +466,43 @@ def supervise_shards(task, shard_ids, jobs: int, *,
             if loaded is not None:
                 outcomes[shard_id] = loaded
                 report.resumed.append(shard_id)
+                events.emit("shard-resumed", shard=shard_id)
 
     todo = [s for s in shard_ids if s not in outcomes]
     try:
         if todo:
             if use_fork:
                 _run_forked(task, todo, jobs, policy, timeouts or {}, chaos,
-                            checkpoint, outcomes, report, shutdown)
+                            checkpoint, outcomes, report, shutdown,
+                            events=events, progress=progress,
+                            planned_ops=planned_ops)
             else:
                 _run_inprocess(task, todo, policy, checkpoint, outcomes,
-                               report, shutdown)
+                               report, shutdown, events=events,
+                               progress=progress, planned_ops=planned_ops)
     except RunInterrupted as exc:
         remaining = [s for s in shard_ids if s not in outcomes]
         report.interrupted = remaining
         exc.completed = len(outcomes)
         exc.remaining = len(remaining)
         exc.report = report
+        events.emit("shutdown", reason=exc.reason, signum=exc.signum,
+                    completed=exc.completed, remaining=exc.remaining)
+        events.emit("run-finalize", status="interrupted")
         if checkpoint is not None:
-            checkpoint.finalize("interrupted")
+            checkpoint.finalize("interrupted", extra=_interrupt_info(exc,
+                                                                     shutdown))
         raise
 
     if checkpoint is not None:
         done = len(outcomes) == len(shard_ids)
-        checkpoint.finalize("complete" if done else "partial")
+        status = "complete" if done else "partial"
+        events.emit("run-finalize", status=status)
+        checkpoint.finalize(status)
+    else:
+        events.emit("run-finalize",
+                    status="complete" if len(outcomes) == len(shard_ids)
+                    else "partial")
 
     if shard_ids and not outcomes:
         summary = "; ".join(
@@ -391,35 +515,77 @@ def supervise_shards(task, shard_ids, jobs: int, *,
     return outcomes, report
 
 
-def _record_success(shard_id, outcome, checkpoint, outcomes, report) -> None:
+def _interrupt_info(exc: RunInterrupted, shutdown) -> dict:
+    """The ``interrupt`` block of an interrupted run's manifest."""
+    info = {"reason": exc.reason, "signum": exc.signum,
+            "completed": exc.completed, "remaining": exc.remaining}
+    high_water = getattr(shutdown, "rss_high_water_bytes", 0) \
+        if shutdown is not None else 0
+    if high_water:
+        # Satellite of ISSUE 9: the watchdog's observed high-water mark —
+        # OOM-adjacent exits become diagnosable after the fact.
+        info["rss_high_water_mb"] = round(high_water / 2**20, 3)
+    if shutdown is not None and shutdown.max_rss_bytes:
+        info["max_rss_mb"] = round(shutdown.max_rss_bytes / 2**20, 3)
+    return info
+
+
+def _record_success(shard_id, outcome, checkpoint, outcomes, report,
+                    events=None, wall_seconds=None) -> None:
     outcomes[shard_id] = outcome
     report.completion_order.append(shard_id)
+    if wall_seconds is not None:
+        report.wall_seconds[shard_id] = wall_seconds
+        telemetry.get_registry().observe(
+            "supervisor.attempt_seconds", wall_seconds,
+            edges=telemetry.ATTEMPT_SECONDS_EDGES)
+    if events:
+        events.emit("shard-complete", shard=shard_id,
+                    seconds=(round(wall_seconds, 6)
+                             if wall_seconds is not None else None))
     if checkpoint is not None:
-        checkpoint.save(outcome)
+        path = checkpoint.save(outcome)
         report.checkpointed.append(shard_id)
+        if events and path is not None:
+            try:
+                spilled = path.stat().st_size
+            except OSError:  # pragma: no cover - raced with cleanup
+                spilled = None
+            events.emit("checkpoint-spill", shard=shard_id, file=path.name,
+                        bytes=spilled)
 
 
 def _record_failure(failure: ShardFailure, attempts: dict, policy,
-                    report) -> bool:
+                    report, events=None) -> bool:
     """Account one failed attempt; True when the shard may retry."""
     report.failures.append(failure)
     attempts[failure.shard_id] += 1
     if attempts[failure.shard_id] >= policy.max_attempts:
         report.quarantined.append(failure.shard_id)
+        if events:
+            events.emit("shard-quarantine", shard=failure.shard_id,
+                        attempt=failure.attempt, reason=failure.reason)
         return False
     report.retries[failure.shard_id] = \
         report.retries.get(failure.shard_id, 0) + 1
+    if events:
+        events.emit("shard-retry", shard=failure.shard_id,
+                    attempt=failure.attempt, reason=failure.reason,
+                    backoff_seconds=round(policy.backoff(failure.attempt), 6))
     return True
 
 
 def _run_inprocess(task, todo, policy, checkpoint, outcomes, report,
-                   shutdown=None) -> None:
+                   shutdown=None, events=None, progress=None,
+                   planned_ops=None) -> None:
     """Sequential supervised execution (no fork: ``--jobs 1`` fast path).
 
     Retries run back-to-back without sleeping: an in-process failure is
     deterministic (there is no crashed-worker state to let settle), so
     backoff would only delay the inevitable outcome either way.
     """
+    started = time.monotonic()
+    n_total = len(todo) + len(outcomes)  # resumed shards already present
     attempts = {shard_id: 0 for shard_id in todo}
     for shard_id in todo:
         while True:
@@ -428,6 +594,10 @@ def _run_inprocess(task, todo, policy, checkpoint, outcomes, report,
                     f"run interrupted ({shutdown.describe()})",
                     signum=shutdown.signum,
                     reason=shutdown.reason or "signal")
+            if events:
+                events.emit("shard-dispatch", shard=shard_id,
+                            attempt=attempts[shard_id], pid=os.getpid())
+            dispatched = time.monotonic()
             try:
                 outcome = task(shard_id)
             except Exception as exc:  # noqa: BLE001 - quarantine accounting
@@ -436,21 +606,26 @@ def _run_inprocess(task, todo, policy, checkpoint, outcomes, report,
                                  attempt=attempts[shard_id],
                                  reason="exception",
                                  detail=f"{type(exc).__name__}: {exc}"),
-                    attempts, policy, report)
+                    attempts, policy, report, events=events)
                 if not retryable:
                     break
             else:
                 _record_success(shard_id, outcome, checkpoint, outcomes,
-                                report)
+                                report, events=events,
+                                wall_seconds=time.monotonic() - dispatched)
                 break
+        if progress is not None:
+            progress(_progress_snapshot(planned_ops, outcomes, [], report,
+                                        started, n_total))
 
 
-def _spawn_worker(task, chaos) -> _Worker:
+def _spawn_worker(task, chaos, heartbeat_interval: float = 0.0) -> _Worker:
     import multiprocessing
 
     ctx = multiprocessing.get_context("fork")
     parent_conn, child_conn = ctx.Pipe(duplex=True)
-    process = ctx.Process(target=_worker_loop, args=(task, chaos, child_conn),
+    process = ctx.Process(target=_worker_loop,
+                          args=(task, chaos, child_conn, heartbeat_interval),
                           daemon=True)
     process.start()
     child_conn.close()
@@ -481,8 +656,88 @@ def _stop_worker(worker: _Worker, kill: bool = False) -> None:
         pass
 
 
+#: Minimum seconds between two ``progress`` callback invocations.
+_PROGRESS_INTERVAL_SECONDS = 0.5
+
+
+def _recv_result(worker: _Worker, report) -> tuple | None:
+    """Drain one worker's pending pipe messages.
+
+    Heartbeats are absorbed in place (staleness clock reset, latest
+    payload kept, per-shard count bumped); the first terminal ``ok`` /
+    ``error`` message is returned.  ``None`` means only heartbeats — or
+    nothing, or an EOF from a worker that died mid-send — were pending;
+    the caller distinguishes via the process sentinel, exactly as before
+    heartbeats existed.
+    """
+    while worker.conn.poll():
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            return None  # died mid-send: treat as a crash
+        if message[0] == "heartbeat":
+            worker.last_heartbeat = time.monotonic()
+            worker.heartbeat = message[3]
+            report.heartbeats[message[1]] = \
+                report.heartbeats.get(message[1], 0) + 1
+            continue
+        return message
+    return None
+
+
+def _progress_snapshot(planned_ops, outcomes, workers, report, started,
+                       n_total) -> dict:
+    """One aggregated live-progress snapshot for the ``progress`` callback.
+
+    Completed shards contribute their full planned-op weight; running
+    shards contribute fractionally via their latest heartbeat's
+    records-done/records-total.  ETA extrapolates elapsed wall time over
+    the remaining weighted fraction — coarse by design (a progress line,
+    not a promise).
+    """
+    planned_ops = dict(planned_ops or {})
+    elapsed = time.monotonic() - started
+    total_ops = sum(planned_ops.values())
+    done_ops = sum(planned_ops.get(shard_id, 0.0) for shard_id in outcomes)
+    records_done = sum(int(getattr(outcome, "n_events", 0) or 0)
+                       for outcome in outcomes.values())
+    shards_running: dict[int, float | None] = {}
+    for worker in workers:
+        if worker.current is None:
+            continue
+        shard_id = worker.current[0]
+        fraction = None
+        heartbeat = worker.heartbeat
+        if heartbeat:
+            done = int(heartbeat.get("records_done") or 0)
+            total = int(heartbeat.get("records_total") or 0)
+            records_done += done
+            if total > 0:
+                fraction = min(1.0, done / total)
+                done_ops += fraction * planned_ops.get(shard_id, 0.0)
+        shards_running[shard_id] = fraction
+    if total_ops > 0:
+        overall = min(1.0, done_ops / total_ops)
+    else:
+        overall = len(outcomes) / n_total if n_total else 1.0
+    eta = elapsed * (1.0 - overall) / overall if overall > 1e-9 else None
+    return {
+        "elapsed_seconds": elapsed,
+        "shards_total": n_total,
+        "shards_done": len(outcomes),
+        "shards_running": shards_running,
+        "fraction": overall,
+        "eta_seconds": eta,
+        "records_done": records_done,
+        "records_per_second": records_done / elapsed if elapsed > 0 else 0.0,
+        "retries": sum(report.retries.values()),
+        "quarantined": len(report.quarantined),
+    }
+
+
 def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
-                outcomes, report, shutdown=None) -> None:
+                outcomes, report, shutdown=None, events=None, progress=None,
+                planned_ops=None) -> None:
     """The supervised fork pool: persistent workers, sentinels, deadlines.
 
     ``jobs`` workers are forked once (like the bare pool, so healthy-run
@@ -491,22 +746,37 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
     LPT-balanced shards onto one worker.  A worker that dies (crash, OOM,
     chaos SIGKILL) or blows its per-shard deadline is detected through its
     sentinel/deadline, its shard is rescheduled with backoff, and a fresh
-    worker is forked in its place on the next dispatch round.
+    worker is forked in its place on the next dispatch round.  Heartbeat
+    staleness (``policy.heartbeat_grace`` without a beat from a busy
+    worker) is a second hung signal wired into the same kill/retry path.
     """
+    if events is None:
+        events = telemetry.EventLog(None)
     attempts = {shard_id: 0 for shard_id in todo}
     pending = deque(todo)
     delayed: list[tuple[float, int]] = []  # (ready time, shard id) heap
     workers: list[_Worker] = []
+    heartbeats_on = policy.heartbeat_interval > 0
+    loop_started = time.monotonic()
+    n_total = len(todo) + len(outcomes)
+    progress_last = 0.0
 
     def fail(shard_id: int, attempt: int, reason: str, detail: str = "",
              exitcode: int | None = None) -> None:
         retryable = _record_failure(
             ShardFailure(shard_id=shard_id, attempt=attempt, reason=reason,
                          detail=detail, exitcode=exitcode),
-            attempts, policy, report)
+            attempts, policy, report, events=events)
         if retryable:
             ready = time.monotonic() + policy.backoff(attempt)
             heapq.heappush(delayed, (ready, shard_id))
+
+    def succeed(worker: _Worker, shard_id: int, outcome) -> None:
+        wall = time.monotonic() - worker.dispatched_at
+        worker.current = None
+        worker.heartbeat = None
+        _record_success(shard_id, outcome, checkpoint, outcomes, report,
+                        events=events, wall_seconds=wall)
 
     def assign(worker: _Worker, shard_id: int) -> bool:
         attempt = attempts[shard_id]
@@ -514,14 +784,37 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
             worker.conn.send((shard_id, attempt))
         except (BrokenPipeError, OSError):
             return False  # worker died while idle; caller retires it
+        now = time.monotonic()
         worker.current = (shard_id, attempt)
-        worker.deadline = time.monotonic() + timeouts.get(
+        worker.deadline = now + timeouts.get(
             shard_id, policy.shard_timeout(0.0))
+        worker.dispatched_at = now
+        worker.last_heartbeat = now
+        worker.heartbeat = None
+        events.emit("shard-dispatch", shard=shard_id, attempt=attempt,
+                    pid=worker.process.pid)
         return True
 
     def retire(worker: _Worker, kill: bool = False) -> None:
         workers.remove(worker)
         _stop_worker(worker, kill=kill)
+
+    def stale_deadline(worker: _Worker) -> float:
+        if not heartbeats_on:
+            return float("inf")
+        return max(worker.dispatched_at, worker.last_heartbeat) \
+            + policy.heartbeat_grace
+
+    def emit_progress(force: bool = False) -> None:
+        nonlocal progress_last
+        if progress is None:
+            return
+        now = time.monotonic()
+        if not force and now - progress_last < _PROGRESS_INTERVAL_SECONDS:
+            return
+        progress_last = now
+        progress(_progress_snapshot(planned_ops, outcomes, workers, report,
+                                    loop_started, n_total))
 
     def drain_for_shutdown() -> None:
         """Graceful-shutdown drain: let in-flight shards finish under the
@@ -550,12 +843,7 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
                     continue
                 seen.add(id(worker))
                 shard_id, attempt = worker.current
-                message = None
-                if worker.conn.poll():
-                    try:
-                        message = worker.conn.recv()
-                    except (EOFError, OSError):
-                        message = None
+                message = _recv_result(worker, report)
                 if message is None:
                     if worker.process.is_alive():
                         continue
@@ -568,9 +856,7 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
                         reason="worker-died",
                         detail=f"exitcode {exitcode}", exitcode=exitcode))
                 elif message[0] == "ok":
-                    worker.current = None
-                    _record_success(shard_id, message[2], checkpoint,
-                                    outcomes, report)
+                    succeed(worker, shard_id, message[2])
                 else:
                     worker.current = None
                     report.failures.append(ShardFailure(
@@ -606,7 +892,8 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
                 else:
                     retire(worker)
             while pending and len(workers) < jobs:
-                worker = _spawn_worker(task, chaos)
+                worker = _spawn_worker(task, chaos,
+                                       policy.heartbeat_interval)
                 workers.append(worker)
                 if assign(worker, pending[0]):
                     pending.popleft()
@@ -621,7 +908,8 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
                     time.sleep(sleep_for)
                 continue
 
-            wait_until = min(w.deadline for w in busy)
+            wait_until = min(min(w.deadline, stale_deadline(w))
+                             for w in busy)
             if delayed:
                 wait_until = min(wait_until, delayed[0][0])
             handles = []
@@ -644,51 +932,56 @@ def _run_forked(task, todo, jobs, policy, timeouts, chaos, checkpoint,
                     continue
                 seen.add(id(worker))
                 shard_id, attempt = worker.current
-                message = None
-                if worker.conn.poll():
-                    try:
-                        message = worker.conn.recv()
-                    except (EOFError, OSError):
-                        message = None  # died mid-send: treat as a crash
+                message = _recv_result(worker, report)
                 if message is None:
                     if worker.process.is_alive():
-                        continue  # spurious wake: no message, not dead
+                        continue  # heartbeat/spurious wake: not a result
                     exitcode = worker.process.exitcode
                     retire(worker)
                     fail(shard_id, attempt, "worker-died",
                          detail=f"exitcode {exitcode}", exitcode=exitcode)
                 elif message[0] == "ok":
-                    worker.current = None
-                    _record_success(shard_id, message[2], checkpoint,
-                                    outcomes, report)
+                    succeed(worker, shard_id, message[2])
                 else:
                     worker.current = None
                     fail(shard_id, attempt, "exception",
                          detail=f"{message[2]}\n{message[3]}")
 
+            # Hung detection: the planned-ops deadline and (forked pool
+            # only) heartbeat staleness share one kill/retry path.
             now = time.monotonic()
-            for worker in [w for w in workers
-                           if w.current is not None and w.deadline <= now]:
+            hung: list[tuple[_Worker, str, str]] = []
+            for worker in [w for w in workers if w.current is not None]:
+                if worker.deadline <= now:
+                    hung.append((worker, "timeout",
+                                 "no result within "
+                                 f"{timeouts.get(worker.current[0], 0.0):.1f}"
+                                 "s"))
+                elif stale_deadline(worker) <= now:
+                    hung.append((worker, "heartbeat-stale",
+                                 "no heartbeat for "
+                                 f"{policy.heartbeat_grace:.1f}s"))
+            for worker, reason, detail in hung:
+                if worker not in workers or worker.current is None:
+                    continue
                 shard_id, attempt = worker.current
                 # One last poll: a result just under the wire still wins.
-                if worker.conn.poll():
-                    try:
-                        message = worker.conn.recv()
-                    except (EOFError, OSError):
-                        message = None
-                    if message is not None:
+                message = _recv_result(worker, report)
+                if message is not None:
+                    if message[0] == "ok":
+                        succeed(worker, shard_id, message[2])
+                    else:
                         worker.current = None
-                        if message[0] == "ok":
-                            _record_success(shard_id, message[2], checkpoint,
-                                            outcomes, report)
-                        else:
-                            fail(shard_id, attempt, "exception",
-                                 detail=f"{message[2]}\n{message[3]}")
-                        continue
+                        fail(shard_id, attempt, "exception",
+                             detail=f"{message[2]}\n{message[3]}")
+                    continue
+                if reason == "heartbeat-stale" \
+                        and stale_deadline(worker) > now:
+                    continue  # the last poll absorbed a fresh heartbeat
                 retire(worker, kill=True)
-                fail(shard_id, attempt, "timeout",
-                     detail="no result within "
-                            f"{timeouts.get(shard_id, 0.0):.1f}s")
+                fail(shard_id, attempt, reason, detail=detail)
+            emit_progress()
     finally:
         for worker in list(workers):
             retire(worker)
+        emit_progress(force=True)

@@ -31,11 +31,13 @@ from pathlib import Path
 from repro.backend.cluster import ClusterConfig, U1Cluster
 from repro.core.report import format_report
 from repro.trace.dataset import TraceDataset
+from repro.util import telemetry
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTraceGenerator
 
 __all__ = ["BenchResult", "run_benchmark", "run_chaos_benchmark",
-           "run_profile", "analysis_pass", "SEED_BASELINE"]
+           "run_telemetry_benchmark", "run_profile", "analysis_pass",
+           "SEED_BASELINE"]
 
 
 #: Phase timings (seconds) of the seed engine at 300 users / 3 days, measured
@@ -94,6 +96,18 @@ class BenchResult:
     #: replay whose worker was SIGKILLed mid-run versus the undisturbed
     #: digest — measured after the timed phases.
     chaos: dict | None = None
+    #: Telemetry overhead figures (ISSUE 9): telemetry-enabled versus
+    #: -disabled replay seconds, interleaved best-of — CI gates the ratio
+    #: at 1.03x.
+    telemetry: dict | None = None
+    #: Process peak RSS (MiB, ``ru_maxrss``) overall and at the end of each
+    #: phase — the memory baseline ROADMAP item 1 needs (ISSUE 9
+    #: satellite).  ``None`` when telemetry is disabled.
+    peak_rss_mb: float | None = None
+    phase_peak_rss_mb: dict | None = None
+    #: Final snapshot of the default telemetry registry (counters, gauges,
+    #: histograms, spans) taken at the end of the benchmark.
+    metrics: dict | None = None
 
     @property
     def total(self) -> float:
@@ -153,6 +167,17 @@ class BenchResult:
                 self.faults["faultsweep_per_policy_seconds"]
         if self.chaos is not None:
             payload["chaos"] = self.chaos
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+            # Hoisted for the CI gate: enabled/disabled replay ratio.
+            payload["telemetry_overhead"] = \
+                self.telemetry["telemetry_overhead"]
+        if self.peak_rss_mb is not None:
+            payload["peak_rss_mb"] = self.peak_rss_mb
+        if self.phase_peak_rss_mb:
+            payload["phase_peak_rss_mb"] = dict(self.phase_peak_rss_mb)
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         if baseline_total > 0:
             units = {"generate": self.events_generated,
                      "replay": self.records_replayed,
@@ -195,14 +220,17 @@ def analysis_pass(dataset: TraceDataset) -> int:
 
 def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
                   repeats: int = 5, n_jobs: int = 1,
-                  chaos: bool = False) -> BenchResult:
+                  chaos: bool = False, chaos_dir=None) -> BenchResult:
     """Run the fused plan + (materialize+replay) + analysis pipeline.
 
     Best-of-``repeats`` per phase.  ``n_jobs`` is forwarded to the sharded
     replay; the produced dataset (and therefore the analysis work) is
     bit-identical for any value, so the timings stay comparable across job
     counts.  ``chaos`` additionally runs the crash-tolerance harness
-    (:func:`run_chaos_benchmark`) after the timed phases.
+    (:func:`run_chaos_benchmark`) after the timed phases; ``chaos_dir``
+    gives the chaos replay a checkpoint directory so its ``events.jsonl``
+    survives for inspection (``repro events``).  The telemetry on/off
+    overhead (:func:`run_telemetry_benchmark`) is always measured.
     """
     config = WorkloadConfig.scaled(users=users, days=days, seed=seed)
     best: dict[str, float] = {}
@@ -216,14 +244,17 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
         # rows alive through the next replay only degrades heap locality.
         dataset = None  # noqa: F841 - frees the previous round eagerly
         t0 = time.perf_counter()
-        generator = SyntheticTraceGenerator(config)
-        plan = generator.plan()
+        with telemetry.span("bench.generate"):
+            generator = SyntheticTraceGenerator(config)
+            plan = generator.plan()
         t1 = time.perf_counter()
         cluster = U1Cluster(ClusterConfig(seed=seed))
         t2 = time.perf_counter()
-        dataset = cluster.replay_plan(plan, n_jobs=n_jobs)
+        with telemetry.span("bench.replay"):
+            dataset = cluster.replay_plan(plan, n_jobs=n_jobs)
         t3 = time.perf_counter()
-        analysis_records = analysis_pass(dataset)
+        with telemetry.span("bench.analysis"):
+            analysis_records = analysis_pass(dataset)
         t4 = time.perf_counter()
         events_generated = cluster.last_replay_stats["events_replayed"]
         records_replayed = len(dataset)
@@ -254,18 +285,41 @@ def run_benchmark(users: int = 300, days: float = 3.0, seed: int = 2014,
     faults = _run_fault_benchmark(config, seed=seed, days=days,
                                   repeats=repeats, n_jobs=n_jobs,
                                   plain_replay_seconds=best["replay"])
+    telemetry_payload = run_telemetry_benchmark(config, seed=seed,
+                                                repeats=repeats,
+                                                n_jobs=n_jobs)
     chaos_payload = None
     if chaos:
         chaos_payload = run_chaos_benchmark(
             config, seed=seed, repeats=repeats, n_jobs=n_jobs,
-            undisturbed_digest=dataset.content_digest())
+            undisturbed_digest=dataset.content_digest(),
+            chaos_dir=chaos_dir)
+
+    # Peak-RSS baseline (satellite of ISSUE 9): per-phase highs from the
+    # span layer (ru_maxrss is monotone, so a phase's figure is the process
+    # high-water as of its last exit) and the overall maximum.
+    registry = telemetry.get_registry()
+    phase_peaks: dict[str, float] = {}
+    for record in registry.spans:
+        name = record.get("name", "")
+        peak = record.get("peak_rss_mb")
+        if name.startswith("bench.") and peak is not None:
+            short = name[len("bench."):]
+            phase_peaks[short] = max(phase_peaks.get(short, 0.0), peak)
+    overall_peak = max(phase_peaks.values(), default=None) \
+        if phase_peaks else None
+
     return BenchResult(users=users, days=days, seed=seed, repeats=repeats,
                        phases=best, events_generated=events_generated,
                        records_replayed=records_replayed,
                        analysis_records=analysis_records,
                        n_jobs=n_jobs, replay_stats=replay_stats,
                        whatif=sweep.to_json(), faults=faults,
-                       chaos=chaos_payload)
+                       chaos=chaos_payload, telemetry=telemetry_payload,
+                       peak_rss_mb=overall_peak,
+                       phase_peak_rss_mb=phase_peaks or None,
+                       metrics=registry.snapshot()
+                       if registry.enabled else None)
 
 
 def _run_fault_benchmark(config, seed: int, days: float, repeats: int,
@@ -325,8 +379,44 @@ def _run_fault_benchmark(config, seed: int, days: float, repeats: int,
     return payload
 
 
+def run_telemetry_benchmark(config, seed: int, repeats: int,
+                            n_jobs: int) -> dict:
+    """Telemetry-enabled versus -disabled replay cost, interleaved.
+
+    The same workload plan replays ``repeats`` times with the default
+    registry enabled and disabled in alternation (both legs see the same
+    cache/allocator state), best-of each; the ratio is the near-zero-
+    overhead guarantee CI gates at 1.03x.  The registry's enabled flag is
+    restored afterwards, whatever it was.
+    """
+    enabled_seconds = float("inf")
+    disabled_seconds = float("inf")
+    previous = telemetry.enabled()
+    try:
+        for _ in range(max(1, repeats)):
+            for flag in (True, False):
+                plan = SyntheticTraceGenerator(config).plan()
+                cluster = U1Cluster(ClusterConfig(seed=seed))
+                telemetry.set_enabled(flag)
+                t0 = time.perf_counter()
+                cluster.replay_plan(plan, n_jobs=n_jobs)
+                elapsed = time.perf_counter() - t0
+                if flag:
+                    enabled_seconds = min(enabled_seconds, elapsed)
+                else:
+                    disabled_seconds = min(disabled_seconds, elapsed)
+    finally:
+        telemetry.set_enabled(previous)
+    return {
+        "telemetry_on_seconds": enabled_seconds,
+        "telemetry_off_seconds": disabled_seconds,
+        "telemetry_overhead":
+            enabled_seconds / max(disabled_seconds, 1e-12),
+    }
+
+
 def run_chaos_benchmark(config, seed: int, repeats: int, n_jobs: int,
-                        undisturbed_digest: str) -> dict:
+                        undisturbed_digest: str, chaos_dir=None) -> dict:
     """The crash-tolerance measurements behind ``repro bench --chaos``.
 
     Two questions, answered against the same workload plan:
@@ -369,11 +459,24 @@ def run_chaos_benchmark(config, seed: int, repeats: int, n_jobs: int,
     plan = SyntheticTraceGenerator(config).plan()
     cluster = U1Cluster(ClusterConfig(seed=seed))
     t0 = time.perf_counter()
-    chaos_dataset = cluster.replay_plan(plan, n_jobs=n_jobs, chaos=chaos_plan)
+    # A checkpoint dir (``chaos_dir``) gives the chaos replay a run
+    # directory, which is where its events.jsonl lands — the durable
+    # record of the injected kill/retry sequence (``repro events`` reads
+    # it back).
+    chaos_dataset = cluster.replay_plan(plan, n_jobs=n_jobs, chaos=chaos_plan,
+                                        checkpoint_dir=chaos_dir)
     chaos_seconds = time.perf_counter() - t0
     stats = cluster.last_replay_stats
     chaos_digest = chaos_dataset.content_digest()
+    events_path = stats.get("events_path")
+    event_counts: dict[str, int] = {}
+    if events_path:
+        for record in telemetry.read_events(events_path):
+            name = str(record.get("event", "?"))
+            event_counts[name] = event_counts.get(name, 0) + 1
     return {
+        "events_path": events_path,
+        "event_counts": event_counts,
         "jobs": stats["n_jobs"],
         "supervised_seconds": supervised_seconds,
         "unsupervised_seconds": unsupervised_seconds,
@@ -477,6 +580,12 @@ def format_summary(result: BenchResult) -> str:
         line += (f" | chaos kills {chaos['worker_kills']}, digest "
                  f"{'ok' if chaos['digests_match'] else 'MISMATCH'}, "
                  f"supervision {chaos['supervised_overhead']:.3f}x")
+    overhead = payload.get("telemetry_overhead")
+    if overhead:
+        line += f" | telemetry {overhead:.3f}x"
+    peak = payload.get("peak_rss_mb")
+    if peak:
+        line += f" | peak rss {peak:.0f} MiB"
     if "speedup_vs_seed" in payload:
         line += f" | {payload['speedup_vs_seed']:.2f}x vs seed"
     return line

@@ -121,6 +121,15 @@ def _add_resume_options(parser: argparse.ArgumentParser) -> None:
                              "resident set exceeds this many MiB, the run "
                              "checkpoints completed shards and exits with "
                              "code 3 instead of being OOM-killed")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        help="write the final telemetry registry snapshot "
+                             "(counters, gauges, histograms, phase spans) "
+                             "as JSON to this path")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live replay progress line to stderr "
+                             "(records/s, per-shard completion, ETA, "
+                             "retries/quarantines), fed by worker "
+                             "heartbeats")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "measure supervised-pool overhead against the "
                             "unsupervised baseline (recorded under the "
                             "'chaos' key of the JSON report)")
+    bench.add_argument("--chaos-dir", type=Path, default=Path("BENCH_chaos"),
+                       help="checkpoint directory of the --chaos replay; "
+                            "its run directory keeps the events.jsonl "
+                            "recording the injected kill/retry sequence "
+                            "(inspect with 'repro events DIR'; default: "
+                            "BENCH_chaos)")
 
     whatif = subparsers.add_parser(
         "whatif", help="replay once, then sweep storage policies offline "
@@ -223,6 +238,20 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the sweep result as JSON")
     _add_resume_options(faultsweep)
 
+    events = subparsers.add_parser(
+        "events", help="inspect (or tail) a run's events.jsonl: spans, "
+                       "shard dispatch/retry/quarantine, checkpoint "
+                       "spills, fault windows, shutdowns")
+    events.add_argument("dir", type=Path,
+                        help="an events.jsonl file, a run directory, or a "
+                             "checkpoint root (most recent run wins)")
+    events.add_argument("--json", action="store_true",
+                        help="print raw JSON lines instead of the "
+                             "formatted view")
+    events.add_argument("--follow", action="store_true",
+                        help="keep the log open and print events as they "
+                             "are appended (Ctrl-C to stop)")
+
     verify = subparsers.add_parser(
         "verify", help="audit checkpoint run directories: manifest "
                        "consistency, per-shard checksums, orphan/foreign/"
@@ -240,9 +269,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
     """Replay passthrough kwargs from the --checkpoint-dir/--resume flags."""
-    return {"checkpoint_dir": getattr(args, "checkpoint_dir", None),
-            "resume": getattr(args, "resume", False),
-            "shutdown": getattr(args, "shutdown_controller", None)}
+    kwargs = {"checkpoint_dir": getattr(args, "checkpoint_dir", None),
+              "resume": getattr(args, "resume", False),
+              "shutdown": getattr(args, "shutdown_controller", None)}
+    if getattr(args, "progress", False):
+        kwargs["progress"] = _progress_printer()
+    return kwargs
+
+
+def _progress_printer(stream=None):
+    """A ``progress`` callback rendering one live line on stderr."""
+    stream = stream or sys.stderr
+
+    def show(snapshot: dict) -> None:
+        eta = snapshot.get("eta_seconds")
+        eta_text = f" eta {eta:.0f}s" if eta is not None else ""
+        done = snapshot.get("shards_done", 0)
+        total = snapshot.get("shards_total", 0)
+        line = (f"replay {done}/{total} shards "
+                f"{snapshot.get('fraction', 0.0) * 100.0:5.1f}%  "
+                f"{snapshot.get('records_per_second', 0.0):,.0f} rec/s"
+                f"{eta_text}  retries {snapshot.get('retries', 0)} "
+                f"quarantined {snapshot.get('quarantined', 0)}")
+        end = "\n" if total and done >= total else ""
+        stream.write("\r" + line.ljust(78) + end)
+        stream.flush()
+
+    return show
+
+
+def _dump_metrics(args: argparse.Namespace, out) -> int:
+    """Write the final registry snapshot when --metrics was given."""
+    path = getattr(args, "metrics", None)
+    if path is None:
+        return 0
+    from repro.util import telemetry
+
+    return _write_json_artifact(path, telemetry.get_registry().snapshot(),
+                                out)
 
 
 def _write_json_artifact(path: Path, payload, out) -> int:
@@ -344,7 +408,8 @@ def _command_bench(args: argparse.Namespace, out) -> int:
         return 0
     result = run_benchmark(users=args.users, days=args.days, seed=args.seed,
                            repeats=args.repeats, n_jobs=args.jobs,
-                           chaos=args.chaos)
+                           chaos=args.chaos,
+                           chaos_dir=args.chaos_dir if args.chaos else None)
     print(format_summary(result), file=out)
     try:
         path = write_report(result, args.out)
@@ -436,6 +501,57 @@ def _command_faultsweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_events(args: argparse.Namespace, out) -> int:
+    import json
+    import time as _time
+
+    from repro.util.telemetry import find_events_file, read_events
+
+    path = find_events_file(args.dir)
+    if path is None:
+        print(f"No events.jsonl found under {args.dir}", file=out)
+        return EXIT_EMPTY
+
+    def render(record: dict) -> str:
+        if args.json:
+            return json.dumps(record, separators=(",", ":"), default=str)
+        ts = record.get("ts")
+        ts_text = f"{ts:.3f}" if isinstance(ts, (int, float)) else str(ts)
+        fields = " ".join(f"{key}={value}" for key, value in record.items()
+                          if key not in ("ts", "event"))
+        return f"{ts_text}  {record.get('event', '?'):<18} {fields}".rstrip()
+
+    for record in read_events(path):
+        print(render(record), file=out)
+    if not args.follow:
+        return EXIT_OK
+    # Tail mode: poll for appended complete lines until interrupted.  The
+    # log is append-only (single O_APPEND writer per event), so seeking to
+    # the end and reading forward can never miss or re-read an event.
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            handle.seek(0, 2)
+            buffered = ""
+            while True:
+                chunk = handle.readline()
+                if not chunk:
+                    _time.sleep(0.25)
+                    continue
+                buffered += chunk
+                if not buffered.endswith("\n"):
+                    continue  # torn line still being written
+                line, buffered = buffered.strip(), ""
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                print(render(record), file=out)
+    except KeyboardInterrupt:
+        return EXIT_OK
+
+
 def _command_verify(args: argparse.Namespace, out) -> int:
     import json
 
@@ -477,6 +593,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "whatif": _command_whatif,
     "faultsweep": _command_faultsweep,
+    "events": _command_events,
     "verify": _command_verify,
 }
 
@@ -497,7 +614,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                            if max_rss_mb else None) as controller:
         args.shutdown_controller = controller
         try:
-            return handler(args, out)
+            code = handler(args, out)
         except RunInterrupted as exc:
             resumable = getattr(args, "checkpoint_dir", None) is not None
             hint = ("re-run with --resume to continue" if resumable
@@ -506,7 +623,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(f"interrupted: {exc} — {exc.completed} shard(s) "
                   f"completed, {exc.remaining} remaining; {hint}",
                   file=sys.stderr)
+            _dump_metrics(args, out)
             return EXIT_INTERRUPTED
+        return code or _dump_metrics(args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

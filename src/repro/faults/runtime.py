@@ -113,6 +113,29 @@ class FaultSchedule:
         """The degradation windows of one fleet-wide worker index."""
         return self.degraded.get(worker_id, ())
 
+    def iter_windows(self):
+        """Every compiled fault window as ``(kind, start, end, detail)``.
+
+        A flat, deterministic iteration (kind order fixed, windows in
+        compiled order) used by the run-event log to record fault-window
+        transitions; ``detail`` is a JSON-able dict of the window's
+        kind-specific fields.
+        """
+        for worker_id in sorted(self.degraded):
+            for start, end, inflation in self.degraded[worker_id]:
+                yield ("degraded", start, end,
+                       {"worker": worker_id, "inflation": inflation})
+        for start, end, rate in self.lossy:
+            yield ("lossy", start, end, {"failure_rate": rate})
+        for start, end, shard_id in self.read_only:
+            yield ("read-only", start, end, {"metadata_shard": shard_id})
+        for start, end, node_index, n_nodes, failover in self.storage_down:
+            yield ("storage-down", start, end,
+                   {"node": node_index, "n_nodes": n_nodes,
+                    "failover": bool(failover)})
+        for start, end in self.auth:
+            yield ("auth-outage", start, end, {})
+
     def auth_denied(self, timestamp: float) -> bool:
         """Whether an auth outage covers ``timestamp``."""
         for start, end in self.auth:

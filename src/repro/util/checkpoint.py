@@ -448,8 +448,36 @@ class CheckpointStore:
         return sorted(ids)
 
     # ------------------------------------------------------------- lifecycle
-    def finalize(self, status: str) -> None:
+    def finalize(self, status: str, extra: dict | None = None) -> None:
         """Record the run's final status (``complete``/``partial``/
-        ``interrupted``) in the manifest."""
+        ``interrupted``) in the manifest.
+
+        ``extra`` (interrupt forensics — reason, signal, RSS high-water)
+        lands under the manifest's ``interrupt`` key.  The run's
+        ``events.jsonl`` is replayed into a per-type event summary and the
+        default telemetry registry's final snapshot is embedded, so the
+        manifest alone answers *what happened* after the run directory's
+        shard files are long merged.
+        """
+        from repro.util import telemetry
+
         self._manifest["status"] = status
+        if extra:
+            self._manifest["interrupt"] = dict(extra)
+        if not self.disabled:
+            events_path = self.run_dir / telemetry.EVENTS_NAME
+            if events_path.is_file():
+                events = telemetry.read_events(events_path)
+                by_type: dict[str, int] = {}
+                for record in events:
+                    name = str(record.get("event", "?"))
+                    by_type[name] = by_type.get(name, 0) + 1
+                self._manifest["events"] = {
+                    "file": telemetry.EVENTS_NAME,
+                    "total": len(events),
+                    "by_type": dict(sorted(by_type.items())),
+                }
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            self._manifest["metrics"] = registry.snapshot()
         self._write_manifest()

@@ -120,6 +120,10 @@ class ShutdownController:
         self.reason: str | None = None
         #: Opt-in RSS watchdog threshold (``None`` disables the check).
         self.max_rss_bytes = max_rss_bytes
+        #: Largest RSS the watchdog ever observed (0 until first poll with
+        #: the watchdog armed) — lands in the interrupted manifest so
+        #: OOM-adjacent exits stay diagnosable after the fact.
+        self.rss_high_water_bytes = 0
 
     def request(self, signum: int | None = None,
                 reason: str = "signal") -> None:
@@ -136,10 +140,17 @@ class ShutdownController:
         Called from the supervisor's dispatch loop between waits; the RSS
         read costs one ``/proc`` access, far below the loop's pipe waits.
         """
-        if not self.requested and self.max_rss_bytes is not None:
+        if self.max_rss_bytes is not None:
             rss = rss_bytes()
-            if rss is not None and rss > self.max_rss_bytes:
-                self.request(reason="rss")
+            if rss is not None:
+                if rss > self.rss_high_water_bytes:
+                    self.rss_high_water_bytes = rss
+                # Lazy import: telemetry reads lifecycle.rss_bytes, so the
+                # module-level direction must stay lifecycle <- telemetry.
+                from repro.util import telemetry
+                telemetry.set_gauge("watchdog.rss_mb", rss / 2**20)
+                if not self.requested and rss > self.max_rss_bytes:
+                    self.request(reason="rss")
         return self.requested
 
     def describe(self) -> str:

@@ -37,6 +37,7 @@ from repro.util.checkpoint import (
     SHARD_FILE_PATTERN,
     _unpack_outcome,
 )
+from repro.util.telemetry import EVENTS_NAME
 
 __all__ = ["Finding", "verify_run_dir", "verify_tree"]
 
@@ -177,6 +178,10 @@ def verify_run_dir(run_dir: Path | str, *, deep: bool = True) -> list[Finding]:
                 if isinstance(entry, dict)}
     for path in sorted(run_dir.iterdir()):
         if path.name == MANIFEST_NAME or path.name in recorded:
+            continue
+        if path.name == EVENTS_NAME:
+            # The run-event log is a first-class run artifact (append-only
+            # diagnostics, see repro.util.telemetry) — never foreign.
             continue
         match = SHARD_FILE_PATTERN.fullmatch(path.name)
         if match is not None:

@@ -161,6 +161,57 @@ class TestVerifyCommand:
         assert "No run directories" in out.getvalue()
 
 
+class TestEventsCommand:
+    @pytest.fixture
+    def checkpointed_run(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        code = main(["report", "--users", "40", "--days", "1", "--seed", "5",
+                     "--checkpoint-dir", str(ckpt)], out=io.StringIO())
+        assert code == 0
+        return ckpt
+
+    def test_events_renders_checkpoint_root(self, checkpointed_run):
+        out = io.StringIO()
+        assert main(["events", str(checkpointed_run)], out=out) == 0
+        text = out.getvalue()
+        assert "run-start" in text
+        assert "run-finalize" in text
+        assert "shard-complete" in text
+
+    def test_events_json_lines_parse(self, checkpointed_run):
+        out = io.StringIO()
+        assert main(["events", str(checkpointed_run), "--json"], out=out) == 0
+        events = [json.loads(line)
+                  for line in out.getvalue().splitlines() if line]
+        assert events[0]["event"] == "run-start"
+        # run-finalize lands inside the merge span, whose close is last.
+        assert events[-1]["event"] == "span-close"
+        assert "run-finalize" in {e["event"] for e in events}
+
+    def test_events_accepts_run_dir_and_file(self, checkpointed_run):
+        run_dir = next(p for p in checkpointed_run.iterdir() if p.is_dir())
+        assert main(["events", str(run_dir)], out=io.StringIO()) == 0
+        assert main(["events", str(run_dir / "events.jsonl")],
+                    out=io.StringIO()) == 0
+
+    def test_events_empty_dir_exits_one(self, tmp_path):
+        out = io.StringIO()
+        assert main(["events", str(tmp_path)], out=out) == 1
+        assert "No events.jsonl found" in out.getvalue()
+
+
+class TestMetricsOption:
+    def test_report_writes_metrics_snapshot(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["report", "--users", "40", "--days", "1", "--seed", "5",
+                     "--metrics", str(metrics_path)], out=io.StringIO())
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["enabled"] is True
+        assert "rpc.service_time_ms" in snapshot["histograms"]
+        assert {s["name"] for s in snapshot["spans"]} >= {"replay", "merge"}
+
+
 class TestGracefulInterruption:
     def test_sigterm_midrun_exits_three_then_resumes(self, tmp_path):
         # A workload big enough that 1.5 s of wall clock lands mid-replay.

@@ -1,0 +1,217 @@
+"""Unit tests of :mod:`repro.util.telemetry` (ISSUE 9).
+
+The registry/span/event-log primitives in isolation; the pipeline wiring
+(digest invariance, heartbeats, chaos event sequences) lives in
+``tests/backend/test_telemetry_integration.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.util import telemetry
+from repro.util.telemetry import (
+    EVENTS_NAME,
+    EventLog,
+    MetricsRegistry,
+    ShardProgress,
+    find_events_file,
+    read_events,
+)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("shards.completed")
+        registry.inc("shards.completed", 2)
+        assert registry.counters["shards.completed"] == 3
+
+    def test_gauges_track_high_water(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("watchdog.rss_mb", 100.0)
+        registry.set_gauge("watchdog.rss_mb", 250.0)
+        registry.set_gauge("watchdog.rss_mb", 50.0)
+        assert registry.gauges["watchdog.rss_mb"] == 50.0
+        assert registry.gauge_max["watchdog.rss_mb"] == 250.0
+
+    def test_histogram_buckets_and_summary(self):
+        registry = MetricsRegistry()
+        edges = (1.0, 10.0, 100.0)
+        for value in (0.5, 5.0, 50.0, 500.0):
+            registry.observe("svc", value, edges=edges)
+        snap = registry.snapshot()["histograms"]["svc"]
+        # One value per bucket including both open-ended outer buckets.
+        assert snap["counts"] == [1, 1, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(555.5)
+        assert snap["mean"] == pytest.approx(555.5 / 4)
+
+    def test_observe_array_matches_scalar_observes(self):
+        scalar = MetricsRegistry()
+        vector = MetricsRegistry()
+        values = [0.05, 0.2, 3.0, 42.0, 9000.0]
+        for value in values:
+            scalar.observe("h", value, edges=(0.1, 1.0, 10.0, 100.0))
+        vector.observe_array("h", values, edges=(0.1, 1.0, 10.0, 100.0))
+        assert scalar.snapshot()["histograms"] == \
+            vector.snapshot()["histograms"]
+
+    def test_monotonic_edges_required(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.observe("bad", 1.0, edges=(1.0, 1.0, 2.0))
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("c")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 1.0)
+        registry.observe_array("h", [1.0, 2.0])
+        with registry.span("phase"):
+            pass
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == []
+
+    def test_snapshot_is_json_able(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.2)
+        with registry.span("phase", shard=3):
+            pass
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        with registry.span("s"):
+            pass
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+        assert snap["spans"] == []
+
+
+class TestSpans:
+    def test_span_records_duration_and_tags(self):
+        registry = MetricsRegistry()
+        with registry.span("replay", shard=3) as span:
+            pass
+        assert span.seconds >= 0.0
+        record = registry.spans[-1]
+        assert record["name"] == "replay" and record["shard"] == 3
+        assert record["peak_rss_mb"] is None or record["peak_rss_mb"] > 0
+
+    def test_span_mirrors_into_event_log(self, tmp_path):
+        events = EventLog(tmp_path / EVENTS_NAME)
+        registry = MetricsRegistry()
+        with registry.span("merge", events=events):
+            pass
+        events.close()
+        names = [e["event"] for e in read_events(tmp_path / EVENTS_NAME)]
+        assert names == ["span-open", "span-close"]
+
+    def test_default_registry_span_helper(self):
+        before = len(telemetry.get_registry().spans)
+        with telemetry.span("unit-test-span"):
+            pass
+        spans = telemetry.get_registry().spans
+        if telemetry.enabled():
+            assert len(spans) == before + 1
+
+
+class TestShardProgress:
+    def test_begin_resets_counters(self):
+        progress = ShardProgress()
+        progress.begin(100, "replay")
+        progress.done = 40
+        assert progress.snapshot() == (40, 100, "replay")
+        progress.begin(10, "materialize")
+        assert progress.snapshot() == (0, 10, "materialize")
+
+    def test_module_singleton(self):
+        assert telemetry.shard_progress() is telemetry.shard_progress()
+
+
+class TestEventLog:
+    def test_emit_appends_compact_json_lines(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        log = EventLog(path)
+        log.emit("shard-dispatch", shard=0, attempt=1)
+        log.emit("shard-complete", shard=0, seconds=1.5)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "shard-dispatch"
+        assert first["shard"] == 0 and first["attempt"] == 1
+        assert "ts" in first
+
+    def test_append_only_across_instances(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        log = EventLog(path)
+        log.emit("run-start")
+        log.close()
+        log = EventLog(path)
+        log.emit("run-finalize")
+        log.close()
+        names = [e["event"] for e in read_events(path)]
+        assert names == ["run-start", "run-finalize"]
+
+    def test_disabled_log_is_falsy_noop(self):
+        log = EventLog(None)
+        assert not log
+        log.emit("anything", detail=1)  # must not raise
+        log.close()
+
+    def test_read_events_skips_torn_tail(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        path.write_text('{"ts": 1, "event": "ok"}\n{"ts": 2, "eve')
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["ok"]
+
+    def test_read_events_missing_file(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+
+class TestFindEventsFile:
+    def test_direct_file_and_run_dir(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        path.write_text("")
+        assert find_events_file(path) == path
+        assert find_events_file(tmp_path) == path
+
+    def test_checkpoint_root_picks_most_recent(self, tmp_path):
+        old = tmp_path / "run-old"
+        new = tmp_path / "run-new"
+        for run in (old, new):
+            run.mkdir()
+            (run / EVENTS_NAME).write_text("")
+        import os
+
+        os.utime(old / EVENTS_NAME, (1000, 1000))
+        os.utime(new / EVENTS_NAME, (2000, 2000))
+        assert find_events_file(tmp_path) == new / EVENTS_NAME
+
+    def test_nothing_found(self, tmp_path):
+        assert find_events_file(tmp_path) is None
+        assert find_events_file(tmp_path / "absent") is None
+
+
+class TestDefaultRegistryToggling:
+    def test_set_enabled_round_trip(self):
+        previous = telemetry.set_enabled(False)
+        try:
+            assert not telemetry.enabled()
+            telemetry.inc("toggle-test")
+            assert "toggle-test" not in \
+                telemetry.get_registry().snapshot()["counters"]
+        finally:
+            telemetry.set_enabled(previous)

@@ -106,6 +106,13 @@ class TestShardDamage:
         assert [(f.code, f.severity) for f in findings] == \
             [("foreign-file", "fatal")]
 
+    def test_event_log_is_never_foreign(self, run_dir):
+        # events.jsonl is a first-class run artifact (repro.util.telemetry),
+        # not something --resume trusts — the audit must ignore it.
+        (run_dir / "events.jsonl").write_text(
+            '{"ts": 1.0, "event": "run-start"}\n')
+        assert verify_run_dir(run_dir) == []
+
     def test_deep_parse_catches_checksum_clean_garbage(self, run_dir):
         # Re-point a manifest entry at bytes that hash correctly but do not
         # reconstruct: only the deep pass can see this.
