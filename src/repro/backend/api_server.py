@@ -42,12 +42,55 @@ __all__ = ["SessionRegistry", "ApiServerProcess"]
 # Hot-path constants (module-level loads are faster than enum attribute
 # lookups in the per-request fast path).
 _DOWNLOAD_OPERATION = ApiOperation.DOWNLOAD
+_GET_DELTA_OPERATION = ApiOperation.GET_DELTA
+_QUERY_SET_CAPS_OPERATION = ApiOperation.QUERY_SET_CAPS
+_LIST_VOLUMES_OPERATION = ApiOperation.LIST_VOLUMES
+_LIST_SHARES_OPERATION = ApiOperation.LIST_SHARES
 _GET_NODE_RPC = RpcName.GET_NODE
+_GET_DELTA_RPC = RpcName.GET_DELTA
+_GET_USER_DATA_RPC = RpcName.GET_USER_DATA
+_LIST_VOLUMES_RPC = RpcName.LIST_VOLUMES
+_LIST_SHARES_RPC = RpcName.LIST_SHARES
+_GET_FROM_SCRATCH_RPC = RpcName.GET_FROM_SCRATCH
+_GET_USER_ID_FROM_TOKEN_RPC = RpcName.GET_USER_ID_FROM_TOKEN
+_GET_ROOT_RPC = RpcName.GET_ROOT
+_AUTHENTICATE_OPERATION = ApiOperation.AUTHENTICATE
 _AUTH_REQUEST = SessionEvent.AUTH_REQUEST
 _AUTH_OK = SessionEvent.AUTH_OK
 _AUTH_FAIL = SessionEvent.AUTH_FAIL
 _CONNECT = SessionEvent.CONNECT
 _DISCONNECT = SessionEvent.DISCONNECT
+
+#: Session-maintenance operations whose handler is a single traced RPC with
+#: no metadata mutation, no S3 traffic and no notification fan-out.  The
+#: block-dispatch path completes them inline — routing memo, context
+#: mutation, the one RPC, the storage row — without building a request or
+#: a response object.
+_RPC_ONLY_OPERATIONS = frozenset({
+    ApiOperation.GET_DELTA,
+    ApiOperation.LIST_VOLUMES,
+    ApiOperation.LIST_SHARES,
+    ApiOperation.QUERY_SET_CAPS,
+    ApiOperation.RESCAN_FROM_SCRATCH,
+})
+
+
+class _ReplayRequest:
+    """Reusable request-shaped record for the block-dispatch slow path.
+
+    :meth:`ApiServerProcess.handle_event` consumes bare column scalars; when
+    an event needs the generic machinery (mutations, interrupted uploads,
+    fault envelopes) the scalars are written into this one per-process
+    instance and handed to :meth:`ApiServerProcess.handle`, which accepts
+    anything request-shaped.  Every consumer copies the fields out before
+    the next event, so a single mutable instance replaces a per-event
+    ``ClientEvent`` allocation.
+    """
+
+    __slots__ = ("timestamp", "user_id", "session_id", "operation",
+                 "node_id", "volume_id", "volume_type", "node_kind",
+                 "size_bytes", "content_hash", "extension", "is_update",
+                 "caused_by_attack")
 
 
 @dataclass
@@ -158,6 +201,9 @@ class ApiServerProcess:
         # context per process avoids an allocation per request.
         self._request_context = RpcContext(0.0, address.server, address.process,
                                            0, 0)
+        # Reusable request for the block-dispatch slow path (see
+        # :class:`_ReplayRequest`).
+        self._replay_request = _ReplayRequest()
         #: Counters useful for tests and the load-balancing analysis.
         self.requests_handled = 0
         self.notifications_pushed = 0
@@ -230,12 +276,16 @@ class ApiServerProcess:
                      _AUTH_REQUEST, caused_by_attack, -1.0, 0))
         token = self._auth.token_for(user_id, timestamp)
         shard, shard_id = self._store.shard_and_id(user_id)
-        context = RpcContext(timestamp=timestamp, server=server,
-                             process=process, user_id=user_id,
-                             session_id=session_id,
-                             api_operation=ApiOperation.AUTHENTICATE,
-                             caused_by_attack=caused_by_attack,
-                             shard_id=shard_id)
+        # Reuse the process-lifetime context (handle() does the same): the
+        # RPC layer copies every field into the trace row at execute time,
+        # so a fresh allocation per session open buys nothing.
+        context = self._request_context
+        context.timestamp = timestamp
+        context.user_id = user_id
+        context.session_id = session_id
+        context.api_operation = _AUTHENTICATE_OPERATION
+        context.caused_by_attack = caused_by_attack
+        context.shard_id = shard_id
         # An AuthOutage window denies every open in it — the old
         # ``force_auth_failure`` special case, folded into the fault
         # framework.  Denials short-circuit validate() before its RNG draw,
@@ -248,10 +298,17 @@ class ApiServerProcess:
         try:
             cached = self._token_cache.get(token.token)
             if cached is None:
-                self._rpc.execute(
-                    RpcName.GET_USER_ID_FROM_TOKEN, context,
-                    lambda: self._auth.validate(token.token, timestamp,
-                                                force_failure=denied))
+                if denied:
+                    self._rpc.execute(
+                        _GET_USER_ID_FROM_TOKEN_RPC, context,
+                        lambda: self._auth.validate(token.token, timestamp,
+                                                    force_failure=True))
+                else:
+                    # Common path: no closure — validate's positional
+                    # signature matches execute()'s *args passing.
+                    self._rpc.execute(_GET_USER_ID_FROM_TOKEN_RPC, context,
+                                      self._auth.validate,
+                                      token.token, timestamp)
                 self._token_cache.put(token.token, user_id)
             elif denied:
                 raise AuthenticationError(
@@ -271,9 +328,9 @@ class ApiServerProcess:
 
         # Register the user (and its root volume) on its shard, then fetch the
         # session bootstrap data the desktop client asks for.
-        self._rpc.execute(RpcName.GET_USER_DATA, context,
+        self._rpc.execute(_GET_USER_DATA_RPC, context,
                           shard.ensure_user, user_id, -user_id, timestamp)
-        self._rpc.execute_one(RpcName.GET_ROOT, context, shard.get_root, user_id)
+        self._rpc.execute_one(_GET_ROOT_RPC, context, shard.get_root, user_id)
 
         handle = SessionHandle(session_id=session_id, user_id=user_id,
                                server=server,
@@ -325,7 +382,11 @@ class ApiServerProcess:
     def _notify_mutation(self, request: ApiRequest) -> int:
         """Notify other online clients of the user about a mutation."""
         registry = self._registry
-        if not registry.has_fellow_sessions(request.user_id, request.session_id):
+        # Inlined has_fellow_sessions: one dict probe decides the common
+        # single-session case (every mutating request passes through here).
+        sessions = registry._by_user.get(request.user_id)  # noqa: SLF001
+        if not sessions or (len(sessions) == 1
+                            and request.session_id in sessions):
             return 0
         others = registry.other_sessions(request.user_id, request.session_id)
         if not others:
@@ -344,6 +405,130 @@ class ApiServerProcess:
         return pushed
 
     # -------------------------------------------------------------- requests
+    def handle_event(self, handle: SessionHandle, row: tuple) -> None:
+        """Process one replayed event straight from its event-block row.
+
+        ``row`` is an :meth:`EventBlock.rows` tuple — ``(time, operation,
+        node_id, volume_id, volume_type, node_kind, size_bytes,
+        content_hash, extension, is_update, caused_by_attack)``; user and
+        session identity come from the already-resolved ``handle``.  The
+        replay loop never builds a ``ClientEvent`` or an ``ApiResponse``
+        on this path: downloads run the fused fast path, session
+        maintenance (``_RPC_ONLY_OPERATIONS``) completes as one traced RPC
+        plus the storage row, and only the rare remainder — mutations,
+        interrupted uploads, tiered stores, events inside a fault
+        envelope — is written into the reusable :class:`_ReplayRequest`
+        and delegated to :meth:`handle`.  Every path emits rows
+        bit-identical to :meth:`handle` for the same event.
+        """
+        (timestamp, operation, node_id, volume_id, volume_type, node_kind,
+         size_bytes, content_hash, extension, is_update, attack) = row
+        if not self._fault_lo <= timestamp < self._fault_hi:
+            if (operation is _DOWNLOAD_OPERATION and self._stable_routing
+                    and not self._tiered):
+                routed = handle.shard_cache
+                if routed is None:
+                    routed = handle.shard_cache = self._store.shard_and_id(
+                        handle.user_id)
+                shard, shard_id = routed
+                if node_id in shard._nodes:  # noqa: SLF001 - has_node, inlined
+                    self.requests_handled += 1
+                    handle.storage_operations += 1
+                    user_id = handle.user_id
+                    session_id = handle.session_id
+                    objects = self._objects
+                    if content_hash and content_hash not in objects:
+                        objects.put(content_hash, size_bytes)
+                    # Inlined RpcWorker.execute_one(GET_NODE): pooled factor
+                    # draw, DAL touch, worker counters, RPC row.
+                    worker = self._rpc
+                    model = worker._latency
+                    factors = model._factors
+                    i = model._factor_index
+                    if i >= len(factors):
+                        model._refill_factors()
+                        factors = model._factors
+                        i = 0
+                    model._factor_index = i + 1
+                    service_time = (model._base_by_rpc[_GET_NODE_RPC]
+                                    [shard_id % model._n_shards] * factors[i])
+                    shard.requests_served += 1  # get_node, result unused
+                    worker.calls_executed += 1
+                    worker.busy_time += service_time
+                    worker._rpc_row((
+                        timestamp, self._server, self._process, user_id,
+                        session_id, _GET_NODE_RPC, shard_id, service_time,
+                        operation, attack))
+                    if content_hash:
+                        # Inlined ObjectStore.get() accounting.
+                        accounting = objects.accounting
+                        accounting.get_requests += 1
+                        accounting.bytes_downloaded += \
+                            objects._objects[content_hash]  # noqa: SLF001
+                    self._storage_row((
+                        timestamp, self._server, self._process, user_id,
+                        session_id, operation, node_id, volume_id,
+                        volume_type, node_kind, size_bytes, content_hash,
+                        extension, is_update, shard_id, attack, "", 0))
+                    return
+            elif operation in _RPC_ONLY_OPERATIONS:
+                self.requests_handled += 1
+                user_id = handle.user_id
+                session_id = handle.session_id
+                if self._stable_routing:
+                    routed = handle.shard_cache
+                    if routed is None:
+                        routed = handle.shard_cache = \
+                            self._store.shard_and_id(user_id)
+                    shard, shard_id = routed
+                else:
+                    shard, shard_id = self._store.shard_and_id(user_id)
+                    shard.ensure_user(user_id, -user_id, timestamp)
+                context = self._request_context
+                context.timestamp = timestamp
+                context.user_id = user_id
+                context.session_id = session_id
+                context.api_operation = operation
+                context.caused_by_attack = attack
+                context.shard_id = shard_id
+                execute = self._rpc.execute
+                if operation is _GET_DELTA_OPERATION:
+                    execute(_GET_DELTA_RPC, context, shard.get_delta,
+                            volume_id)
+                elif operation is _QUERY_SET_CAPS_OPERATION:
+                    execute(_GET_USER_DATA_RPC, context, shard.get_user_data,
+                            user_id)
+                elif operation is _LIST_VOLUMES_OPERATION:
+                    execute(_LIST_VOLUMES_RPC, context, shard.list_volumes,
+                            user_id)
+                elif operation is _LIST_SHARES_OPERATION:
+                    execute(_LIST_SHARES_RPC, context, shard.list_shares,
+                            user_id)
+                else:  # RESCAN_FROM_SCRATCH
+                    execute(_GET_FROM_SCRATCH_RPC, context,
+                            shard.get_from_scratch, user_id)
+                self._storage_row((
+                    timestamp, self._server, self._process, user_id,
+                    session_id, operation, node_id, volume_id, volume_type,
+                    node_kind, size_bytes, content_hash, extension,
+                    is_update, shard_id, attack, "", 0))
+                return
+        request = self._replay_request
+        request.timestamp = timestamp
+        request.user_id = handle.user_id
+        request.session_id = handle.session_id
+        request.operation = operation
+        request.node_id = node_id
+        request.volume_id = volume_id
+        request.volume_type = volume_type
+        request.node_kind = node_kind
+        request.size_bytes = size_bytes
+        request.content_hash = content_hash
+        request.extension = extension
+        request.is_update = is_update
+        request.caused_by_attack = attack
+        self.handle(request)
+
     def handle(self, request: ApiRequest) -> ApiResponse:
         """Process one client request end to end.
 

@@ -357,6 +357,18 @@ class U1Cluster:
             "shard_imbalance": (max(totals) / mean_total
                                 if mean_total > 0 else 1.0),
             "ipc_block_bytes": sum(outcome.ipc_bytes for outcome in outcomes),
+            #: Replay sub-phase breakdown (per shard, same order as
+            #: ``shard_seconds``): struct-of-arrays timeline assembly,
+            #: object-free dispatch, column packing — plus the typed
+            #: payload bytes of the event blocks the shards dispatched.
+            "shard_block_build_seconds": [outcome.block_build_seconds
+                                          for outcome in outcomes],
+            "shard_dispatch_seconds": [outcome.dispatch_seconds
+                                       for outcome in outcomes],
+            "shard_pack_seconds": [outcome.pack_seconds
+                                   for outcome in outcomes],
+            "event_block_bytes": sum(outcome.event_block_bytes
+                                     for outcome in outcomes),
             "events_replayed": sum(outcome.n_events for outcome in outcomes),
             "merge_seconds": merge_seconds,
             "replay_seconds": _time.perf_counter() - started,

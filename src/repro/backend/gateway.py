@@ -9,8 +9,6 @@ assignment and keeps per-process connection counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.util.rngpool import RngPool
@@ -18,15 +16,46 @@ from repro.util.rngpool import RngPool
 __all__ = ["ProcessAddress", "LoadBalancer"]
 
 
-@dataclass(frozen=True, order=True)
 class ProcessAddress:
-    """Identity of one API server process (machine name + process number)."""
+    """Identity of one API server process (machine name + process number).
 
-    server: str
-    process: int
+    Value-semantics like the frozen dataclass it replaces, but with the
+    hash precomputed at construction: addresses key every load-balancer
+    dict (connection counters, bucket positions), so each session open and
+    close performs a dozen lookups and the per-lookup field-tuple hash of
+    the generated ``__hash__`` was measurable in the replay loop.
+    """
+
+    __slots__ = ("server", "process", "_hash")
+
+    def __init__(self, server: str, process: int) -> None:
+        self.server = server
+        self.process = process
+        self._hash = hash((server, process))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ProcessAddress):
+            return NotImplemented
+        return self.server == other.server and self.process == other.process
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, ProcessAddress):
+            return NotImplemented
+        return (self.server, self.process) < (other.server, other.process)
+
+    def __repr__(self) -> str:
+        return f"ProcessAddress(server={self.server!r}, process={self.process!r})"
 
     def __str__(self) -> str:
         return f"{self.server}/{self.process}"
+
+    def __reduce__(self):
+        # Slots + cached hash: rebuild through __init__ when crossing
+        # process boundaries (supervised shard workers pickle addresses).
+        return (ProcessAddress, (self.server, self.process))
 
 
 class LoadBalancer:

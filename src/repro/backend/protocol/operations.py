@@ -36,17 +36,6 @@ class ApiRequest:
     is_update: bool = False
     caused_by_attack: bool = False
 
-    @classmethod
-    def from_event(cls, event) -> "ApiRequest":
-        """Build a request from a workload :class:`ClientEvent`."""
-        # Positional (field order) — this runs once per replayed event.
-        return cls(
-            event.operation, event.user_id, event.session_id, event.time,
-            event.node_id, event.volume_id, event.volume_type, event.node_kind,
-            event.size_bytes, event.content_hash, event.extension,
-            event.is_update, event.caused_by_attack,
-        )
-
 
 class ApiResponse:
     """The API server's answer to a request.

@@ -172,7 +172,7 @@ def script_weights(scripts: list[SessionScript]) -> list[tuple[int, float]]:
         if script.plan_member >= 0:
             planned[key] = script.member_planned_ops
         else:
-            planned[key] = planned.get(key, 0.0) + 1.0 + len(script.events)
+            planned[key] = planned.get(key, 0.0) + 1.0 + len(script)
     return sorted(planned.items())
 
 
@@ -319,7 +319,7 @@ class ShardOutcome:
     storage: ColumnBlock | None = None
     rpc: ColumnBlock | None = None
     sessions: ColumnBlock | None = None
-    #: Client events replayed (``sum(len(script.events))``).
+    #: Client events replayed (``sum(len(script))``).
     n_events: int = 0
     #: Total NumPy payload bytes of the three column blocks (IPC size).
     ipc_bytes: int = 0
@@ -340,6 +340,15 @@ class ShardOutcome:
     #: Last timeline timestamp of the shard (the per-shard tier-finalize
     #: instant; 0.0 for an empty shard).
     timeline_end: float = 0.0
+    #: Replay sub-phase seconds (all included in :attr:`seconds`):
+    #: struct-of-arrays timeline assembly + lexsort (``block_build``),
+    #: the object-free dispatch loop (``dispatch``), and column packing
+    #: of the trace streams (``pack``).
+    block_build_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+    pack_seconds: float = 0.0
+    #: Approximate typed-column payload bytes of the shard's event blocks.
+    event_block_bytes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -411,6 +420,138 @@ class ReplayShard:
                                             config.gc_interval)
 
     # ------------------------------------------------------------------- run
+    # Timeline record kinds: opens before events before closes at equal
+    # timestamps.
+    _OPEN, _EVENT, _CLOSE = 0, 1, 2
+
+    def _build_timeline(self, scripts: list[SessionScript]) -> tuple:
+        """Assemble the struct-of-arrays timeline and the dispatch rows.
+
+        Four parallel scalar columns (timestamp, record kind, script index,
+        event index) are extended per script straight from the event
+        blocks, then ordered by one stable ``np.lexsort`` over (timestamp,
+        kind) — opens before events before closes at equal timestamps,
+        insertion order as the final tie-break, exactly the order the
+        historical per-record ``(ts, kind, seq, payload)`` tuple sort
+        produced, without building or sorting millions of tuples.
+
+        Per-script dispatch rows (:meth:`EventBlock.rows` tuples) ride
+        along: the one C-speed transpose per block replaces per-event
+        ``ClientEvent`` hydration; hand-built scripts without a block
+        transpose their scalar events into the same row shape.
+        """
+        _OPEN, _EVENT, _CLOSE = self._OPEN, self._EVENT, self._CLOSE
+        ts_col: list[float] = []
+        kind_col: list[int] = []
+        script_col: list[int] = []
+        event_col: list[int] = []
+        rows_by_script: list[list[tuple]] = []
+        event_block_bytes = 0
+        for index, script in enumerate(scripts):
+            block = script.block
+            if block is not None:
+                times = block.times
+                rows = block.rows()
+                event_block_bytes += block.nbytes
+            else:
+                events = script.events
+                times = [event.time for event in events]
+                rows = [(event.time, event.operation, event.node_id,
+                         event.volume_id, event.volume_type,
+                         event.node_kind, event.size_bytes,
+                         event.content_hash, event.extension,
+                         event.is_update, event.caused_by_attack)
+                        for event in events]
+            rows_by_script.append(rows)
+            n = len(rows)
+            ts_col.append(script.start)
+            kind_col.append(_OPEN)
+            script_col.append(index)
+            event_col.append(0)
+            if n:
+                ts_col.extend(times)
+                kind_col.extend([_EVENT] * n)
+                script_col.extend([index] * n)
+                event_col.extend(range(n))
+            ts_col.append(script.end)
+            kind_col.append(_CLOSE)
+            script_col.append(index)
+            event_col.append(0)
+        order = np.lexsort((np.asarray(kind_col, dtype=np.int8),
+                            np.asarray(ts_col, dtype=np.float64))).tolist()
+        return (order, ts_col, kind_col, script_col, event_col,
+                rows_by_script, event_block_bytes)
+
+    def _dispatch(self, scripts: list[SessionScript], order: list[int],
+                  ts_col: list[float], kind_col: list[int],
+                  script_col: list[int], event_col: list[int],
+                  rows_by_script: list[list[tuple]]) -> None:
+        """Replay the sorted timeline through the shard's API processes.
+
+        The per-event hot path is object-free: one list index into the
+        script's dispatch entry and one ``handle_event`` call with the
+        event's column row — no ``ClientEvent``, no ``ApiRequest``, no
+        ``ApiResponse`` on the fast paths.
+        """
+        _EVENT, _OPEN = self._EVENT, self._OPEN
+        process_by_address = {p.address: p for p in self.processes}
+        # Per-script dispatch entry, set at session open: (bound
+        # handle_event, session handle, dispatch rows, process, address).
+        # None for failed or not-yet-open sessions.
+        entries: list[tuple | None] = [None] * len(scripts)
+        gateway = self.gateway
+        collector = self.collector
+        next_gc = float("-inf")
+        # Heartbeat progress, read asynchronously by the supervisor's
+        # heartbeat thread.  Updated once per 4096-record chunk of the
+        # dispatch loop (the historical per-record counter bump and bitwise
+        # test paid ~two bytecodes on every record for a value sampled a
+        # few times per second at most).
+        progress = telemetry.shard_progress()
+        n_records = len(order)
+        progress.begin(n_records, "replay")
+        for chunk_start in range(0, n_records, 4096):
+            progress.done = chunk_start
+            for j in order[chunk_start:chunk_start + 4096]:
+                timestamp = ts_col[j]
+                if timestamp >= next_gc:
+                    next_gc = collector.observe(timestamp)
+                kind = kind_col[j]
+                if kind == _EVENT:
+                    entry = entries[script_col[j]]
+                    if entry is None:
+                        continue
+                    # Object-free dispatch: the event's column row goes
+                    # straight to the process, no ClientEvent in between.
+                    entry[0](entry[1], entry[2][event_col[j]])
+                elif kind == _OPEN:
+                    index = script_col[j]
+                    script = scripts[index]
+                    address = gateway.assign()
+                    process = process_by_address[address]
+                    handle = process.open_session(
+                        script.user_id, script.session_id, script.start,
+                        force_auth_failure=script.auth_failed,
+                        caused_by_attack=script.caused_by_attack)
+                    if handle is None:
+                        gateway.release(address)
+                    else:
+                        entries[index] = (process.handle_event, handle,
+                                          rows_by_script[index], process,
+                                          address)
+                else:  # close
+                    index = script_col[j]
+                    entry = entries[index]
+                    if entry is None:
+                        continue
+                    entries[index] = None
+                    script = scripts[index]
+                    entry[3].close_session(
+                        script.session_id, script.end,
+                        caused_by_attack=script.caused_by_attack)
+                    gateway.release(entry[4])
+        progress.done = n_records
+
     def run(self, scripts: list[SessionScript]) -> ShardOutcome:
         """Replay this shard's scripts and summarise the outcome.
 
@@ -420,91 +561,34 @@ class ReplayShard:
         own timeline.
         """
         started = time.perf_counter()
-        _OPEN, _EVENT, _CLOSE = 0, 1, 2
-        timeline: list[tuple[float, int, int, object]] = []
-        append = timeline.append
-        sequence = 0
-        for script in scripts:
-            append((script.start, _OPEN, sequence, script))
-            sequence += 1
-            for event in script.events:
-                append((event.time, _EVENT, sequence, event))
-                sequence += 1
-            append((script.end, _CLOSE, sequence, script))
-            sequence += 1
-        timeline.sort()
+        (order, ts_col, kind_col, script_col, event_col, rows_by_script,
+         event_block_bytes) = self._build_timeline(scripts)
+        build_seconds = time.perf_counter() - started
 
-        process_by_address = {p.address: p for p in self.processes}
-        # session id -> (bound handle method, process, address): the per-event
-        # hot path then runs one dict get and one call.
-        session_process: dict[int, tuple] = {}
-        failed_sessions: set[int] = set()
-        gateway = self.gateway
-        collector = self.collector
-        next_gc = float("-inf")
-        # Heartbeat progress: a plain attribute store bumped every 256
-        # timeline records — one int add and one bitwise test per record,
-        # read asynchronously by the supervisor's heartbeat thread.
-        progress = telemetry.shard_progress()
-        progress.begin(len(timeline), "replay")
-        records_seen = 0
-        for timestamp, kind, _, payload in timeline:
-            records_seen += 1
-            if not records_seen & 0xFF:
-                progress.done = records_seen
-            if timestamp >= next_gc:
-                next_gc = collector.observe(timestamp)
-            if kind == _EVENT:
-                event = payload
-                assigned = session_process.get(event.session_id)
-                if assigned is None:
-                    continue
-                # ClientEvent is request-shaped; no per-event ApiRequest copy.
-                assigned[0](event)
-            elif kind == _OPEN:
-                script: SessionScript = payload  # type: ignore[assignment]
-                address = gateway.assign()
-                process = process_by_address[address]
-                handle = process.open_session(
-                    script.user_id, script.session_id, script.start,
-                    force_auth_failure=script.auth_failed,
-                    caused_by_attack=script.caused_by_attack)
-                if handle is None:
-                    gateway.release(address)
-                    failed_sessions.add(script.session_id)
-                else:
-                    session_process[script.session_id] = (process.handle,
-                                                          process, address)
-            else:  # close
-                script = payload  # type: ignore[assignment]
-                if script.session_id in failed_sessions:
-                    continue
-                assigned = session_process.pop(script.session_id, None)
-                if assigned is None:
-                    continue
-                _, process, address = assigned
-                process.close_session(script.session_id, script.end,
-                                      caused_by_attack=script.caused_by_attack)
-                gateway.release(address)
+        dispatch_started = time.perf_counter()
+        self._dispatch(scripts, order, ts_col, kind_col, script_col,
+                       event_col, rows_by_script)
 
         # Tiering epilogue: realise the age-demotions still pending at the
         # end of this shard's timeline, so the hot/cold byte split covers
         # the whole observation window.  The finalize instant is per-shard
         # (its own last session close) — part of the per-shard tier-state
         # caveat; replay_shards=1 gives the global instant.
-        timeline_end = timeline[-1][0] if timeline else 0.0
+        timeline_end = ts_col[order[-1]] if order else 0.0
         self.objects.finalize_tiers(timeline_end)
-        progress.done = records_seen
+        dispatch_seconds = time.perf_counter() - dispatch_started
 
         # The timeline is processed in timestamp order, so every stream was
         # appended sorted; skip the per-stream re-check.  Column packing
         # happens here, in the worker: building the per-field arrays is the
         # lazy materialization cost the parent would otherwise pay serially
         # after the merge.
+        pack_started = time.perf_counter()
         dataset = self.sink.finish_sorted()
         storage = ColumnBlock.from_stream(dataset._storage)
         rpc = ColumnBlock.from_stream(dataset._rpc)
         sessions = ColumnBlock.from_stream(dataset._sessions)
+        pack_seconds = time.perf_counter() - pack_started
         totals = self.gateway.total_assigned()
         return ShardOutcome(
             shard_id=self.shard_id,
@@ -512,8 +596,12 @@ class ReplayShard:
             storage=storage,
             rpc=rpc,
             sessions=sessions,
-            n_events=sum(len(script.events) for script in scripts),
+            n_events=sum(len(rows) for rows in rows_by_script),
             ipc_bytes=storage.nbytes + rpc.nbytes + sessions.nbytes,
+            block_build_seconds=build_seconds,
+            dispatch_seconds=dispatch_seconds,
+            pack_seconds=pack_seconds,
+            event_block_bytes=event_block_bytes,
             process_counters={
                 index: (p.requests_handled, p.notifications_pushed,
                         p._rpc.calls_executed, p._rpc.busy_time)  # noqa: SLF001
@@ -566,7 +654,7 @@ def workload_planned_ops(workload) -> float:
     """Planned operation count of one shard workload (the timeout basis)."""
     prebuilt = getattr(workload, "prebuilt", None)
     if prebuilt is not None:
-        return sum(1.0 + len(script.events) for script in prebuilt)
+        return sum(1.0 + len(script) for script in prebuilt)
     weights = dict(workload.plan.member_weights())
     return sum(weights[member] for member in workload.members)
 

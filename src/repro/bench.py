@@ -136,6 +136,15 @@ class BenchResult:
             # replay processed) — the PR 5 vectorized-materializer metric.
             "materialize_us_per_event": (generate_seconds * 1e6
                                          / max(self.events_generated, 1)),
+            # Block-dispatch cost per replayed event (sum of the per-shard
+            # dispatch-loop seconds — timeline walk plus request handling,
+            # excluding block build and record packing) and the total
+            # struct-of-arrays event payload the shards dispatched from —
+            # the ISSUE 10 columnar-replay metrics.
+            "dispatch_us_per_event": (
+                sum(stats.get("shard_dispatch_seconds") or []) * 1e6
+                / max(self.events_generated, 1)),
+            "event_block_bytes": stats.get("event_block_bytes"),
             "phases_seconds": dict(self.phases),
             "total_seconds": self.total,
             "events_generated": self.events_generated,
@@ -536,6 +545,27 @@ def run_profile(users: int = 300, days: float = 3.0, seed: int = 2014,
         print(f"--- {name}: top {top} by cumulative time ---", file=out)
         stats = pstats.Stats(profile, stream=out)
         stats.sort_stats("cumulative").print_stats(top)
+        if name != "materialize+replay":
+            continue
+        # The columnar replay kernels, broken out of the phase table: the
+        # struct-of-arrays timeline build and the object-free dispatch loop
+        # each get their own restricted rows (ISSUE 10 satellite).
+        for kernel, pattern in (
+                ("event-block build", r"_build_timeline|\brows\b|nbytes"),
+                ("block dispatch",
+                 r"\b_dispatch\b|handle_event|open_session|close_session")):
+            print(f"--- {name} / {kernel} kernels ---", file=out)
+            stats.sort_stats("cumulative").print_stats(pattern, top)
+        replay_stats = cluster.last_replay_stats or {}
+        build = sum(replay_stats.get("shard_block_build_seconds") or [])
+        dispatch = sum(replay_stats.get("shard_dispatch_seconds") or [])
+        pack = sum(replay_stats.get("shard_pack_seconds") or [])
+        generate = sum(replay_stats.get("shard_generate_seconds") or [])
+        print(f"--- {name} sub-phases (summed over shards) ---", file=out)
+        print(f"    generate {generate:.3f}s | block build {build:.3f}s | "
+              f"dispatch {dispatch:.3f}s | pack {pack:.3f}s | "
+              f"event blocks {replay_stats.get('event_block_bytes', 0)} bytes",
+              file=out)
 
 
 def write_report(result: BenchResult, out_path: Path) -> Path:

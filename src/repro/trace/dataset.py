@@ -651,15 +651,16 @@ class _Stream:
             result = (base_codes[self._indices], categories)
         else:
             values = self._iter_field(name)
-            mapping: dict = {}
-            out = np.empty(len(self), dtype=np.int32)
-            i = 0
-            for value in values:
-                code = mapping.get(value)
-                if code is None:
-                    code = mapping[value] = len(mapping)
-                out[i] = code
-                i += 1
+            if not isinstance(values, (tuple, list)):
+                values = tuple(values)
+            # C-speed factorisation, first-occurrence order preserved:
+            # dict.fromkeys dedups in insertion order, the code lookup maps
+            # at C level — bit-identical to the historical per-value Python
+            # loop, an order of magnitude cheaper on long columns.
+            mapping = {value: code
+                       for code, value in enumerate(dict.fromkeys(values))}
+            out = np.fromiter(map(mapping.__getitem__, values),
+                              dtype=np.int32, count=len(values))
             result = (out, list(mapping))
         self._cols[key] = result  # type: ignore[assignment]
         return result

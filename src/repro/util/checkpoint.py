@@ -116,7 +116,7 @@ def run_key(config, workloads) -> str:
             for script in prebuilt:
                 digest.update(
                     f"{script.user_id},{script.session_id},{script.start!r},"
-                    f"{script.end!r},{len(script.events)};".encode())
+                    f"{script.end!r},{len(script)};".encode())
         else:
             digest.update(f"members:{workload.members!r};".encode())
             digest.update(repr(workload.plan.member_weights()).encode())

@@ -22,7 +22,7 @@ import numpy as np
 from repro.trace.records import ApiOperation, NodeKind, VolumeType
 from repro.util.units import HOUR
 from repro.workload.config import AttackConfig, WorkloadConfig
-from repro.workload.events import ClientEvent, SessionScript
+from repro.workload.events import EventBlock, SessionScript
 
 __all__ = ["AttackEpisode", "build_attack_episodes"]
 
@@ -142,12 +142,16 @@ class AttackEpisode:
             session_ends = starts + lengths
             valid = times < np.repeat(session_ends, op_counts)
             n_valid = np.add.reduceat(valid, seg_first).tolist()
+            uploads_list = uploads.tolist()
+            upload_op = ApiOperation.UPLOAD
+            download_op = ApiOperation.DOWNLOAD
+            ops_list = [upload_op if u else download_op for u in uploads_list]
             cached = (n_sessions, starts, session_ends, seg_first, n_valid,
-                      times.tolist(), uploads.tolist())
+                      times.tolist(), uploads_list, ops_list)
             self._draws_key = cache_key
             self._draws = cached
         (n_sessions, starts, session_ends, seg_first, n_valid,
-         times_list, uploads_list) = cached
+         times_list, uploads_list, ops_list) = cached
         lo, hi = session_range if session_range is not None else (0, n_sessions)
         hi = min(hi, n_sessions)
         attacker = self.attacker_user_id
@@ -155,33 +159,38 @@ class AttackEpisode:
         volume_id = self.shared_volume_id
         file_size = self.config.shared_file_size
         content_hash = self.content_hash
-        upload_op = ApiOperation.UPLOAD
-        download_op = ApiOperation.DOWNLOAD
         shared = VolumeType.SHARED
         file_kind = NodeKind.FILE
         for i in range(lo, hi):
             session_id = session_id_start + i + 1
-            script = SessionScript(
+            cursor = int(seg_first[i])
+            stop = cursor + int(n_valid[i])
+            # The attack is content distribution: overwhelmingly reads of
+            # the same shared file, with occasional re-uploads.  Only the
+            # event time, operation and upload flag vary, so the block
+            # stores everything else as scalar constant columns.
+            block = EventBlock(
+                times=times_list[cursor:stop],
+                operations=ops_list[cursor:stop],
+                node_ids=node_id,
+                volume_ids=volume_id,
+                volume_types=shared,
+                node_kinds=file_kind,
+                size_bytes=file_size,
+                content_hashes=content_hash,
+                extensions="avi",
+                is_updates=uploads_list[cursor:stop],
+                caused_by_attack=True,
+            )
+            yield SessionScript(
                 user_id=attacker,
                 session_id=session_id,
                 start=float(starts[i]),
                 end=float(session_ends[i]),
                 caused_by_attack=True,
                 member_planned_ops=member_planned_ops,
+                block=block,
             )
-            cursor = int(seg_first[i])
-            stop = cursor + int(n_valid[i])
-            # The attack is content distribution: overwhelmingly reads of
-            # the same shared file, with occasional re-uploads.
-            script.events = [
-                ClientEvent(t, attacker, session_id,
-                            upload_op if upload else download_op,
-                            node_id, volume_id, shared, file_kind,
-                            file_size, content_hash, "avi", upload, True)
-                for t, upload in zip(times_list[cursor:stop],
-                                     uploads_list[cursor:stop])
-            ]
-            yield script
 
 
 def build_attack_episodes(config: WorkloadConfig, first_attacker_id: int,

@@ -1,24 +1,31 @@
 """Client events: the interface between the workload and the back-end.
 
-The generator produces a time-ordered stream of :class:`ClientEvent` objects
-describing what desktop clients do (open/close sessions, upload, download,
-make, unlink, ...).  The back-end simulator consumes this stream and turns it
+The generator produces a time-ordered stream of client actions describing
+what desktop clients do (open/close sessions, upload, download, make,
+unlink, ...).  The back-end simulator consumes this stream and turns it
 into trace records enriched with server placement, RPC decomposition and
 service times; alternatively the generator itself can map the events onto
 records for analyses that do not need back-end detail.
+
+Since the columnar rework the canonical storage is :class:`EventBlock` — a
+struct-of-arrays container with one column per event field, hung off each
+:class:`SessionScript`.  The materializer appends scalars straight into the
+columns and the replay engine dispatches straight out of them, so no
+per-event object is built on the hot path.  :class:`ClientEvent` remains the
+scalar view: ``script.events`` hydrates objects from the block on first
+access, which keeps hand-built scripts, tests and slow paths working
+unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.trace.records import ApiOperation, NodeKind, VolumeType
 
-__all__ = ["ClientEvent", "SessionScript"]
+__all__ = ["ClientEvent", "EventBlock", "SessionScript"]
 
 
-@dataclass(slots=True)
 class ClientEvent:
     """A single client action at a point in time.
 
@@ -28,67 +35,236 @@ class ClientEvent:
     and ``is_update`` are only meaningful for transfer operations.
     """
 
-    time: float
-    user_id: int
-    session_id: int
-    operation: ApiOperation
-    node_id: int = 0
-    volume_id: int = 0
-    volume_type: VolumeType = VolumeType.ROOT
-    node_kind: NodeKind = NodeKind.FILE
-    size_bytes: int = 0
-    content_hash: str = ""
-    extension: str = ""
-    is_update: bool = False
-    caused_by_attack: bool = False
+    __slots__ = ("time", "user_id", "session_id", "operation", "node_id",
+                 "volume_id", "volume_type", "node_kind", "size_bytes",
+                 "content_hash", "extension", "is_update", "caused_by_attack")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes < 0:
+    def __init__(self, time: float, user_id: int, session_id: int,
+                 operation: ApiOperation, node_id: int = 0,
+                 volume_id: int = 0,
+                 volume_type: VolumeType = VolumeType.ROOT,
+                 node_kind: NodeKind = NodeKind.FILE,
+                 size_bytes: int = 0, content_hash: str = "",
+                 extension: str = "", is_update: bool = False,
+                 caused_by_attack: bool = False) -> None:
+        if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
+        self.time = time
+        self.user_id = user_id
+        self.session_id = session_id
+        self.operation = operation
+        self.node_id = node_id
+        self.volume_id = volume_id
+        self.volume_type = volume_type
+        self.node_kind = node_kind
+        self.size_bytes = size_bytes
+        self.content_hash = content_hash
+        self.extension = extension
+        self.is_update = is_update
+        self.caused_by_attack = caused_by_attack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)!r}"
+                           for name in self.__slots__)
+        return f"ClientEvent({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClientEvent):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.user_id, self.session_id,
+                     self.operation, self.node_id))
 
     @property
     def is_transfer(self) -> bool:
         """True for uploads and downloads."""
         return self.operation.is_transfer
 
+
+#: Per-event columns of an :class:`EventBlock`, in hydration order.
+EVENT_COLUMNS = ("times", "operations", "node_ids", "volume_ids",
+                 "volume_types", "node_kinds", "size_bytes",
+                 "content_hashes", "extensions", "is_updates")
+
+
+class EventBlock:
+    """Struct-of-arrays storage for one script's events.
+
+    One column per :class:`ClientEvent` field (``user_id``/``session_id``
+    live on the owning script, ``caused_by_attack`` is constant per script).
+    A column is either a list of length ``n`` or a scalar meaning "this
+    value for every event" — attack episodes, for example, vary only in
+    time and upload flag, so nine of their ten columns are scalars and the
+    block costs O(1) per event to build.  :meth:`columns` broadcasts the
+    scalars into lists for the replay dispatch loop.
+    """
+
+    __slots__ = EVENT_COLUMNS + ("caused_by_attack",)
+
+    def __init__(self, times: list[float],
+                 operations: "list[ApiOperation] | ApiOperation",
+                 node_ids: "list[int] | int" = 0,
+                 volume_ids: "list[int] | int" = 0,
+                 volume_types: "list[VolumeType] | VolumeType" = VolumeType.ROOT,
+                 node_kinds: "list[NodeKind] | NodeKind" = NodeKind.FILE,
+                 size_bytes: "list[int] | int" = 0,
+                 content_hashes: "list[str] | str" = "",
+                 extensions: "list[str] | str" = "",
+                 is_updates: "list[bool] | bool" = False,
+                 caused_by_attack: bool = False) -> None:
+        self.times = times
+        self.operations = operations
+        self.node_ids = node_ids
+        self.volume_ids = volume_ids
+        self.volume_types = volume_types
+        self.node_kinds = node_kinds
+        self.size_bytes = size_bytes
+        self.content_hashes = content_hashes
+        self.extensions = extensions
+        self.is_updates = is_updates
+        self.caused_by_attack = caused_by_attack
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def columns(self) -> tuple[list, ...]:
+        """All ten columns as equal-length lists (scalars broadcast)."""
+        n = len(self.times)
+        out = []
+        for name in EVENT_COLUMNS:
+            value = getattr(self, name)
+            out.append(value if type(value) is list else [value] * n)
+        return tuple(out)
+
     @property
-    def timestamp(self) -> float:
-        """Alias of :attr:`time`.
+    def nbytes(self) -> int:
+        """Approximate payload size of the block's typed columns.
 
-        Makes events request-shaped (same attribute set as
-        :class:`repro.backend.protocol.operations.ApiRequest`), so the replay
-        loop can hand them to the API servers without a per-event copy.
+        Counts each column at its packed width (f8 time, u2 operation, i8
+        ids and sizes, u1 enums and flags, raw string bytes), scalars at a
+        single element — the footprint the block would have as one typed
+        array per field, which is what the ``event_block_bytes`` telemetry
+        tracks.
         """
-        return self.time
+        n = len(self.times)
+        widths = (8, 2, 8, 8, 1, 1, 8, 0, 0, 1)
+        total = 0
+        for name, width in zip(EVENT_COLUMNS, widths):
+            value = getattr(self, name)
+            if width == 0:  # string columns: raw bytes
+                if type(value) is list:
+                    total += sum(len(s) for s in value)
+                else:
+                    total += len(value)
+            else:
+                total += width * (n if type(value) is list else 1)
+        return total
+
+    def rows(self) -> "list[tuple]":
+        """Dispatch rows: one tuple per event, transposed at C speed.
+
+        Each row is ``(time, operation, node_id, volume_id, volume_type,
+        node_kind, size_bytes, content_hash, extension, is_update,
+        caused_by_attack)`` — the argument order of
+        :meth:`repro.backend.api_server.ApiServerProcess.handle_event`.
+        One ``zip`` over the broadcast columns replaces a per-event object
+        construction; the replay loop indexes straight into the result.
+        """
+        n = len(self.times)
+        cols = []
+        for name in EVENT_COLUMNS:
+            value = getattr(self, name)
+            cols.append(value if type(value) is list else [value] * n)
+        cols.append([self.caused_by_attack] * n)
+        return list(zip(*cols))
+
+    @classmethod
+    def from_events(cls, events: "list[ClientEvent]",
+                    caused_by_attack: bool = False) -> "EventBlock":
+        """Transpose a scalar event list into columnar storage."""
+        if not events:
+            return cls(times=[], operations=[],
+                       caused_by_attack=caused_by_attack)
+        return cls(times=[e.time for e in events],
+                   operations=[e.operation for e in events],
+                   node_ids=[e.node_id for e in events],
+                   volume_ids=[e.volume_id for e in events],
+                   volume_types=[e.volume_type for e in events],
+                   node_kinds=[e.node_kind for e in events],
+                   size_bytes=[e.size_bytes for e in events],
+                   content_hashes=[e.content_hash for e in events],
+                   extensions=[e.extension for e in events],
+                   is_updates=[e.is_update for e in events],
+                   caused_by_attack=caused_by_attack)
+
+    def to_events(self, user_id: int, session_id: int) -> "list[ClientEvent]":
+        """Hydrate per-event :class:`ClientEvent` objects from the columns."""
+        attack = self.caused_by_attack
+        return [ClientEvent(t, user_id, session_id, op, node_id, volume_id,
+                            volume_type, node_kind, size, content_hash,
+                            extension, is_update, attack)
+                for (t, op, node_id, volume_id, volume_type, node_kind,
+                     size, content_hash, extension, is_update)
+                in zip(*self.columns())]
 
 
-@dataclass
 class SessionScript:
     """All the events of one client session, in chronological order.
 
     A session starts with an OPEN_SESSION event and ends with CLOSE_SESSION;
     in between come the (possibly zero) operations the client performed.
+    Generated scripts carry their events columnar in :attr:`block`;
+    :attr:`events` hydrates (and caches) scalar :class:`ClientEvent` objects
+    on first access.  Hand-built scripts may instead pass or append to
+    ``events`` directly, exactly as before the columnar rework.
     """
 
-    user_id: int
-    session_id: int
-    start: float
-    end: float
-    events: list[ClientEvent] = field(default_factory=list)
-    caused_by_attack: bool = False
-    auth_failed: bool = False
-    #: Plan-member identity and weight, stamped by the plan-driven
-    #: generator: ``plan_member`` is the index of the workload-plan member
-    #: (a legitimate user, or one slice of a DDoS episode) this script was
-    #: materialized from, and ``member_planned_ops`` the member's planned
-    #: operation total (the same value on every script of the member).  The
-    #: sharded replay keys its deterministic longest-processing-time shard
-    #: assignment on these, so replaying pre-materialized scripts and
-    #: materializing them inside the shard workers produce the same shard
-    #: layout.  ``-1`` means "unknown" (hand-built scripts); the assignment
-    #: then falls back to per-user event counting.
-    plan_member: int = -1
-    member_planned_ops: float = -1.0
+    __slots__ = ("user_id", "session_id", "start", "end", "_events",
+                 "caused_by_attack", "auth_failed", "plan_member",
+                 "member_planned_ops", "block")
+
+    def __init__(self, user_id: int, session_id: int, start: float,
+                 end: float, events: "list[ClientEvent] | None" = None,
+                 caused_by_attack: bool = False, auth_failed: bool = False,
+                 plan_member: int = -1, member_planned_ops: float = -1.0,
+                 block: "EventBlock | None" = None) -> None:
+        self.user_id = user_id
+        self.session_id = session_id
+        self.start = start
+        self.end = end
+        self.caused_by_attack = caused_by_attack
+        self.auth_failed = auth_failed
+        #: Plan-member identity and weight, stamped by the plan-driven
+        #: generator: ``plan_member`` is the index of the workload-plan
+        #: member (a legitimate user, or one slice of a DDoS episode) this
+        #: script was materialized from, and ``member_planned_ops`` the
+        #: member's planned operation total (the same value on every script
+        #: of the member).  The sharded replay keys its deterministic
+        #: longest-processing-time shard assignment on these, so replaying
+        #: pre-materialized scripts and materializing them inside the shard
+        #: workers produce the same shard layout.  ``-1`` means "unknown"
+        #: (hand-built scripts); the assignment then falls back to per-user
+        #: event counting.
+        self.plan_member = plan_member
+        self.member_planned_ops = member_planned_ops
+        self.block = block
+        if events is None and block is None:
+            events = []
+        self._events = events
+
+    @property
+    def events(self) -> "list[ClientEvent]":
+        if self._events is None:
+            self._events = self.block.to_events(self.user_id, self.session_id)
+        return self._events
+
+    @events.setter
+    def events(self, value: "list[ClientEvent]") -> None:
+        self._events = value
+        self.block = None
 
     @property
     def length(self) -> float:
@@ -96,17 +272,35 @@ class SessionScript:
         return self.end - self.start
 
     @property
+    def n_events(self) -> int:
+        """Event count, without hydrating scalar events from the block."""
+        if self._events is not None:
+            return len(self._events)
+        return len(self.block.times)
+
+    @property
     def storage_operation_count(self) -> int:
         """Number of data-management operations performed by the session."""
-        return sum(1 for e in self.events if e.operation.is_data_management)
+        if self._events is None:
+            operations = self.block.operations
+            if type(operations) is not list:
+                operations = [operations] * len(self.block.times)
+            return sum(1 for op in operations if op.is_data_management)
+        return sum(1 for e in self._events if e.operation.is_data_management)
 
     @property
     def is_active(self) -> bool:
         """True when the session performed at least one data-management op."""
         return self.storage_operation_count > 0
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SessionScript(user_id={self.user_id}, "
+                f"session_id={self.session_id}, start={self.start}, "
+                f"end={self.end}, n_events={self.n_events}, "
+                f"caused_by_attack={self.caused_by_attack})")
+
     def __iter__(self) -> Iterator[ClientEvent]:
         return iter(self.events)
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self.n_events

@@ -42,18 +42,13 @@ class TestEntities:
 
 
 class TestApiRequest:
-    def test_from_event_copies_fields(self):
-        event = ClientEvent(time=10.0, user_id=1, session_id=2,
-                            operation=ApiOperation.UPLOAD, node_id=3, volume_id=4,
-                            volume_type=VolumeType.UDF, node_kind=NodeKind.FILE,
-                            size_bytes=100, content_hash="h", extension="mp3",
-                            is_update=True, caused_by_attack=True)
-        request = ApiRequest.from_event(event)
-        assert request.timestamp == 10.0
-        assert request.operation is ApiOperation.UPLOAD
-        assert request.volume_type is VolumeType.UDF
-        assert request.size_bytes == 100
-        assert request.is_update and request.caused_by_attack
+    def test_field_defaults_cover_non_transfer_requests(self):
+        request = ApiRequest(operation=ApiOperation.MAKE, user_id=1,
+                             session_id=2, timestamp=10.0, node_id=3)
+        assert request.volume_type is VolumeType.ROOT
+        assert request.node_kind is NodeKind.FILE
+        assert request.size_bytes == 0 and request.content_hash == ""
+        assert not request.is_update and not request.caused_by_attack
 
     def test_chunk_size_is_5mb(self):
         assert UPLOAD_CHUNK_BYTES == 5 * 1024 * 1024

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.trace.records import ApiOperation
-from repro.workload.events import ClientEvent, SessionScript
+from repro.workload.events import ClientEvent, EventBlock, SessionScript
 
 
 class TestClientEvent:
@@ -52,3 +52,61 @@ class TestSessionScript:
         assert len(script) == 3
         assert [e.operation for e in script] == [
             ApiOperation.LIST_VOLUMES, ApiOperation.UPLOAD, ApiOperation.UNLINK]
+
+
+class TestEventBlock:
+    def _events(self):
+        return [
+            ClientEvent(time=10.0, user_id=4, session_id=9,
+                        operation=ApiOperation.UPLOAD, node_id=3,
+                        volume_id=-4, size_bytes=100, content_hash="h1",
+                        extension=".pdf", is_update=False),
+            ClientEvent(time=11.0, user_id=4, session_id=9,
+                        operation=ApiOperation.DOWNLOAD, node_id=3,
+                        volume_id=-4, size_bytes=100, content_hash="h1",
+                        extension=".pdf"),
+            ClientEvent(time=12.5, user_id=4, session_id=9,
+                        operation=ApiOperation.GET_DELTA),
+        ]
+
+    def test_from_events_to_events_round_trip(self):
+        events = self._events()
+        block = EventBlock.from_events(events)
+        assert block.to_events(4, 9) == events
+        assert len(block) == 3
+
+    def test_rows_match_hydrated_events(self):
+        block = EventBlock.from_events(self._events())
+        rows = block.rows()
+        hydrated = block.to_events(4, 9)
+        assert len(rows) == len(hydrated)
+        for row, event in zip(rows, hydrated):
+            (t, op, node_id, volume_id, volume_type, node_kind, size,
+             content_hash, extension, is_update, attack) = row
+            assert (t, op, node_id, volume_id, volume_type, node_kind,
+                    size, content_hash, extension, is_update, attack) == (
+                event.time, event.operation, event.node_id, event.volume_id,
+                event.volume_type, event.node_kind, event.size_bytes,
+                event.content_hash, event.extension, event.is_update,
+                event.caused_by_attack)
+
+    def test_scalar_columns_broadcast(self):
+        block = EventBlock(times=[1.0, 2.0, 3.0],
+                           operations=ApiOperation.UPLOAD,
+                           size_bytes=7, caused_by_attack=True)
+        events = block.to_events(1, 2)
+        assert [e.operation for e in events] == [ApiOperation.UPLOAD] * 3
+        assert [e.size_bytes for e in events] == [7, 7, 7]
+        assert all(e.caused_by_attack for e in events)
+        assert all(row[1] is ApiOperation.UPLOAD and row[10]
+                   for row in block.rows())
+
+    def test_script_block_properties_without_hydration(self):
+        block = EventBlock.from_events(self._events())
+        script = SessionScript(user_id=4, session_id=9, start=0.0, end=20.0,
+                               block=block)
+        assert script.n_events == 3
+        assert len(script) == 3
+        assert script.storage_operation_count == 2  # GET_DELTA is maintenance
+        assert script._events is None  # none of the above hydrated objects
+        assert script.events[0].operation is ApiOperation.UPLOAD  # hydrates

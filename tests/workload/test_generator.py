@@ -128,3 +128,60 @@ class TestGenerateDataset:
         kinds = Counter(r.node_kind for r in generated_dataset.storage if r.node_id)
         assert kinds[NodeKind.DIRECTORY] > 0
         assert kinds[NodeKind.FILE] > kinds[NodeKind.DIRECTORY]
+
+
+class TestBatchedMemberRng:
+    """The vectorised member-stream derivation is bit-identical to NumPy's
+    scalar ``SeedSequence`` spawning (the contract ``MemberRngBatch`` and
+    the fused shard workers rely on)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 13, 2014, 2**31 - 1,
+                                      2**64 + 12345, 2**96 + 7])
+    def test_seeding_words_match_seed_sequence(self, seed):
+        from repro.workload.generator import (_SPAWN_NAMESPACE,
+                                              _batched_member_words)
+        user_ids = [0, 1, 2, 17, 999, 2**20, 2**32 - 1]
+        words = _batched_member_words(seed, user_ids)
+        for i, user_id in enumerate(user_ids):
+            expected = np.random.SeedSequence(
+                entropy=seed,
+                spawn_key=(_SPAWN_NAMESPACE, user_id),
+            ).generate_state(4, np.uint64)
+            assert np.array_equal(words[i], expected), (seed, user_id)
+
+    def test_batch_rng_draws_match_member_rng(self):
+        from repro.workload.generator import MemberRngBatch, member_rng
+        seed, user_ids = 2014, [3, 44, 555, 6666]
+        batch = MemberRngBatch(seed, user_ids)
+        for user_id in user_ids:
+            batched = batch.rng(user_id)
+            scalar = member_rng(seed, user_id)
+            assert np.array_equal(batched.integers(0, 2**63, size=64),
+                                  scalar.integers(0, 2**63, size=64))
+            assert np.array_equal(batched.random(size=32),
+                                  scalar.random(size=32))
+
+    def test_spawned_children_match(self):
+        # RngPool.spawn and the attack memo derive children by rebuilding a
+        # SeedSequence from the member sequence's ``entropy``/``spawn_key``;
+        # the precomputed shim must preserve that lineage.
+        from repro.workload.generator import MemberRngBatch, member_rng
+        batched = MemberRngBatch(7, [42]).rng(42).bit_generator.seed_seq
+        scalar = member_rng(7, 42).bit_generator.seed_seq
+        assert batched.entropy == scalar.entropy
+        assert tuple(batched.spawn_key) == tuple(scalar.spawn_key)
+        child_a = np.random.SeedSequence(
+            entropy=batched.entropy,
+            spawn_key=tuple(batched.spawn_key) + (3,))
+        child_b = np.random.SeedSequence(
+            entropy=scalar.entropy,
+            spawn_key=tuple(scalar.spawn_key) + (3,))
+        assert np.array_equal(child_a.generate_state(4, np.uint64),
+                              child_b.generate_state(4, np.uint64))
+
+    def test_out_of_range_ids_fall_back_to_scalar_path(self):
+        from repro.workload.generator import MemberRngBatch, member_rng
+        batch = MemberRngBatch(11, [5, 2**33])
+        for user_id in (5, 2**33):
+            assert np.array_equal(batch.rng(user_id).random(size=16),
+                                  member_rng(11, user_id).random(size=16))
